@@ -1,0 +1,20 @@
+(* Benchmark harness: regenerates every table and figure of
+   "Main-Memory Index Structures with Fixed-Size Partial Keys"
+   (SIGMOD 2001), plus the ablations indexed in DESIGN.md.
+
+   Usage:  dune exec bench/main.exe [-- id ...]
+     ids: t2 f9a f9b f10a f10b a1 a2 a3 a4 a5 a6 a7   (none = all)
+   Scaling: PK_KEYS / PK_LOOKUPS override sizes, PK_SCALE multiplies
+   the defaults (paper scale is PK_KEYS=1500000 PK_LOOKUPS=100000). *)
+
+let () =
+  Pk_experiments.Exp_tables.register ();
+  Pk_experiments.Exp_figures.register ();
+  Pk_experiments.Exp_ablations.register ();
+  let ids = List.tl (Array.to_list Sys.argv) in
+  let ids = List.filter (fun s -> s <> "--") ids in
+  Printf.printf
+    "pktree benchmark suite — reproducing Bohannon, McIlroy & Rastogi, SIGMOD 2001\n";
+  Printf.printf
+    "defaults scaled by PK_KEYS/PK_LOOKUPS/PK_SCALE; shape notes compare against the paper's claims\n\n";
+  Pk_harness.Experiment.run_ids ids

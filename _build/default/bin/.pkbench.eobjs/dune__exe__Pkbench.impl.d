@@ -1,0 +1,1 @@
+bin/pkbench.ml: Arg Cmd Cmdliner List Option Pk_experiments Pk_harness Printf Term Unix

@@ -1,0 +1,1 @@
+bin/pkdump.ml: Arg Array Cmd Cmdliner Pk_cachesim Pk_core Pk_keys Pk_partialkey Pk_records Pk_util Pk_workload Printf String Term Unix

@@ -1,0 +1,53 @@
+(* pkbench — command-line front end for the experiment suite.
+
+   Examples:
+     pkbench list
+     pkbench run f9a f10b --keys 500000 --lookups 20000
+     pkbench run            # everything at default scale *)
+
+open Cmdliner
+
+let register_all () =
+  Pk_experiments.Exp_tables.register ();
+  Pk_experiments.Exp_figures.register ();
+  Pk_experiments.Exp_ablations.register ()
+
+let list_cmd =
+  let run () =
+    register_all ();
+    List.iter
+      (fun (e : Pk_harness.Experiment.t) ->
+        Printf.printf "%-6s %-55s %s\n" e.Pk_harness.Experiment.id
+          e.Pk_harness.Experiment.title e.Pk_harness.Experiment.paper_ref)
+      (Pk_harness.Experiment.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available experiments")
+    Term.(const run $ const ())
+
+let keys_arg =
+  Arg.(value & opt (some int) None & info [ "keys"; "k" ] ~docv:"N" ~doc:"Number of indexed keys (overrides the default; the paper used 1500000).")
+
+let lookups_arg =
+  Arg.(value & opt (some int) None & info [ "lookups"; "l" ] ~docv:"N" ~doc:"Number of measured lookups (the paper used 100000).")
+
+let scale_arg =
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"X" ~doc:"Multiply default sizes by X.")
+
+let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
+
+let run_cmd =
+  let run keys lookups scale ids =
+    Option.iter (fun v -> Unix.putenv "PK_KEYS" (string_of_int v)) keys;
+    Option.iter (fun v -> Unix.putenv "PK_LOOKUPS" (string_of_int v)) lookups;
+    Option.iter (fun v -> Unix.putenv "PK_SCALE" (string_of_float v)) scale;
+    register_all ();
+    Pk_harness.Experiment.run_ids ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments (all tables/figures of the paper plus ablations)")
+    Term.(const run $ keys_arg $ lookups_arg $ scale_arg $ ids_arg)
+
+let () =
+  let doc = "benchmarks for the pkT/pkB partial-key index reproduction (SIGMOD 2001)" in
+  let info = Cmd.info "pkbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))

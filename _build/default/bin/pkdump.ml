@@ -1,0 +1,120 @@
+(* pkdump — build an index from command-line parameters and report its
+   structure, space and lookup cache behaviour.  Handy for exploring a
+   configuration before committing to a benchmark run.
+
+   Example:
+     pkdump --structure b --scheme pk-byte-2 --keys 100000 --key-len 20 \
+            --entropy 3.6 --machine ultra30 *)
+
+open Cmdliner
+module Machine = Pk_cachesim.Machine
+module Layout = Pk_core.Layout
+module Index = Pk_core.Index
+module Partial_key = Pk_partialkey.Partial_key
+module Workload = Pk_workload.Workload
+module Keygen = Pk_keys.Keygen
+module Tables = Pk_util.Tables
+
+let parse_scheme s ~key_len =
+  match String.lowercase_ascii s with
+  | "direct" -> Ok (Layout.Direct { key_len })
+  | "indirect" -> Ok Layout.Indirect
+  | s -> (
+      (* pk-<granularity>-<l>  e.g. pk-byte-2, pk-bit-0 *)
+      match String.split_on_char '-' s with
+      | [ "pk"; g; l ] -> (
+          match (g, int_of_string_opt l) with
+          | "byte", Some l when l >= 0 ->
+              Ok (Layout.Partial { granularity = Partial_key.Byte; l_bytes = l })
+          | "bit", Some l when l >= 0 ->
+              Ok (Layout.Partial { granularity = Partial_key.Bit; l_bytes = l })
+          | _ -> Error (`Msg "scheme: expected pk-(bit|byte)-<l>"))
+      | _ -> Error (`Msg "scheme: expected direct | indirect | pk-(bit|byte)-<l>"))
+
+let run structure scheme keys key_len entropy machine node_blocks lookups validate =
+  let machine =
+    match Machine.by_name machine with
+    | Some m -> m
+    | None -> failwith ("unknown machine " ^ machine)
+  in
+  let structure =
+    match String.lowercase_ascii structure with
+    | "b" | "btree" | "b-tree" -> Index.B_tree
+    | "t" | "ttree" | "t-tree" -> Index.T_tree
+    | s -> failwith ("unknown structure " ^ s)
+  in
+  let scheme =
+    match parse_scheme scheme ~key_len with Ok s -> s | Error (`Msg m) -> failwith m
+  in
+  let alphabet = Keygen.alphabet_for_entropy entropy in
+  let env = Workload.make_env ~machine () in
+  let ds = Workload.make_dataset env ~key_len ~alphabet ~n:keys () in
+  let ix =
+    Index.make ~node_bytes:(node_blocks * machine.Machine.l2.Pk_cachesim.Cachesim.block_bytes)
+      structure scheme env.Workload.mem env.Workload.records
+  in
+  let t0 = Unix.gettimeofday () in
+  Workload.load ds ix;
+  let load_s = Unix.gettimeofday () -. t0 in
+  if validate then ix.Index.validate ();
+  let warm = Workload.probes ds ~seed:11 ~n:(min 3000 keys) () in
+  let all = Workload.probes ds ~seed:12 ~n:(3000 + lookups) () in
+  let probes = Array.sub all (min 3000 keys) lookups in
+  let cs = Workload.measure_cache env ix ~warm ~probes in
+  let wall = Workload.wall_ns_per_op env ix ~probes in
+  Printf.printf "index           %s\n" ix.Index.tag;
+  Printf.printf "machine         %s\n" machine.Machine.machine_name;
+  Printf.printf "keys            %s of %d bytes (entropy %.2f bits/byte)\n"
+    (Tables.fmt_int keys) key_len
+    (Keygen.entropy_of_alphabet alphabet);
+  Printf.printf "build           %.2fs (%s keys/s)\n" load_s
+    (Tables.fmt_int (int_of_float (float_of_int keys /. load_s)));
+  Printf.printf "height          %d\n" (ix.Index.height ());
+  Printf.printf "nodes           %s (%d-byte nodes)\n"
+    (Tables.fmt_int (ix.Index.node_count ()))
+    (node_blocks * machine.Machine.l2.Pk_cachesim.Cachesim.block_bytes);
+  Printf.printf "index space     %s (%.1f bytes/key)\n"
+    (Tables.fmt_bytes (ix.Index.space_bytes ()))
+    (float_of_int (ix.Index.space_bytes ()) /. float_of_int keys);
+  Printf.printf "record space    %s\n"
+    (Tables.fmt_bytes (Pk_records.Record_store.live_bytes env.Workload.records));
+  Printf.printf "lookup          %.0f ns/op wall, %.2f L2 miss/op, %.2f L1 miss/op\n" wall
+    cs.Workload.l2_per_op cs.Workload.l1_per_op;
+  Printf.printf "                %.3f record derefs/op, %.2f node visits/op, %.2f us/op simulated\n"
+    cs.Workload.derefs_per_op cs.Workload.visits_per_op
+    (cs.Workload.sim_ns_per_op /. 1000.0);
+  if validate then Printf.printf "validate        ok\n"
+
+let () =
+  let structure =
+    Arg.(value & opt string "b" & info [ "structure"; "s" ] ~docv:"b|t" ~doc:"Tree structure.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt string "pk-byte-2"
+      & info [ "scheme" ] ~docv:"S" ~doc:"Key storage: direct, indirect, or pk-(bit|byte)-<l>.")
+  in
+  let keys = Arg.(value & opt int 100_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Indexed keys.") in
+  let key_len = Arg.(value & opt int 20 & info [ "key-len" ] ~docv:"B" ~doc:"Key length in bytes.") in
+  let entropy =
+    Arg.(value & opt float 3.6 & info [ "entropy" ] ~docv:"H" ~doc:"Bits of entropy per key byte.")
+  in
+  let machine =
+    Arg.(value & opt string "ultra30" & info [ "machine" ] ~docv:"M" ~doc:"Simulated machine (Table 2).")
+  in
+  let node_blocks =
+    Arg.(value & opt int 3 & info [ "node-blocks" ] ~docv:"N" ~doc:"Node size in L2 blocks.")
+  in
+  let lookups = Arg.(value & opt int 8000 & info [ "lookups" ] ~docv:"N" ~doc:"Measured lookups.") in
+  let validate = Arg.(value & flag & info [ "validate" ] ~doc:"Run the full invariant checker.") in
+  let term =
+    Term.(
+      const run $ structure $ scheme $ keys $ key_len $ entropy $ machine $ node_blocks $ lookups
+      $ validate)
+  in
+  let info =
+    Cmd.info "pkdump" ~version:"1.0.0"
+      ~doc:"build one partial-key (or baseline) index and report structure and cache behaviour"
+  in
+  exit (Cmd.eval (Cmd.v info term))

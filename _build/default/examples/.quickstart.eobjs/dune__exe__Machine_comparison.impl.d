@@ -1,0 +1,1 @@
+examples/machine_comparison.ml: Array List Pk_cachesim Pk_core Pk_partialkey Pk_util Pk_workload Printf

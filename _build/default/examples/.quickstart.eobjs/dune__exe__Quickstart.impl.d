@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytes List Pk_cachesim Pk_core Pk_keys Pk_mem Pk_partialkey Pk_records Pk_util Printf

@@ -1,0 +1,1 @@
+examples/telecom_sessions.ml: Array Bytes Char Hashtbl List Pk_core Pk_keys Pk_partialkey Pk_records Pk_util Pk_workload Printf Unix

@@ -1,0 +1,1 @@
+examples/transactions.ml: Bytes List Pk_core Pk_keys Pk_lockmgr Pk_partialkey Pk_records Pk_workload Printf String

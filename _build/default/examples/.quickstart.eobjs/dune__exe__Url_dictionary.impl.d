@@ -1,0 +1,1 @@
+examples/url_dictionary.ml: Array Bytes Char Hashtbl List Pk_cachesim Pk_core Pk_keys Pk_mem Pk_partialkey Pk_records Pk_util Pk_workload Printf String

@@ -1,0 +1,63 @@
+(* One index, four memory hierarchies.
+
+   The same pkB-tree lookup trace is replayed against each machine of
+   the paper's Table 2.  The miss *counts* barely move (same geometry
+   up to block size), but the simulated time tracks each machine's
+   latencies — the paper's argument that partial-key trees get
+   relatively better as the CPU/memory gap widens.
+
+   Run with:  dune exec examples/machine_comparison.exe *)
+
+module Tables = Pk_util.Tables
+module Cachesim = Pk_cachesim.Cachesim
+module Machine = Pk_cachesim.Machine
+module Layout = Pk_core.Layout
+module Index = Pk_core.Index
+module Partial_key = Pk_partialkey.Partial_key
+module Workload = Pk_workload.Workload
+
+let () =
+  let n = 80_000 and key_len = 20 in
+  Printf.printf "pkB-tree, %d keys of %d bytes, same lookups on each machine\n\n" n key_len;
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("machine", Tables.Left);
+          ("L2 size", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("sim us/op", Tables.Right);
+          ("us/op at 10x DRAM gap", Tables.Right);
+        ]
+  in
+  List.iter
+    (fun (m : Machine.t) ->
+      let run machine =
+        let env = Workload.make_env ~machine () in
+        let ds = Workload.make_dataset env ~key_len ~alphabet:220 ~n () in
+        let ix =
+          Index.make Index.B_tree
+            (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+            env.Workload.mem env.Workload.records
+        in
+        Workload.load ds ix;
+        let warm = Workload.probes ds ~seed:11 ~n:3000 () in
+        let all = Workload.probes ds ~seed:12 ~n:11000 () in
+        let probes = Array.sub all 3000 8000 in
+        Workload.measure_cache env ix ~warm ~probes
+      in
+      let cs = run m in
+      (* The paper's future-trend argument: scale the DRAM latency up
+         10x while the caches stay put. *)
+      let widened = { m with Machine.dram_ns = m.Machine.dram_ns *. 10.0 } in
+      let cs10 = run widened in
+      Tables.add_row t
+        [
+          m.Machine.machine_name;
+          Tables.fmt_bytes m.Machine.l2.Cachesim.size_bytes;
+          Tables.fmt_float cs.Workload.l2_per_op;
+          Tables.fmt_float (cs.Workload.sim_ns_per_op /. 1000.0);
+          Tables.fmt_float (cs10.Workload.sim_ns_per_op /. 1000.0);
+        ])
+    Machine.all;
+  Tables.print t

@@ -1,0 +1,82 @@
+(* Interleaved transactions over a pkB-tree with next-key locking —
+   the concurrency-control protocol of the system the paper's T-tree
+   code came from (§5.2; ARIES/KVL [21]).
+
+   Run with:  dune exec examples/transactions.exe *)
+
+module Key = Pk_keys.Key
+module Index = Pk_core.Index
+module Layout = Pk_core.Layout
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+module Workload = Pk_workload.Workload
+module L = Pk_lockmgr.Lock_manager
+module LI = Pk_lockmgr.Locking_index
+
+let key = Key.of_string
+
+let show what = function
+  | `Ok _ -> Printf.printf "  %-52s granted\n" what
+  | `Blocked ids ->
+      Printf.printf "  %-52s BLOCKED by txn %s\n" what
+        (String.concat "," (List.map string_of_int ids))
+  | `Deadlock -> Printf.printf "  %-52s DEADLOCK - abort\n" what
+
+let () =
+  let env = Workload.make_env () in
+  let records = env.Workload.records in
+  let ix =
+    Index.make Index.B_tree
+      (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+      env.Workload.mem records
+  in
+  let li = LI.wrap (L.create ()) ix in
+  let put s =
+    let k = key s in
+    let rid = Record_store.insert records ~key:k ~payload:(Bytes.of_string ("balance of " ^ s)) in
+    assert (ix.Pk_core.Index.insert k ~rid)
+  in
+  List.iter put [ "acct-0100"; "acct-0200"; "acct-0300"; "acct-0500" ];
+  print_endline "accounts: 0100 0200 0300 0500\n";
+
+  (* Scene 1: shared readers, blocked writer. *)
+  print_endline "T1 and T2 read acct-0200; T2 then tries to delete it:";
+  let t1 = LI.begin_txn li and t2 = LI.begin_txn li in
+  show "T1 lookup acct-0200" (LI.lookup li t1 (key "acct-0200"));
+  show "T2 lookup acct-0200" (LI.lookup li t2 (key "acct-0200"));
+  show "T2 delete acct-0200" (LI.delete li t2 (key "acct-0200"));
+  LI.commit li t1;
+  show "T2 delete acct-0200 (after T1 commit)" (LI.delete li t2 (key "acct-0200"));
+  LI.abort li t2;
+  (* T2 aborted: undo its delete by reinserting. *)
+  put "acct-0200";
+  print_newline ();
+
+  (* Scene 2: phantom prevention.  T3 scans a range; T4 cannot insert
+     into it until T3 finishes. *)
+  print_endline "T3 scans [acct-0100, acct-0300]; T4 inserts acct-0250 into the gap:";
+  let t3 = LI.begin_txn li and t4 = LI.begin_txn li in
+  (match LI.range li t3 ~lo:(key "acct-0100") ~hi:(key "acct-0300") with
+  | `Ok items -> Printf.printf "  T3 scan found %d accounts\n" (List.length items)
+  | _ -> assert false);
+  let rid = Record_store.insert records ~key:(key "acct-0250") ~payload:Bytes.empty in
+  show "T4 insert acct-0250" (LI.insert li t4 (key "acct-0250") ~rid);
+  LI.commit li t3;
+  show "T4 insert acct-0250 (after T3 commit)" (LI.insert li t4 (key "acct-0250") ~rid);
+  LI.commit li t4;
+  print_newline ();
+
+  (* Scene 3: deadlock. *)
+  print_endline "T5 and T6 update accounts in opposite orders:";
+  let t5 = LI.begin_txn li and t6 = LI.begin_txn li in
+  show "T5 lookup acct-0100" (LI.lookup li t5 (key "acct-0100"));
+  show "T6 lookup acct-0500" (LI.lookup li t6 (key "acct-0500"));
+  show "T5 delete acct-0500" (LI.delete li t5 (key "acct-0500"));
+  show "T6 delete acct-0100" (LI.delete li t6 (key "acct-0100"));
+  print_endline "  (T6 aborts; T5 retries and proceeds)";
+  LI.abort li t6;
+  (match LI.delete li t5 (key "acct-0500") with
+  | `Ok true -> LI.commit li t5
+  | _ -> assert false);
+  Printf.printf "\nfinal accounts: %d, index valid: %b\n" (ix.Pk_core.Index.count ())
+    (try ix.Pk_core.Index.validate (); true with _ -> false)

@@ -1,0 +1,1 @@
+lib/arena/arena.ml: Bytes Char Hashtbl Int32 Int64 Stdlib

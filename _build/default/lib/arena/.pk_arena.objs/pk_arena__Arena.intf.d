@@ -1,0 +1,1 @@
+lib/arena/arena.mli:

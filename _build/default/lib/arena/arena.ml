@@ -1,0 +1,98 @@
+type t = {
+  arena_name : string;
+  mutable data : Bytes.t;
+  mutable used : int;
+  mutable freed : int; (* bytes currently sitting in free lists *)
+  free_lists : (int, int list ref) Hashtbl.t; (* size -> offsets *)
+}
+
+let null = 0
+
+let create ?(initial_capacity = 64 * 1024) ~name () =
+  let cap = Stdlib.max initial_capacity 64 in
+  {
+    arena_name = name;
+    data = Bytes.make cap '\000';
+    (* Offset 0 is burned (with 7 pad bytes) so that 0 can serve as the
+       null pointer in node link fields. *)
+    used = 8;
+    freed = 0;
+    free_lists = Hashtbl.create 16;
+  }
+
+let name t = t.arena_name
+let used_bytes t = t.used
+let live_bytes t = t.used - t.freed
+let capacity t = Bytes.length t.data
+
+let grow_to t want =
+  let cap = ref (Bytes.length t.data) in
+  while !cap < want do
+    cap := !cap * 2
+  done;
+  if !cap > Bytes.length t.data then begin
+    let bigger = Bytes.make !cap '\000' in
+    Bytes.blit t.data 0 bigger 0 t.used;
+    t.data <- bigger
+  end
+
+let align_up off align = (off + align - 1) land lnot (align - 1)
+
+let alloc t ?(align = 8) size =
+  if size <= 0 then invalid_arg "Arena.alloc: size <= 0";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Arena.alloc: align must be a positive power of two";
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = off :: rest } as cell) ->
+      cell := rest;
+      t.freed <- t.freed - size;
+      off
+  | Some _ | None ->
+      let off = align_up t.used align in
+      grow_to t (off + size);
+      t.used <- off + size;
+      off
+
+let fill t ~off ~len c = Bytes.fill t.data off len c
+
+let free t off size =
+  if off = null then invalid_arg "Arena.free: null";
+  fill t ~off ~len:size '\000';
+  t.freed <- t.freed + size;
+  match Hashtbl.find_opt t.free_lists size with
+  | Some cell -> cell := off :: !cell
+  | None -> Hashtbl.add t.free_lists size (ref [ off ])
+
+let get_u8 t off = Char.code (Bytes.get t.data off)
+let set_u8 t off v = Bytes.set t.data off (Char.chr (v land 0xff))
+let get_u16 t off = Bytes.get_uint16_le t.data off
+let set_u16 t off v = Bytes.set_uint16_le t.data off (v land 0xffff)
+
+let get_u32 t off = Int32.to_int (Bytes.get_int32_le t.data off) land 0xffffffff
+let set_u32 t off v = Bytes.set_int32_le t.data off (Int32.of_int v)
+
+let get_u64 t off = Int64.to_int (Bytes.get_int64_le t.data off)
+let set_u64 t off v = Bytes.set_int64_le t.data off (Int64.of_int v)
+
+let blit_from_bytes t ~src ~src_off ~dst_off ~len =
+  Bytes.blit src src_off t.data dst_off len
+
+let blit_to_bytes t ~src_off ~dst ~dst_off ~len =
+  Bytes.blit t.data src_off dst dst_off len
+
+let blit_within t ~src_off ~dst_off ~len =
+  Bytes.blit t.data src_off t.data dst_off len
+
+let compare_with_bytes t ~off b ~b_off ~len =
+  let rec loop i =
+    if i = len then 0
+    else
+      let a = Char.code (Bytes.unsafe_get t.data (off + i)) in
+      let c = Char.code (Bytes.unsafe_get b (b_off + i)) in
+      if a <> c then compare a c else loop (i + 1)
+  in
+  if off + len > Bytes.length t.data || b_off + len > Bytes.length b then
+    invalid_arg "Arena.compare_with_bytes: out of bounds";
+  loop 0
+
+let sub_bytes t ~off ~len = Bytes.sub t.data off len

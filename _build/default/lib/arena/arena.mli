@@ -1,0 +1,79 @@
+(** Flat byte arena: the storage manager substrate.
+
+    Index nodes and data records live in growable, contiguous byte
+    arenas at explicit offsets, mirroring the mmap'd segments of a
+    main-memory storage manager (DataBlitz/Dali style).  Explicit
+    layout is what lets the cache simulator see the same address trace
+    a C implementation would generate, and keeps the OCaml GC out of
+    the hot path (the paper's layout story would otherwise be destroyed
+    by boxed values).
+
+    Offsets returned by [alloc] are plain integers; offset [0] is
+    reserved as the null "pointer" ([null]).  All multi-byte accessors
+    are little-endian.  Raw accessors here do not touch the cache
+    simulator; higher layers ({!module:Pk_mem.Mem}) wrap them with
+    accounting. *)
+
+type t
+
+val null : int
+(** The reserved null offset (0).  No allocation ever returns it. *)
+
+val create : ?initial_capacity:int -> name:string -> unit -> t
+(** A fresh arena.  [initial_capacity] defaults to 64 KiB; the arena
+    doubles as needed. *)
+
+val name : t -> string
+
+val alloc : t -> ?align:int -> int -> int
+(** [alloc t ~align size] returns the offset of a fresh zeroed region
+    of [size] bytes whose offset is a multiple of [align] (default 8;
+    must be a power of two).  Reuses freed regions of the same size
+    class when available (freed regions are reused only for requests of
+    the identical size, so alignment of recycled blocks is preserved).
+    Raises [Invalid_argument] for [size <= 0]. *)
+
+val free : t -> int -> int -> unit
+(** [free t off size] returns a region to the arena's free list for its
+    size class.  The region is zeroed eagerly so stale bytes cannot
+    leak into re-allocations. *)
+
+val used_bytes : t -> int
+(** High-water mark of bytes ever bump-allocated (excludes capacity
+    slack, includes currently-free-listed regions). *)
+
+val live_bytes : t -> int
+(** [used_bytes] minus bytes sitting in free lists: the arena's live
+    footprint.  This is the number reported as index space usage. *)
+
+val capacity : t -> int
+(** Current backing-buffer size in bytes. *)
+
+(** {1 Raw accessors} — bounds-checked by the underlying [Bytes]
+    primitives. *)
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+val get_u16 : t -> int -> int
+val set_u16 : t -> int -> int -> unit
+val get_u32 : t -> int -> int
+val set_u32 : t -> int -> int -> unit
+val get_u64 : t -> int -> int
+(** Stored as little-endian int64; values are OCaml ints (63-bit), which
+    is ample for arena offsets. *)
+
+val set_u64 : t -> int -> int -> unit
+
+val blit_from_bytes : t -> src:bytes -> src_off:int -> dst_off:int -> len:int -> unit
+val blit_to_bytes : t -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val blit_within : t -> src_off:int -> dst_off:int -> len:int -> unit
+(** [blit_within] handles overlapping regions correctly. *)
+
+val compare_with_bytes : t -> off:int -> bytes -> b_off:int -> len:int -> int
+(** Lexicographic (unsigned byte) comparison of the arena region
+    against a slice of [bytes]; negative/zero/positive like [compare].  *)
+
+val sub_bytes : t -> off:int -> len:int -> bytes
+(** Copy a region out as fresh [bytes]. *)
+
+val fill : t -> off:int -> len:int -> char -> unit

@@ -1,0 +1,1 @@
+lib/cachesim/cachesim.ml: Array Format List Option

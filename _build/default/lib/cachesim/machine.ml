@@ -1,0 +1,90 @@
+type t = {
+  machine_name : string;
+  cpu_cycle_ns : float;
+  l1 : Cachesim.level_config;
+  l2 : Cachesim.level_config;
+  dram_ns : float;
+}
+
+let level name size block assoc lat : Cachesim.level_config =
+  {
+    level_name = name;
+    size_bytes = size;
+    block_bytes = block;
+    associativity = assoc;
+    latency_ns = lat;
+  }
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+(* Associativities are not in Table 2; they are the documented
+   geometries of the parts: UltraSPARC II has direct-mapped L1D and a
+   direct-mapped external L2 (§5.2 "2M direct-mapped cache"); Katmai
+   P-III has 4-way L1D and 4-way off-chip L2; Coppermine (P-IIIE) has
+   4-way L1D and an 8-way on-die L2. *)
+
+let ultra30 =
+  {
+    machine_name = "Sun ULTRA 30";
+    cpu_cycle_ns = 3.7;
+    l1 = level "L1" (kib 16) 64 1 6.0;
+    l2 = level "L2" (mib 2) 64 1 33.0;
+    dram_ns = 266.0;
+  }
+
+let ultra60 =
+  {
+    machine_name = "Sun ULTRA 60";
+    cpu_cycle_ns = 2.2;
+    l1 = level "L1" (kib 16) 64 1 4.0;
+    l2 = level "L2" (mib 4) 64 1 22.0;
+    dram_ns = 208.0;
+  }
+
+let pentium3 =
+  {
+    machine_name = "Pentium III";
+    cpu_cycle_ns = 1.7;
+    l1 = level "L1" (kib 16) 32 4 5.0;
+    l2 = level "L2" (kib 512) 32 4 40.0;
+    dram_ns = 142.0;
+  }
+
+let pentium3e =
+  {
+    machine_name = "Pentium IIIE";
+    cpu_cycle_ns = 1.4;
+    l1 = level "L1" (kib 16) 32 4 4.0;
+    l2 = level "L2" (kib 256) 32 8 10.0;
+    dram_ns = 113.0;
+  }
+
+let all = [ ultra30; ultra60; pentium3; pentium3e ]
+
+let by_name s =
+  let norm x =
+    String.lowercase_ascii x
+    |> String.to_seq
+    |> Seq.filter (fun c -> c <> ' ' && c <> '-' && c <> '_')
+    |> String.of_seq
+  in
+  let target = norm s in
+  List.find_opt
+    (fun m ->
+      norm m.machine_name = target
+      || (target = "ultra30" && m == ultra30)
+      || (target = "ultra60" && m == ultra60)
+      || (target = "pentium3" && m == pentium3)
+      || (target = "piii" && m == pentium3)
+      || (target = "pentium3e" && m == pentium3e)
+      || (target = "piiie" && m == pentium3e))
+    all
+
+let to_config ?tlb m : Cachesim.config =
+  { levels = [ m.l1; m.l2 ]; dram_ns = m.dram_ns; tlb }
+
+let default_tlb : Cachesim.tlb_config = { entries = 64; page_bytes = 8 * 1024; miss_ns = 80.0 }
+
+let superpage_tlb : Cachesim.tlb_config =
+  { entries = 64; page_bytes = 4 * 1024 * 1024; miss_ns = 80.0 }

@@ -1,0 +1,38 @@
+(** Machine presets reproducing Table 2 of the paper.
+
+    Four memory hierarchies measured with lmbench 1.9 in the paper:
+    Sun Ultra 30, Sun Ultra 60, Pentium III and Pentium IIIE.  The
+    experiments default to the Ultra 30, the machine the paper's
+    evaluation ran on (296 MHz UltraSPARC II, 16 K L1, 2 M
+    direct-mapped L2, 64-byte L2 blocks). *)
+
+type t = {
+  machine_name : string;
+  cpu_cycle_ns : float;       (** CPU cycle time (Table 2 column 1). *)
+  l1 : Cachesim.level_config;
+  l2 : Cachesim.level_config;
+  dram_ns : float;            (** Latency when the access misses L2. *)
+}
+
+val ultra30 : t
+val ultra60 : t
+val pentium3 : t
+val pentium3e : t
+
+val all : t list
+(** The four presets in Table 2 order. *)
+
+val by_name : string -> t option
+(** Case-insensitive lookup, e.g. ["ultra30"]. *)
+
+val to_config : ?tlb:Cachesim.tlb_config -> t -> Cachesim.config
+(** Build a simulator configuration: [\[l1; l2\]] plus DRAM latency and
+    an optional TLB. *)
+
+val default_tlb : Cachesim.tlb_config
+(** 64 entries, 8 KiB pages, 80 ns miss penalty — a typical late-90s
+    data TLB, used by the superpage ablation (A5). *)
+
+val superpage_tlb : Cachesim.tlb_config
+(** Same TLB with 4 MiB superpages (§5.1's "effectively share one or
+    two TLB entries"). *)

@@ -1,0 +1,1 @@
+lib/core/btree.mli: Layout Pk_keys Pk_mem Pk_records Seq

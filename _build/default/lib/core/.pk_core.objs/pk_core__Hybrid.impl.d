@@ -1,0 +1,1 @@
+lib/core/hybrid.ml: Index Layout Pk_partialkey

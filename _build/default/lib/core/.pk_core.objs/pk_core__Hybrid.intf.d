@@ -1,0 +1,1 @@
+lib/core/hybrid.mli: Index Layout Pk_mem Pk_partialkey Pk_records

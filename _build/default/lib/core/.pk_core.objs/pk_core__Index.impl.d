@@ -1,0 +1,1 @@
+lib/core/index.ml: Btree Layout Pk_keys Pk_partialkey Prefix_btree Seq Ttree

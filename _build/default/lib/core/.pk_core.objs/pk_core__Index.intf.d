@@ -1,0 +1,1 @@
+lib/core/index.mli: Layout Pk_keys Pk_mem Pk_records Seq

@@ -1,0 +1,1 @@
+lib/core/layout.ml: Bytes Pk_keys Pk_mem Pk_partialkey Printf

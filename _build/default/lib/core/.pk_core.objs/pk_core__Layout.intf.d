@@ -1,0 +1,1 @@
+lib/core/layout.mli: Pk_keys Pk_mem Pk_partialkey

@@ -1,0 +1,1 @@
+lib/core/prefix_btree.ml: Array Bytes List Pk_arena Pk_keys Pk_mem Pk_records Printf Seq String

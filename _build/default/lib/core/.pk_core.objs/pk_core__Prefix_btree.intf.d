@@ -1,0 +1,1 @@
+lib/core/prefix_btree.mli: Pk_keys Pk_mem Pk_records Seq

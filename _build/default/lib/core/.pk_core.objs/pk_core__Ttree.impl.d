@@ -1,0 +1,1 @@
+lib/core/ttree.ml: Array Bytes Char Layout Pk_arena Pk_keys Pk_mem Pk_partialkey Pk_records Printf Seq

@@ -1,0 +1,1 @@
+lib/core/ttree.mli: Layout Pk_keys Pk_mem Pk_records Seq

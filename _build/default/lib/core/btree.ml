@@ -1,0 +1,722 @@
+module Mem = Pk_mem.Mem
+module Key = Pk_keys.Key
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+module Node_search = Pk_partialkey.Node_search
+
+type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
+
+let default_config scheme = { scheme; node_bytes = 192; naive_search = false }
+
+type t = {
+  reg : Mem.region;
+  records : Record_store.t;
+  cfg : config;
+  esz : int;
+  leaf_max : int;
+  internal_max : int;
+  child_base : int; (* offset of the child-pointer array within a node *)
+  mutable root : int;
+  mutable tree_height : int;
+  mutable n_nodes : int;
+  mutable n_keys : int;
+  mutable derefs : int;
+  mutable visits : int;
+}
+
+let null = Pk_arena.Arena.null
+
+(* Node header: [0:num_keys u16][2:is_leaf u8][3..7:pad]. *)
+let entries_at = 8
+
+let create mem records cfg =
+  let esz = Layout.entry_size cfg.scheme in
+  let leaf_max = (cfg.node_bytes - entries_at) / esz in
+  let internal_max = (cfg.node_bytes - entries_at - 8) / (esz + 8) in
+  if internal_max < 3 then
+    invalid_arg
+      (Printf.sprintf
+         "Btree.create: node of %d bytes holds only %d internal entries under scheme %s; use \
+          larger nodes"
+         cfg.node_bytes internal_max (Layout.scheme_tag cfg.scheme));
+  {
+    reg = Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:("btree-" ^ Layout.scheme_tag cfg.scheme) ();
+    records;
+    cfg;
+    esz;
+    leaf_max;
+    internal_max;
+    child_base = entries_at + (internal_max * esz);
+    root = null;
+    tree_height = 0;
+    n_nodes = 0;
+    n_keys = 0;
+    derefs = 0;
+    visits = 0;
+  }
+
+let scheme t = t.cfg.scheme
+let record_store t = t.records
+let count t = t.n_keys
+let height t = t.tree_height
+let node_count t = t.n_nodes
+let space_bytes t = Mem.live_bytes t.reg
+let leaf_capacity t = t.leaf_max
+let internal_capacity t = t.internal_max
+let deref_count t = t.derefs
+let node_visits t = t.visits
+
+let reset_counters t =
+  t.derefs <- 0;
+  t.visits <- 0
+
+(* {2 Node accessors} *)
+
+let num_keys t node = Mem.read_u16 t.reg node
+let set_num_keys t node n = Mem.write_u16 t.reg node n
+let is_leaf t node = Mem.read_u8 t.reg (node + 2) = 1
+let entry_addr t node i = node + entries_at + (i * t.esz)
+let child t node i = Mem.read_u64 t.reg (node + t.child_base + (8 * i))
+let set_child t node i v = Mem.write_u64 t.reg (node + t.child_base + (8 * i)) v
+let capacity t node = if is_leaf t node then t.leaf_max else t.internal_max
+let min_keys t node = (capacity t node - 1) / 2
+
+let alloc_node t ~leaf =
+  let node = Mem.alloc t.reg ~align:64 t.cfg.node_bytes in
+  Mem.write_u16 t.reg node 0;
+  Mem.write_u8 t.reg (node + 2) (if leaf then 1 else 0);
+  t.n_nodes <- t.n_nodes + 1;
+  node
+
+let free_node t node =
+  Mem.free t.reg node t.cfg.node_bytes;
+  t.n_nodes <- t.n_nodes - 1
+
+let rec_ptr t node i = Layout.rec_ptr t.reg (entry_addr t node i)
+
+(* Full key of entry [i], from the node (direct) or the record. *)
+let entry_key t node i =
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } -> Layout.read_direct_key t.reg (entry_addr t node i) ~key_len
+  | Layout.Indirect | Layout.Partial _ -> Record_store.read_key t.records (rec_ptr t node i)
+
+(* {2 Partial-key maintenance} *)
+
+let granularity t =
+  match t.cfg.scheme with
+  | Layout.Partial { granularity; _ } -> granularity
+  | Layout.Direct _ | Layout.Indirect -> assert false
+
+let l_bytes t =
+  match t.cfg.scheme with
+  | Layout.Partial { l_bytes; _ } -> l_bytes
+  | Layout.Direct _ | Layout.Indirect -> assert false
+
+let is_partial t = match t.cfg.scheme with Layout.Partial _ -> true | _ -> false
+
+(* Recompute the partial key of entry [i].  [base] is the base key for
+   entry 0 (None = virtual zero key); other entries use their
+   predecessor. *)
+let fix_pk t node i ~base =
+  if is_partial t && i < num_keys t node then begin
+    let g = granularity t and l = l_bytes t in
+    let key = entry_key t node i in
+    let pk =
+      if i = 0 then
+        match base with
+        | None -> Partial_key.encode_initial g ~l_bytes:l ~key
+        | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key
+      else Partial_key.encode g ~l_bytes:l ~base:(entry_key t node (i - 1)) ~key
+    in
+    Layout.write_pk t.reg (entry_addr t node i) ~l_bytes:l pk
+  end
+
+(* Refresh pk(0) along the ptr[0] chain below [node] (inclusive):
+   every node on it inherits the same base (§4.2). *)
+let rec refresh_chain t node ~base =
+  if node <> null && is_partial t then begin
+    fix_pk t node 0 ~base;
+    if not (is_leaf t node) then refresh_chain t (child t node 0) ~base
+  end
+
+(* {2 Raw entry movement} *)
+
+let blit_entries t ~src ~src_i ~dst ~dst_i ~n =
+  if n > 0 then
+    if src = dst then
+      Mem.move t.reg ~src_off:(entry_addr t src src_i) ~dst_off:(entry_addr t dst dst_i)
+        ~len:(n * t.esz)
+    else
+      let tmp = Mem.read_bytes t.reg ~off:(entry_addr t src src_i) ~len:(n * t.esz) in
+      Mem.write_bytes t.reg ~off:(entry_addr t dst dst_i) ~src:tmp ~src_off:0 ~len:(n * t.esz)
+
+let blit_children t ~src ~src_i ~dst ~dst_i ~n =
+  if n > 0 then
+    if src = dst then
+      Mem.move t.reg
+        ~src_off:(src + t.child_base + (8 * src_i))
+        ~dst_off:(dst + t.child_base + (8 * dst_i))
+        ~len:(n * 8)
+    else
+      let tmp = Mem.read_bytes t.reg ~off:(src + t.child_base + (8 * src_i)) ~len:(n * 8) in
+      Mem.write_bytes t.reg ~off:(dst + t.child_base + (8 * dst_i)) ~src:tmp ~src_off:0 ~len:(n * 8)
+
+(* Write the payload of entry [i] (record pointer + inline key for the
+   direct scheme); partial-key fields are fixed separately. *)
+let write_entry t node i ~key ~rid =
+  let a = entry_addr t node i in
+  Layout.set_rec_ptr t.reg a rid;
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      if Bytes.length key <> key_len then
+        invalid_arg
+          (Printf.sprintf "Btree: direct scheme expects %d-byte keys, got %d" key_len
+             (Bytes.length key));
+      Layout.write_direct_key t.reg a key
+  | Layout.Indirect | Layout.Partial _ -> ()
+
+(* Make room at position [i] (entries [i..n) shift right); caller sets
+   the new entry and bumps num_keys. *)
+let open_entry_gap t node i =
+  let n = num_keys t node in
+  blit_entries t ~src:node ~src_i:i ~dst:node ~dst_i:(i + 1) ~n:(n - i)
+
+let open_child_gap t node i =
+  let n = num_keys t node in
+  (* n+1 children exist; shift [i..n] right. *)
+  blit_children t ~src:node ~src_i:i ~dst:node ~dst_i:(i + 1) ~n:(n + 1 - i)
+
+let remove_entry t node i =
+  let n = num_keys t node in
+  blit_entries t ~src:node ~src_i:(i + 1) ~dst:node ~dst_i:i ~n:(n - i - 1);
+  set_num_keys t node (n - 1)
+
+let remove_child t node i =
+  let n = num_keys t node in
+  (* called after the entry removal: n is already decremented, n+2
+     children exist before removal. *)
+  blit_children t ~src:node ~src_i:(i + 1) ~dst:node ~dst_i:i ~n:(n + 1 - i)
+
+(* {2 Position search (update paths)} — full-key binary search. *)
+
+let locate t node key =
+  let rec go lo hi =
+    (* invariant: entries [0,lo) < key < entries [hi,n) *)
+    if lo >= hi then (lo, false)
+    else
+      let mid = (lo + hi) / 2 in
+      let c, _ = Key.compare_detail key (entry_key t node mid) in
+      match c with
+      | Key.Eq -> (mid, true)
+      | Key.Lt -> go lo mid
+      | Key.Gt -> go (mid + 1) hi
+  in
+  go 0 (num_keys t node)
+
+(* {2 Insert} *)
+
+(* Split the full child at [ci] of [parent]; the median moves up to
+   parent position [ci].  Partial keys: only the two parent entries
+   around the new separator change (§4.2); the right half's leftmost
+   key keeps the median as base, as before the split. *)
+let split_child t parent ci =
+  let c = child t parent ci in
+  let n = num_keys t c in
+  let m = n / 2 in
+  let right = alloc_node t ~leaf:(is_leaf t c) in
+  let right_n = n - m - 1 in
+  blit_entries t ~src:c ~src_i:(m + 1) ~dst:right ~dst_i:0 ~n:right_n;
+  if not (is_leaf t c) then blit_children t ~src:c ~src_i:(m + 1) ~dst:right ~dst_i:0 ~n:(n - m);
+  set_num_keys t right right_n;
+  set_num_keys t c m;
+  open_entry_gap t parent ci;
+  open_child_gap t parent (ci + 1);
+  (* The separator entry is a verbatim copy of the median entry (record
+     pointer, inline key bytes); its pk is recomputed below. *)
+  blit_entries t ~src:c ~src_i:m ~dst:parent ~dst_i:ci ~n:1;
+  set_child t parent (ci + 1) right;
+  set_num_keys t parent (num_keys t parent + 1)
+
+let fix_pk_after_separator t parent ci ~base =
+  if is_partial t then begin
+    fix_pk t parent ci ~base;
+    fix_pk t parent (ci + 1) ~base
+  end
+
+let rec insert_nonfull t node key rid ~base =
+  let pos, found = locate t node key in
+  if found then false
+  else if is_leaf t node then begin
+    open_entry_gap t node pos;
+    write_entry t node pos ~key ~rid;
+    set_num_keys t node (num_keys t node + 1);
+    fix_pk t node pos ~base;
+    fix_pk t node (pos + 1) ~base;
+    true
+  end
+  else begin
+    let pos = ref pos in
+    let c = child t node !pos in
+    let descend_dup = ref false in
+    if num_keys t c = capacity t c then begin
+      split_child t node !pos;
+      fix_pk_after_separator t node !pos ~base;
+      let c', _ = Key.compare_detail key (entry_key t node !pos) in
+      match c' with
+      | Key.Eq -> descend_dup := true
+      | Key.Gt -> incr pos
+      | Key.Lt -> ()
+    end;
+    if !descend_dup then false
+    else
+      let child_base = if !pos = 0 then base else Some (entry_key t node (!pos - 1)) in
+      insert_nonfull t (child t node !pos) key rid ~base:child_base
+  end
+
+let insert t key ~rid =
+  (match t.cfg.scheme with
+  | Layout.Direct { key_len } when Bytes.length key <> key_len ->
+      invalid_arg
+        (Printf.sprintf "Btree.insert: direct scheme expects %d-byte keys, got %d" key_len
+           (Bytes.length key))
+  | _ -> ());
+  if t.root = null then begin
+    t.root <- alloc_node t ~leaf:true;
+    t.tree_height <- 1
+  end;
+  if num_keys t t.root = capacity t t.root then begin
+    let new_root = alloc_node t ~leaf:false in
+    set_child t new_root 0 t.root;
+    split_child t new_root 0;
+    fix_pk_after_separator t new_root 0 ~base:None;
+    t.root <- new_root;
+    t.tree_height <- t.tree_height + 1
+  end;
+  let ok = insert_nonfull t t.root key rid ~base:None in
+  if ok then t.n_keys <- t.n_keys + 1;
+  ok
+
+(* {2 Lookup} *)
+
+let byte_or_zero k i = if i < Bytes.length k then Char.code (Bytes.get k i) else 0
+
+let bit_or_zero k i =
+  if i >= 8 * Bytes.length k then 0
+  else (Char.code (Bytes.get k (i lsr 3)) lsr (7 - (i land 7))) land 1
+
+(* Full comparison of the search key against entry [i]'s record key:
+   (c(search, key_i), d) in the scheme's granularity units. *)
+let deref_entry t node search i =
+  t.derefs <- t.derefs + 1;
+  let rid = rec_ptr t node i in
+  let c, d =
+    match granularity t with
+    | Partial_key.Bit -> Record_store.compare_key_bits t.records rid search
+    | Partial_key.Byte -> Record_store.compare_key t.records rid search
+  in
+  (Key.flip c, d)
+
+(* entry_ops over the node held in [cur]: allocated once per lookup,
+   re-aimed at each node of the descent. *)
+let entry_ops_cursor t cur search : Node_search.entry_ops =
+  let g = granularity t in
+  {
+    Node_search.num_keys = 0 (* patched per node by the caller *);
+    pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t !cur i));
+    resolve_units =
+      (fun i ~rel ~off ->
+        Layout.resolve_pk_units t.reg (entry_addr t !cur i) ~scheme_granularity:g ~search ~rel
+          ~off);
+    branch_unit =
+      (fun i ->
+        match g with
+        | Partial_key.Bit -> 1
+        | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t !cur i));
+    search_unit =
+      (fun u ->
+        match g with
+        | Partial_key.Bit -> bit_or_zero search u
+        | Partial_key.Byte -> byte_or_zero search u);
+    deref = (fun i -> deref_entry t !cur search i);
+  }
+
+(* FINDBTREE (Fig. 8): descend with FINDNODE per node. *)
+let lookup_partial t search =
+  let g = granularity t in
+  let find = if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node in
+  let rel0, off0 = Partial_key.initial_state g search in
+  let cur = ref t.root in
+  let ops = entry_ops_cursor t cur search in
+  let rec go node rel off =
+    t.visits <- t.visits + 1;
+    cur := node;
+    let ops = { ops with Node_search.num_keys = num_keys t node } in
+    let r = find ops ~rel0:rel ~off0:off in
+    if r.Node_search.low = r.Node_search.high then Some (rec_ptr t node r.Node_search.low)
+    else if is_leaf t node then None
+    else
+      let rel' = if r.Node_search.low = -1 then rel else Key.Gt in
+      go (child t node r.Node_search.high) rel' r.Node_search.off_low
+  in
+  if t.root = null then None else go t.root rel0 off0
+
+(* Direct / indirect lookup: binary search per node. *)
+let lookup_compare t node search i =
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      let c, _ = Layout.compare_direct t.reg (entry_addr t node i) ~key_len search in
+      Key.flip c
+  | Layout.Indirect ->
+      t.derefs <- t.derefs + 1;
+      let c, _ = Record_store.compare_key t.records (rec_ptr t node i) search in
+      Key.flip c
+  | Layout.Partial _ -> assert false
+
+let lookup_plain t search =
+  let rec node_search node lo hi =
+    if lo >= hi then `Child lo
+    else
+      let mid = (lo + hi) / 2 in
+      match lookup_compare t node search mid with
+      | Key.Eq -> `Found (rec_ptr t node mid)
+      | Key.Lt -> node_search node lo mid
+      | Key.Gt -> node_search node (mid + 1) hi
+  in
+  let rec go node =
+    t.visits <- t.visits + 1;
+    match node_search node 0 (num_keys t node) with
+    | `Found rid -> Some rid
+    | `Child i -> if is_leaf t node then None else go (child t node i)
+  in
+  if t.root = null then None else go t.root
+
+let lookup t search =
+  match t.cfg.scheme with
+  | Layout.Partial _ -> lookup_partial t search
+  | Layout.Direct _ | Layout.Indirect -> lookup_plain t search
+
+(* {2 Delete} — CLRS-style: every child entered during the descent is
+   first brought above the minimum, so underflow never propagates
+   upward and partial-key repairs stay local. *)
+
+(* Left sibling lends its last entry: it moves up to parent[ci-1],
+   whose old occupant moves down to the front of child [ci]. *)
+let borrow_from_left t parent ci ~base =
+  let c = child t parent ci and ls = child t parent (ci - 1) in
+  let ln = num_keys t ls and cn = num_keys t c in
+  open_entry_gap t c 0;
+  blit_entries t ~src:parent ~src_i:(ci - 1) ~dst:c ~dst_i:0 ~n:1;
+  if not (is_leaf t c) then begin
+    open_child_gap t c 0;
+    set_child t c 0 (child t ls ln)
+  end;
+  set_num_keys t c (cn + 1);
+  blit_entries t ~src:ls ~src_i:(ln - 1) ~dst:parent ~dst_i:(ci - 1) ~n:1;
+  set_num_keys t ls (ln - 1);
+  if is_partial t then begin
+    fix_pk t parent (ci - 1) ~base;
+    fix_pk t parent ci ~base;
+    fix_pk t c 0 ~base:(Some (entry_key t parent (ci - 1)));
+    fix_pk t c 1 ~base:None
+  end
+
+(* Right sibling lends its first entry via parent[ci]. *)
+let borrow_from_right t parent ci ~base =
+  let c = child t parent ci and rs = child t parent (ci + 1) in
+  let cn = num_keys t c in
+  blit_entries t ~src:parent ~src_i:ci ~dst:c ~dst_i:cn ~n:1;
+  if not (is_leaf t c) then set_child t c (cn + 1) (child t rs 0);
+  set_num_keys t c (cn + 1);
+  blit_entries t ~src:rs ~src_i:0 ~dst:parent ~dst_i:ci ~n:1;
+  remove_entry t rs 0;
+  if not (is_leaf t rs) then remove_child t rs 0;
+  if is_partial t then begin
+    fix_pk t parent ci ~base;
+    fix_pk t parent (ci + 1) ~base;
+    fix_pk t c cn ~base:None;
+    fix_pk t rs 0 ~base:(Some (entry_key t parent ci))
+  end
+
+(* Merge child [j], parent entry [j] and child [j+1] into child [j]. *)
+let merge_children t parent j ~base =
+  let l = child t parent j and r = child t parent (j + 1) in
+  let ln = num_keys t l and rn = num_keys t r in
+  blit_entries t ~src:parent ~src_i:j ~dst:l ~dst_i:ln ~n:1;
+  blit_entries t ~src:r ~src_i:0 ~dst:l ~dst_i:(ln + 1) ~n:rn;
+  if not (is_leaf t l) then blit_children t ~src:r ~src_i:0 ~dst:l ~dst_i:(ln + 1) ~n:(rn + 1);
+  set_num_keys t l (ln + 1 + rn);
+  remove_entry t parent j;
+  remove_child t parent (j + 1);
+  free_node t r;
+  if is_partial t then begin
+    fix_pk t l ln ~base:None;
+    (* The right half's first entry keeps the separator as base — its
+       copied pk is already correct.  The parent entry that slid into
+       position [j] has a new predecessor. *)
+    fix_pk t parent j ~base
+  end;
+  l
+
+(* Ensure child [ci] of [parent] has more than the minimum number of
+   keys, repairing via borrow or merge.  Returns the (possibly merged)
+   child index to descend into. *)
+let reinforce_child t parent ci ~base =
+  let c = child t parent ci in
+  if num_keys t c > min_keys t c then ci
+  else
+    let n = num_keys t parent in
+    if ci > 0 && num_keys t (child t parent (ci - 1)) > min_keys t (child t parent (ci - 1))
+    then begin
+      borrow_from_left t parent ci ~base;
+      ci
+    end
+    else if ci < n && num_keys t (child t parent (ci + 1)) > min_keys t (child t parent (ci + 1))
+    then begin
+      borrow_from_right t parent ci ~base;
+      ci
+    end
+    else if ci > 0 then begin
+      ignore (merge_children t parent (ci - 1) ~base);
+      ci - 1
+    end
+    else begin
+      ignore (merge_children t parent ci ~base);
+      ci
+    end
+
+let rec min_entry t node =
+  if is_leaf t node then (entry_key t node 0, rec_ptr t node 0)
+  else min_entry t (child t node 0)
+
+let rec max_entry t node =
+  let n = num_keys t node in
+  if is_leaf t node then (entry_key t node (n - 1), rec_ptr t node (n - 1))
+  else max_entry t (child t node n)
+
+(* Precondition: [node] has more than [min_keys] entries unless it is
+   the root. *)
+let rec delete_rec t node key ~base =
+  let pos, found = locate t node key in
+  if is_leaf t node then
+    if not found then false
+    else begin
+      remove_entry t node pos;
+      fix_pk t node pos ~base;
+      true
+    end
+  else if found then begin
+    let lc = child t node pos and rc = child t node (pos + 1) in
+    if num_keys t lc > min_keys t lc then begin
+      (* Replace with the predecessor and delete it below. *)
+      let pred_key, pred_rid = max_entry t lc in
+      write_entry t node pos ~key:pred_key ~rid:pred_rid;
+      fix_pk t node pos ~base;
+      fix_pk t node (pos + 1) ~base;
+      let ok = delete_rec t lc pred_key ~base:(if pos = 0 then base else Some (entry_key t node (pos - 1))) in
+      assert ok;
+      (* The right subtree's leftmost chain is based on entry [pos],
+         whose value changed. *)
+      refresh_chain t (child t node (pos + 1)) ~base:(Some pred_key);
+      true
+    end
+    else if num_keys t rc > min_keys t rc then begin
+      (* Replace with the successor (§4.2's description). *)
+      let succ_key, succ_rid = min_entry t rc in
+      write_entry t node pos ~key:succ_key ~rid:succ_rid;
+      fix_pk t node pos ~base;
+      fix_pk t node (pos + 1) ~base;
+      let ok = delete_rec t rc succ_key ~base:(Some succ_key) in
+      assert ok;
+      refresh_chain t (child t node (pos + 1)) ~base:(Some succ_key);
+      true
+    end
+    else begin
+      (* Both neighbours minimal: merge around the key and recurse. *)
+      let merged = merge_children t node pos ~base in
+      delete_rec t merged key
+        ~base:(if pos = 0 then base else Some (entry_key t node (pos - 1)))
+    end
+  end
+  else begin
+    let ci = reinforce_child t node pos ~base in
+    (* Repairs may have moved entries; recompute the descent position. *)
+    let pos', found' = locate t node key in
+    if found' then delete_rec t node key ~base
+    else begin
+      ignore ci;
+      let child_base = if pos' = 0 then base else Some (entry_key t node (pos' - 1)) in
+      delete_rec t (child t node pos') key ~base:child_base
+    end
+  end
+
+let delete t key =
+  if t.root = null then false
+  else begin
+    let ok = delete_rec t t.root key ~base:None in
+    if ok then begin
+      t.n_keys <- t.n_keys - 1;
+      (* Shrink the root when it empties. *)
+      if num_keys t t.root = 0 then
+        if is_leaf t t.root then begin
+          free_node t t.root;
+          t.root <- null;
+          t.tree_height <- 0
+        end
+        else begin
+          let only = child t t.root 0 in
+          free_node t t.root;
+          t.root <- only;
+          t.tree_height <- t.tree_height - 1;
+          refresh_chain t t.root ~base:None
+        end
+    end;
+    ok
+  end
+
+(* {2 Traversal} *)
+
+(* Lazy in-order cursor from the first key >= [from].  Frames are
+   (node, next_entry); the left spine below a frame is pushed so the
+   deepest node is on top.  The sequence reads the live tree: behaviour
+   under concurrent modification is unspecified. *)
+let seq_from t from =
+  let rec push_spine node stack =
+    if node = null then stack
+    else if is_leaf t node then (node, 0) :: stack
+    else push_spine (child t node 0) ((node, 0) :: stack)
+  in
+  let rec seek node stack =
+    if node = null then stack
+    else
+      let pos, found = locate t node from in
+      let frame = (node, pos) in
+      if found || is_leaf t node then frame :: stack else seek (child t node pos) (frame :: stack)
+  in
+  let rec next stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | (node, i) :: rest ->
+        if i >= num_keys t node then next rest ()
+        else
+          let item = (entry_key t node i, rec_ptr t node i) in
+          let stack' =
+            if is_leaf t node then (node, i + 1) :: rest
+            else push_spine (child t node (i + 1)) ((node, i + 1) :: rest)
+          in
+          Seq.Cons (item, next stack')
+  in
+  next (seek t.root [])
+
+let iter t f =
+  let rec go node =
+    if node <> null then begin
+      let n = num_keys t node in
+      if is_leaf t node then
+        for i = 0 to n - 1 do
+          f ~key:(entry_key t node i) ~rid:(rec_ptr t node i)
+        done
+      else begin
+        for i = 0 to n - 1 do
+          go (child t node i);
+          f ~key:(entry_key t node i) ~rid:(rec_ptr t node i)
+        done;
+        go (child t node n)
+      end
+    end
+  in
+  go t.root
+
+let range t ~lo ~hi f =
+  let rec go node =
+    if node <> null then begin
+      let n = num_keys t node in
+      let rec visit i =
+        if i < n then begin
+          let k = entry_key t node i in
+          let c_lo, _ = Key.compare_detail k lo in
+          let c_hi, _ = Key.compare_detail k hi in
+          let below_hi = c_hi <> Key.Gt in
+          if (not (is_leaf t node)) && c_lo <> Key.Lt then go (child t node i);
+          if c_lo <> Key.Lt && below_hi then f ~key:k ~rid:(rec_ptr t node i);
+          if below_hi then visit (i + 1)
+          else if not (is_leaf t node) then ()
+        end
+        else if not (is_leaf t node) then go (child t node n)
+      in
+      visit 0
+    end
+  in
+  go t.root
+
+(* {2 Validation} *)
+
+let validate t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if t.root = null then begin
+    if t.n_keys <> 0 then fail "empty root but %d keys" t.n_keys
+  end
+  else begin
+    let total = ref 0 in
+    let leaf_depth = ref (-1) in
+    (* [lo]/[hi]: exclusive bounds; [base]: base key for entry 0. *)
+    let rec walk node depth ~lo ~hi ~base =
+      let n = num_keys t node in
+      if node <> t.root && n < min_keys t node then
+        fail "node %d underfull: %d < %d" node n (min_keys t node);
+      if n > capacity t node then fail "node %d overfull" node;
+      if node = t.root && n = 0 then fail "empty root node";
+      total := !total + n;
+      if is_leaf t node then
+        if !leaf_depth = -1 then leaf_depth := depth
+        else if !leaf_depth <> depth then fail "uneven leaf depth %d vs %d" depth !leaf_depth;
+      let keys = Array.init n (fun i -> entry_key t node i) in
+      Array.iteri
+        (fun i k ->
+          if i > 0 && Key.compare keys.(i - 1) k >= 0 then
+            fail "node %d entries out of order at %d" node i;
+          (match lo with
+          | Some b when Key.compare k b <= 0 -> fail "node %d entry %d violates lower bound" node i
+          | _ -> ());
+          (match hi with
+          | Some b when Key.compare k b >= 0 -> fail "node %d entry %d violates upper bound" node i
+          | _ -> ());
+          (* Stored key in the record must match the entry key for
+             direct schemes. *)
+          (match t.cfg.scheme with
+          | Layout.Direct _ ->
+              let rk = Record_store.read_key t.records (rec_ptr t node i) in
+              if not (Key.equal rk k) then fail "node %d entry %d: inline key != record key" node i
+          | _ -> ());
+          if is_partial t then begin
+            let g = granularity t and l = l_bytes t in
+            let expect =
+              if i = 0 then
+                match base with
+                | None -> Partial_key.encode_initial g ~l_bytes:l ~key:k
+                | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key:k
+              else Partial_key.encode g ~l_bytes:l ~base:keys.(i - 1) ~key:k
+            in
+            let got = Layout.read_pk t.reg (entry_addr t node i) ~granularity:g in
+            if
+              got.Partial_key.pk_off <> expect.Partial_key.pk_off
+              || got.Partial_key.pk_len <> expect.Partial_key.pk_len
+              || not (Bytes.equal got.Partial_key.pk_bits expect.Partial_key.pk_bits)
+            then
+              fail "node %d entry %d: pk mismatch (off %d/%d len %d/%d)" node i
+                got.Partial_key.pk_off expect.Partial_key.pk_off got.Partial_key.pk_len
+                expect.Partial_key.pk_len
+          end)
+        keys;
+      if not (is_leaf t node) then
+        for i = 0 to n do
+          let lo' = if i = 0 then lo else Some keys.(i - 1) in
+          let hi' = if i = n then hi else Some keys.(i) in
+          let base' = if i = 0 then base else Some keys.(i - 1) in
+          walk (child t node i) (depth + 1) ~lo:lo' ~hi:hi' ~base:base'
+        done
+    in
+    walk t.root 0 ~lo:None ~hi:None ~base:None;
+    if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys;
+    if !leaf_depth + 1 <> t.tree_height then
+      fail "height mismatch: leaves at depth %d, height %d" !leaf_depth t.tree_height
+  end

@@ -1,0 +1,89 @@
+(** Main-memory B-trees with direct, indirect, or partial-key storage
+    (§4.2, §5.2 of the paper).
+
+    A classic B-tree (Bayer–McCreight): every node holds sorted index
+    keys, internal nodes additionally hold [num_keys + 1] child
+    pointers, and every index key carries a pointer to its data record.
+    Nodes are fixed-size byte blocks in an arena (default three L2
+    blocks), so branching factors are byte-exact replicas of the
+    paper's.
+
+    The three key-storage schemes share all structural code and differ
+    only in entry layout and comparison:
+
+    - [Direct]: full key inline; in-node binary search on inline
+      bytes.
+    - [Indirect]: record pointer only; binary search dereferencing a
+      record per probe (a cache miss each, ~lg N per lookup).
+    - [Partial]: pkB-tree — FINDBTREE descent (Fig. 8) using FINDNODE
+      per node, at most one dereference per node and usually none.
+
+    Partial-key maintenance under inserts, splits, deletes, borrows and
+    merges follows §4.2; [validate] re-derives every partial key from
+    record keys and checks it, along with the structural invariants. *)
+
+type t
+
+type config = {
+  scheme : Layout.scheme;
+  node_bytes : int;      (** e.g. [3 * 64]. *)
+  naive_search : bool;
+      (** Partial scheme only: use the naive linear in-node search of
+          §3.3 (dereference on every unresolved compare) instead of
+          FINDNODE — ablation A3. *)
+}
+
+val default_config : Layout.scheme -> config
+(** 192-byte nodes, FINDNODE search. *)
+
+val create : Pk_mem.Mem.t -> Pk_records.Record_store.t -> config -> t
+(** Raises [Invalid_argument] if the node size cannot hold at least two
+    entries per internal node under the chosen scheme. *)
+
+val scheme : t -> Layout.scheme
+val record_store : t -> Pk_records.Record_store.t
+
+val insert : t -> Pk_keys.Key.t -> rid:int -> bool
+(** [insert t key ~rid] indexes [rid] (a record address whose stored
+    key must equal [key]).  Returns [false] (and changes nothing) when
+    the key is already present.  For [Direct] schemes the key length
+    must equal the configured one. *)
+
+val lookup : t -> Pk_keys.Key.t -> int option
+(** Record address of the exact key, if present. *)
+
+val delete : t -> Pk_keys.Key.t -> bool
+(** Removes the key; [false] when absent. *)
+
+val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
+(** In ascending key order.  Keys are read from records for non-direct
+    schemes. *)
+
+val range : t -> lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
+(** Inclusive range scan in ascending order. *)
+
+val seq_from : t -> Pk_keys.Key.t -> (Pk_keys.Key.t * int) Seq.t
+(** Lazy ascending cursor over (key, record address) starting at the
+    first key >= the argument.  Reads the live tree; behaviour under
+    concurrent modification is unspecified. *)
+
+val count : t -> int
+val height : t -> int
+(** Levels from root to leaf; 0 for an empty tree. *)
+
+val node_count : t -> int
+val space_bytes : t -> int
+(** Live bytes of the node region (index storage, excluding records). *)
+
+val leaf_capacity : t -> int
+val internal_capacity : t -> int
+
+val deref_count : t -> int
+(** Cumulative record-key dereferences performed by [lookup] calls. *)
+
+val node_visits : t -> int
+val reset_counters : t -> unit
+
+val validate : t -> unit
+(** Full invariant check; raises [Failure] with a description on any
+    violation.  O(n) with record reads — for tests. *)

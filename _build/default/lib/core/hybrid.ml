@@ -1,0 +1,11 @@
+let threshold_bytes = 8
+
+let scheme_for ~key_len ?(granularity = Pk_partialkey.Partial_key.Byte) ?(l_bytes = 2) () =
+  match key_len with
+  | Some n when n <= threshold_bytes -> Layout.Direct { key_len = n }
+  | Some _ | None -> Layout.Partial { granularity; l_bytes }
+
+let make ?node_bytes ~key_len ?granularity ?l_bytes structure mem records =
+  let scheme = scheme_for ~key_len ?granularity ?l_bytes () in
+  let ix = Index.make ?node_bytes structure scheme mem records in
+  { ix with Index.tag = "hybrid(" ^ ix.Index.tag ^ ")" }

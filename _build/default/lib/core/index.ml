@@ -1,0 +1,95 @@
+type t = {
+  tag : string;
+  insert : Pk_keys.Key.t -> rid:int -> bool;
+  lookup : Pk_keys.Key.t -> int option;
+  delete : Pk_keys.Key.t -> bool;
+  iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
+  range :
+    lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
+  seq_from : Pk_keys.Key.t -> (Pk_keys.Key.t * int) Seq.t;
+  count : unit -> int;
+  height : unit -> int;
+  node_count : unit -> int;
+  space_bytes : unit -> int;
+  deref_count : unit -> int;
+  node_visits : unit -> int;
+  reset_counters : unit -> unit;
+  validate : unit -> unit;
+}
+
+type structure = T_tree | B_tree
+
+let structure_tag = function T_tree -> "T" | B_tree -> "B"
+
+let make ?(node_bytes = 192) ?(naive_search = false) structure scheme mem records =
+  let tag = structure_tag structure ^ "/" ^ Layout.scheme_tag scheme in
+  match structure with
+  | B_tree ->
+      let b = Btree.create mem records { Btree.scheme; node_bytes; naive_search } in
+      {
+        tag;
+        insert = (fun key ~rid -> Btree.insert b key ~rid);
+        lookup = Btree.lookup b;
+        delete = Btree.delete b;
+        iter = Btree.iter b;
+        range = (fun ~lo ~hi f -> Btree.range b ~lo ~hi f);
+        seq_from = Btree.seq_from b;
+        count = (fun () -> Btree.count b);
+        height = (fun () -> Btree.height b);
+        node_count = (fun () -> Btree.node_count b);
+        space_bytes = (fun () -> Btree.space_bytes b);
+        deref_count = (fun () -> Btree.deref_count b);
+        node_visits = (fun () -> Btree.node_visits b);
+        reset_counters = (fun () -> Btree.reset_counters b);
+        validate = (fun () -> Btree.validate b);
+      }
+  | T_tree ->
+      let tt = Ttree.create mem records { Ttree.scheme; node_bytes; naive_search } in
+      {
+        tag;
+        insert = (fun key ~rid -> Ttree.insert tt key ~rid);
+        lookup = Ttree.lookup tt;
+        delete = Ttree.delete tt;
+        iter = Ttree.iter tt;
+        range = (fun ~lo ~hi f -> Ttree.range tt ~lo ~hi f);
+        seq_from = Ttree.seq_from tt;
+        count = (fun () -> Ttree.count tt);
+        height = (fun () -> Ttree.height tt);
+        node_count = (fun () -> Ttree.node_count tt);
+        space_bytes = (fun () -> Ttree.space_bytes tt);
+        deref_count = (fun () -> Ttree.deref_count tt);
+        node_visits = (fun () -> Ttree.node_visits tt);
+        reset_counters = (fun () -> Ttree.reset_counters tt);
+        validate = (fun () -> Ttree.validate tt);
+      }
+
+let make_prefix_btree ?(node_bytes = 192) mem records =
+  let p = Prefix_btree.create mem records { Prefix_btree.node_bytes } in
+  {
+    tag = "B+/prefix";
+    insert = (fun key ~rid -> Prefix_btree.insert p key ~rid);
+    lookup = Prefix_btree.lookup p;
+    delete = Prefix_btree.delete p;
+    iter = Prefix_btree.iter p;
+    range = (fun ~lo ~hi f -> Prefix_btree.range p ~lo ~hi f);
+    seq_from = Prefix_btree.seq_from p;
+    count = (fun () -> Prefix_btree.count p);
+    height = (fun () -> Prefix_btree.height p);
+    node_count = (fun () -> Prefix_btree.node_count p);
+    space_bytes = (fun () -> Prefix_btree.space_bytes p);
+    deref_count = (fun () -> Prefix_btree.deref_count p);
+    node_visits = (fun () -> Prefix_btree.node_visits p);
+    reset_counters = (fun () -> Prefix_btree.reset_counters p);
+    validate = (fun () -> Prefix_btree.validate p);
+  }
+
+let paper_schemes ~key_len ?(l_bytes = 2) () =
+  let pk = Layout.Partial { granularity = Pk_partialkey.Partial_key.Byte; l_bytes } in
+  [
+    ("T-direct", T_tree, Layout.Direct { key_len });
+    ("T-indirect", T_tree, Layout.Indirect);
+    ("pkT", T_tree, pk);
+    ("B-direct", B_tree, Layout.Direct { key_len });
+    ("B-indirect", B_tree, Layout.Indirect);
+    ("pkB", B_tree, pk);
+  ]

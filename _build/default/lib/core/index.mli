@@ -1,0 +1,50 @@
+(** Uniform first-class interface over the six index schemes of §5
+    (plus any configuration), so workloads, benchmarks and examples can
+    treat them interchangeably. *)
+
+type t = {
+  tag : string;  (** e.g. ["B/pk-byte-l2"]. *)
+  insert : Pk_keys.Key.t -> rid:int -> bool;
+  lookup : Pk_keys.Key.t -> int option;
+  delete : Pk_keys.Key.t -> bool;
+  iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
+  range :
+    lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
+  seq_from : Pk_keys.Key.t -> (Pk_keys.Key.t * int) Seq.t;
+      (** Lazy ascending cursor from the first key >= the argument. *)
+  count : unit -> int;
+  height : unit -> int;
+  node_count : unit -> int;
+  space_bytes : unit -> int;
+  deref_count : unit -> int;
+  node_visits : unit -> int;
+  reset_counters : unit -> unit;
+  validate : unit -> unit;
+}
+
+type structure = T_tree | B_tree
+
+val structure_tag : structure -> string
+
+val make :
+  ?node_bytes:int ->
+  ?naive_search:bool ->
+  structure ->
+  Layout.scheme ->
+  Pk_mem.Mem.t ->
+  Pk_records.Record_store.t ->
+  t
+(** Build an index of the given shape and key-storage scheme over the
+    given memory system and record heap.  [node_bytes] defaults to 192
+    (three 64-byte L2 blocks, §5.2). *)
+
+val make_prefix_btree : ?node_bytes:int -> Pk_mem.Mem.t -> Pk_records.Record_store.t -> t
+(** A prefix B+-tree ({!module:Prefix_btree}) behind the same
+    interface — the §2 key-compression alternative, used by ablation
+    A8. *)
+
+val paper_schemes : key_len:int -> ?l_bytes:int -> unit -> (string * structure * Layout.scheme) list
+(** The six schemes of Figure 9, in the paper's naming:
+    T-direct, T-indirect, pkT, B-direct, B-indirect, pkB — with
+    byte-granularity partial keys of [l_bytes] (default 2), the paper's
+    preferred configuration. *)

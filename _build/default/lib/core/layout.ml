@@ -1,0 +1,81 @@
+module Mem = Pk_mem.Mem
+module Key = Pk_keys.Key
+module Partial_key = Pk_partialkey.Partial_key
+module Pk_compare = Pk_partialkey.Pk_compare
+
+type scheme =
+  | Direct of { key_len : int }
+  | Indirect
+  | Partial of { granularity : Partial_key.granularity; l_bytes : int }
+
+let scheme_tag = function
+  | Direct { key_len } -> Printf.sprintf "direct%d" key_len
+  | Indirect -> "indirect"
+  | Partial { granularity; l_bytes } ->
+      Printf.sprintf "pk-%s-l%d"
+        (match granularity with Partial_key.Bit -> "bit" | Partial_key.Byte -> "byte")
+        l_bytes
+
+let entry_size = function
+  | Direct { key_len } -> 8 + key_len
+  | Indirect -> 8
+  | Partial { l_bytes; _ } -> 8 + 4 + l_bytes
+
+let rec_ptr reg a = Mem.read_u64 reg a
+let set_rec_ptr reg a v = Mem.write_u64 reg a v
+
+let read_direct_key reg a ~key_len = Mem.read_bytes reg ~off:(a + 8) ~len:key_len
+
+let write_direct_key reg a key =
+  Mem.write_bytes reg ~off:(a + 8) ~src:key ~src_off:0 ~len:(Bytes.length key)
+
+let compare_direct reg a ~key_len probe =
+  let c, d =
+    Mem.compare_detail reg ~off:(a + 8) ~len:key_len probe ~key_off:0
+      ~key_len:(Bytes.length probe)
+  in
+  (Key.cmp_of_int c, d)
+
+(* Partial entry field offsets (relative to the entry address). *)
+let pk_off_at = 8
+let pk_len_at = 10
+let pk_bits_at = 12
+
+(* Bytes occupied by [pk_len] stored units. *)
+let stored_width g pk_len =
+  match g with Partial_key.Bit -> (pk_len + 7) / 8 | Partial_key.Byte -> pk_len
+
+let read_pk reg a ~granularity : Partial_key.t =
+  let pk_off = Mem.read_u16 reg (a + pk_off_at) in
+  let pk_len = Mem.read_u8 reg (a + pk_len_at) in
+  let width = stored_width granularity pk_len in
+  let pk_bits =
+    if width = 0 then Bytes.empty else Mem.read_bytes reg ~off:(a + pk_bits_at) ~len:width
+  in
+  { pk_off; pk_len; pk_bits }
+
+let read_pk_off reg a = Mem.read_u16 reg (a + pk_off_at)
+let read_pk_len reg a = Mem.read_u8 reg (a + pk_len_at)
+
+let read_pk_first_byte reg a =
+  if read_pk_len reg a = 0 then -1 else Mem.read_u8 reg (a + pk_bits_at)
+
+let write_pk reg a ~l_bytes (pk : Partial_key.t) =
+  if pk.pk_off > 0xffff then invalid_arg "Layout.write_pk: pk_off exceeds u16 (key too long)";
+  if pk.pk_len > 0xff then invalid_arg "Layout.write_pk: pk_len exceeds u8";
+  Mem.write_u16 reg (a + pk_off_at) pk.pk_off;
+  Mem.write_u8 reg (a + pk_len_at) pk.pk_len;
+  (* Zero the full field, then lay down the live prefix, so stale bytes
+     from a previous occupant can never be read back. *)
+  let zeros = Bytes.make l_bytes '\000' in
+  Mem.write_bytes reg ~off:(a + pk_bits_at) ~src:zeros ~src_off:0 ~len:l_bytes;
+  let live = Bytes.length pk.pk_bits in
+  if live > 0 then Mem.write_bytes reg ~off:(a + pk_bits_at) ~src:pk.pk_bits ~src_off:0 ~len:live
+
+let resolve_pk_units reg a ~scheme_granularity ~search ~rel ~off =
+  let pk_len = read_pk_len reg a in
+  let width = stored_width scheme_granularity pk_len in
+  let pk_bits =
+    if width = 0 then Bytes.empty else Mem.read_bytes reg ~off:(a + pk_bits_at) ~len:width
+  in
+  Pk_compare.resolve_by_units scheme_granularity ~search ~rel ~off ~pk_len ~pk_bits

@@ -1,0 +1,65 @@
+(** Key-storage schemes and byte-exact entry layouts shared by the
+    T-tree and B-tree families.
+
+    Every index key entry starts with the 8-byte record pointer; what
+    follows depends on the scheme (§1 of the paper):
+
+    - {b Direct}: the full key value inline ([key_len] bytes).
+    - {b Indirect}: nothing — the key is reached through the record
+      pointer ([17]'s space-optimal design).
+    - {b Partial}: fixed-size partial-key information —
+      [pk_off:u16, pk_len:u8, pad:u8, pk_bits[l_bytes]]. *)
+
+type scheme =
+  | Direct of { key_len : int }
+      (** Inline keys; the index only stores keys of exactly this
+          length. *)
+  | Indirect
+  | Partial of { granularity : Pk_partialkey.Partial_key.granularity; l_bytes : int }
+
+val scheme_tag : scheme -> string
+(** ["direct" | "indirect" | "pk-bit-l2" ...] for reports. *)
+
+val entry_size : scheme -> int
+
+val rec_ptr : Pk_mem.Mem.region -> int -> int
+(** Record pointer of the entry at address [a]. *)
+
+val set_rec_ptr : Pk_mem.Mem.region -> int -> int -> unit
+
+(** {1 Direct entries} *)
+
+val read_direct_key : Pk_mem.Mem.region -> int -> key_len:int -> Pk_keys.Key.t
+val write_direct_key : Pk_mem.Mem.region -> int -> Pk_keys.Key.t -> unit
+
+val compare_direct :
+  Pk_mem.Mem.region -> int -> key_len:int -> Pk_keys.Key.t -> Pk_keys.Key.cmp * int
+(** [(c, d)] comparing the {e stored} key to the probe, byte detail;
+    charges only the examined prefix. *)
+
+(** {1 Partial entries} *)
+
+val read_pk :
+  Pk_mem.Mem.region -> int -> granularity:Pk_partialkey.Partial_key.granularity ->
+  Pk_partialkey.Partial_key.t
+(** Reads all three fields (including the live value bytes). *)
+
+val read_pk_off : Pk_mem.Mem.region -> int -> int
+val read_pk_len : Pk_mem.Mem.region -> int -> int
+
+val read_pk_first_byte : Pk_mem.Mem.region -> int -> int
+(** First stored value byte, [-1] when [pk_len = 0] (used as the
+    FINDBITTREE branch unit at byte granularity). *)
+
+val write_pk : Pk_mem.Mem.region -> int -> l_bytes:int -> Pk_partialkey.Partial_key.t -> unit
+
+val resolve_pk_units :
+  Pk_mem.Mem.region ->
+  int ->
+  scheme_granularity:Pk_partialkey.Partial_key.granularity ->
+  search:Pk_keys.Key.t ->
+  rel:Pk_keys.Key.cmp ->
+  off:int ->
+  Pk_keys.Key.cmp * int
+(** {!val:Pk_partialkey.Pk_compare.resolve_by_units} reading the stored
+    bits straight from the entry (charging them). *)

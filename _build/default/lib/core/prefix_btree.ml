@@ -1,0 +1,585 @@
+module Mem = Pk_mem.Mem
+module Key = Pk_keys.Key
+module Record_store = Pk_records.Record_store
+
+type config = { node_bytes : int }
+
+let default_config : config = { node_bytes = 192 }
+
+type t = {
+  reg : Mem.region;
+  records : Record_store.t;
+  node_bytes : int;
+  mutable root : int;
+  mutable tree_height : int;
+  mutable n_nodes : int;
+  mutable n_keys : int;
+  mutable visits : int;
+}
+
+let null = Pk_arena.Arena.null
+
+(* Node layout (slotted page):
+   [0: num u16][2: flags u8, bit0 = leaf][3: pad][4: prefix_len u16]
+   [6: heap_start u16][8: link u64][16: dir u16 * num]
+   Records live in a heap growing down from [node_bytes - prefix_len];
+   the node's common prefix occupies the final [prefix_len] bytes.
+   Leaf record:     [rec_ptr u64][suffix_len u16][suffix]
+   Internal record: [child   u64][suffix_len u16][separator suffix]
+   [link] is the next-leaf pointer in leaves, the leftmost child in
+   internal nodes. *)
+let dir_at = 16
+let rec_overhead = 10
+
+let create mem records (cfg : config) =
+  if cfg.node_bytes < 64 || cfg.node_bytes > 0xffff then
+    invalid_arg "Prefix_btree.create: node_bytes out of range";
+  {
+    reg = Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:"prefix-btree" ();
+    records;
+    node_bytes = cfg.node_bytes;
+    root = null;
+    tree_height = 0;
+    n_nodes = 0;
+    n_keys = 0;
+    visits = 0;
+  }
+
+let count t = t.n_keys
+let height t = t.tree_height
+let node_count t = t.n_nodes
+let space_bytes t = Mem.live_bytes t.reg
+let deref_count _ = 0
+let node_visits t = t.visits
+let reset_counters t = t.visits <- 0
+
+(* {2 Raw node accessors} *)
+
+let num_keys t node = Mem.read_u16 t.reg node
+let is_leaf t node = Mem.read_u8 t.reg (node + 2) land 1 = 1
+let prefix_len t node = Mem.read_u16 t.reg (node + 4)
+let link t node = Mem.read_u64 t.reg (node + 8)
+let set_link t node v = Mem.write_u64 t.reg (node + 8) v
+let slot t node i = Mem.read_u16 t.reg (node + dir_at + (2 * i))
+let rec_child t node i = Mem.read_u64 t.reg (node + slot t node i)
+let rec_rid = rec_child
+let suffix_len t node i = Mem.read_u16 t.reg (node + slot t node i + 8)
+
+let read_suffix t node i =
+  Mem.read_bytes t.reg ~off:(node + slot t node i + rec_overhead) ~len:(suffix_len t node i)
+
+let read_prefix t node =
+  let plen = prefix_len t node in
+  Mem.read_bytes t.reg ~off:(node + t.node_bytes - plen) ~len:plen
+
+(* Full key/separator of entry [i] (prefix ^ suffix). *)
+let entry_key t node i =
+  let p = read_prefix t node in
+  let s = read_suffix t node i in
+  Bytes.cat p s
+
+let alloc_node t ~leaf =
+  let node = Mem.alloc t.reg ~align:64 t.node_bytes in
+  Mem.write_u16 t.reg node 0;
+  Mem.write_u8 t.reg (node + 2) (if leaf then 1 else 0);
+  Mem.write_u16 t.reg (node + 4) 0;
+  Mem.write_u16 t.reg (node + 6) t.node_bytes;
+  set_link t node null;
+  t.n_nodes <- t.n_nodes + 1;
+  node
+
+let free_node t node =
+  Mem.free t.reg node t.node_bytes;
+  t.n_nodes <- t.n_nodes - 1
+
+(* {2 Materialised node contents (update paths)} *)
+
+let common_prefix_len keys =
+  match keys with
+  | [] -> 0
+  | first :: rest ->
+      List.fold_left
+        (fun acc k ->
+          let rec go i = if i < acc && i < Bytes.length k && Bytes.get k i = Bytes.get first i then go (i + 1) else i in
+          go 0)
+        (Bytes.length first) rest
+
+(* Bytes needed to store [entries] (full keys + a u64 each). *)
+let packed_size entries =
+  let keys = List.map fst entries in
+  let plen = common_prefix_len keys in
+  let n = List.length entries in
+  dir_at + (2 * n) + plen
+  + List.fold_left (fun acc k -> acc + rec_overhead + (Bytes.length k - plen)) 0 keys
+
+(* Rewrite a node's content from (full key, u64) pairs, sorted
+   ascending.  The caller has checked [packed_size <= node_bytes]. *)
+let write_node t node ~leaf ~link_v entries =
+  let keys = List.map fst entries in
+  let plen = common_prefix_len keys in
+  let n = List.length entries in
+  Mem.write_u16 t.reg node n;
+  Mem.write_u8 t.reg (node + 2) (if leaf then 1 else 0);
+  Mem.write_u16 t.reg (node + 4) plen;
+  set_link t node link_v;
+  (match keys with
+  | [] -> ()
+  | k :: _ ->
+      Mem.write_bytes t.reg ~off:(node + t.node_bytes - plen) ~src:k ~src_off:0 ~len:plen);
+  let heap = ref (t.node_bytes - plen) in
+  List.iteri
+    (fun i (k, v) ->
+      let slen = Bytes.length k - plen in
+      heap := !heap - rec_overhead - slen;
+      Mem.write_u16 t.reg (node + dir_at + (2 * i)) !heap;
+      Mem.write_u64 t.reg (node + !heap) v;
+      Mem.write_u16 t.reg (node + !heap + 8) slen;
+      Mem.write_bytes t.reg ~off:(node + !heap + rec_overhead) ~src:k ~src_off:plen ~len:slen)
+    entries;
+  Mem.write_u16 t.reg (node + 6) !heap
+
+let read_entries t node =
+  List.init (num_keys t node) (fun i -> (entry_key t node i, rec_child t node i))
+
+(* {2 In-place search} *)
+
+(* Compare the search key against the node prefix: [`Below] (search
+   sorts before every key here), [`Above], or [`Within] (prefix
+   matched; compare suffixes from [plen]). *)
+let compare_prefix t node search =
+  let plen = prefix_len t node in
+  if plen = 0 then `Within
+  else
+    (* Only the first [plen] bytes of the search key participate: a
+       longer search key whose head matches the prefix is `Within`
+       (its tail is compared against suffixes); a shorter matching
+       search key sorts before every full key (`Below` — the stored
+       prefix is then the longer operand, so c > 0). *)
+    let c, _ =
+      Mem.compare_detail t.reg ~off:(node + t.node_bytes - plen) ~len:plen search ~key_off:0
+        ~key_len:(min (Bytes.length search) plen)
+    in
+    if c > 0 then `Below else if c < 0 then `Above else `Within
+
+(* Compare search (from [plen]) with entry [i]'s suffix:
+   c(search, entry). *)
+let compare_suffix t node search ~plen i =
+  let off = node + slot t node i + rec_overhead in
+  let len = suffix_len t node i in
+  let c, _ =
+    Mem.compare_detail t.reg ~off ~len search ~key_off:plen
+      ~key_len:(max 0 (Bytes.length search - plen))
+  in
+  Key.flip (Key.cmp_of_int c)
+
+(* Position among entries: (first index whose key is > search, exact
+   match index option). *)
+let locate_in_node t node search =
+  let plen = prefix_len t node in
+  let n = num_keys t node in
+  let rec go lo hi found =
+    if lo >= hi then (lo, found)
+    else
+      let mid = (lo + hi) / 2 in
+      match compare_suffix t node search ~plen mid with
+      | Key.Eq -> (mid + 1, Some mid)
+      | Key.Lt -> go lo mid found
+      | Key.Gt -> go (mid + 1) hi found
+  in
+  go 0 n None
+
+let lookup t search =
+  let rec go node =
+    t.visits <- t.visits + 1;
+    if is_leaf t node then
+      match compare_prefix t node search with
+      | `Below | `Above -> None
+      | `Within -> (
+          match locate_in_node t node search with
+          | _, Some i -> Some (rec_rid t node i)
+          | _, None -> None)
+    else
+      let child =
+        match compare_prefix t node search with
+        | `Below -> link t node
+        | `Above -> rec_child t node (num_keys t node - 1)
+        | `Within ->
+            (* Rightmost separator <= search owns the subtree. *)
+            let upper, _exact = locate_in_node t node search in
+            if upper = 0 then link t node else rec_child t node (upper - 1)
+      in
+      go child
+  in
+  if t.root = null then None else go t.root
+
+(* {2 Separator truncation} *)
+
+(* Shortest byte string s with [a < s <= b] (requires a < b): b's
+   prefix through its first byte of difference from a. *)
+let truncated_separator a b =
+  let c, d = Key.compare_detail a b in
+  assert (c = Key.Lt);
+  Bytes.sub b 0 (min (Bytes.length b) (d + 1))
+
+(* {2 Insert} *)
+
+type split = No_split | Split of Key.t * int
+
+exception Duplicate
+
+let max_entry_bytes t = t.node_bytes - dir_at - 2 - rec_overhead
+
+let rec insert_rec t node key rid =
+  if is_leaf t node then begin
+    let entries = read_entries t node in
+    if List.exists (fun (k, _) -> Key.equal k key) entries then raise Duplicate;
+    let entries = List.merge (fun (a, _) (b, _) -> Key.compare a b) [ (key, rid) ] entries in
+    if packed_size entries <= t.node_bytes then begin
+      write_node t node ~leaf:true ~link_v:(link t node) entries;
+      No_split
+    end
+    else begin
+      let n = List.length entries in
+      let m = n / 2 in
+      let left = List.filteri (fun i _ -> i < m) entries in
+      let right = List.filteri (fun i _ -> i >= m) entries in
+      let sep = truncated_separator (fst (List.nth left (m - 1))) (fst (List.hd right)) in
+      let rnode = alloc_node t ~leaf:true in
+      write_node t rnode ~leaf:true ~link_v:(link t node) right;
+      write_node t node ~leaf:true ~link_v:rnode left;
+      Split (sep, rnode)
+    end
+  end
+  else begin
+    let ci_child =
+      match compare_prefix t node key with
+      | `Below -> link t node
+      | `Above -> rec_child t node (num_keys t node - 1)
+      | `Within ->
+          let upper, _ = locate_in_node t node key in
+          if upper = 0 then link t node else rec_child t node (upper - 1)
+    in
+    match insert_rec t ci_child key rid with
+    | No_split -> No_split
+    | Split (sep, rchild) ->
+        let entries = read_entries t node in
+        let entries =
+          List.merge (fun (a, _) (b, _) -> Key.compare a b) [ (sep, rchild) ] entries
+        in
+        if packed_size entries <= t.node_bytes then begin
+          write_node t node ~leaf:false ~link_v:(link t node) entries;
+          No_split
+        end
+        else begin
+          (* Promote the middle separator; its child becomes the right
+             node's leftmost. *)
+          let n = List.length entries in
+          let j = n / 2 in
+          let left = List.filteri (fun i _ -> i < j) entries in
+          let mid_sep, mid_child = List.nth entries j in
+          let right = List.filteri (fun i _ -> i > j) entries in
+          let rnode = alloc_node t ~leaf:false in
+          write_node t rnode ~leaf:false ~link_v:mid_child right;
+          write_node t node ~leaf:false ~link_v:(link t node) left;
+          Split (mid_sep, rnode)
+        end
+  end
+
+let insert t key ~rid =
+  if rec_overhead + Bytes.length key > max_entry_bytes t then
+    invalid_arg
+      (Printf.sprintf "Prefix_btree.insert: %d-byte key cannot fit a %d-byte node"
+         (Bytes.length key) t.node_bytes);
+  if t.root = null then begin
+    t.root <- alloc_node t ~leaf:true;
+    t.tree_height <- 1
+  end;
+  match insert_rec t t.root key rid with
+  | No_split ->
+      t.n_keys <- t.n_keys + 1;
+      true
+  | Split (sep, rnode) ->
+      let new_root = alloc_node t ~leaf:false in
+      write_node t new_root ~leaf:false ~link_v:t.root [ (sep, rnode) ];
+      t.root <- new_root;
+      t.tree_height <- t.tree_height + 1;
+      t.n_keys <- t.n_keys + 1;
+      true
+  | exception Duplicate -> false
+
+(* {2 Delete} *)
+
+(* Byte-occupancy floor below which a node asks its parent for
+   rebalancing. *)
+let min_bytes t = t.node_bytes / 3
+
+let used_bytes_of t node = packed_size (read_entries t node)
+
+(* Children of an internal node as a list: leftmost + separator
+   children. *)
+let children t node =
+  link t node :: List.init (num_keys t node) (fun i -> rec_child t node i)
+
+exception Not_present
+
+(* Rebalance child [ci] (0 = leftmost) of internal [node]: merge with a
+   neighbour when the union fits, otherwise re-split the union and
+   refresh the separator. *)
+let rebalance_child t node ci =
+  let kids = Array.of_list (children t node) in
+  let n_seps = num_keys t node in
+  (* Pair (left_i) with (left_i + 1); separator index = left_i. *)
+  let li = if ci = 0 then 0 else ci - 1 in
+  if li + 1 > n_seps then ()
+  else begin
+    let lchild = kids.(li) and rchild = kids.(li + 1) in
+    let seps = read_entries t node in
+    let leaf = is_leaf t lchild in
+    if leaf then begin
+      let union = read_entries t lchild @ read_entries t rchild in
+      if packed_size union <= t.node_bytes then begin
+        (* Merge into the left leaf. *)
+        write_node t lchild ~leaf:true ~link_v:(link t rchild) union;
+        free_node t rchild;
+        let seps' = List.filteri (fun i _ -> i <> li) seps in
+        write_node t node ~leaf:false ~link_v:(link t node) seps'
+      end
+      else begin
+        (* Re-split evenly and refresh the separator. *)
+        let n = List.length union in
+        let m = n / 2 in
+        let left = List.filteri (fun i _ -> i < m) union in
+        let right = List.filteri (fun i _ -> i >= m) union in
+        let sep = truncated_separator (fst (List.nth left (m - 1))) (fst (List.hd right)) in
+        write_node t rchild ~leaf:true ~link_v:(link t rchild) right;
+        write_node t lchild ~leaf:true ~link_v:rchild left;
+        let seps' = List.mapi (fun i (s, c) -> if i = li then (sep, c) else (s, c)) seps in
+        write_node t node ~leaf:false ~link_v:(link t node) seps'
+      end
+    end
+    else begin
+      let sep_between = fst (List.nth seps li) in
+      let lefts = read_entries t lchild in
+      let rights = read_entries t rchild in
+      let union = lefts @ ((sep_between, link t rchild) :: rights) in
+      if packed_size union <= t.node_bytes then begin
+        write_node t lchild ~leaf:false ~link_v:(link t lchild) union;
+        free_node t rchild;
+        let seps' = List.filteri (fun i _ -> i <> li) seps in
+        write_node t node ~leaf:false ~link_v:(link t node) seps'
+      end
+      else begin
+        let n = List.length union in
+        let j = n / 2 in
+        let left = List.filteri (fun i _ -> i < j) union in
+        let mid_sep, mid_child = List.nth union j in
+        let right = List.filteri (fun i _ -> i > j) union in
+        write_node t rchild ~leaf:false ~link_v:mid_child right;
+        write_node t lchild ~leaf:false ~link_v:(link t lchild) left;
+        let seps' = List.mapi (fun i (s, c) -> if i = li then (mid_sep, c) else (s, c)) seps in
+        write_node t node ~leaf:false ~link_v:(link t node) seps'
+      end
+    end
+  end
+
+let rec delete_rec t node key =
+  if is_leaf t node then begin
+    let entries = read_entries t node in
+    if not (List.exists (fun (k, _) -> Key.equal k key) entries) then raise Not_present;
+    let entries' = List.filter (fun (k, _) -> not (Key.equal k key)) entries in
+    write_node t node ~leaf:true ~link_v:(link t node) entries'
+  end
+  else begin
+    let ci =
+      match compare_prefix t node key with
+      | `Below -> 0
+      | `Above -> num_keys t node
+      | `Within ->
+          let upper, _ = locate_in_node t node key in
+          upper
+    in
+    let child = if ci = 0 then link t node else rec_child t node (ci - 1) in
+    delete_rec t child key;
+    if num_keys t child = 0 || used_bytes_of t child < min_bytes t then rebalance_child t node ci
+  end
+
+let delete t key =
+  if t.root = null then false
+  else
+    match delete_rec t t.root key with
+    | () ->
+        t.n_keys <- t.n_keys - 1;
+        (* Collapse the root. *)
+        let rec shrink () =
+          if t.root <> null then
+            if is_leaf t t.root then begin
+              if num_keys t t.root = 0 then begin
+                free_node t t.root;
+                t.root <- null;
+                t.tree_height <- 0
+              end
+            end
+            else if num_keys t t.root = 0 then begin
+              let only = link t t.root in
+              free_node t t.root;
+              t.root <- only;
+              t.tree_height <- t.tree_height - 1;
+              shrink ()
+            end
+        in
+        shrink ();
+        true
+    | exception Not_present -> false
+
+(* {2 Scans} — B+-trees walk the leaf chain. *)
+
+let rec leftmost_leaf t node = if is_leaf t node then node else leftmost_leaf t (link t node)
+
+let seq_from t from =
+  let rec seek node =
+    if is_leaf t node then node
+    else
+      let child =
+        match compare_prefix t node from with
+        | `Below -> link t node
+        | `Above -> rec_child t node (num_keys t node - 1)
+        | `Within ->
+            let upper, _ = locate_in_node t node from in
+            if upper = 0 then link t node else rec_child t node (upper - 1)
+      in
+      seek child
+  in
+  let rec walk node i () =
+    if node = null then Seq.Nil
+    else if i >= num_keys t node then walk (link t node) 0 ()
+    else
+      let k = entry_key t node i in
+      if Key.compare k from < 0 then walk node (i + 1) ()
+      else Seq.Cons ((k, rec_rid t node i), walk node (i + 1))
+  in
+  if t.root = null then Seq.empty else walk (seek t.root) 0
+
+let iter t f =
+  if t.root <> null then
+    let rec walk node =
+      if node <> null then begin
+        for i = 0 to num_keys t node - 1 do
+          f ~key:(entry_key t node i) ~rid:(rec_rid t node i)
+        done;
+        walk (link t node)
+      end
+    in
+    walk (leftmost_leaf t t.root)
+
+let range t ~lo ~hi f =
+  let rec go seq =
+    match seq () with
+    | Seq.Nil -> ()
+    | Seq.Cons ((k, rid), rest) ->
+        if Key.compare k hi <= 0 then begin
+          f ~key:k ~rid;
+          go rest
+        end
+  in
+  go (seq_from t lo)
+
+let max_separator_len t =
+  let best = ref 0 in
+  let rec walk node =
+    if node <> null && not (is_leaf t node) then begin
+      for i = 0 to num_keys t node - 1 do
+        best := max !best (prefix_len t node + suffix_len t node i)
+      done;
+      List.iter walk (children t node)
+    end
+  in
+  if t.root <> null then walk t.root;
+  !best
+
+(* Print the tree structure (debugging aid). *)
+let debug_dump t oc =
+  let rec walk node depth =
+    if node <> null then begin
+      let pad = String.make (2 * depth) ' ' in
+      let keys = List.map (fun (k, _) -> Key.to_hex k) (read_entries t node) in
+      Printf.fprintf oc "%s%s %d plen=%d: %s\n" pad
+        (if is_leaf t node then "leaf" else "int ") node (prefix_len t node)
+        (String.concat " " keys);
+      if not (is_leaf t node) then List.iter (fun c -> walk c (depth + 1)) (children t node)
+    end
+  in
+  walk t.root 0
+
+(* {2 Validation} *)
+
+let validate t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  if t.root = null then begin
+    if t.n_keys <> 0 then fail "empty tree with %d keys" t.n_keys
+  end
+  else begin
+    let total = ref 0 in
+    let leaves_in_order = ref [] in
+    let leaf_depth = ref (-1) in
+    (* lo (inclusive) <= keys < hi (exclusive), as byte strings. *)
+    let rec walk node depth ~lo ~hi =
+      if packed_size (read_entries t node) > t.node_bytes then fail "node %d overfull" node;
+      let keys = List.map fst (read_entries t node) in
+      let plen = prefix_len t node in
+      List.iter
+        (fun k ->
+          if Bytes.length k < plen then fail "node %d key shorter than prefix" node;
+          (match lo with
+          | Some b when Key.compare k b < 0 -> fail "node %d key below bound" node
+          | _ -> ());
+          match hi with
+          | Some b when Key.compare k b >= 0 -> fail "node %d key above bound" node
+          | _ -> ())
+        keys;
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+            if Key.compare a b >= 0 then fail "node %d unsorted" node else sorted rest
+        | _ -> ()
+      in
+      sorted keys;
+      (* stored prefix really is a shared prefix *)
+      let p = read_prefix t node in
+      List.iter
+        (fun k ->
+          if not (Bytes.equal (Bytes.sub k 0 plen) p) then fail "node %d prefix mismatch" node)
+        keys;
+      if is_leaf t node then begin
+        total := !total + List.length keys;
+        if !leaf_depth = -1 then leaf_depth := depth
+        else if !leaf_depth <> depth then fail "uneven leaves";
+        leaves_in_order := node :: !leaves_in_order
+      end
+      else begin
+        if keys = [] && node <> t.root then fail "internal node %d with no separators" node;
+        let seps = read_entries t node in
+        let bounds =
+          (lo :: List.map (fun (s, _) -> Some s) seps)
+          @ [ hi ]
+        in
+        let kids = children t node in
+        List.iteri
+          (fun i child ->
+            walk child (depth + 1) ~lo:(List.nth bounds i) ~hi:(List.nth bounds (i + 1)))
+          kids
+      end
+    in
+    walk t.root 0 ~lo:None ~hi:None;
+    if !total <> t.n_keys then fail "count mismatch: %d vs %d" !total t.n_keys;
+    if !leaf_depth + 1 <> t.tree_height then
+      fail "height mismatch: %d vs %d" (!leaf_depth + 1) t.tree_height;
+    (* Leaf chain covers exactly the leaves, in order. *)
+    let chain = ref [] in
+    let rec follow node =
+      if node <> null then begin
+        chain := node :: !chain;
+        follow (link t node)
+      end
+    in
+    follow (leftmost_leaf t t.root);
+    if List.rev !chain <> List.rev !leaves_in_order then fail "leaf chain broken"
+  end

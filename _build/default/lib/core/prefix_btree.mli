@@ -1,0 +1,64 @@
+(** Prefix B+-tree (Bayer & Unterauer 1977) — the key-compression
+    alternative the paper argues against in §2.
+
+    A B+-tree over slotted variable-size nodes: leaves hold every key
+    (as a suffix relative to the node's common prefix) plus its record
+    pointer and are linked for scans; internal nodes hold truncated
+    {e separators} — the shortest byte string greater than everything
+    on the left and at most the right subtree's minimum.
+
+    The paper's four §2 contrasts, all observable here:
+
+    - entries are variable-sized, so nodes need slot directories and
+      update-time repacking (partial-key entries are fixed-size);
+    - separators/suffixes are lossless — no record dereferences, ever
+      (partial keys trade rare dereferences for fixed size);
+    - low-entropy keys can yield long separators, so the branching
+      factor — and hence tree height — degrades with the key
+      distribution (a partial-key entry never exceeds 12 + l bytes);
+    - a single separator longer than a node cannot be stored at all
+      ([insert] raises, where a pkB-tree would carry on).
+
+    Updates materialise and repack the touched nodes — simple and
+    correct; lookups are in-place and cache-charged, which is what the
+    comparison benchmark (A8) measures. *)
+
+type t
+
+type config = { node_bytes : int }
+
+val default_config : config
+
+val create : Pk_mem.Mem.t -> Pk_records.Record_store.t -> config -> t
+
+val insert : t -> Pk_keys.Key.t -> rid:int -> bool
+(** Raises [Invalid_argument] when a key/separator cannot fit a node
+    even alone. *)
+
+val lookup : t -> Pk_keys.Key.t -> int option
+val delete : t -> Pk_keys.Key.t -> bool
+
+val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
+val range :
+  t -> lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
+val seq_from : t -> Pk_keys.Key.t -> (Pk_keys.Key.t * int) Seq.t
+
+val count : t -> int
+val height : t -> int
+val node_count : t -> int
+val space_bytes : t -> int
+val deref_count : t -> int
+(** Always 0 — the whole point of lossless compression; present for
+    interface parity. *)
+
+val node_visits : t -> int
+val reset_counters : t -> unit
+
+val max_separator_len : t -> int
+(** Longest separator currently stored in an internal node — the §2
+    "may not even fit in a cache line" hazard, reported by A8. *)
+
+val validate : t -> unit
+
+val debug_dump : t -> out_channel -> unit
+(** Print the node structure (debugging aid). *)

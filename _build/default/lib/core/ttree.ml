@@ -1,0 +1,744 @@
+module Mem = Pk_mem.Mem
+module Key = Pk_keys.Key
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+module Pk_compare = Pk_partialkey.Pk_compare
+module Node_search = Pk_partialkey.Node_search
+
+type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
+
+let default_config scheme = { scheme; node_bytes = 192; naive_search = false }
+
+type t = {
+  reg : Mem.region;
+  records : Record_store.t;
+  cfg : config;
+  esz : int;
+  max_entries : int;
+  min_internal : int;
+  mutable root : int;
+  mutable n_nodes : int;
+  mutable n_keys : int;
+  mutable derefs : int;
+  mutable visits : int;
+}
+
+let null = Pk_arena.Arena.null
+
+(* Node layout: [0:num u16][2:height u8][3..7:pad][8:left u64]
+   [16:right u64][24:entries]. *)
+let entries_at = 24
+
+let create mem records cfg =
+  let esz = Layout.entry_size cfg.scheme in
+  let max_entries = (cfg.node_bytes - entries_at) / esz in
+  if max_entries < 2 then
+    invalid_arg
+      (Printf.sprintf "Ttree.create: node of %d bytes holds %d entries under scheme %s"
+         cfg.node_bytes max_entries (Layout.scheme_tag cfg.scheme));
+  {
+    reg = Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:("ttree-" ^ Layout.scheme_tag cfg.scheme) ();
+    records;
+    cfg;
+    esz;
+    max_entries;
+    min_internal = max 1 (max_entries - 2);
+    root = null;
+    n_nodes = 0;
+    n_keys = 0;
+    derefs = 0;
+    visits = 0;
+  }
+
+let scheme t = t.cfg.scheme
+let record_store t = t.records
+let count t = t.n_keys
+let node_count t = t.n_nodes
+let space_bytes t = Mem.live_bytes t.reg
+let entry_capacity t = t.max_entries
+let deref_count t = t.derefs
+let node_visits t = t.visits
+
+let reset_counters t =
+  t.derefs <- 0;
+  t.visits <- 0
+
+(* {2 Node accessors} *)
+
+let num_keys t node = Mem.read_u16 t.reg node
+let set_num_keys t node n = Mem.write_u16 t.reg node n
+let node_height t node = if node = null then 0 else Mem.read_u8 t.reg (node + 2)
+let set_node_height t node h = Mem.write_u8 t.reg (node + 2) h
+let left t node = Mem.read_u64 t.reg (node + 8)
+let set_left t node v = Mem.write_u64 t.reg (node + 8) v
+let right t node = Mem.read_u64 t.reg (node + 16)
+let set_right t node v = Mem.write_u64 t.reg (node + 16) v
+let entry_addr t node i = node + entries_at + (i * t.esz)
+let rec_ptr t node i = Layout.rec_ptr t.reg (entry_addr t node i)
+let height t = node_height t t.root
+let is_leaf t node = left t node = null && right t node = null
+
+let alloc_node t =
+  let node = Mem.alloc t.reg ~align:64 t.cfg.node_bytes in
+  Mem.write_u16 t.reg node 0;
+  set_node_height t node 1;
+  set_left t node null;
+  set_right t node null;
+  t.n_nodes <- t.n_nodes + 1;
+  node
+
+let free_node t node =
+  Mem.free t.reg node t.cfg.node_bytes;
+  t.n_nodes <- t.n_nodes - 1
+
+let entry_key t node i =
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } -> Layout.read_direct_key t.reg (entry_addr t node i) ~key_len
+  | Layout.Indirect | Layout.Partial _ -> Record_store.read_key t.records (rec_ptr t node i)
+
+(* {2 Partial-key maintenance (§4.1)} *)
+
+let granularity t =
+  match t.cfg.scheme with
+  | Layout.Partial { granularity; _ } -> granularity
+  | Layout.Direct _ | Layout.Indirect -> assert false
+
+let l_bytes t =
+  match t.cfg.scheme with
+  | Layout.Partial { l_bytes; _ } -> l_bytes
+  | Layout.Direct _ | Layout.Indirect -> assert false
+
+let is_partial t = match t.cfg.scheme with Layout.Partial _ -> true | _ -> false
+
+(* Recompute the partial key of entry [i]; [base] is the base for entry
+   0, i.e. the parent node's leftmost key (None at the root). *)
+let fix_pk t node i ~base =
+  if is_partial t && node <> null && i >= 0 && i < num_keys t node then begin
+    let g = granularity t and l = l_bytes t in
+    let key = entry_key t node i in
+    let pk =
+      if i = 0 then
+        match base with
+        | None -> Partial_key.encode_initial g ~l_bytes:l ~key
+        | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key
+      else Partial_key.encode g ~l_bytes:l ~base:(entry_key t node (i - 1)) ~key
+    in
+    Layout.write_pk t.reg (entry_addr t node i) ~l_bytes:l pk
+  end
+
+(* After any change to [node]'s leftmost key or to its children's
+   parentage, restore the §4.1 invariants: node.key[0] is based on the
+   parent's key[0] ([base]), children's key[0] on node.key[0]. *)
+let fix_pk0_and_children t node ~base =
+  if is_partial t && node <> null then begin
+    fix_pk t node 0 ~base;
+    let k0 = Some (entry_key t node 0) in
+    if left t node <> null then fix_pk t (left t node) 0 ~base:k0;
+    if right t node <> null then fix_pk t (right t node) 0 ~base:k0
+  end
+
+(* {2 Raw entry movement} *)
+
+let blit_entries t ~src ~src_i ~dst ~dst_i ~n =
+  if n > 0 then
+    if src = dst then
+      Mem.move t.reg ~src_off:(entry_addr t src src_i) ~dst_off:(entry_addr t dst dst_i)
+        ~len:(n * t.esz)
+    else
+      let tmp = Mem.read_bytes t.reg ~off:(entry_addr t src src_i) ~len:(n * t.esz) in
+      Mem.write_bytes t.reg ~off:(entry_addr t dst dst_i) ~src:tmp ~src_off:0 ~len:(n * t.esz)
+
+let write_entry t node i ~key ~rid =
+  let a = entry_addr t node i in
+  Layout.set_rec_ptr t.reg a rid;
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      if Bytes.length key <> key_len then
+        invalid_arg
+          (Printf.sprintf "Ttree: direct scheme expects %d-byte keys, got %d" key_len
+             (Bytes.length key));
+      Layout.write_direct_key t.reg a key
+  | Layout.Indirect | Layout.Partial _ -> ()
+
+(* Insert an entry at position [i]; fixes the local partial keys of
+   positions i and i+1 (entry 0 fixes, which need the parent's key, are
+   the caller's job via [fix_pk0_and_children]). *)
+let insert_at t node i ~key ~rid =
+  let n = num_keys t node in
+  blit_entries t ~src:node ~src_i:i ~dst:node ~dst_i:(i + 1) ~n:(n - i);
+  write_entry t node i ~key ~rid;
+  set_num_keys t node (n + 1);
+  if i > 0 then fix_pk t node i ~base:None;
+  fix_pk t node (i + 1) ~base:None
+
+let remove_at t node i =
+  let n = num_keys t node in
+  blit_entries t ~src:node ~src_i:(i + 1) ~dst:node ~dst_i:i ~n:(n - i - 1);
+  set_num_keys t node (n - 1);
+  if i > 0 then fix_pk t node i ~base:None
+
+(* {2 AVL rebalancing} *)
+
+let update_height t node =
+  set_node_height t node (1 + max (node_height t (left t node)) (node_height t (right t node)))
+
+let balance_factor t node = node_height t (left t node) - node_height t (right t node)
+
+(* Rotations return the new subtree root.  Inside, the nodes whose
+   parent changed get their entry-0 partial keys refreshed; the caller
+   refreshes the returned root against its own leftmost key. *)
+let rotate_right t z =
+  let y = left t z in
+  set_left t z (right t y);
+  set_right t y z;
+  update_height t z;
+  update_height t y;
+  if is_partial t then begin
+    let y0 = Some (entry_key t y 0) in
+    fix_pk t z 0 ~base:y0;
+    let z0 = Some (entry_key t z 0) in
+    if left t z <> null then fix_pk t (left t z) 0 ~base:z0
+  end;
+  y
+
+let rotate_left t z =
+  let y = right t z in
+  set_right t z (left t y);
+  set_left t y z;
+  update_height t z;
+  update_height t y;
+  if is_partial t then begin
+    let y0 = Some (entry_key t y 0) in
+    fix_pk t z 0 ~base:y0;
+    let z0 = Some (entry_key t z 0) in
+    if right t z <> null then fix_pk t (right t z) 0 ~base:z0
+  end;
+  y
+
+(* A T-tree special case: an inner node that is about to become the
+   subtree root through a double rotation may hold very few entries
+   (it can be a freshly created leaf).  Slide entries from the old
+   root so the new internal root is not nearly empty (Lehman–Carey's
+   "special rotation").  We move entries after rotating, which keeps
+   the ordering invariants — see [slide_fill]. *)
+let slide_fill t node =
+  (* If [node] is internal and underfull, pull the tail of its left
+     child's entry array (those keys immediately precede node's). *)
+  if node <> null && not (is_leaf t node) then begin
+    let l = left t node in
+    if l <> null && num_keys t node < t.min_internal then begin
+      (* Never push the donor below its own minimum. *)
+      let donor_floor = if is_leaf t l then 1 else t.min_internal in
+      let want = min (t.min_internal - num_keys t node) (num_keys t l - donor_floor) in
+      if want > 0 then begin
+        let ln = num_keys t l in
+        let n = num_keys t node in
+        blit_entries t ~src:node ~src_i:0 ~dst:node ~dst_i:want ~n;
+        blit_entries t ~src:l ~src_i:(ln - want) ~dst:node ~dst_i:0 ~n:want;
+        set_num_keys t node (n + want);
+        set_num_keys t l (ln - want);
+        if is_partial t then begin
+          (* Every moved boundary changed: recompute the seam. *)
+          fix_pk t node want ~base:None;
+          for i = 1 to want - 1 do
+            fix_pk t node i ~base:None
+          done
+        end
+      end
+    end
+  end
+
+let rebalance t node ~base =
+  let bf = balance_factor t node in
+  let node' =
+    if bf > 1 then begin
+      if balance_factor t (left t node) < 0 then begin
+        set_left t node (rotate_left t (left t node));
+        fix_pk t (left t node) 0 ~base:(Some (entry_key t node 0))
+      end;
+      rotate_right t node
+    end
+    else if bf < -1 then begin
+      if balance_factor t (right t node) > 0 then begin
+        set_right t node (rotate_right t (right t node));
+        fix_pk t (right t node) 0 ~base:(Some (entry_key t node 0))
+      end;
+      rotate_left t node
+    end
+    else begin
+      update_height t node;
+      node
+    end
+  in
+  slide_fill t node';
+  (* Sliding can change key[0] of the new root and its left child. *)
+  if is_partial t then fix_pk0_and_children t node' ~base;
+  node'
+
+(* {2 Insert} *)
+
+let locate t node key =
+  let rec go lo hi =
+    if lo >= hi then (lo, false)
+    else
+      let mid = (lo + hi) / 2 in
+      let c, _ = Key.compare_detail key (entry_key t node mid) in
+      match c with Key.Eq -> (mid, true) | Key.Lt -> go lo mid | Key.Gt -> go (mid + 1) hi
+  in
+  go 0 (num_keys t node)
+
+let new_leaf t ~key ~rid ~base =
+  let node = alloc_node t in
+  write_entry t node 0 ~key ~rid;
+  set_num_keys t node 1;
+  fix_pk t node 0 ~base;
+  node
+
+(* Insert [key] into the subtree's greatest-lower-bound position: the
+   rightmost node (used for the evicted minimum of a full bounding
+   node; the evicted key exceeds everything in this subtree). *)
+let rec insert_max t node ~key ~rid ~base =
+  if node = null then new_leaf t ~key ~rid ~base
+  else begin
+    (if right t node <> null then begin
+       let r = insert_max t (right t node) ~key ~rid ~base:(Some (entry_key t node 0)) in
+       set_right t node r
+     end
+     else if num_keys t node < t.max_entries then insert_at t node (num_keys t node) ~key ~rid
+     else begin
+       let r = new_leaf t ~key ~rid ~base:(Some (entry_key t node 0)) in
+       set_right t node r
+     end);
+    rebalance t node ~base
+  end
+
+exception Duplicate
+
+let rec insert_rec t node key rid ~base =
+  if node = null then new_leaf t ~key ~rid ~base
+  else begin
+    let n = num_keys t node in
+    let c0, _ = Key.compare_detail key (entry_key t node 0) in
+    let cl, _ = if n = 0 then (Key.Lt, 0) else Key.compare_detail key (entry_key t node (n - 1)) in
+    (match c0 with
+    | Key.Eq -> raise Duplicate
+    | Key.Lt ->
+        if left t node <> null then
+          set_left t node (insert_rec t (left t node) key rid ~base:(Some (entry_key t node 0)))
+        else if n < t.max_entries then begin
+          insert_at t node 0 ~key ~rid;
+          fix_pk0_and_children t node ~base
+        end
+        else set_left t node (new_leaf t ~key ~rid ~base:(Some (entry_key t node 0)))
+    | Key.Gt -> (
+        match cl with
+        | Key.Eq -> raise Duplicate
+        | Key.Gt ->
+            if right t node <> null then
+              set_right t node (insert_rec t (right t node) key rid ~base:(Some (entry_key t node 0)))
+            else if n < t.max_entries then insert_at t node n ~key ~rid
+            else set_right t node (new_leaf t ~key ~rid ~base:(Some (entry_key t node 0)))
+        | Key.Lt ->
+            (* Bounding node. *)
+            let pos, found = locate t node key in
+            if found then raise Duplicate;
+            if n < t.max_entries then insert_at t node pos ~key ~rid
+            else begin
+              (* Full: evict the minimum to the left subtree (its
+                 greatest lower bound node), then insert. *)
+              let ev_key = entry_key t node 0 and ev_rid = rec_ptr t node 0 in
+              remove_at t node 0;
+              insert_at t node (pos - 1) ~key ~rid;
+              fix_pk0_and_children t node ~base;
+              let l = insert_max t (left t node) ~key:ev_key ~rid:ev_rid ~base:(Some (entry_key t node 0)) in
+              set_left t node l
+            end));
+    rebalance t node ~base
+  end
+
+let insert t key ~rid =
+  (match t.cfg.scheme with
+  | Layout.Direct { key_len } when Bytes.length key <> key_len ->
+      invalid_arg
+        (Printf.sprintf "Ttree.insert: direct scheme expects %d-byte keys, got %d" key_len
+           (Bytes.length key))
+  | _ -> ());
+  match insert_rec t t.root key rid ~base:None with
+  | root ->
+      t.root <- root;
+      fix_pk0_and_children t t.root ~base:None;
+      t.n_keys <- t.n_keys + 1;
+      true
+  | exception Duplicate -> false
+
+(* {2 Delete}
+
+   Lehman–Carey case analysis after removing an entry from a node:
+   - internal (two children) below minimum occupancy: refill with the
+     subtree's greatest lower bound (max of the left subtree);
+   - half-leaf (one child): merge the child's entries in when they fit;
+   - leaf left empty: splice the node out.
+   [fix_after_removal] applies these rules and returns the replacement
+   subtree root; the removal helpers use it on every node they drain. *)
+
+(* Merge a half-leaf with its single child when the combined entries
+   fit in one node.  AVL balance guarantees the child is a leaf. *)
+let merge_half_leaf t node =
+  let l = left t node and r = right t node in
+  let child = if l <> null then l else r in
+  let n = num_keys t node and cn = num_keys t child in
+  if is_leaf t child && n + cn <= t.max_entries then begin
+    if l <> null then begin
+      (* Prepend the left child's (smaller) entries. *)
+      blit_entries t ~src:node ~src_i:0 ~dst:node ~dst_i:cn ~n;
+      blit_entries t ~src:child ~src_i:0 ~dst:node ~dst_i:0 ~n:cn;
+      set_left t node null;
+      set_num_keys t node (n + cn);
+      (* Seam: the old first entry now follows the child's last. *)
+      fix_pk t node cn ~base:None
+    end
+    else begin
+      blit_entries t ~src:child ~src_i:0 ~dst:node ~dst_i:n ~n:cn;
+      set_right t node null;
+      set_num_keys t node (n + cn);
+      fix_pk t node n ~base:None
+    end;
+    free_node t child
+  end
+
+let rec fix_after_removal t node ~base =
+  let n = num_keys t node in
+  let l = left t node and r = right t node in
+  if n = 0 && l = null && r = null then begin
+    free_node t node;
+    null
+  end
+  else begin
+    if l <> null && r <> null && n < t.min_internal then begin
+      (* Internal: pull the greatest lower bound up into position 0. *)
+      let l', (k, rid) = remove_max t l ~base:(Some (entry_key t node 0)) in
+      set_left t node l';
+      insert_at t node 0 ~key:k ~rid;
+      fix_pk0_and_children t node ~base
+    end;
+    let l = left t node and r = right t node in
+    if n > 0 && (l = null) <> (r = null) then merge_half_leaf t node;
+    if num_keys t node = 0 then begin
+      (* Still empty: node had exactly one child and no keys. *)
+      let l = left t node and r = right t node in
+      let repl = if l <> null then l else r in
+      free_node t node;
+      repl
+    end
+    else node
+  end
+
+(* Remove and return the greatest entry of the subtree. *)
+and remove_max t node ~base =
+  let n = num_keys t node in
+  if right t node <> null then begin
+    let r, kv = remove_max t (right t node) ~base:(Some (entry_key t node 0)) in
+    set_right t node r;
+    (rebalance t node ~base, kv)
+  end
+  else begin
+    let kv = (entry_key t node (n - 1), rec_ptr t node (n - 1)) in
+    remove_at t node (n - 1);
+    let node' = fix_after_removal t node ~base in
+    if node' = null then (null, kv)
+    else begin
+      fix_pk0_and_children t node' ~base;
+      (rebalance t node' ~base, kv)
+    end
+  end
+
+exception Not_present
+
+let rec delete_rec t node key ~base =
+  if node = null then raise Not_present
+  else begin
+    let n = num_keys t node in
+    let c0, _ = Key.compare_detail key (entry_key t node 0) in
+    let cl, _ = if n = 0 then (Key.Gt, 0) else Key.compare_detail key (entry_key t node (n - 1)) in
+    let node =
+      if c0 = Key.Lt then begin
+        set_left t node (delete_rec t (left t node) key ~base:(Some (entry_key t node 0)));
+        node
+      end
+      else if cl = Key.Gt then begin
+        set_right t node (delete_rec t (right t node) key ~base:(Some (entry_key t node 0)));
+        node
+      end
+      else begin
+        let pos, found = locate t node key in
+        if not found then raise Not_present;
+        remove_at t node pos;
+        fix_after_removal t node ~base
+      end
+    in
+    if node = null then null
+    else begin
+      fix_pk0_and_children t node ~base;
+      rebalance t node ~base
+    end
+  end
+
+let delete t key =
+  match delete_rec t t.root key ~base:None with
+  | root ->
+      t.root <- root;
+      fix_pk0_and_children t t.root ~base:None;
+      t.n_keys <- t.n_keys - 1;
+      true
+  | exception Not_present -> false
+
+(* {2 Lookup} *)
+
+let byte_or_zero k i = if i < Bytes.length k then Char.code (Bytes.get k i) else 0
+
+let bit_or_zero k i =
+  if i >= 8 * Bytes.length k then 0
+  else (Char.code (Bytes.get k (i lsr 3)) lsr (7 - (i land 7))) land 1
+
+let deref_entry t node search i =
+  t.derefs <- t.derefs + 1;
+  let rid = rec_ptr t node i in
+  let c, d =
+    match granularity t with
+    | Partial_key.Bit -> Record_store.compare_key_bits t.records rid search
+    | Partial_key.Byte -> Record_store.compare_key t.records rid search
+  in
+  (Key.flip c, d)
+
+(* entry_ops over entries [1..n), as FINDTTREE searches the bounding
+   node with its leftmost key removed (it is the base). *)
+let entry_ops_shifted t node search : Node_search.entry_ops =
+  let g = granularity t in
+  {
+    Node_search.num_keys = num_keys t node - 1;
+    pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t node (i + 1)));
+    resolve_units =
+      (fun i ~rel ~off ->
+        Layout.resolve_pk_units t.reg (entry_addr t node (i + 1)) ~scheme_granularity:g ~search
+          ~rel ~off);
+    branch_unit =
+      (fun i ->
+        match g with
+        | Partial_key.Bit -> 1
+        | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t node (i + 1)));
+    search_unit =
+      (fun u ->
+        match g with
+        | Partial_key.Bit -> bit_or_zero search u
+        | Partial_key.Byte -> byte_or_zero search u);
+    deref = (fun i -> deref_entry t node search (i + 1));
+  }
+
+(* FINDTTREE (Fig. 7). *)
+let lookup_partial t search =
+  let g = granularity t in
+  let find = if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node in
+  let rel0, off0 = Partial_key.initial_state g search in
+  let rec descend node la rel off =
+    if node = null then
+      match la with
+      | None -> None
+      | Some (lan, la_off) ->
+          let r = find (entry_ops_shifted t lan search) ~rel0:Key.Gt ~off0:la_off in
+          if r.Node_search.low = r.Node_search.high then
+            Some (rec_ptr t lan (r.Node_search.low + 1))
+          else None
+    else begin
+      t.visits <- t.visits + 1;
+      (* Offset-only resolution first: the common case touches just the
+         pk_off field of the leftmost entry. *)
+      let a = entry_addr t node 0 in
+      let c, o =
+        match Pk_compare.resolve_by_offset ~rel ~off ~pk_off:(Layout.read_pk_off t.reg a) with
+        | Pk_compare.Resolved (c, o) -> (c, o)
+        | Pk_compare.Need_units ->
+            Layout.resolve_pk_units t.reg a ~scheme_granularity:g ~search ~rel ~off
+      in
+      let c, o = if c = Key.Eq then deref_entry t node search 0 else (c, o) in
+      match c with
+      | Key.Eq -> Some (rec_ptr t node 0)
+      | Key.Lt -> descend (left t node) la c o
+      | Key.Gt -> descend (right t node) (Some (node, o)) c o
+    end
+  in
+  descend t.root None rel0 off0
+
+(* Direct / indirect: single comparison per level against entry 0. *)
+let compare_entry0 t node search =
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      let c, _ = Layout.compare_direct t.reg (entry_addr t node 0) ~key_len search in
+      Key.flip c
+  | Layout.Indirect ->
+      t.derefs <- t.derefs + 1;
+      let c, _ = Record_store.compare_key t.records (rec_ptr t node 0) search in
+      Key.flip c
+  | Layout.Partial _ -> assert false
+
+let lookup_plain t search =
+  let cmp_at node i =
+    match t.cfg.scheme with
+    | Layout.Direct { key_len } ->
+        let c, _ = Layout.compare_direct t.reg (entry_addr t node i) ~key_len search in
+        Key.flip c
+    | Layout.Indirect ->
+        t.derefs <- t.derefs + 1;
+        let c, _ = Record_store.compare_key t.records (rec_ptr t node i) search in
+        Key.flip c
+    | Layout.Partial _ -> assert false
+  in
+  let rec in_node node lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      match cmp_at node mid with
+      | Key.Eq -> Some (rec_ptr t node mid)
+      | Key.Lt -> in_node node lo mid
+      | Key.Gt -> in_node node (mid + 1) hi
+  in
+  let rec descend node la =
+    if node = null then
+      match la with None -> None | Some lan -> in_node lan 1 (num_keys t lan)
+    else begin
+      t.visits <- t.visits + 1;
+      match compare_entry0 t node search with
+      | Key.Eq -> Some (rec_ptr t node 0)
+      | Key.Lt -> descend (left t node) la
+      | Key.Gt -> descend (right t node) (Some node)
+    end
+  in
+  descend t.root None
+
+let lookup t search =
+  if t.root = null then None
+  else
+    match t.cfg.scheme with
+    | Layout.Partial _ -> lookup_partial t search
+    | Layout.Direct _ | Layout.Indirect -> lookup_plain t search
+
+(* {2 Traversal} *)
+
+(* Lazy in-order cursor from the first key >= [from].  A frame
+   (node, i) means: emit entries [i..), then walk the node's right
+   subtree, then pop. *)
+let seq_from t from =
+  let rec push_spine node stack =
+    if node = null then stack else push_spine (left t node) ((node, 0) :: stack)
+  in
+  let rec seek node stack =
+    if node = null then stack
+    else
+      let n = num_keys t node in
+      let c0, _ = Key.compare_detail from (entry_key t node 0) in
+      let cl, _ = Key.compare_detail from (entry_key t node (n - 1)) in
+      if c0 = Key.Lt then seek (left t node) ((node, 0) :: stack)
+      else if cl = Key.Gt then seek (right t node) stack
+      else
+        let pos, _ = locate t node from in
+        (node, pos) :: stack
+  in
+  let rec next stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | (node, i) :: rest ->
+        if i >= num_keys t node then next (push_spine (right t node) rest) ()
+        else
+          let item = (entry_key t node i, rec_ptr t node i) in
+          Seq.Cons (item, next ((node, i + 1) :: rest))
+  in
+  next (seek t.root [])
+
+let iter t f =
+  let rec go node =
+    if node <> null then begin
+      go (left t node);
+      for i = 0 to num_keys t node - 1 do
+        f ~key:(entry_key t node i) ~rid:(rec_ptr t node i)
+      done;
+      go (right t node)
+    end
+  in
+  go t.root
+
+let range t ~lo ~hi f =
+  let rec go node =
+    if node <> null then begin
+      let n = num_keys t node in
+      let first = entry_key t node 0 in
+      let last = entry_key t node (n - 1) in
+      let c_lo_first, _ = Key.compare_detail first lo in
+      let c_hi_last, _ = Key.compare_detail last hi in
+      if c_lo_first <> Key.Lt then go (left t node);
+      for i = 0 to n - 1 do
+        let k = entry_key t node i in
+        let a, _ = Key.compare_detail k lo in
+        let b, _ = Key.compare_detail k hi in
+        if a <> Key.Lt && b <> Key.Gt then f ~key:k ~rid:(rec_ptr t node i)
+      done;
+      if c_hi_last <> Key.Gt then go (right t node)
+    end
+  in
+  go t.root
+
+(* {2 Validation} *)
+
+let validate t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let total = ref 0 in
+  let rec walk node ~lo ~hi ~base =
+    if node = null then 0
+    else begin
+      let n = num_keys t node in
+      if n = 0 then fail "node %d empty" node;
+      if n > t.max_entries then fail "node %d overfull" node;
+      (* Only two-child (internal) nodes carry the occupancy
+         guarantee; half-leaves merge with their child when possible
+         instead (Lehman–Carey). *)
+      if left t node <> null && right t node <> null && n < t.min_internal then
+        fail "internal node %d underfull: %d < %d" node n t.min_internal;
+      total := !total + n;
+      let keys = Array.init n (fun i -> entry_key t node i) in
+      Array.iteri
+        (fun i k ->
+          if i > 0 && Key.compare keys.(i - 1) k >= 0 then
+            fail "node %d out of order at %d" node i;
+          (match lo with
+          | Some b when Key.compare k b <= 0 -> fail "node %d entry %d below range" node i
+          | _ -> ());
+          (match hi with
+          | Some b when Key.compare k b >= 0 -> fail "node %d entry %d above range" node i
+          | _ -> ());
+          if is_partial t then begin
+            let g = granularity t and l = l_bytes t in
+            let expect =
+              if i = 0 then
+                match base with
+                | None -> Partial_key.encode_initial g ~l_bytes:l ~key:k
+                | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key:k
+              else Partial_key.encode g ~l_bytes:l ~base:keys.(i - 1) ~key:k
+            in
+            let got = Layout.read_pk t.reg (entry_addr t node i) ~granularity:g in
+            if
+              got.Partial_key.pk_off <> expect.Partial_key.pk_off
+              || got.Partial_key.pk_len <> expect.Partial_key.pk_len
+              || not (Bytes.equal got.Partial_key.pk_bits expect.Partial_key.pk_bits)
+            then fail "node %d entry %d: pk mismatch" node i
+          end)
+        keys;
+      let k0 = Some keys.(0) in
+      let hl = walk (left t node) ~lo ~hi:(Some keys.(0)) ~base:k0 in
+      let hr = walk (right t node) ~lo:(Some keys.(n - 1)) ~hi ~base:k0 in
+      if abs (hl - hr) > 1 then fail "node %d unbalanced: %d vs %d" node hl hr;
+      let h = 1 + max hl hr in
+      if h <> node_height t node then
+        fail "node %d stored height %d, actual %d" node (node_height t node) h;
+      h
+    end
+  in
+  ignore (walk t.root ~lo:None ~hi:None ~base:None);
+  if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys

@@ -1,0 +1,1 @@
+lib/experiments/bench_common.ml: Array Filename List Pk_cachesim Pk_core Pk_harness Pk_keys Pk_mem Pk_partialkey Pk_util Pk_workload Printf Sys Unix

@@ -1,0 +1,1 @@
+lib/experiments/exp_ablations.ml: Array Bench_common Cachesim Experiment Float Gc Hashtbl Hybrid Index Layout List Machine Partial_key Pk_core Pk_mem Printf String Tables Unix Workload

@@ -1,0 +1,1 @@
+lib/experiments/exp_figures.ml: Bench_common Experiment Float Hashtbl Index Layout List Partial_key Pk_util Printf String Tables Workload

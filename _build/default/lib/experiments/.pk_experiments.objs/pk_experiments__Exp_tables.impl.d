@@ -1,0 +1,1 @@
+lib/experiments/exp_tables.ml: Array Bench_common Cachesim Experiment Float Keygen List Machine Pk_util Tables

@@ -1,0 +1,90 @@
+(* Shared plumbing for the benchmark experiments. *)
+
+module Tables = Pk_util.Tables
+module Key = Pk_keys.Key
+module Keygen = Pk_keys.Keygen
+module Mem = Pk_mem.Mem
+module Cachesim = Pk_cachesim.Cachesim
+module Machine = Pk_cachesim.Machine
+module Layout = Pk_core.Layout
+module Index = Pk_core.Index
+module Hybrid = Pk_core.Hybrid
+module Partial_key = Pk_partialkey.Partial_key
+module Workload = Pk_workload.Workload
+module Distribution = Pk_workload.Distribution
+module Experiment = Pk_harness.Experiment
+module Bench_time = Pk_harness.Bench_time
+
+let low_entropy = Keygen.paper_low (* alphabet 12 -> 3.6 bits/byte *)
+let high_entropy = Keygen.paper_high (* alphabet 220 -> 7.8 bits/byte *)
+
+let entropy_tag alphabet = Printf.sprintf "%.1f b/B" (Keygen.entropy_of_alphabet alphabet)
+
+(* A built scheme ready for measurement. *)
+type built = {
+  name : string;
+  ix : Index.t;
+  env : Workload.env;
+  warm : Key.t array;
+  probe : Key.t array;
+  probe_mask : int;
+}
+
+let pow2_ceil n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* Build one dataset and load each requested scheme into its own index
+   over the shared record heap. *)
+let build_schemes ?(machine = Machine.ultra30) ?tlb ~key_len ~alphabet ~n ~n_warm ~n_probe
+    schemes =
+  let env = Workload.make_env ~machine ?tlb () in
+  let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+  let warm = Workload.probes ds ~seed:11 ~n:n_warm () in
+  (* Disjoint steady-state probes, padded to a power of two so the
+     timed thunk can rotate with a mask. *)
+  let all = Workload.probes ds ~seed:12 ~n:(n_warm + n_probe) () in
+  let raw_probe = Array.sub all n_warm n_probe in
+  let padded = pow2_ceil n_probe in
+  let probe = Array.init padded (fun i -> raw_probe.(i mod n_probe)) in
+  List.map
+    (fun (name, structure, scheme) ->
+      let ix = Index.make structure scheme env.Workload.mem env.Workload.records in
+      Workload.load ds ix;
+      { name; ix; env; warm; probe; probe_mask = padded - 1 })
+    schemes
+
+let cache_stats b = Workload.measure_cache b.env b.ix ~warm:b.warm ~probes:b.probe
+
+(* One Bechamel thunk = one lookup from the rotating probe list. *)
+let lookup_thunk b =
+  let i = ref 0 in
+  fun () ->
+    ignore (b.ix.Index.lookup b.probe.(!i land b.probe_mask));
+    incr i
+
+let time_schemes ~group builts =
+  List.iter (fun b -> Mem.set_tracing b.env.Workload.mem false) builts;
+  Bench_time.time_group ~name:group (List.map (fun b -> (b.name, lookup_thunk b)) builts)
+
+let space_per_key b =
+  float_of_int (b.ix.Index.space_bytes ()) /. float_of_int (b.ix.Index.count ())
+
+let fmt_f ?(d = 2) v = Tables.fmt_float ~decimals:d v
+
+(* Print a table; when PK_CSV_DIR is set, also drop it there as
+   <name>.csv for external plotting. *)
+let print_table ~name t =
+  Tables.print t;
+  match Sys.getenv_opt "PK_CSV_DIR" with
+  | None | Some "" -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (Tables.render_csv t);
+      close_out oc;
+      Printf.printf "  (csv written to %s)\n" path
+
+let shape_check label ok =
+  Printf.printf "  shape %-58s %s\n" label (if ok then "[as in paper]" else "[DEVIATES]")

@@ -1,0 +1,540 @@
+(* A1-A7 — ablation benchmarks for the design choices DESIGN.md calls
+   out (node size, offset granularity, FINDNODE, 4-byte equivalence,
+   TLB/superpages, update mixes, hybrid dispatch). *)
+
+open Bench_common
+
+(* A1: node size in L2 blocks (§5.2 fixed 3 blocks after a sweep). *)
+let run_a1 () =
+  let n = Experiment.scaled_keys 200_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let key_len = 20 and alphabet = low_entropy in
+  Printf.printf "keys=%d, key size=%d B, entropy=%s\n\n" n key_len (entropy_tag alphabet);
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("scheme", Tables.Left);
+          ("blocks", Tables.Right);
+          ("node B", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("sim us/op", Tables.Right);
+          ("wall ns/op", Tables.Right);
+          ("height", Tables.Right);
+        ]
+  in
+  let results = Hashtbl.create 16 in
+  List.iter
+    (fun blocks ->
+      let node_bytes = blocks * 64 in
+      let env = Workload.make_env () in
+      let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+      let warm = Workload.probes ds ~seed:11 ~n:3000 () in
+      let all = Workload.probes ds ~seed:12 ~n:(3000 + n_probe) () in
+      let probe = Array.sub all 3000 n_probe in
+      let schemes =
+        [
+          ("pkB", Index.B_tree, Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 });
+          ("B-direct", Index.B_tree, Layout.Direct { key_len });
+        ]
+      in
+      List.iter
+        (fun (name, structure, scheme) ->
+          match Index.make ~node_bytes structure scheme env.Workload.mem env.Workload.records with
+          | exception Invalid_argument _ ->
+              Tables.add_row t
+                [ name; string_of_int blocks; string_of_int node_bytes; "-"; "-"; "-"; "-" ]
+          | ix ->
+              Workload.load ds ix;
+              let cs = Workload.measure_cache env ix ~warm ~probes:probe in
+              let wall = Workload.wall_ns_per_op env ix ~probes:probe in
+              Hashtbl.replace results (name, blocks) cs.Workload.l2_per_op;
+              Tables.add_row t
+                [
+                  name;
+                  string_of_int blocks;
+                  string_of_int node_bytes;
+                  fmt_f cs.Workload.l2_per_op;
+                  fmt_f (cs.Workload.sim_ns_per_op /. 1000.0);
+                  fmt_f ~d:0 wall;
+                  string_of_int (ix.Index.height ());
+                ])
+        schemes;
+      Tables.add_separator t)
+    [ 1; 2; 3; 4; 6 ];
+  print_table ~name:"a1" t;
+  (match Hashtbl.find_opt results ("pkB", 3) with
+  | Some three ->
+      let best =
+        Hashtbl.fold
+          (fun (n, _) v acc -> if n = "pkB" then Float.min v acc else acc)
+          results Float.infinity
+      in
+      shape_check "3-block pkB nodes within 20% of the best node size" (three <= best *. 1.20)
+  | None -> ())
+
+(* A2: bit- vs byte-granularity offsets (§5.2). *)
+let run_a2 () =
+  let n = Experiment.scaled_keys 200_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let key_len = 20 in
+  Printf.printf "keys=%d, key size=%d B; pkB-tree\n\n" n key_len;
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("entropy", Tables.Left);
+          ("offsets", Tables.Left);
+          ("l (bytes)", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("deref/op", Tables.Right);
+          ("wall ns/op", Tables.Right);
+          ("entry B", Tables.Right);
+        ]
+  in
+  List.iter
+    (fun alphabet ->
+      let variants =
+        List.concat_map
+          (fun l ->
+            [
+              ( Printf.sprintf "byte-l%d" l,
+                Index.B_tree,
+                Layout.Partial { granularity = Partial_key.Byte; l_bytes = l } );
+              ( Printf.sprintf "bit-l%d" l,
+                Index.B_tree,
+                Layout.Partial { granularity = Partial_key.Bit; l_bytes = l } );
+            ])
+          [ 0; 2; 4 ]
+      in
+      let builts = build_schemes ~key_len ~alphabet ~n ~n_warm:3000 ~n_probe variants in
+      let walls = time_schemes ~group:(Printf.sprintf "a2-%d" alphabet) builts in
+      List.iter
+        (fun b ->
+          let cs = cache_stats b in
+          let granularity = List.hd (String.split_on_char '-' b.name) in
+          let l = String.sub b.name (String.index b.name 'l' + 1) 1 in
+          Tables.add_row t
+            [
+              entropy_tag alphabet;
+              granularity;
+              l;
+              fmt_f cs.Workload.l2_per_op;
+              fmt_f cs.Workload.derefs_per_op;
+              fmt_f ~d:0 (List.assoc b.name walls);
+              string_of_int (Layout.entry_size (Layout.Partial { granularity = (if granularity = "bit" then Partial_key.Bit else Partial_key.Byte); l_bytes = int_of_string l }));
+            ])
+        builts;
+      Tables.add_separator t)
+    [ low_entropy; high_entropy ];
+  print_table ~name:"a2" t;
+  print_endline
+    "  note: bit offsets store the l bits immediately after the difference bit\n\
+    \  (maximum distinguishing power); byte offsets store whole bytes from the\n\
+    \  difference byte (simpler, the paper's default)."
+
+(* A3: FINDNODE vs the naive linear search (Example 3.2 / §3.3). *)
+let run_a3 () =
+  let n = Experiment.scaled_keys 200_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let key_len = 20 in
+  Printf.printf "keys=%d, key size=%d B; pkB-tree, byte offsets l=2\n\n" n key_len;
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("entropy", Tables.Left);
+          ("in-node search", Tables.Left);
+          ("deref/op", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("wall ns/op", Tables.Right);
+        ]
+  in
+  let rates = Hashtbl.create 8 in
+  List.iter
+    (fun alphabet ->
+      let env = Workload.make_env () in
+      let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+      let warm = Workload.probes ds ~seed:11 ~n:3000 () in
+      let all = Workload.probes ds ~seed:12 ~n:(3000 + n_probe) () in
+      let probe = Array.sub all 3000 n_probe in
+      List.iter
+        (fun (label, naive) ->
+          let ix =
+            Index.make ~naive_search:naive Index.B_tree
+              (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+              env.Workload.mem env.Workload.records
+          in
+          Workload.load ds ix;
+          let cs = Workload.measure_cache env ix ~warm ~probes:probe in
+          let wall = Workload.wall_ns_per_op env ix ~probes:probe in
+          Hashtbl.replace rates (alphabet, label) cs.Workload.derefs_per_op;
+          Tables.add_row t
+            [
+              entropy_tag alphabet;
+              label;
+              fmt_f ~d:3 cs.Workload.derefs_per_op;
+              fmt_f cs.Workload.l2_per_op;
+              fmt_f ~d:0 wall;
+            ])
+        [ ("FINDNODE (Fig. 5)", false); ("naive linear (simple)", true) ];
+      Tables.add_separator t)
+    [ low_entropy; high_entropy ];
+  print_table ~name:"a3" t;
+  List.iter
+    (fun a ->
+      shape_check
+        (Printf.sprintf "FINDNODE needs fewer dereferences than naive at %s" (entropy_tag a))
+        (Hashtbl.find rates (a, "FINDNODE (Fig. 5)")
+        < Hashtbl.find rates (a, "naive linear (simple)")))
+    [ low_entropy; high_entropy ]
+
+(* A4: pk trees match direct trees with 4-byte keys in cache misses
+   (§5.3's last bullet). *)
+let run_a4 () =
+  let n = Experiment.scaled_keys 400_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let alphabet = high_entropy in
+  Printf.printf "keys=%d, entropy=%s\n\n" n (entropy_tag alphabet);
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("scheme", Tables.Left);
+          ("key B", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("height", Tables.Right);
+        ]
+  in
+  (* Direct trees on 4-byte keys... *)
+  let direct4 =
+    build_schemes ~key_len:4 ~alphabet ~n ~n_warm:3000 ~n_probe
+      [
+        ("B-direct-4B", Index.B_tree, Layout.Direct { key_len = 4 });
+        ("T-direct-4B", Index.T_tree, Layout.Direct { key_len = 4 });
+      ]
+  in
+  (* ...versus pk trees on 28-byte keys. *)
+  let pk28 =
+    build_schemes ~key_len:28 ~alphabet ~n ~n_warm:3000 ~n_probe
+      [
+        ("pkB-28B", Index.B_tree, Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 });
+        ("pkT-28B", Index.T_tree, Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 });
+      ]
+  in
+  let stats =
+    List.map
+      (fun b ->
+        let cs = cache_stats b in
+        Tables.add_row t
+          [
+            b.name;
+            (if String.length b.name > 4 && String.sub b.name (String.length b.name - 3) 3 = "-4B"
+             then "4" else "28");
+            fmt_f cs.Workload.l2_per_op;
+            string_of_int (b.ix.Index.height ());
+          ];
+        (b.name, cs.Workload.l2_per_op))
+      (direct4 @ pk28)
+  in
+  print_table ~name:"a4" t;
+  let get n = List.assoc n stats in
+  shape_check "pkB on 28-byte keys within 35% of B-direct on 4-byte keys"
+    (get "pkB-28B" <= get "B-direct-4B" *. 1.35);
+  shape_check "pkT on 28-byte keys within 35% of T-direct on 4-byte keys"
+    (get "pkT-28B" <= get "T-direct-4B" *. 1.35)
+
+(* A5: TLB pressure with 8 KiB pages vs 4 MiB superpages (§5.1). *)
+let run_a5 () =
+  let n = Experiment.scaled_keys 200_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let key_len = 20 and alphabet = high_entropy in
+  Printf.printf "keys=%d; pkB lookups; 64-entry data TLB\n\n" n;
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("pages", Tables.Left);
+          ("TLB miss/op", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("sim us/op", Tables.Right);
+        ]
+  in
+  let res = Hashtbl.create 4 in
+  List.iter
+    (fun (label, tlb) ->
+      let builts =
+        build_schemes ~tlb ~key_len ~alphabet ~n ~n_warm:3000 ~n_probe
+          [ ("pkB", Index.B_tree, Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 }) ]
+      in
+      List.iter
+        (fun b ->
+          let cs = cache_stats b in
+          Hashtbl.replace res label cs.Workload.tlb_per_op;
+          Tables.add_row t
+            [
+              label;
+              fmt_f ~d:3 cs.Workload.tlb_per_op;
+              fmt_f cs.Workload.l2_per_op;
+              fmt_f (cs.Workload.sim_ns_per_op /. 1000.0);
+            ])
+        builts)
+    [ ("8 KiB", Machine.default_tlb); ("4 MiB superpages", Machine.superpage_tlb) ];
+  print_table ~name:"a5" t;
+  shape_check "superpages effectively eliminate TLB misses (>20x reduction)"
+    (Hashtbl.find res "4 MiB superpages" *. 20.0 < Hashtbl.find res "8 KiB")
+
+(* A6: mixed OLTP updates (maintenance cost of §4's update rules). *)
+let run_a6 () =
+  let n = Experiment.scaled_keys 60_000 in
+  let ops = Experiment.scaled_lookups 60_000 in
+  let key_len = 20 and alphabet = high_entropy in
+  Printf.printf "keys=%d, ops=%d, mix=50%% lookup / 25%% insert / 25%% delete\n\n" n ops;
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("scheme", Tables.Left);
+          ("ns/op (mixed)", Tables.Right);
+          ("final keys", Tables.Right);
+          ("valid", Tables.Left);
+        ]
+  in
+  List.iter
+    (fun (name, structure, scheme) ->
+      let env = Workload.make_env () in
+      let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+      let ix = Index.make structure scheme env.Workload.mem env.Workload.records in
+      Workload.load ds ix;
+      let r =
+        Workload.run_mix env ix ds ~lookup_pct:50 ~insert_pct:25 ~delete_pct:25 ~ops ()
+      in
+      let valid = try ix.Index.validate (); "ok" with Failure m -> "FAIL: " ^ m in
+      Tables.add_row t
+        [
+          name;
+          fmt_f ~d:0 r.Workload.wall_ns_per_mixed_op;
+          Tables.fmt_int r.Workload.final_count;
+          valid;
+        ])
+    (Index.paper_schemes ~key_len ());
+  print_table ~name:"a6" t;
+  print_endline
+    "  note: partial-key maintenance (recomputing pk entries on insert, delete,\n\
+    \  split, merge and rotation) reads full keys from records, so pk updates\n\
+    \  cost more than direct updates — the paper's trade for faster lookups."
+
+(* A7: the hybrid of §6 across key sizes. *)
+let run_a7 () =
+  let n = Experiment.scaled_keys 300_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let alphabet = high_entropy in
+  Printf.printf "keys=%d, entropy=%s\n\n" n (entropy_tag alphabet);
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("key B", Tables.Right);
+          ("scheme", Tables.Left);
+          ("wall ns/op", Tables.Right);
+          ("L2 miss/op", Tables.Right);
+          ("B/key", Tables.Right);
+        ]
+  in
+  let results = Hashtbl.create 32 in
+  List.iteri
+    (fun idx key_len ->
+      if idx > 0 then Tables.add_separator t;
+      let env = Workload.make_env () in
+      let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+      let warm = Workload.probes ds ~seed:11 ~n:3000 () in
+      let all = Workload.probes ds ~seed:12 ~n:(3000 + n_probe) () in
+      let probe = Array.sub all 3000 n_probe in
+      let hybrid = Hybrid.make ~key_len:(Some key_len) Index.B_tree env.Workload.mem env.Workload.records in
+      let bdirect = Index.make Index.B_tree (Layout.Direct { key_len }) env.Workload.mem env.Workload.records in
+      let pkb =
+        Index.make Index.B_tree
+          (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+          env.Workload.mem env.Workload.records
+      in
+      List.iter
+        (fun (name, ix) ->
+          Workload.load ds ix;
+          let cs = Workload.measure_cache env ix ~warm ~probes:probe in
+          let wall = Workload.wall_ns_per_op env ix ~probes:probe in
+          Hashtbl.replace results (name, key_len) cs.Workload.l2_per_op;
+          Tables.add_row t
+            [
+              string_of_int key_len;
+              (if name = "hybrid" then ix.Index.tag else name);
+              fmt_f ~d:0 wall;
+              fmt_f cs.Workload.l2_per_op;
+              fmt_f ~d:1
+                (float_of_int (ix.Index.space_bytes ()) /. float_of_int (ix.Index.count ()));
+            ])
+        [ ("hybrid", hybrid); ("B-direct", bdirect); ("pkB", pkb) ])
+    [ 4; 8; 20; 36 ];
+  print_table ~name:"a7" t;
+  (* Wall clock on identical structures is noisy; the deterministic
+     check is that the hybrid's cache behaviour equals the better
+     scheme's at every key size. *)
+  shape_check "hybrid's misses track the better of B-direct/pkB at every key size"
+    (List.for_all
+       (fun k ->
+         let h = Hashtbl.find results ("hybrid", k) in
+         let best =
+           Float.min
+             (Hashtbl.find results ("B-direct", k))
+             (Hashtbl.find results ("pkB", k))
+         in
+         h <= best +. 0.02)
+       [ 4; 8; 20; 36 ])
+
+(* A8: partial keys vs prefix compression (the §2 design argument).
+   The prefix B+-tree never dereferences a record but pays with
+   variable-size entries and distribution-dependent branching; partial
+   keys keep fixed entries and bounded heights at the cost of rare
+   dereferences. *)
+let run_a8 () =
+  let n = Experiment.scaled_keys 200_000 in
+  let n_probe = Experiment.scaled_lookups 4096 in
+  let key_len = 20 in
+  Printf.printf "keys=%d, key size=%d B\n\n" n key_len;
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("entropy", Tables.Left);
+          ("index", Tables.Left);
+          ("L2 miss/op", Tables.Right);
+          ("deref/op", Tables.Right);
+          ("wall ns/op", Tables.Right);
+          ("B/key", Tables.Right);
+          ("height", Tables.Right);
+          ("max sep B", Tables.Right);
+        ]
+  in
+  let misses = Hashtbl.create 16 in
+  List.iter
+    (fun alphabet ->
+      let env = Workload.make_env () in
+      let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+      let warm = Workload.probes ds ~seed:11 ~n:3000 () in
+      let all = Workload.probes ds ~seed:12 ~n:(3000 + n_probe) () in
+      let probe = Array.sub all 3000 n_probe in
+      (* The prefix tree is kept as a raw handle so max_separator_len is
+         reachable; its Index-compatible measurements go through the
+         same wrapper as the others. *)
+      let prefix_raw =
+        Pk_core.Prefix_btree.create env.Workload.mem env.Workload.records
+          Pk_core.Prefix_btree.default_config
+      in
+      let indexes =
+        [
+          ("prefix-B+", `Prefix prefix_raw);
+          ( "pkB",
+            `Ix
+              (Index.make Index.B_tree
+                 (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+                 env.Workload.mem env.Workload.records) );
+          ( "B-direct",
+            `Ix
+              (Index.make Index.B_tree (Layout.Direct { key_len }) env.Workload.mem
+                 env.Workload.records) );
+        ]
+      in
+      List.iter
+        (fun (name, h) ->
+          let lookup, height, space, count, visits_reset, visits, derefs =
+            match h with
+            | `Prefix p ->
+                Array.iteri
+                  (fun i k ->
+                    if not (Pk_core.Prefix_btree.insert p k ~rid:ds.Workload.rids.(i)) then
+                      failwith "a8: prefix insert rejected")
+                  ds.Workload.keys;
+                ( Pk_core.Prefix_btree.lookup p,
+                  (fun () -> Pk_core.Prefix_btree.height p),
+                  (fun () -> Pk_core.Prefix_btree.space_bytes p),
+                  (fun () -> Pk_core.Prefix_btree.count p),
+                  (fun () -> Pk_core.Prefix_btree.reset_counters p),
+                  (fun () -> Pk_core.Prefix_btree.node_visits p),
+                  fun () -> 0 )
+            | `Ix ix ->
+                Workload.load ds ix;
+                ( ix.Index.lookup,
+                  ix.Index.height,
+                  ix.Index.space_bytes,
+                  ix.Index.count,
+                  ix.Index.reset_counters,
+                  ix.Index.node_visits,
+                  ix.Index.deref_count )
+          in
+          (* Inline steady-state measurement (the Workload helper wants
+             an Index.t; these are bare closures). *)
+          let cache = env.Workload.cache in
+          Pk_mem.Mem.set_tracing env.Workload.mem true;
+          Cachesim.flush cache;
+          Array.iter (fun k -> ignore (lookup k)) warm;
+          visits_reset ();
+          let d0 = derefs () in
+          let before = Cachesim.snapshot cache in
+          Array.iter (fun k -> ignore (lookup k)) probe;
+          let after = Cachesim.snapshot cache in
+          Pk_mem.Mem.set_tracing env.Workload.mem false;
+          let d = Cachesim.diff ~before ~after in
+          let per x = float_of_int x /. float_of_int (Array.length probe) in
+          let l2 = per (Cachesim.misses d ~level:"L2") in
+          let deref = per (derefs () - d0) in
+          Gc.full_major ();
+          let t0 = Unix.gettimeofday () in
+          Array.iter (fun k -> ignore (lookup k)) probe;
+          let wall = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int (Array.length probe) in
+          ignore (visits ());
+          Hashtbl.replace misses (alphabet, name) l2;
+          let max_sep =
+            match h with
+            | `Prefix p -> string_of_int (Pk_core.Prefix_btree.max_separator_len p)
+            | `Ix _ -> "-"
+          in
+          Tables.add_row t
+            [
+              entropy_tag alphabet;
+              name;
+              fmt_f l2;
+              fmt_f deref;
+              fmt_f ~d:0 wall;
+              fmt_f ~d:1 (float_of_int (space ()) /. float_of_int (count ()));
+              string_of_int (height ());
+              max_sep;
+            ])
+        indexes;
+      Tables.add_separator t)
+    [ low_entropy; high_entropy ];
+  print_table ~name:"a8" t;
+  let get a n = Hashtbl.find misses (a, n) in
+  (* §2's actual contrasts: prefix compression improves the branching
+     factor over direct storage, but for random keys the prefix common
+     to a whole node is short, so partial keys (which factor out what
+     adjacent pairs share — "typically a longer prefix than is common
+     to the whole node") are far more compact and at least as good on
+     misses. *)
+  shape_check "pkB misses <= prefix-B+ misses (within 10%)"
+    (List.for_all (fun a -> get a "pkB" <= get a "prefix-B+" *. 1.10) [ low_entropy; high_entropy ]);
+  print_endline
+    "  note: on uniform keys the whole-node common prefix is short, so the\n\
+    \  prefix B+-tree's space ends up near direct storage while pkB stays at\n\
+    \  ~23 B/key — exactly the paper's point (1) in §2.  With long shared\n\
+    \  prefixes (e.g. URLs) prefix compression recovers; see\n\
+    \  test_prefix_btree.ml and examples/url_dictionary.ml."
+
+let register () =
+  let reg id title paper_ref run = Experiment.register { Experiment.id; title; paper_ref; run } in
+  reg "a1" "Node size in L2 blocks" "ablation (§5.2 parameter setting)" run_a1;
+  reg "a2" "Bit- vs byte-granularity difference offsets" "ablation (§5.2)" run_a2;
+  reg "a3" "FINDNODE vs naive linear in-node search" "ablation (§3.3, Example 3.2)" run_a3;
+  reg "a4" "Partial-key trees vs direct 4-byte-key trees" "ablation (§5.3 bullet 6)" run_a4;
+  reg "a5" "TLB: 8 KiB pages vs superpages" "ablation (§5.1)" run_a5;
+  reg "a6" "Mixed OLTP updates (insert/delete maintenance)" "ablation (§4)" run_a6;
+  reg "a7" "Hybrid direct/partial scheme" "ablation (§6 conclusions)" run_a7;
+  reg "a8" "Partial keys vs prefix B+-tree compression" "ablation (§2 related work)" run_a8

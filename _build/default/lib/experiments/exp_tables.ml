@@ -1,0 +1,94 @@
+(* T2 — Table 2: memory-hierarchy latencies, configured and observed.
+
+   The observed column replays a random pointer-chase over working sets
+   sized to hit each level of the hierarchy and reports the average
+   simulated access latency, which must come out at the configured
+   load-to-use latency of that level. *)
+
+open Bench_common
+module Prng = Pk_util.Prng
+
+let chase sim ~block ~set_bytes ~accesses =
+  let n = max 1 (set_bytes / block) in
+  let order = Array.init n (fun i -> i * block) in
+  Keygen.shuffle ~rng:(Prng.create 7L) order;
+  (* Warm one full pass, then measure. *)
+  Array.iter (fun a -> Cachesim.touch sim ~addr:a ~len:1) order;
+  let before = Cachesim.snapshot sim in
+  for i = 0 to accesses - 1 do
+    Cachesim.touch sim ~addr:order.(i mod n) ~len:1
+  done;
+  let after = Cachesim.snapshot sim in
+  let d = Cachesim.diff ~before ~after in
+  d.Cachesim.sim_ns /. float_of_int d.Cachesim.total_accesses
+
+let run () =
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("System", Tables.Left);
+          ("Cycle ns", Tables.Right);
+          ("L1 size", Tables.Right);
+          ("L1 blk", Tables.Right);
+          ("L1 ns", Tables.Right);
+          ("L2 size", Tables.Right);
+          ("L2 blk", Tables.Right);
+          ("L2 ns", Tables.Right);
+          ("DRAM ns", Tables.Right);
+          ("obs L1", Tables.Right);
+          ("obs L2", Tables.Right);
+          ("obs DRAM", Tables.Right);
+        ]
+  in
+  let ok = ref true in
+  List.iter
+    (fun (m : Machine.t) ->
+      let sim set_bytes =
+        let s = Cachesim.create (Machine.to_config m) in
+        chase s ~block:m.Machine.l2.Cachesim.block_bytes ~set_bytes ~accesses:200_000
+      in
+      (* Working sets: half of L1; half of L2 (always above L1); 16x
+         L2. *)
+      let obs_l1 = sim (m.Machine.l1.Cachesim.size_bytes / 2) in
+      let obs_l2 =
+        let s = Cachesim.create (Machine.to_config m) in
+        (* between L1 and L2 *)
+        chase s ~block:m.Machine.l2.Cachesim.block_bytes
+          ~set_bytes:(m.Machine.l2.Cachesim.size_bytes / 2)
+          ~accesses:200_000
+      in
+      let obs_dram = sim (16 * m.Machine.l2.Cachesim.size_bytes) in
+      let near a b = Float.abs (a -. b) /. b < 0.25 in
+      if
+        not
+          (near obs_l1 m.Machine.l1.Cachesim.latency_ns
+          && near obs_dram m.Machine.dram_ns)
+      then ok := false;
+      Tables.add_row t
+        [
+          m.Machine.machine_name;
+          fmt_f ~d:1 m.Machine.cpu_cycle_ns;
+          Tables.fmt_bytes m.Machine.l1.Cachesim.size_bytes;
+          string_of_int m.Machine.l1.Cachesim.block_bytes;
+          fmt_f ~d:0 m.Machine.l1.Cachesim.latency_ns;
+          Tables.fmt_bytes m.Machine.l2.Cachesim.size_bytes;
+          string_of_int m.Machine.l2.Cachesim.block_bytes;
+          fmt_f ~d:0 m.Machine.l2.Cachesim.latency_ns;
+          fmt_f ~d:0 m.Machine.dram_ns;
+          fmt_f ~d:1 obs_l1;
+          fmt_f ~d:1 obs_l2;
+          fmt_f ~d:1 obs_dram;
+        ])
+    Machine.all;
+  print_table ~name:"t2" t;
+  shape_check "observed latencies match configured hierarchy" !ok
+
+let register () =
+  Experiment.register
+    {
+      Experiment.id = "t2";
+      title = "Latency of cache vs. memory (simulated hierarchy)";
+      paper_ref = "Table 2";
+      run;
+    }

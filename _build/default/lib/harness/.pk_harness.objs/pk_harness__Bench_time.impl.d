@@ -1,0 +1,1 @@
+lib/harness/bench_time.ml: Analyze Bechamel Benchmark Float Hashtbl List Measure Staged Test Time Toolkit

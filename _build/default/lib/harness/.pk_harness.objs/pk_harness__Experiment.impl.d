@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: List Option Printf String Sys Unix

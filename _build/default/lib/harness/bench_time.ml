@@ -1,0 +1,25 @@
+open Bechamel
+
+let time_group ~name cases =
+  let tests =
+    List.map (fun (label, thunk) -> Test.make ~name:label (Staged.stage thunk)) cases
+  in
+  let grouped = Test.make_grouped ~name tests in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.6) ~kde:None ~stabilize:false () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let analyzed = Analyze.all ols instance raw in
+  List.map
+    (fun (label, _) ->
+      let full = name ^ "/" ^ label in
+      let est =
+        match Hashtbl.find_opt analyzed full with
+        | Some o -> (
+            match Analyze.OLS.estimates o with Some [ ns ] -> ns | Some _ | None -> Float.nan)
+        | None -> Float.nan
+      in
+      (label, est))
+    cases

@@ -1,0 +1,8 @@
+(** Bechamel wrapper: one [Test.make] per measured workload, OLS fit of
+    monotonic-clock samples, nanoseconds per run. *)
+
+val time_group : name:string -> (string * (unit -> unit)) list -> (string * float) list
+(** [time_group ~name cases] benchmarks each [(label, thunk)] as a
+    Bechamel test inside one grouped run and returns [(label, ns/run)]
+    in the input order.  Thunks should perform one logical operation
+    (e.g. one lookup from a rotating probe list). *)

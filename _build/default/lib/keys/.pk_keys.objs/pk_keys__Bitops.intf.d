@@ -1,0 +1,1 @@
+lib/keys/bitops.mli:

@@ -1,0 +1,1 @@
+lib/keys/key.ml: Bitops Buffer Bytes Char Format List Printf String

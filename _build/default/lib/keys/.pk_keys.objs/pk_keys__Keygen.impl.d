@@ -1,0 +1,1 @@
+lib/keys/keygen.ml: Array Bytes Char Float Hashtbl Pk_util Printf String

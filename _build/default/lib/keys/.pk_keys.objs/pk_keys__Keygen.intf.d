@@ -1,0 +1,1 @@
+lib/keys/keygen.mli: Key Pk_util

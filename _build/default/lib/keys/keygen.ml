@@ -1,0 +1,84 @@
+module Prng = Pk_util.Prng
+
+let entropy_of_alphabet n = log (float_of_int n) /. log 2.0
+
+let alphabet_for_entropy h =
+  let n = int_of_float (Float.round (2.0 ** h)) in
+  max 2 (min 256 n)
+
+let paper_low = 12
+let paper_high = 220
+
+(* Spread alphabet symbol s in [0, a) across the byte range so that
+   generated keys look like real text/codes rather than clustering near
+   0; byte-wise ordering of symbols is preserved. *)
+let symbol_byte ~alphabet s = s * 256 / alphabet
+
+let check_space ~key_len ~alphabet n =
+  (* log2 of the key-space size, saturating. *)
+  let space_bits = float_of_int key_len *. entropy_of_alphabet alphabet in
+  let need_bits = log (float_of_int (max 1 (2 * n))) /. log 2.0 in
+  if space_bits < need_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Keygen: key space %d^%d cannot hold %d distinct keys" alphabet key_len n)
+
+let distinct_fill n gen =
+  let seen = Hashtbl.create (2 * n) in
+  let out = Array.make n Bytes.empty in
+  let i = ref 0 in
+  while !i < n do
+    let k = gen () in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      out.(!i) <- k;
+      incr i
+    end
+  done;
+  out
+
+let uniform ~rng ~key_len ~alphabet n =
+  if key_len <= 0 then invalid_arg "Keygen.uniform: key_len <= 0";
+  if alphabet < 2 || alphabet > 256 then invalid_arg "Keygen.uniform: alphabet out of range";
+  check_space ~key_len ~alphabet n;
+  let gen () =
+    let k = Bytes.create key_len in
+    for i = 0 to key_len - 1 do
+      Bytes.set k i (Char.chr (symbol_byte ~alphabet (Prng.int rng alphabet)))
+    done;
+    k
+  in
+  distinct_fill n gen
+
+let sequential ~key_len ~start n =
+  if key_len <= 0 || key_len > 8 then
+    invalid_arg "Keygen.sequential: key_len must be in [1,8]";
+  Array.init n (fun i ->
+      let v = start + i in
+      let k = Bytes.create key_len in
+      for b = 0 to key_len - 1 do
+        Bytes.set k b (Char.chr ((v lsr (8 * (key_len - 1 - b))) land 0xff))
+      done;
+      k)
+
+let prefixed ~rng ~prefixes ~suffix_len ~alphabet n =
+  if Array.length prefixes = 0 then invalid_arg "Keygen.prefixed: no prefixes";
+  let gen () =
+    let p = prefixes.(Prng.int rng (Array.length prefixes)) in
+    let plen = String.length p in
+    let k = Bytes.create (plen + suffix_len) in
+    Bytes.blit_string p 0 k 0 plen;
+    for i = 0 to suffix_len - 1 do
+      Bytes.set k (plen + i) (Char.chr (symbol_byte ~alphabet (Prng.int rng alphabet)))
+    done;
+    k
+  in
+  distinct_fill n gen
+
+let shuffle ~rng a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

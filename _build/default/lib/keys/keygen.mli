@@ -1,0 +1,49 @@
+(** Key-set generators with controlled per-byte Shannon entropy.
+
+    §5.2 of the paper: "when each byte is selected uniformly from an
+    alphabet of n symbols, each byte contains lg n bits of Shannon
+    entropy".  The paper's two headline settings are byte entropies of
+    3.6 bits (alphabet 12) and 7.8 bits (alphabet 220).  Keys are
+    rejected if not unique, exactly as in the paper. *)
+
+val alphabet_for_entropy : float -> int
+(** [round(2^h)] clamped to [\[2, 256\]] — the alphabet whose per-byte
+    entropy is closest to [h] bits.  Prefer {!val:paper_low} /
+    {!val:paper_high} for the paper's exact alphabet sizes. *)
+
+val entropy_of_alphabet : int -> float
+(** [lg n]. *)
+
+val paper_low : int
+(** Alphabet 12 — 3.58 bits/byte, the paper's "3.6". *)
+
+val paper_high : int
+(** Alphabet 220 — 7.78 bits/byte, the paper's "7.8". *)
+
+val uniform :
+  rng:Pk_util.Prng.t -> key_len:int -> alphabet:int -> int -> Key.t array
+(** [uniform ~rng ~key_len ~alphabet n] draws [n] distinct keys of
+    [key_len] bytes, each byte an alphabet symbol spread evenly over
+    0..255.  Raises [Invalid_argument] when the key space is too small
+    to hold [n] distinct keys comfortably (space < 2n). *)
+
+val sequential : key_len:int -> start:int -> int -> Key.t array
+(** Big-endian counter keys [start, start+1, ...] padded to [key_len]:
+    the adversarial low-entropy workload (long shared prefixes, diff
+    bits clustered at the tail). *)
+
+val prefixed :
+  rng:Pk_util.Prng.t ->
+  prefixes:string array ->
+  suffix_len:int ->
+  alphabet:int ->
+  int ->
+  Key.t array
+(** URL/dictionary-style keys: a random prefix from [prefixes] followed
+    by [suffix_len] random alphabet bytes; distinct.  Key lengths vary
+    with the prefix — only for indexes that accept variable-length
+    keys (indirect and partial-key schemes). *)
+
+val shuffle : rng:Pk_util.Prng.t -> 'a array -> unit
+(** In-place Fisher-Yates, for building lookup orders distinct from
+    insertion orders. *)

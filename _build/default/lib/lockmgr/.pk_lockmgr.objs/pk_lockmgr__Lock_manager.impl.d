@@ -1,0 +1,1 @@
+lib/lockmgr/lock_manager.ml: Format Hashtbl List Pk_keys

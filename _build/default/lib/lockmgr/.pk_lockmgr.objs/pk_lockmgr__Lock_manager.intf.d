@@ -1,0 +1,1 @@
+lib/lockmgr/lock_manager.mli: Format Pk_keys

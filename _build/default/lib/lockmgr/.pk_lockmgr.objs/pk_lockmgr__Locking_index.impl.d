@@ -1,0 +1,1 @@
+lib/lockmgr/locking_index.ml: List Lock_manager Pk_core Pk_keys Seq

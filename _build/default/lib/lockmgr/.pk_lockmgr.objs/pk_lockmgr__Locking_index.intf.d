@@ -1,0 +1,1 @@
+lib/lockmgr/locking_index.mli: Lock_manager Pk_core Pk_keys

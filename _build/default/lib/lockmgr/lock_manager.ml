@@ -1,0 +1,142 @@
+type mode = IS | IX | S | SIX | X
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | _, X | X, _ -> false
+  | IX, (S | SIX) | (S | SIX), IX -> false
+  | SIX, (S | SIX) | S, SIX -> false
+
+let pp_mode ppf m =
+  Format.pp_print_string ppf
+    (match m with IS -> "IS" | IX -> "IX" | S -> "S" | SIX -> "SIX" | X -> "X")
+
+(* Lattice: IS < IX < SIX < X; IS < S < SIX < X; IX and S join at
+   SIX. *)
+let leq a b =
+  match (a, b) with
+  | x, y when x = y -> true
+  | IS, (IX | S | SIX | X) -> true
+  | IX, (SIX | X) -> true
+  | S, (SIX | X) -> true
+  | SIX, X -> true
+  | _ -> false
+
+let sup a b = if leq a b then b else if leq b a then a else SIX
+
+type lockable = Key of Pk_keys.Key.t | End_of_index
+
+type txn = {
+  id : int;
+  held_locks : (lockable, mode) Hashtbl.t;
+  mutable waiting_on : lockable option;
+}
+
+type lock_state = { mutable granted : (txn * mode) list }
+
+type t = {
+  table : (lockable, lock_state) Hashtbl.t;
+  mutable next_txn : int;
+  mutable live : txn list;
+}
+
+let create () = { table = Hashtbl.create 256; next_txn = 1; live = [] }
+
+let begin_txn t =
+  let txn = { id = t.next_txn; held_locks = Hashtbl.create 8; waiting_on = None } in
+  t.next_txn <- t.next_txn + 1;
+  t.live <- txn :: t.live;
+  txn
+
+let txn_id txn = txn.id
+let active_txns t = List.length t.live
+
+type outcome = Granted | Would_block of int list | Deadlock
+
+let state_of t lk =
+  match Hashtbl.find_opt t.table lk with
+  | Some s -> s
+  | None ->
+      let s = { granted = [] } in
+      Hashtbl.add t.table lk s;
+      s
+
+(* Transactions whose held locks on [lk] are incompatible with [txn]
+   acquiring [mode]. *)
+let conflicting s txn mode =
+  List.filter_map
+    (fun (holder, m) ->
+      if holder == txn then None else if compatible mode m then None else Some holder)
+    s.granted
+
+(* Does a wait by [txn] on [blockers] close a cycle?  Follow
+   waits-for edges: a transaction waits on a lockable; the targets are
+   that lockable's conflicting holders. *)
+let would_deadlock t txn blockers =
+  let visited = Hashtbl.create 8 in
+  let rec reaches_txn from =
+    if from == txn then true
+    else if Hashtbl.mem visited from.id then false
+    else begin
+      Hashtbl.add visited from.id ();
+      match from.waiting_on with
+      | None -> false
+      | Some lk -> (
+          match Hashtbl.find_opt t.table lk with
+          | None -> false
+          | Some s ->
+              (* [from] waits on everything holding [lk]
+                 incompatibly; approximate with all other holders. *)
+              List.exists (fun (h, _) -> h != from && reaches_txn h) s.granted)
+    end
+  in
+  List.exists reaches_txn blockers
+
+let acquire t txn lk mode =
+  let s = state_of t lk in
+  let already = Hashtbl.find_opt txn.held_locks lk in
+  let needed = match already with Some m -> sup m mode | None -> mode in
+  if already = Some needed then begin
+    txn.waiting_on <- None;
+    Granted
+  end
+  else
+    match conflicting s txn needed with
+    | [] ->
+        s.granted <- (txn, needed) :: List.filter (fun (h, _) -> h != txn) s.granted;
+        Hashtbl.replace txn.held_locks lk needed;
+        txn.waiting_on <- None;
+        Granted
+    | blockers ->
+        if would_deadlock t txn blockers then begin
+          txn.waiting_on <- None;
+          Deadlock
+        end
+        else begin
+          txn.waiting_on <- Some lk;
+          Would_block (List.map (fun b -> b.id) blockers)
+        end
+
+let cancel_wait _t txn = txn.waiting_on <- None
+
+let held _t txn = Hashtbl.fold (fun lk m acc -> (lk, m) :: acc) txn.held_locks []
+
+let holders t lk =
+  match Hashtbl.find_opt t.table lk with
+  | None -> []
+  | Some s -> List.map (fun (h, m) -> (h.id, m)) s.granted
+
+let release_all t txn =
+  Hashtbl.iter
+    (fun lk _ ->
+      match Hashtbl.find_opt t.table lk with
+      | None -> ()
+      | Some s ->
+          s.granted <- List.filter (fun (h, _) -> h != txn) s.granted;
+          if s.granted = [] then Hashtbl.remove t.table lk)
+    txn.held_locks;
+  Hashtbl.reset txn.held_locks;
+  txn.waiting_on <- None;
+  t.live <- List.filter (fun x -> x != txn) t.live

@@ -1,0 +1,64 @@
+(** Key-value lock manager in the ARIES/KVL mould (Mohan [21], cited by
+    §5.2: the paper's T-tree implementation came from a system with
+    concurrency control and next-key locking, though the features were
+    not exercised in its benchmarks).
+
+    The manager arbitrates logical locks on index keys (plus an
+    end-of-index sentinel) among interleaved transactions.  It is a
+    {e scheduler}, not a thread primitive: [acquire] never suspends —
+    it grants, reports the conflict, or reports that waiting would
+    deadlock — so it composes with any execution model, including the
+    single-threaded transaction interleavings the tests replay.
+
+    Lock upgrades are supported: a transaction re-requesting a key gets
+    the least upper bound of its held and requested modes, checked
+    against the {e other} holders only. *)
+
+type mode = IS | IX | S | SIX | X
+(** The standard multi-granularity modes.  For index keys, S and X do
+    the real work; intention modes arbitrate key-range vs whole-index
+    operations. *)
+
+val compatible : mode -> mode -> bool
+(** The classic compatibility matrix. *)
+
+val sup : mode -> mode -> mode
+(** Least upper bound in the mode lattice (e.g. [sup S IX = SIX]). *)
+
+val pp_mode : Format.formatter -> mode -> unit
+
+type lockable =
+  | Key of Pk_keys.Key.t  (** An index key. *)
+  | End_of_index          (** The +infinity sentinel next-key target. *)
+
+type t
+type txn
+
+val create : unit -> t
+val begin_txn : t -> txn
+val txn_id : txn -> int
+val active_txns : t -> int
+
+type outcome =
+  | Granted
+  | Would_block of int list
+      (** Transaction ids currently holding incompatible locks.  The
+          caller should retry after one of them finishes (the manager
+          records the wait for deadlock detection until this
+          transaction's next acquire, release, or {!val:cancel_wait}). *)
+  | Deadlock
+      (** Waiting would close a cycle in the waits-for graph; the
+          caller should abort this transaction. *)
+
+val acquire : t -> txn -> lockable -> mode -> outcome
+
+val cancel_wait : t -> txn -> unit
+(** Withdraw a recorded wait (e.g. the caller decided to abort or to do
+    something else instead of retrying). *)
+
+val held : t -> txn -> (lockable * mode) list
+val holders : t -> lockable -> (int * mode) list
+
+val release_all : t -> txn -> unit
+(** Commit/abort: drop every lock and wait of the transaction.  The
+    transaction handle must not be used afterwards. *)

@@ -1,0 +1,88 @@
+module Key = Pk_keys.Key
+module Index = Pk_core.Index
+module L = Lock_manager
+
+type t = { mgr : L.t; ix : Index.t }
+
+let wrap mgr ix = { mgr; ix }
+let index t = t.ix
+
+type 'a result = [ `Ok of 'a | `Blocked of int list | `Deadlock ]
+
+let begin_txn t = L.begin_txn t.mgr
+
+(* First key >= [k] in the index, as a lockable. *)
+let at_or_after t k =
+  match (t.ix.Index.seq_from k) () with
+  | Seq.Nil -> L.End_of_index
+  | Seq.Cons ((k', _), _) -> L.Key k'
+
+(* First key strictly greater than [k]. *)
+let strictly_after t k =
+  let rec skip seq =
+    match seq () with
+    | Seq.Nil -> L.End_of_index
+    | Seq.Cons ((k', _), rest) -> if Key.compare k' k > 0 then L.Key k' else skip rest
+  in
+  skip (t.ix.Index.seq_from k)
+
+let lift = function
+  | L.Granted -> `Ok ()
+  | L.Would_block ids -> `Blocked ids
+  | L.Deadlock -> `Deadlock
+
+(* Acquire a list of locks in order, failing fast. *)
+let rec acquire_all t txn = function
+  | [] -> `Ok ()
+  | (lk, mode) :: rest -> (
+      match lift (L.acquire t.mgr txn lk mode) with
+      | `Ok () -> acquire_all t txn rest
+      | (`Blocked _ | `Deadlock) as e -> e)
+
+let lookup t txn key =
+  (* Lock the key itself when present, else the next key (gap
+     protection). *)
+  let target =
+    match t.ix.Index.lookup key with Some _ -> L.Key key | None -> at_or_after t key
+  in
+  match acquire_all t txn [ (target, L.S) ] with
+  | `Ok () -> `Ok (t.ix.Index.lookup key)
+  | (`Blocked _ | `Deadlock) as e -> e
+
+let insert t txn key ~rid =
+  let next = at_or_after t key in
+  (* When the key is already present [next] is the key itself; the X
+     lock then simply guards the duplicate check. *)
+  match acquire_all t txn [ (next, L.X); (L.Key key, L.X) ] with
+  | `Ok () -> `Ok (t.ix.Index.insert key ~rid)
+  | (`Blocked _ | `Deadlock) as e -> e
+
+let delete t txn key =
+  let next = strictly_after t key in
+  match acquire_all t txn [ (L.Key key, L.X); (next, L.X) ] with
+  | `Ok () -> `Ok (t.ix.Index.delete key)
+  | (`Blocked _ | `Deadlock) as e -> e
+
+let range t txn ~lo ~hi =
+  let rec collect acc seq =
+    match seq () with
+    | Seq.Nil -> (
+        (* Lock the end sentinel: nothing may appear beyond the last
+           returned key inside or just after the range. *)
+        match acquire_all t txn [ (L.End_of_index, L.S) ] with
+        | `Ok () -> `Ok (List.rev acc)
+        | (`Blocked _ | `Deadlock) as e -> e)
+    | Seq.Cons ((k, rid), rest) -> (
+        match acquire_all t txn [ (L.Key k, L.S) ] with
+        | `Ok () ->
+            if Key.compare k hi > 0 then
+              (* The first key beyond the range is the fence; it stays
+                 S-locked to block inserts at the range's top gap. *)
+              `Ok (List.rev acc)
+            else collect ((k, rid) :: acc) rest
+        | (`Blocked _ | `Deadlock) as e -> e)
+  in
+  collect [] (t.ix.Index.seq_from lo)
+
+let commit t txn = L.release_all t.mgr txn
+let abort t txn = L.release_all t.mgr txn

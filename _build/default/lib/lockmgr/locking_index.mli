@@ -1,0 +1,51 @@
+(** Next-key locking over an index (Mohan's ARIES/KVL [21], the
+    protocol §5.2 says the paper's T-tree system supported).
+
+    Wraps any {!type:Pk_core.Index.t} with the key-value locking
+    protocol that makes interleaved transactions serializable,
+    including phantom prevention:
+
+    - a {b lookup} S-locks the key when present, or the {e next} key
+      (possibly the end-of-index sentinel) when absent — so a reader of
+      a gap blocks writers into that gap;
+    - an {b insert} X-locks the next key (guarding the gap it splits)
+      and then the new key itself;
+    - a {b delete} X-locks the key and its next key (the gap the
+      deletion widens);
+    - a {b range scan} S-locks every key it returns plus the first key
+      beyond the range.
+
+    Operations return [`Blocked] instead of suspending; the caller
+    retries after the conflicting transaction finishes, or aborts on
+    [`Deadlock].  Locks are held to transaction end (strict two-phase
+    locking: commit or abort via {!val:commit} / {!val:abort}). *)
+
+type t
+
+val wrap : Lock_manager.t -> Pk_core.Index.t -> t
+val index : t -> Pk_core.Index.t
+
+type 'a result = [ `Ok of 'a | `Blocked of int list | `Deadlock ]
+
+val begin_txn : t -> Lock_manager.txn
+
+val lookup : t -> Lock_manager.txn -> Pk_keys.Key.t -> int option result
+
+val insert : t -> Lock_manager.txn -> Pk_keys.Key.t -> rid:int -> bool result
+
+val delete : t -> Lock_manager.txn -> Pk_keys.Key.t -> bool result
+
+val range :
+  t ->
+  Lock_manager.txn ->
+  lo:Pk_keys.Key.t ->
+  hi:Pk_keys.Key.t ->
+  (Pk_keys.Key.t * int) list result
+(** Returns the matching pairs (ascending) once all their locks are
+    granted. *)
+
+val commit : t -> Lock_manager.txn -> unit
+val abort : t -> Lock_manager.txn -> unit
+(** [abort] releases locks only; the caller owns undo of any index
+    mutations it performed (the tests pair every mutation with its
+    inverse). *)

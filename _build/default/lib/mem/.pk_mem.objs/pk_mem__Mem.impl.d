@@ -1,0 +1,1 @@
+lib/mem/mem.ml: Bytes Char Fun Pk_arena Pk_cachesim

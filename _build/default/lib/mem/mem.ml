@@ -1,0 +1,114 @@
+module Arena = Pk_arena.Arena
+module Cachesim = Pk_cachesim.Cachesim
+
+type t = {
+  mutable sim : Cachesim.t option;
+  mutable trace_on : bool;
+  mutable next_base : int;
+  mutable regions : region list;
+}
+
+and region = { owner : t; arena : Arena.t; region_base : int }
+
+(* 1 TiB per region: arenas can never grow into each other's address
+   ranges in the simulated physical space. *)
+let region_stride = 1 lsl 40
+
+let create ?cache () = { sim = cache; trace_on = false; next_base = 0; regions = [] }
+
+let cache t = t.sim
+let set_cache t c = t.sim <- c
+let tracing t = t.trace_on && t.sim <> None
+let set_tracing t b = t.trace_on <- b
+
+let with_tracing t b f =
+  let saved = t.trace_on in
+  t.trace_on <- b;
+  Fun.protect ~finally:(fun () -> t.trace_on <- saved) f
+
+let new_region t ?initial_capacity ~name () =
+  let arena = Arena.create ?initial_capacity ~name () in
+  let r = { owner = t; arena; region_base = t.next_base } in
+  t.next_base <- t.next_base + region_stride;
+  t.regions <- r :: t.regions;
+  r
+
+let region_name r = Arena.name r.arena
+let mem r = r.owner
+let base r = r.region_base
+let live_bytes r = Arena.live_bytes r.arena
+let used_bytes r = Arena.used_bytes r.arena
+
+let alloc r ?align size = Arena.alloc r.arena ?align size
+let free r off size = Arena.free r.arena off size
+
+let[@inline] charge r off len =
+  match r.owner.sim with
+  | Some sim when r.owner.trace_on -> Cachesim.touch sim ~addr:(r.region_base + off) ~len
+  | Some _ | None -> ()
+
+let read_u8 r off =
+  charge r off 1;
+  Arena.get_u8 r.arena off
+
+let write_u8 r off v =
+  charge r off 1;
+  Arena.set_u8 r.arena off v
+
+let read_u16 r off =
+  charge r off 2;
+  Arena.get_u16 r.arena off
+
+let write_u16 r off v =
+  charge r off 2;
+  Arena.set_u16 r.arena off v
+
+let read_u32 r off =
+  charge r off 4;
+  Arena.get_u32 r.arena off
+
+let write_u32 r off v =
+  charge r off 4;
+  Arena.set_u32 r.arena off v
+
+let read_u64 r off =
+  charge r off 8;
+  Arena.get_u64 r.arena off
+
+let write_u64 r off v =
+  charge r off 8;
+  Arena.set_u64 r.arena off v
+
+let read_bytes r ~off ~len =
+  charge r off len;
+  Arena.sub_bytes r.arena ~off ~len
+
+let read_into r ~off ~dst ~dst_off ~len =
+  charge r off len;
+  Arena.blit_to_bytes r.arena ~src_off:off ~dst ~dst_off ~len
+
+let write_bytes r ~off ~src ~src_off ~len =
+  charge r off len;
+  Arena.blit_from_bytes r.arena ~src ~src_off ~dst_off:off ~len
+
+let move r ~src_off ~dst_off ~len =
+  charge r src_off len;
+  charge r dst_off len;
+  Arena.blit_within r.arena ~src_off ~dst_off ~len
+
+let compare_detail r ~off ~len probe ~key_off ~key_len =
+  let common = min len key_len in
+  let rec scan i =
+    if i >= common then
+      if len = key_len then (0, common) else if len < key_len then (-1, common) else (1, common)
+    else
+      let a = Arena.get_u8 r.arena (off + i) in
+      let b = Char.code (Bytes.get probe (key_off + i)) in
+      if a <> b then ((if a < b then -1 else 1), i) else scan (i + 1)
+  in
+  let ((_, diff) as result) = scan 0 in
+  let examined = min (diff + 1) common in
+  if examined > 0 then charge r off examined;
+  result
+
+let touch r ~off ~len = charge r off len

@@ -1,0 +1,89 @@
+(** Instrumented storage manager.
+
+    [Mem] glues the byte arenas ({!module:Pk_arena.Arena}) to the cache
+    simulator ({!module:Pk_cachesim.Cachesim}).  Every region created
+    through a [Mem.t] is assigned a disjoint base in a single flat
+    "physical" address space, and every typed access through a
+    {!type:region} optionally charges the simulator with the exact byte
+    range touched — producing the address trace whose L2 misses the
+    paper measures.
+
+    Tracing is a cheap runtime flag: benchmarks measuring wall-clock
+    time run with tracing off (no simulator in the hot path), and
+    cache-behaviour runs flip it on over the very same trees. *)
+
+type t
+(** The memory system: a set of regions plus an optional cache
+    simulator. *)
+
+type region
+(** A named allocation region (nodes of one index, the record heap,
+    ...) with its own base address. *)
+
+val create : ?cache:Pk_cachesim.Cachesim.t -> unit -> t
+
+val cache : t -> Pk_cachesim.Cachesim.t option
+val set_cache : t -> Pk_cachesim.Cachesim.t option -> unit
+
+val tracing : t -> bool
+val set_tracing : t -> bool -> unit
+(** Tracing only takes effect while a cache simulator is attached. *)
+
+val with_tracing : t -> bool -> (unit -> 'a) -> 'a
+(** Run a thunk with tracing temporarily forced to the given value. *)
+
+val new_region : t -> ?initial_capacity:int -> name:string -> unit -> region
+(** Regions receive disjoint 1-TiB-spaced base addresses, so traces
+    from different regions can never alias in the simulator. *)
+
+val region_name : region -> string
+val mem : region -> t
+
+val base : region -> int
+(** Physical base address of the region. *)
+
+val live_bytes : region -> int
+(** Live footprint (allocated minus freed), for space reporting. *)
+
+val used_bytes : region -> int
+
+(** {1 Allocation} — never charged to the simulator (allocation is
+    metadata work; the initialising writes that follow are charged). *)
+
+val alloc : region -> ?align:int -> int -> int
+val free : region -> int -> int -> unit
+
+(** {1 Typed accesses} — every call charges the simulator with the
+    touched byte range when tracing is on. *)
+
+val read_u8 : region -> int -> int
+val write_u8 : region -> int -> int -> unit
+val read_u16 : region -> int -> int
+val write_u16 : region -> int -> int -> unit
+val read_u32 : region -> int -> int
+val write_u32 : region -> int -> int -> unit
+val read_u64 : region -> int -> int
+val write_u64 : region -> int -> int -> unit
+
+val read_bytes : region -> off:int -> len:int -> bytes
+val read_into : region -> off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+val write_bytes : region -> off:int -> src:bytes -> src_off:int -> len:int -> unit
+
+val move : region -> src_off:int -> dst_off:int -> len:int -> unit
+(** Intra-region move (used when shifting entry arrays inside a node);
+    charges both source and destination ranges. *)
+
+val compare_detail :
+  region -> off:int -> len:int -> bytes -> key_off:int -> key_len:int -> int * int
+(** [compare_detail r ~off ~len probe ~key_off ~key_len] compares the
+    region bytes [\[off, off+len)] with [probe\[key_off, key_off+key_len)]
+    lexicographically (shorter operand that is a prefix of the longer
+    compares smaller).  Returns [(cmp, diff)] where [cmp] is
+    negative/zero/positive and [diff] is the index of the first
+    differing byte ([= min len key_len] when one operand is a prefix).
+    Charges exactly the prefix of region bytes examined — matching a
+    real memcmp's memory traffic. *)
+
+val touch : region -> off:int -> len:int -> unit
+(** Explicitly charge a byte range (e.g. one logical field group read
+    whose parts were already decoded). *)

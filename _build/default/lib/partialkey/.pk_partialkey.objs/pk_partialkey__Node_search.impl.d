@@ -1,0 +1,1 @@
+lib/partialkey/node_search.ml: Pk_compare Pk_keys

@@ -1,0 +1,1 @@
+lib/partialkey/node_search.mli: Pk_keys

@@ -1,0 +1,1 @@
+lib/partialkey/partial_key.ml: Bytes Char Format Pk_keys

@@ -1,0 +1,1 @@
+lib/partialkey/partial_key.mli: Format Pk_keys

@@ -1,0 +1,1 @@
+lib/partialkey/pk_compare.ml: Bytes Char Partial_key Pk_keys

@@ -1,0 +1,1 @@
+lib/partialkey/pk_compare.mli: Partial_key Pk_keys

@@ -1,0 +1,139 @@
+module Key = Pk_keys.Key
+
+type entry_ops = {
+  num_keys : int;
+  pk_off : int -> int;
+  resolve_units : int -> rel:Pk_keys.Key.cmp -> off:int -> Pk_keys.Key.cmp * int;
+  branch_unit : int -> int;
+  search_unit : int -> int;
+  deref : int -> Pk_keys.Key.cmp * int;
+}
+
+type result = { low : int; high : int; off_low : int; derefs : int }
+
+let compare_entry ops i ~rel ~off =
+  match Pk_compare.resolve_by_offset ~rel ~off ~pk_off:(ops.pk_off i) with
+  | Pk_compare.Resolved (c, o) -> (c, o)
+  | Pk_compare.Need_units -> ops.resolve_units i ~rel ~off
+
+(* Resolve the search position rightward from entry [start], given the
+   definite state [(Gt, off)] w.r.t. entry [start - 1], inside
+   [\[start, high)].  Uses offset-only reasoning; when offsets tie it
+   consults stored units and, as a last resort, dereferences.  Always
+   terminates with a definite answer. *)
+let rec resolve_right ops ~start ~high ~off ~derefs =
+  if start >= high then { low = high - 1; high; off_low = off; derefs }
+  else
+    match compare_entry ops start ~rel:Key.Gt ~off with
+    | Key.Lt, _ -> { low = start - 1; high = start; off_low = off; derefs }
+    | Key.Gt, o -> resolve_right ops ~start:(start + 1) ~high ~off:o ~derefs
+    | Key.Eq, _ -> (
+        let c, o = ops.deref start in
+        let derefs = derefs + 1 in
+        match c with
+        | Key.Eq -> { low = start; high = start; off_low = o; derefs }
+        | Key.Lt -> { low = start - 1; high = start; off_low = off; derefs }
+        | Key.Gt -> resolve_right ops ~start:(start + 1) ~high ~off:o ~derefs)
+
+(* Resolve leftward from entry [j] down to [lo_bound], given the
+   definite state: search < entry [j + 1] with
+   [delta = d(search, key_{j+1})].  [off_fallback] is
+   [d(search, key_{lo_bound})] from the caller, returned when the scan
+   exits the zone at the bottom. *)
+let rec resolve_left ops ~j ~lo_bound ~delta ~off_fallback ~derefs =
+  if j <= lo_bound then { low = lo_bound; high = lo_bound + 1; off_low = off_fallback; derefs }
+  else
+    (* Entry [j+1]'s pk_off is d(key_{j+1}, key_j); Theorem 3.1 with
+       base key_{j+1}: both search and key_j are below it. *)
+    let d_next = ops.pk_off (j + 1) in
+    if delta > d_next then
+      (* search diverges from key_{j+1} later than key_j does: search
+         is above key_j. *)
+      { low = j; high = j + 1; off_low = d_next; derefs }
+    else if delta < d_next then resolve_left ops ~j:(j - 1) ~lo_bound ~delta ~off_fallback ~derefs
+    else
+      let c, o = ops.deref j in
+      let derefs = derefs + 1 in
+      match c with
+      | Key.Eq -> { low = j; high = j; off_low = o; derefs }
+      | Key.Gt -> { low = j; high = j + 1; off_low = o; derefs }
+      | Key.Lt -> resolve_left ops ~j:(j - 1) ~lo_bound ~delta:o ~off_fallback ~derefs
+
+(* FINDBITTREE over the ambiguous zone (lo, hi): entries lo+1..hi-1
+   compared unresolved; search > key_lo (with d = off_lo) and
+   search < key_hi are known.  Walk the implicit difference-bit trie
+   touching no record keys, then dereference the candidate and settle
+   the exact position from its result. *)
+let find_bit_tree ops ~lo ~hi ~off_lo ~derefs =
+  let pos = ref lo in
+  let i = ref (lo + 1) in
+  while !i < hi do
+    let d_i = ops.pk_off !i in
+    let bu = ops.branch_unit !i in
+    if bu >= 0 && ops.search_unit d_i >= bu then begin
+      (* Search follows the upper branch: candidate moves here. *)
+      pos := !i;
+      incr i
+    end
+    else if bu < 0 then begin
+      (* Byte granularity with l = 0: no branch information; keep the
+         candidate moving so the dereference lands inside the zone. *)
+      pos := !i;
+      incr i
+    end
+    else begin
+      (* Lower branch: skip the subtrie rooted at entry i (all
+         following entries with larger difference offsets). *)
+      incr i;
+      while !i < hi && ops.pk_off !i > d_i do
+        incr i
+      done
+    end
+  done;
+  let target = if !pos = lo then lo + 1 else !pos in
+  let c, o = ops.deref target in
+  let derefs = derefs + 1 in
+  match c with
+  | Key.Eq -> { low = target; high = target; off_low = o; derefs }
+  | Key.Gt -> resolve_right ops ~start:(target + 1) ~high:hi ~off:o ~derefs
+  | Key.Lt -> resolve_left ops ~j:(target - 1) ~lo_bound:lo ~delta:o ~off_fallback:off_lo ~derefs
+
+let find_node ops ~rel0 ~off0 =
+  let n = ops.num_keys in
+  let rec sweep cur ~low ~off_low ~rel ~off =
+    if cur >= n then
+      if n - 1 > low then
+        (* Unresolved tail zone (low, n): the virtual upper bound
+           behaves as key_n = +infinity. *)
+        find_bit_tree ops ~lo:low ~hi:n ~off_lo:off_low ~derefs:0
+      else { low; high = n; off_low; derefs = 0 }
+    else
+      let c, o = compare_entry ops cur ~rel ~off in
+      match c with
+      | Key.Lt ->
+          if cur - low > 1 then find_bit_tree ops ~lo:low ~hi:cur ~off_lo:off_low ~derefs:0
+          else { low; high = cur; off_low; derefs = 0 }
+      | Key.Gt -> sweep (cur + 1) ~low:cur ~off_low:o ~rel:Key.Gt ~off:o
+      | Key.Eq -> sweep (cur + 1) ~low ~off_low ~rel:Key.Eq ~off:o
+  in
+  sweep 0 ~low:(-1) ~off_low:off0 ~rel:rel0 ~off:off0
+
+let naive_find_node ops ~rel0 ~off0 =
+  let n = ops.num_keys in
+  let rec sweep cur ~low ~off_low ~rel ~off ~derefs =
+    if cur >= n then { low; high = n; off_low; derefs }
+    else
+      let c, o = compare_entry ops cur ~rel ~off in
+      match c with
+      | Key.Lt -> { low; high = cur; off_low; derefs }
+      | Key.Gt -> sweep (cur + 1) ~low:cur ~off_low:o ~rel:Key.Gt ~off:o ~derefs
+      | Key.Eq -> (
+          (* Simple linear search: dereference immediately. *)
+          let c', o' = ops.deref cur in
+          let derefs = derefs + 1 in
+          match c' with
+          | Key.Eq -> { low = cur; high = cur; off_low = o'; derefs }
+          | Key.Lt -> { low; high = cur; off_low; derefs }
+          | Key.Gt -> sweep (cur + 1) ~low:cur ~off_low:o' ~rel:Key.Gt ~off:o' ~derefs)
+  in
+  sweep 0 ~low:(-1) ~off_low:off0 ~rel:rel0 ~off:off0 ~derefs:0

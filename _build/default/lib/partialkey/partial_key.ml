@@ -1,0 +1,67 @@
+module Key = Pk_keys.Key
+module Bitops = Pk_keys.Bitops
+
+type granularity = Bit | Byte
+
+let pp_granularity ppf g =
+  Format.pp_print_string ppf (match g with Bit -> "bit" | Byte -> "byte")
+
+type t = { pk_off : int; pk_len : int; pk_bits : bytes }
+
+let units_of_key g k = match g with Bit -> 8 * Bytes.length k | Byte -> Bytes.length k
+let l_units g ~l_bytes = match g with Bit -> 8 * l_bytes | Byte -> l_bytes
+
+let diff g a b =
+  match g with
+  | Bit -> Key.compare_bit_detail a b
+  | Byte -> Key.compare_detail a b
+
+let clamp_nonneg n = if n < 0 then 0 else n
+
+let encode g ~l_bytes ~base ~key =
+  let c, d = diff g key base in
+  if c = Key.Eq then invalid_arg "Partial_key.encode: key equals base";
+  let l = l_units g ~l_bytes in
+  match g with
+  | Bit ->
+      (* Store the l bits following the difference bit. *)
+      let avail = clamp_nonneg (units_of_key Bit key - d - 1) in
+      let pk_len = min l avail in
+      { pk_off = d; pk_len; pk_bits = Bitops.extract_bits key ~bit_off:(d + 1) ~bit_len:pk_len }
+  | Byte ->
+      (* Store l bytes starting at the difference byte. *)
+      let avail = clamp_nonneg (Bytes.length key - d) in
+      let pk_len = min l avail in
+      { pk_off = d; pk_len; pk_bits = Bytes.sub key d pk_len }
+
+let zero_key_like k = Bytes.make (Bytes.length k) '\000'
+
+let is_all_zero k =
+  let rec go i = i = Bytes.length k || (Bytes.get k i = '\000' && go (i + 1)) in
+  go 0
+
+let encode_initial g ~l_bytes ~key =
+  if is_all_zero key then
+    (* The virtual base equals the key itself: no difference exists;
+       represent as "diff at end, nothing stored" which always forces a
+       dereference — the safe degenerate case. *)
+    { pk_off = units_of_key g key; pk_len = 0; pk_bits = Bytes.empty }
+  else encode g ~l_bytes ~base:(zero_key_like key) ~key
+
+let initial_state g k =
+  (* d(k, 0...0) is the offset of the first nonzero unit — computed by
+     direct scan (this runs once per lookup). *)
+  let len = Bytes.length k in
+  let rec first_nonzero i = if i = len || Bytes.get k i <> '\000' then i else first_nonzero (i + 1) in
+  let i = first_nonzero 0 in
+  if i = len then (Key.Eq, units_of_key g k)
+  else
+    match g with
+    | Byte -> (Key.Gt, i)
+    | Bit ->
+        let b = Char.code (Bytes.get k i) in
+        let rec clz n bit = if bit land b <> 0 then n else clz (n + 1) (bit lsr 1) in
+        (Key.Gt, (8 * i) + clz 0 0x80)
+
+let reconstructed_prefix_units g t =
+  match g with Bit -> t.pk_off + 1 + t.pk_len | Byte -> t.pk_off + t.pk_len

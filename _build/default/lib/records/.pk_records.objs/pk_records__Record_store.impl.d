@@ -1,0 +1,1 @@
+lib/records/record_store.ml: Bytes Char Pk_arena Pk_keys Pk_mem

@@ -1,0 +1,1 @@
+lib/records/record_store.mli: Pk_keys Pk_mem

@@ -1,0 +1,50 @@
+(** Heap of data records, the target of the index's record pointers.
+
+    Records hold the authoritative full key plus an opaque payload.
+    Every record starts on its own cache line (§5.2: "indirect keys are
+    stored in separate L2 cache lines since they are typically
+    retrieved from data records"), so a key dereference from an index
+    costs one distinct line, exactly as in the paper's setup.
+
+    Layout at record address [a]:
+    [a+0: key_len u16 | a+2: payload_len u16 | a+4: pad | a+8: key bytes
+     | key bytes end: payload bytes]. *)
+
+type t
+
+val create : ?line:int -> Pk_mem.Mem.t -> t
+(** [line] is the alignment of records (default 64, the L2 block of the
+    paper's Ultra machines). *)
+
+val region : t -> Pk_mem.Mem.region
+
+val insert : t -> key:Pk_keys.Key.t -> payload:bytes -> int
+(** Store a record, returning its address (never {!val:null}). *)
+
+val null : int
+(** The null record address (0). *)
+
+val delete : t -> int -> unit
+(** Free a record's storage. *)
+
+val key_len : t -> int -> int
+
+val read_key : t -> int -> Pk_keys.Key.t
+(** Copy the full key out (charges the key bytes). *)
+
+val read_payload : t -> int -> bytes
+
+val count : t -> int
+(** Number of live records. *)
+
+val live_bytes : t -> int
+
+val compare_key : t -> int -> Pk_keys.Key.t -> Pk_keys.Key.cmp * int
+(** [compare_key t addr probe] compares the {e stored} key against
+    [probe] byte-wise: [(c, d)] where [c] is the ordering of stored key
+    vs probe and [d] the first differing byte index.  Only the examined
+    prefix is charged to the cache simulator, like a real memcmp. *)
+
+val compare_key_bits : t -> int -> Pk_keys.Key.t -> Pk_keys.Key.cmp * int
+(** Same with [d] the first differing {e bit} offset (for
+    bit-granularity partial keys). *)

@@ -1,0 +1,1 @@
+lib/util/scatter.mli:

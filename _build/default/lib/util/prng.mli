@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast splitmix64 generator.  Every experiment in this
+    repository derives its randomness from an explicit [Prng.t] seeded
+    with a constant, so runs are reproducible across machines and OCaml
+    versions (the stdlib [Random] algorithm may change between
+    releases). *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] returns a fresh generator. Distinct seeds yield
+    independent streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; the copy evolves independently. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Uniform coin flip. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing
+    [t].  Used to give each experiment phase its own stream. *)

@@ -1,0 +1,41 @@
+type series = { label : string; marker : char; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 20) ~x_label ~y_label series =
+  let all = List.concat_map (fun s -> s.points) series in
+  let buf = Buffer.create 2048 in
+  (match all with
+  | [] -> Buffer.add_string buf "(no data)\n"
+  | _ ->
+      let xs = List.map fst all and ys = List.map snd all in
+      let fold f = function [] -> 0.0 | h :: t -> List.fold_left f h t in
+      let x0 = fold Float.min xs and x1 = fold Float.max xs in
+      let y0 = fold Float.min ys and y1 = fold Float.max ys in
+      let xr = if x1 > x0 then x1 -. x0 else 1.0 in
+      let yr = if y1 > y0 then y1 -. y0 else 1.0 in
+      let grid = Array.make_matrix height width ' ' in
+      List.iter
+        (fun s ->
+          List.iter
+            (fun (x, y) ->
+              let cx = int_of_float ((x -. x0) /. xr *. float_of_int (width - 1)) in
+              let cy = int_of_float ((y -. y0) /. yr *. float_of_int (height - 1)) in
+              (* y grows upward: row 0 is the top of the plot. *)
+              grid.(height - 1 - cy).(cx) <- s.marker)
+            s.points)
+        series;
+      Buffer.add_string buf (Printf.sprintf "%s (top %.2f, bottom %.2f)\n" y_label y1 y0);
+      Array.iter
+        (fun row ->
+          Buffer.add_string buf "  |";
+          Array.iter (Buffer.add_char buf) row;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf "  +";
+      Buffer.add_string buf (String.make width '-');
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Printf.sprintf "   %s: %.2f .. %.2f\n" x_label x0 x1);
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "   %c = %s\n" s.marker s.label))
+        series);
+  Buffer.contents buf

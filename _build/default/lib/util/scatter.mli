@@ -1,0 +1,23 @@
+(** Minimal ASCII scatter plots, for rendering the paper's figures in
+    terminal output.
+
+    Each series has a one-character marker; points from later series
+    overwrite earlier ones on collisions.  Axes are linear and
+    annotated with their ranges. *)
+
+type series = {
+  label : string;
+  marker : char;
+  points : (float * float) list;  (** (x, y) *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  x_label:string ->
+  y_label:string ->
+  series list ->
+  string
+(** [render ~x_label ~y_label series] draws a [width] x [height]
+    character grid (defaults 64 x 20) with a legend.  Empty series
+    lists or all-equal coordinates degrade gracefully. *)

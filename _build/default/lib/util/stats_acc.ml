@@ -1,0 +1,77 @@
+type t = {
+  mutable samples : float array;
+  mutable n : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable sorted : bool;
+}
+
+let create () =
+  { samples = Array.make 64 0.0; n = 0; sum = 0.0; sumsq = 0.0; sorted = true }
+
+let add t x =
+  if t.n = Array.length t.samples then begin
+    let bigger = Array.make (2 * t.n) 0.0 in
+    Array.blit t.samples 0 bigger 0 t.n;
+    t.samples <- bigger
+  end;
+  t.samples.(t.n) <- x;
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  t.sumsq <- t.sumsq +. (x *. x);
+  t.sorted <- false
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0.0 else t.sum /. float_of_int t.n
+
+let stddev t =
+  if t.n < 2 then 0.0
+  else
+    let n = float_of_int t.n in
+    let var = (t.sumsq -. (t.sum *. t.sum /. n)) /. (n -. 1.0) in
+    if var < 0.0 then 0.0 else sqrt var
+
+let ensure_nonempty t name =
+  if t.n = 0 then invalid_arg ("Stats_acc." ^ name ^ ": empty")
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let live = Array.sub t.samples 0 t.n in
+    Array.sort compare live;
+    Array.blit live 0 t.samples 0 t.n;
+    t.sorted <- true
+  end
+
+let min t =
+  ensure_nonempty t "min";
+  ensure_sorted t;
+  t.samples.(0)
+
+let max t =
+  ensure_nonempty t "max";
+  ensure_sorted t;
+  t.samples.(t.n - 1)
+
+let percentile t p =
+  ensure_nonempty t "percentile";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats_acc.percentile: out of range";
+  ensure_sorted t;
+  (* Linear interpolation between closest ranks. *)
+  let rank = p /. 100.0 *. float_of_int (t.n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then t.samples.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    (t.samples.(lo) *. (1.0 -. w)) +. (t.samples.(hi) *. w)
+
+let merge a b =
+  let t = create () in
+  for i = 0 to a.n - 1 do
+    add t a.samples.(i)
+  done;
+  for i = 0 to b.n - 1 do
+    add t b.samples.(i)
+  done;
+  t

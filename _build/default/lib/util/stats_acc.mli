@@ -1,0 +1,31 @@
+(** Streaming statistics accumulator.
+
+    Collects samples one at a time and reports count, mean, standard
+    deviation, min, max and approximate percentiles.  Used by the
+    benchmark harness to summarise per-operation measurements. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+val mean : t -> float
+val stddev : t -> float
+(** Sample standard deviation (n-1 denominator); 0 for n < 2. *)
+
+val min : t -> float
+val max : t -> float
+(** [min]/[max] raise [Invalid_argument] when no sample was added. *)
+
+val total : t -> float
+(** Sum of all samples. *)
+
+val percentile : t -> float -> float
+(** [percentile t p] with [p] in [\[0,100\]]; exact (keeps all samples).
+    Raises [Invalid_argument] when empty. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators into a fresh one. *)

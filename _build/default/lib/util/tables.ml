@@ -1,0 +1,111 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  ncols : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  {
+    headers = List.map fst columns;
+    aligns = List.map snd columns;
+    ncols = List.length columns;
+    rows = [];
+  }
+
+let add_row t cells =
+  if List.length cells <> t.ncols then
+    invalid_arg
+      (Printf.sprintf "Tables.add_row: %d cells for %d columns"
+         (List.length cells) t.ncols);
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let data_rows t = List.rev t.rows
+
+let column_widths t =
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let widen cells =
+    List.iteri
+      (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c)
+      cells
+  in
+  List.iter (function Cells c -> widen c | Separator -> ()) (data_rows t);
+  widths
+
+let pad align width s =
+  let fill = width - String.length s in
+  if fill <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let buf = Buffer.create 1024 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  rule ();
+  List.iter (function Cells c -> emit c | Separator -> rule ()) (data_rows t);
+  Buffer.contents buf
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv t =
+  let buf = Buffer.create 1024 in
+  let emit cells =
+    Buffer.add_string buf (String.concat "," (List.map csv_escape cells));
+    Buffer.add_char buf '\n'
+  in
+  emit t.headers;
+  List.iter (function Cells c -> emit c | Separator -> ()) (data_rows t);
+  Buffer.contents buf
+
+let print ?(oc = stdout) t =
+  output_string oc (render t);
+  output_char oc '\n'
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+
+let fmt_int n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let fmt_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%d B" n
+  else if n < 1024 * 1024 then Printf.sprintf "%.1f KiB" (f /. 1024.)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%.1f MiB" (f /. (1024. *. 1024.))
+  else Printf.sprintf "%.2f GiB" (f /. (1024. *. 1024. *. 1024.))

@@ -1,0 +1,38 @@
+(** Aligned text tables and CSV rendering for experiment reports. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction: a header row plus data rows. *)
+
+val create : columns:(string * align) list -> t
+(** [create ~columns] starts a table with the given column headers and
+    per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Append a data row.  Raises [Invalid_argument] if the number of
+    cells differs from the number of columns. *)
+
+val add_separator : t -> unit
+(** Append a horizontal rule between data rows. *)
+
+val render : t -> string
+(** Render with box-drawing-free ASCII art, columns padded to fit. *)
+
+val render_csv : t -> string
+(** Render as CSV (header row first, minimal quoting). *)
+
+val print : ?oc:out_channel -> t -> unit
+(** [print t] writes [render t] followed by a newline to [oc]
+    (default [stdout]). *)
+
+(** Formatting helpers used throughout the reports. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point float, default 2 decimals. *)
+
+val fmt_int : int -> string
+(** Thousands-separated integer, e.g. ["1_500_000"] -> ["1,500,000"]. *)
+
+val fmt_bytes : int -> string
+(** Human-readable byte count, e.g. ["1.5 MiB"]. *)

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Bytes Distribution Gc Int64 Pk_cachesim Pk_core Pk_keys Pk_mem Pk_records Pk_util Printf Unix

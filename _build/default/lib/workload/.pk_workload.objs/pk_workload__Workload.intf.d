@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Distribution Pk_cachesim Pk_core Pk_keys Pk_mem Pk_records

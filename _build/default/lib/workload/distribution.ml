@@ -1,0 +1,42 @@
+module Prng = Pk_util.Prng
+
+type t = Uniform | Zipf of float | Sequential
+
+let pp ppf = function
+  | Uniform -> Format.pp_print_string ppf "uniform"
+  | Zipf s -> Format.fprintf ppf "zipf(%.2f)" s
+  | Sequential -> Format.pp_print_string ppf "sequential"
+
+let zipf_cdf ~n ~skew =
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) skew);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  Array.map (fun x -> x /. total) cdf
+
+let sampler d ~n ~rng =
+  if n <= 0 then invalid_arg "Distribution.sampler: n <= 0";
+  match d with
+  | Uniform -> fun () -> Prng.int rng n
+  | Sequential ->
+      let next = ref 0 in
+      fun () ->
+        let v = !next in
+        next := (v + 1) mod n;
+        v
+  | Zipf skew ->
+      if skew <= 0.0 then invalid_arg "Distribution.sampler: zipf skew <= 0";
+      let cdf = zipf_cdf ~n ~skew in
+      fun () ->
+        let u = Prng.float rng 1.0 in
+        (* first index whose cdf >= u *)
+        let rec bsearch lo hi =
+          if lo >= hi then lo
+          else
+            let mid = (lo + hi) / 2 in
+            if cdf.(mid) < u then bsearch (mid + 1) hi else bsearch lo mid
+        in
+        bsearch 0 (n - 1)

@@ -1,0 +1,12 @@
+(** Access distributions for workload drivers. *)
+
+type t =
+  | Uniform              (** Every key equally likely (the paper's workload). *)
+  | Zipf of float        (** Zipfian with the given skew parameter (> 0). *)
+  | Sequential           (** Round-robin ascending. *)
+
+val pp : Format.formatter -> t -> unit
+
+val sampler : t -> n:int -> rng:Pk_util.Prng.t -> unit -> int
+(** [sampler d ~n ~rng] draws indexes in [\[0, n)].  Zipf uses an exact
+    inverse-CDF table built once per sampler. *)

@@ -1,0 +1,1 @@
+test/test_arena.ml: Alcotest Bytes Pk_arena

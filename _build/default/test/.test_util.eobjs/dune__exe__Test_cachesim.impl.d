@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Int64 List Pk_cachesim Pk_util Printf Support

@@ -1,0 +1,1 @@
+test/test_edges.ml: Alcotest Array Bytes Char List Pk_core Pk_keys Pk_partialkey Pk_records Pk_util Printf Seq Support

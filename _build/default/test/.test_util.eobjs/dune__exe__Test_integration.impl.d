@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bytes Char Hashtbl Int64 List Pk_cachesim Pk_core Pk_keys Pk_mem Pk_partialkey Pk_records Pk_util Printf Support

@@ -1,0 +1,1 @@
+test/test_keys.ml: Alcotest Array Bytes Char Hashtbl Int64 List Pk_keys Pk_util String Support

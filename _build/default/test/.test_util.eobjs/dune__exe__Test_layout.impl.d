@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Bytes Char Int64 Pk_cachesim Pk_core Pk_keys Pk_mem Pk_partialkey Pk_util Support

@@ -1,0 +1,1 @@
+test/test_lockmgr.ml: Alcotest Bytes Format Int64 List Pk_core Pk_keys Pk_lockmgr Pk_partialkey Pk_records Pk_util Printf Support

@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Pk_cachesim Pk_mem

@@ -1,0 +1,1 @@
+test/test_node_search.ml: Alcotest Array Bytes Char Int64 List Pk_keys Pk_partialkey Pk_util Printf String Support

@@ -1,0 +1,1 @@
+test/test_partialkey.ml: Alcotest Array Bytes Char Format Int64 List Pk_keys Pk_partialkey Pk_util Printf String Support

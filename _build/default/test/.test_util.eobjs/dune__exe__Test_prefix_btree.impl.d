@@ -1,0 +1,1 @@
+test/test_prefix_btree.ml: Alcotest Array Bytes List Option Pk_cachesim Pk_core Pk_keys Pk_mem Pk_records Pk_util Printf Seq Support

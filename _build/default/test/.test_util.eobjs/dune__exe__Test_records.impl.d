@@ -1,0 +1,1 @@
+test/test_records.ml: Alcotest Array Bytes List Option Pk_cachesim Pk_keys Pk_mem Pk_records Pk_util Printf Support

@@ -1,0 +1,1 @@
+test/test_ttree.ml: Alcotest Array Bytes Hashtbl List Pk_core Pk_keys Pk_partialkey Pk_records Pk_util Printf Seq Support

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Pk_core Pk_keys Pk_mem Pk_partialkey Pk_util Pk_workload Printf

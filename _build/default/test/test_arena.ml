@@ -1,0 +1,127 @@
+(* Unit tests for the byte arena. *)
+
+module Arena = Pk_arena.Arena
+
+let make () = Arena.create ~name:"test" ~initial_capacity:128 ()
+
+let test_null_reserved () =
+  let a = make () in
+  let off = Arena.alloc a 16 in
+  Alcotest.(check bool) "never returns null" true (off <> Arena.null);
+  Alcotest.(check bool) "null is zero" true (Arena.null = 0)
+
+let test_alignment () =
+  let a = make () in
+  ignore (Arena.alloc a 3);
+  let off8 = Arena.alloc a ~align:8 10 in
+  Alcotest.(check int) "8-aligned" 0 (off8 mod 8);
+  let off64 = Arena.alloc a ~align:64 7 in
+  Alcotest.(check int) "64-aligned" 0 (off64 mod 64)
+
+let test_growth () =
+  let a = make () in
+  let off = Arena.alloc a 100_000 in
+  Arena.set_u8 a (off + 99_999) 0xAB;
+  Alcotest.(check int) "read back across growth" 0xAB (Arena.get_u8 a (off + 99_999));
+  Alcotest.(check bool) "capacity grew" true (Arena.capacity a >= 100_000)
+
+let test_growth_preserves_data () =
+  let a = make () in
+  let off = Arena.alloc a 64 in
+  Arena.set_u64 a off 0x1122334455667788;
+  ignore (Arena.alloc a 1_000_000);
+  Alcotest.(check int) "data preserved" 0x1122334455667788 (Arena.get_u64 a off)
+
+let test_typed_accessors () =
+  let a = make () in
+  let off = Arena.alloc a 32 in
+  Arena.set_u8 a off 0x7F;
+  Arena.set_u16 a (off + 2) 0xBEEF;
+  Arena.set_u32 a (off + 4) 0xDEADBEEF;
+  Arena.set_u64 a (off + 8) max_int;
+  Alcotest.(check int) "u8" 0x7F (Arena.get_u8 a off);
+  Alcotest.(check int) "u16" 0xBEEF (Arena.get_u16 a (off + 2));
+  Alcotest.(check int) "u32" 0xDEADBEEF (Arena.get_u32 a (off + 4));
+  Alcotest.(check int) "u64" max_int (Arena.get_u64 a (off + 8))
+
+let test_u8_u16_masking () =
+  let a = make () in
+  let off = Arena.alloc a 8 in
+  Arena.set_u8 a off 0x1FF;
+  Alcotest.(check int) "u8 masked" 0xFF (Arena.get_u8 a off);
+  Arena.set_u16 a (off + 2) 0x1FFFF;
+  Alcotest.(check int) "u16 masked" 0xFFFF (Arena.get_u16 a (off + 2))
+
+let test_free_reuse () =
+  let a = make () in
+  let o1 = Arena.alloc a 48 in
+  Arena.set_u64 a o1 99;
+  Arena.free a o1 48;
+  let o2 = Arena.alloc a 48 in
+  Alcotest.(check int) "same-size free list reuses" o1 o2;
+  Alcotest.(check int) "freed region zeroed" 0 (Arena.get_u64 a o2);
+  let o3 = Arena.alloc a 24 in
+  Alcotest.(check bool) "different size not reused" true (o3 <> o1)
+
+let test_live_bytes_accounting () =
+  let a = make () in
+  let base = Arena.live_bytes a in
+  let o = Arena.alloc a 100 in
+  Alcotest.(check int) "alloc adds" (base + 100) (Arena.live_bytes a);
+  Arena.free a o 100;
+  Alcotest.(check int) "free subtracts" base (Arena.live_bytes a);
+  ignore (Arena.alloc a 100);
+  Alcotest.(check int) "reuse adds back" (base + 100) (Arena.live_bytes a)
+
+let test_blits_and_compare () =
+  let a = make () in
+  let off = Arena.alloc a 32 in
+  let src = Bytes.of_string "hello world" in
+  Arena.blit_from_bytes a ~src ~src_off:0 ~dst_off:off ~len:11;
+  let dst = Bytes.make 11 ' ' in
+  Arena.blit_to_bytes a ~src_off:off ~dst ~dst_off:0 ~len:11;
+  Alcotest.(check string) "round trip" "hello world" (Bytes.to_string dst);
+  Alcotest.(check int) "compare equal" 0
+    (Arena.compare_with_bytes a ~off (Bytes.of_string "hello world") ~b_off:0 ~len:11);
+  Alcotest.(check bool) "compare less" true
+    (Arena.compare_with_bytes a ~off (Bytes.of_string "hello worlds") ~b_off:0 ~len:11 = 0);
+  Alcotest.(check bool) "compare differs" true
+    (Arena.compare_with_bytes a ~off (Bytes.of_string "hellp world") ~b_off:0 ~len:11 < 0)
+
+let test_blit_within_overlap () =
+  let a = make () in
+  let off = Arena.alloc a 16 in
+  Arena.blit_from_bytes a ~src:(Bytes.of_string "abcdef") ~src_off:0 ~dst_off:off ~len:6;
+  Arena.blit_within a ~src_off:off ~dst_off:(off + 2) ~len:6;
+  Alcotest.(check string) "overlapping move"
+    "ababcdef"
+    (Bytes.to_string (Arena.sub_bytes a ~off ~len:8))
+
+let test_invalid_args () =
+  let a = make () in
+  Alcotest.check_raises "size 0" (Invalid_argument "Arena.alloc: size <= 0") (fun () ->
+      ignore (Arena.alloc a 0));
+  Alcotest.check_raises "bad align"
+    (Invalid_argument "Arena.alloc: align must be a positive power of two") (fun () ->
+      ignore (Arena.alloc a ~align:3 8));
+  Alcotest.check_raises "free null" (Invalid_argument "Arena.free: null") (fun () ->
+      Arena.free a 0 8)
+
+let () =
+  Alcotest.run "pk_arena"
+    [
+      ( "arena",
+        [
+          Alcotest.test_case "null reserved" `Quick test_null_reserved;
+          Alcotest.test_case "alignment" `Quick test_alignment;
+          Alcotest.test_case "growth" `Quick test_growth;
+          Alcotest.test_case "growth preserves data" `Quick test_growth_preserves_data;
+          Alcotest.test_case "typed accessors" `Quick test_typed_accessors;
+          Alcotest.test_case "u8/u16 masking" `Quick test_u8_u16_masking;
+          Alcotest.test_case "free-list reuse" `Quick test_free_reuse;
+          Alcotest.test_case "live-byte accounting" `Quick test_live_bytes_accounting;
+          Alcotest.test_case "blits and compare" `Quick test_blits_and_compare;
+          Alcotest.test_case "overlapping blit" `Quick test_blit_within_overlap;
+          Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+        ] );
+    ]

@@ -1,0 +1,222 @@
+(* Unit and property tests for the cache simulator. *)
+
+module Cachesim = Pk_cachesim.Cachesim
+module Machine = Pk_cachesim.Machine
+
+let tiny_config ?(assoc = 1) ?(blocks = 4) ?tlb () : Cachesim.config =
+  {
+    levels =
+      [
+        {
+          level_name = "L1";
+          size_bytes = blocks * 64;
+          block_bytes = 64;
+          associativity = assoc;
+          latency_ns = 1.0;
+        };
+      ];
+    dram_ns = 100.0;
+    tlb;
+  }
+
+let l1_misses sim = Cachesim.misses (Cachesim.snapshot sim) ~level:"L1"
+
+let test_cold_miss_then_hit () =
+  let sim = Cachesim.create (tiny_config ()) in
+  Cachesim.touch sim ~addr:0 ~len:8;
+  Cachesim.touch sim ~addr:8 ~len:8;
+  (* Same 64-byte block: 1 miss, 1 hit. *)
+  Alcotest.(check int) "one miss" 1 (l1_misses sim);
+  let snap = Cachesim.snapshot sim in
+  Alcotest.(check int) "two accesses" 2 snap.Cachesim.per_level.(0).Cachesim.accesses;
+  Alcotest.(check (float 1e-9)) "latency = dram + l1" 101.0 snap.Cachesim.sim_ns
+
+let test_block_spanning () =
+  let sim = Cachesim.create (tiny_config ()) in
+  (* 8 bytes straddling a block boundary touch two blocks. *)
+  Cachesim.touch sim ~addr:60 ~len:8;
+  Alcotest.(check int) "two blocks two misses" 2 (l1_misses sim)
+
+let test_direct_mapped_conflict () =
+  let sim = Cachesim.create (tiny_config ~assoc:1 ~blocks:4 ()) in
+  (* 4 sets of 64 B; addresses 0 and 4*64 collide in set 0. *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Cachesim.touch sim ~addr:(4 * 64) ~len:1;
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Alcotest.(check int) "conflict evicts" 3 (l1_misses sim)
+
+let test_associativity_avoids_conflict () =
+  let sim = Cachesim.create (tiny_config ~assoc:2 ~blocks:4 ()) in
+  (* 2 sets x 2 ways: 0 and 2*64 land in set 0 but coexist. *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Cachesim.touch sim ~addr:(2 * 64) ~len:1;
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Cachesim.touch sim ~addr:(2 * 64) ~len:1;
+  Alcotest.(check int) "both ways retained" 2 (l1_misses sim)
+
+let test_lru_eviction_order () =
+  let sim = Cachesim.create (tiny_config ~assoc:2 ~blocks:2 ()) in
+  (* One set, two ways; blocks A=0, B=64, C=128 all map to set 0. *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  (* A miss *)
+  Cachesim.touch sim ~addr:64 ~len:1;
+  (* B miss *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  (* A hit; B is now LRU *)
+  Cachesim.touch sim ~addr:128 ~len:1;
+  (* C miss, evicts B *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  (* A still resident *)
+  Alcotest.(check int) "A survives, B evicted" 3 (l1_misses sim);
+  Cachesim.touch sim ~addr:64 ~len:1;
+  Alcotest.(check int) "B misses after eviction" 4 (l1_misses sim)
+
+let test_two_levels_inclusive () =
+  let config : Cachesim.config =
+    {
+      levels =
+        [
+          { level_name = "L1"; size_bytes = 64; block_bytes = 64; associativity = 1; latency_ns = 1.0 };
+          { level_name = "L2"; size_bytes = 256; block_bytes = 64; associativity = 1; latency_ns = 10.0 };
+        ];
+      dram_ns = 100.0;
+      tlb = None;
+    }
+  in
+  let sim = Cachesim.create config in
+  Cachesim.touch sim ~addr:0 ~len:1;
+  (* cold: both miss *)
+  Cachesim.touch sim ~addr:64 ~len:1;
+  (* evicts block 0 from L1 (1 set) but not L2 (4 sets) *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  (* L1 miss, L2 hit *)
+  let snap = Cachesim.snapshot sim in
+  Alcotest.(check int) "L1 misses" 3 (Cachesim.misses snap ~level:"L1");
+  Alcotest.(check int) "L2 misses" 2 (Cachesim.misses snap ~level:"L2");
+  Alcotest.(check (float 1e-9)) "time = 2 dram + 1 l2" 210.0 snap.Cachesim.sim_ns
+
+let test_flush_and_reset () =
+  let sim = Cachesim.create (tiny_config ()) in
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Alcotest.(check int) "warm" 1 (l1_misses sim);
+  Cachesim.flush sim;
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Alcotest.(check int) "flush forces re-miss" 2 (l1_misses sim);
+  Cachesim.reset_stats sim;
+  Alcotest.(check int) "stats reset" 0 (l1_misses sim);
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Alcotest.(check int) "cache stayed warm across reset" 0 (l1_misses sim)
+
+let test_snapshot_diff () =
+  let sim = Cachesim.create (tiny_config ()) in
+  Cachesim.touch sim ~addr:0 ~len:1;
+  let before = Cachesim.snapshot sim in
+  Cachesim.touch sim ~addr:256 ~len:1;
+  Cachesim.touch sim ~addr:256 ~len:1;
+  let after = Cachesim.snapshot sim in
+  let d = Cachesim.diff ~before ~after in
+  Alcotest.(check int) "window accesses" 2 d.Cachesim.total_accesses;
+  Alcotest.(check int) "window misses" 1 (Cachesim.misses d ~level:"L1")
+
+let test_tlb_basic () =
+  let tlb : Cachesim.tlb_config = { entries = 2; page_bytes = 4096; miss_ns = 50.0 } in
+  let sim = Cachesim.create (tiny_config ~tlb ()) in
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Cachesim.touch sim ~addr:100 ~len:1;
+  (* same page *)
+  Cachesim.touch sim ~addr:4096 ~len:1;
+  Cachesim.touch sim ~addr:8192 ~len:1;
+  (* third page evicts LRU (page 0) *)
+  Cachesim.touch sim ~addr:0 ~len:1;
+  let snap = Cachesim.snapshot sim in
+  Alcotest.(check int) "tlb misses" 4 snap.Cachesim.tlb_misses;
+  Alcotest.(check int) "tlb accesses" 5 snap.Cachesim.tlb_accesses
+
+let test_superpages_reduce_tlb_misses () =
+  let run tlb spread =
+    let sim = Cachesim.create (tiny_config ~tlb ()) in
+    for i = 0 to 999 do
+      Cachesim.touch sim ~addr:(i * spread mod (32 * 1024 * 1024)) ~len:1
+    done;
+    (Cachesim.snapshot sim).Cachesim.tlb_misses
+  in
+  let small = run Machine.default_tlb 40_009 in
+  let super = run Machine.superpage_tlb 40_009 in
+  Alcotest.(check bool)
+    (Printf.sprintf "superpages: %d < %d" super small)
+    true
+    (super * 10 < small)
+
+let test_machine_presets () =
+  Alcotest.(check int) "four machines" 4 (List.length Machine.all);
+  List.iter
+    (fun (m : Machine.t) ->
+      let sim = Cachesim.create (Machine.to_config m) in
+      Cachesim.touch sim ~addr:0 ~len:1;
+      Cachesim.touch sim ~addr:0 ~len:1;
+      let snap = Cachesim.snapshot sim in
+      (* cold access costs DRAM, warm access costs L1 *)
+      Alcotest.(check (float 1e-6))
+        (m.Machine.machine_name ^ " latencies")
+        (m.Machine.dram_ns +. m.Machine.l1.Cachesim.latency_ns)
+        snap.Cachesim.sim_ns)
+    Machine.all
+
+let test_machine_lookup () =
+  Alcotest.(check bool) "ultra30" true (Machine.by_name "ultra30" = Some Machine.ultra30);
+  Alcotest.(check bool) "Sun ULTRA 60" true (Machine.by_name "Sun ULTRA 60" = Some Machine.ultra60);
+  Alcotest.(check bool) "piiie" true (Machine.by_name "piiie" = Some Machine.pentium3e);
+  Alcotest.(check bool) "unknown" true (Machine.by_name "cray" = None)
+
+let test_geometry_validation () =
+  let bad : Cachesim.config =
+    {
+      levels =
+        [ { level_name = "L1"; size_bytes = 100; block_bytes = 64; associativity = 1; latency_ns = 1.0 } ];
+      dram_ns = 1.0;
+      tlb = None;
+    }
+  in
+  Alcotest.check_raises "bad size" (Invalid_argument "L1: size not a multiple of block*assoc")
+    (fun () -> ignore (Cachesim.create bad));
+  let empty : Cachesim.config = { levels = []; dram_ns = 1.0; tlb = None } in
+  Alcotest.check_raises "no levels" (Invalid_argument "Cachesim.create: no levels") (fun () ->
+      ignore (Cachesim.create empty))
+
+(* Property: a working-set that fits in the cache has no misses after
+   the first pass, regardless of access order. *)
+let prop_fitting_working_set seed =
+  let rng = Pk_util.Prng.create (Int64.of_int seed) in
+  let sim = Cachesim.create (tiny_config ~assoc:2 ~blocks:8 ()) in
+  (* full capacity: 8 blocks *)
+  let blocks = Array.init 8 (fun i -> i * 64) in
+  Array.iter (fun a -> Cachesim.touch sim ~addr:a ~len:1) blocks;
+  let after_warm = l1_misses sim in
+  for _ = 1 to 200 do
+    Cachesim.touch sim ~addr:blocks.(Pk_util.Prng.int rng 8) ~len:1
+  done;
+  l1_misses sim = after_warm
+
+let () =
+  Alcotest.run "pk_cachesim"
+    [
+      ( "cachesim",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "block spanning" `Quick test_block_spanning;
+          Alcotest.test_case "direct-mapped conflict" `Quick test_direct_mapped_conflict;
+          Alcotest.test_case "associativity" `Quick test_associativity_avoids_conflict;
+          Alcotest.test_case "LRU order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "two levels" `Quick test_two_levels_inclusive;
+          Alcotest.test_case "flush and reset" `Quick test_flush_and_reset;
+          Alcotest.test_case "snapshot diff" `Quick test_snapshot_diff;
+          Alcotest.test_case "tlb basics" `Quick test_tlb_basic;
+          Alcotest.test_case "superpages" `Quick test_superpages_reduce_tlb_misses;
+          Alcotest.test_case "machine presets" `Quick test_machine_presets;
+          Alcotest.test_case "machine lookup" `Quick test_machine_lookup;
+          Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
+          Support.seeded_qtest ~count:50 "fitting working set never misses warm"
+            prop_fitting_working_set;
+        ] );
+    ]

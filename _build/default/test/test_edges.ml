@@ -1,0 +1,192 @@
+(* Degenerate-input and failure-injection tests: boundary keys the
+   partial-key machinery finds hardest (all-zero keys, one-byte keys,
+   minimal alphabets, adversarial bit patterns). *)
+
+module Key = Pk_keys.Key
+module Keygen = Pk_keys.Keygen
+module Prng = Pk_util.Prng
+module Layout = Pk_core.Layout
+module Index = Pk_core.Index
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+
+let schemes_under_test =
+  [
+    ("pk-byte-2", Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 });
+    ("pk-bit-1", Layout.Partial { granularity = Partial_key.Bit; l_bytes = 1 });
+    ("pk-byte-0", Layout.Partial { granularity = Partial_key.Byte; l_bytes = 0 });
+    ("pk-bit-0", Layout.Partial { granularity = Partial_key.Bit; l_bytes = 0 });
+    ("indirect", Layout.Indirect);
+  ]
+
+let both_structures = [ Index.B_tree; Index.T_tree ]
+
+let with_index scheme structure f =
+  let mem, records = Support.make_env () in
+  let ix = Index.make structure scheme mem records in
+  f ix records
+
+let insert ix records k =
+  let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+  ix.Pk_core.Index.insert k ~rid
+
+(* The all-zero key is the virtual base of the partial-key encoding
+   (initial_state / encode_initial): it must be indexable and findable
+   wherever it lands in the insertion order. *)
+let test_all_zero_key () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun (name, scheme) ->
+          with_index scheme structure (fun ix records ->
+              let zero = Bytes.make 6 '\000' in
+              let rng = Prng.create 9L in
+              let others = Keygen.uniform ~rng ~key_len:6 ~alphabet:17 500 in
+              (* zero key first *)
+              Alcotest.(check bool) (name ^ " zero first") true (insert ix records zero);
+              Array.iter (fun k -> ignore (insert ix records k)) others;
+              ix.Pk_core.Index.validate ();
+              Alcotest.(check bool) (name ^ " zero found") true
+                (ix.Pk_core.Index.lookup zero <> None);
+              Array.iter
+                (fun k ->
+                  if ix.Pk_core.Index.lookup k = None then
+                    Alcotest.failf "%s: lost %s" name (Key.to_hex k))
+                others;
+              (* zero key must also be the first in iteration order *)
+              (match List.of_seq (Seq.take 1 (ix.Pk_core.Index.seq_from (Bytes.make 6 '\000'))) with
+              | [ (k, _) ] when Key.equal k zero -> ()
+              | _ -> Alcotest.failf "%s: zero key not first" name);
+              Alcotest.(check bool) (name ^ " zero delete") true (ix.Pk_core.Index.delete zero);
+              ix.Pk_core.Index.validate ()))
+        schemes_under_test)
+    both_structures
+
+(* One-byte keys exercise minimal difference offsets and the full
+   0..255 byte range including 0x00 and 0xff. *)
+let test_one_byte_keys () =
+  List.iter
+    (fun structure ->
+      List.iter
+        (fun (name, scheme) ->
+          with_index scheme structure (fun ix records ->
+              let keys = Array.init 256 (fun i -> Bytes.make 1 (Char.chr i)) in
+              let shuffled = Support.shuffled ~seed:4 keys in
+              Array.iter (fun k -> ignore (insert ix records k)) shuffled;
+              ix.Pk_core.Index.validate ();
+              Alcotest.(check int) (name ^ " all 256") 256 (ix.Pk_core.Index.count ());
+              Array.iter
+                (fun k ->
+                  if ix.Pk_core.Index.lookup k = None then
+                    Alcotest.failf "%s: lost byte %s" name (Key.to_hex k))
+                keys;
+              (* ascending iteration covers 0x00..0xff in order *)
+              let got = List.of_seq (ix.Pk_core.Index.seq_from (Bytes.make 1 '\000')) in
+              List.iteri
+                (fun i (k, _) ->
+                  if Char.code (Bytes.get k 0) <> i then
+                    Alcotest.failf "%s: order broken at %d" name i)
+                got))
+        schemes_under_test)
+    both_structures
+
+(* Alphabet of 2 at bit granularity: maximal offset collisions, the
+   partial-key worst case. *)
+let test_binary_alphabet () =
+  List.iter
+    (fun (name, scheme) ->
+      with_index scheme Index.B_tree (fun ix records ->
+          let rng = Prng.create 5L in
+          let keys = Keygen.uniform ~rng ~key_len:16 ~alphabet:2 4000 in
+          Array.iter (fun k -> ignore (insert ix records k)) keys;
+          ix.Pk_core.Index.validate ();
+          Array.iter
+            (fun k ->
+              if ix.Pk_core.Index.lookup k = None then
+                Alcotest.failf "%s: lost %s" name (Key.to_hex k))
+            keys))
+    schemes_under_test
+
+(* Keys straddling a power of two: §3.1 notes adjacent keys can share
+   almost no prefix ("on either side of a large power of two"). *)
+let test_power_of_two_straddle () =
+  List.iter
+    (fun (name, scheme) ->
+      with_index scheme Index.B_tree (fun ix records ->
+          (* 0x00ff..., 0x0100...: difference at bit 7/8 boundaries *)
+          let keys =
+            List.concat_map
+              (fun hi ->
+                List.map
+                  (fun lo ->
+                    let k = Bytes.make 4 '\000' in
+                    Bytes.set_uint16_be k 0 hi;
+                    Bytes.set_uint16_be k 2 lo;
+                    k)
+                  [ 0x0000; 0x00ff; 0x0100; 0xff00; 0xffff ])
+              [ 0x00ff; 0x0100; 0x01ff; 0x0200; 0x7fff; 0x8000 ]
+          in
+          List.iter (fun k -> ignore (insert ix records k)) keys;
+          ix.Pk_core.Index.validate ();
+          List.iter
+            (fun k ->
+              if ix.Pk_core.Index.lookup k = None then
+                Alcotest.failf "%s: lost %s" name (Key.to_hex k))
+            keys))
+    schemes_under_test
+
+(* Deleting down to one key and back up, repeatedly, shakes out
+   root-collapse bookkeeping. *)
+let test_shrink_grow_cycles () =
+  with_index (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 }) Index.B_tree
+    (fun ix records ->
+      let keys = Keygen.sequential ~key_len:8 ~start:0 300 in
+      for cycle = 1 to 4 do
+        Array.iter (fun k -> ignore (insert ix records k)) keys;
+        ix.Pk_core.Index.validate ();
+        Array.iteri
+          (fun i k -> if i > 0 then ignore (ix.Pk_core.Index.delete k))
+          keys;
+        ix.Pk_core.Index.validate ();
+        Alcotest.(check int) (Printf.sprintf "cycle %d leaves one" cycle) 1
+          (ix.Pk_core.Index.count ());
+        ignore (ix.Pk_core.Index.delete keys.(0))
+      done)
+
+(* A record whose payload is large still keeps its key reachable. *)
+let test_large_payloads () =
+  with_index (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 }) Index.T_tree
+    (fun ix records ->
+      let rng = Prng.create 6L in
+      let keys = Keygen.uniform ~rng ~key_len:10 ~alphabet:50 200 in
+      Array.iter
+        (fun k ->
+          let rid = Record_store.insert records ~key:k ~payload:(Bytes.make 4000 'x') in
+          assert (ix.Pk_core.Index.insert k ~rid))
+        keys;
+      ix.Pk_core.Index.validate ();
+      Array.iter
+        (fun k ->
+          match ix.Pk_core.Index.lookup k with
+          | Some rid ->
+              Alcotest.(check int) "payload intact" 4000
+                (Bytes.length (Record_store.read_payload records rid))
+          | None -> Alcotest.fail "lost key with large payload")
+        keys)
+
+let () =
+  Alcotest.run "pk_edges"
+    [
+      ( "degenerate-keys",
+        [
+          Alcotest.test_case "all-zero key" `Quick test_all_zero_key;
+          Alcotest.test_case "one-byte keys (0x00..0xff)" `Quick test_one_byte_keys;
+          Alcotest.test_case "binary alphabet" `Quick test_binary_alphabet;
+          Alcotest.test_case "power-of-two straddles" `Quick test_power_of_two_straddle;
+        ] );
+      ( "stress",
+        [
+          Alcotest.test_case "shrink/grow cycles" `Quick test_shrink_grow_cycles;
+          Alcotest.test_case "large payloads" `Quick test_large_payloads;
+        ] );
+    ]

@@ -1,0 +1,77 @@
+(* Tests for the experiment registry and the Bechamel timing wrapper. *)
+
+module Experiment = Pk_harness.Experiment
+module Bench_time = Pk_harness.Bench_time
+
+(* The registry is global; use unique ids per test. *)
+let mk id = { Experiment.id; title = "t-" ^ id; paper_ref = "test"; run = (fun () -> ()) }
+
+let test_register_and_find () =
+  Experiment.register (mk "zz1");
+  Experiment.register (mk "zz2");
+  Alcotest.(check bool) "find exact" true (Experiment.find "zz1" <> None);
+  Alcotest.(check bool) "find case-insensitive" true (Experiment.find "ZZ2" <> None);
+  Alcotest.(check bool) "missing" true (Experiment.find "nope" = None);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       Experiment.register (mk "zz1");
+       false
+     with Invalid_argument _ -> true)
+
+let test_run_ids () =
+  let hits = ref [] in
+  Experiment.register
+    { Experiment.id = "zz3"; title = "t"; paper_ref = "p"; run = (fun () -> hits := "zz3" :: !hits) };
+  Experiment.register
+    { Experiment.id = "zz4"; title = "t"; paper_ref = "p"; run = (fun () -> hits := "zz4" :: !hits) };
+  Experiment.run_ids [ "zz4"; "zz3" ];
+  Alcotest.(check (list string)) "ran in requested order" [ "zz3"; "zz4" ] !hits;
+  Alcotest.(check bool) "unknown id fails" true
+    (try
+       Experiment.run_ids [ "does-not-exist" ];
+       false
+     with Failure _ -> true)
+
+let test_scaling_env () =
+  Unix.putenv "PK_KEYS" "12345";
+  Alcotest.(check int) "PK_KEYS wins" 12345 (Experiment.scaled_keys 999);
+  Unix.putenv "PK_KEYS" "";
+  Unix.putenv "PK_SCALE" "2.0";
+  Alcotest.(check int) "PK_SCALE multiplies" 2000 (Experiment.scaled_keys 1000);
+  Unix.putenv "PK_SCALE" "0.001";
+  Alcotest.(check int) "floor at 1000" 1000 (Experiment.scaled_keys 500_000);
+  Unix.putenv "PK_SCALE" "";
+  Unix.putenv "PK_LOOKUPS" "777";
+  Alcotest.(check int) "PK_LOOKUPS wins" 777 (Experiment.scaled_lookups 10);
+  Unix.putenv "PK_LOOKUPS" ""
+
+let test_bench_time_measures () =
+  (* A deliberately slow thunk vs a fast one: the OLS estimates must
+     order them and be positive. *)
+  let counter = ref 0 in
+  let fast () = incr counter in
+  let slow () =
+    for _ = 1 to 2000 do
+      incr counter
+    done
+  in
+  let results = Bench_time.time_group ~name:"t" [ ("fast", fast); ("slow", slow) ] in
+  let fast_ns = List.assoc "fast" results in
+  let slow_ns = List.assoc "slow" results in
+  Alcotest.(check bool) "positive" true (fast_ns > 0.0 && slow_ns > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "ordering (%.1f < %.1f)" fast_ns slow_ns)
+    true
+    (fast_ns < slow_ns)
+
+let () =
+  Alcotest.run "pk_harness"
+    [
+      ( "experiment",
+        [
+          Alcotest.test_case "register/find" `Quick test_register_and_find;
+          Alcotest.test_case "run_ids" `Quick test_run_ids;
+          Alcotest.test_case "env scaling" `Quick test_scaling_env;
+        ] );
+      ("bench_time", [ Alcotest.test_case "bechamel wrapper" `Quick test_bench_time_measures ]);
+    ]

@@ -1,0 +1,130 @@
+(* Tests for the shared entry layouts. *)
+
+module Mem = Pk_mem.Mem
+module Cachesim = Pk_cachesim.Cachesim
+module Machine = Pk_cachesim.Machine
+module Key = Pk_keys.Key
+module Layout = Pk_core.Layout
+module Partial_key = Pk_partialkey.Partial_key
+module Pk_compare = Pk_partialkey.Pk_compare
+module Prng = Pk_util.Prng
+
+let region () =
+  let cache = Cachesim.create (Machine.to_config Machine.ultra30) in
+  let mem = Mem.create ~cache () in
+  Mem.new_region mem ~name:"layout" ()
+
+let test_entry_sizes () =
+  Alcotest.(check int) "direct 8" 16 (Layout.entry_size (Layout.Direct { key_len = 8 }));
+  Alcotest.(check int) "direct 36" 44 (Layout.entry_size (Layout.Direct { key_len = 36 }));
+  Alcotest.(check int) "indirect" 8 (Layout.entry_size Layout.Indirect);
+  Alcotest.(check int) "pk l=0" 12
+    (Layout.entry_size (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 0 }));
+  Alcotest.(check int) "pk l=2" 14
+    (Layout.entry_size (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 }));
+  Alcotest.(check int) "pk bit l=2" 14
+    (Layout.entry_size (Layout.Partial { granularity = Partial_key.Bit; l_bytes = 2 }))
+
+let test_scheme_tags () =
+  Alcotest.(check string) "direct" "direct20" (Layout.scheme_tag (Layout.Direct { key_len = 20 }));
+  Alcotest.(check string) "indirect" "indirect" (Layout.scheme_tag Layout.Indirect);
+  Alcotest.(check string) "pk" "pk-bit-l4"
+    (Layout.scheme_tag (Layout.Partial { granularity = Partial_key.Bit; l_bytes = 4 }))
+
+let test_rec_ptr_roundtrip () =
+  let r = region () in
+  let a = Mem.alloc r 32 in
+  Layout.set_rec_ptr r a 0x1234567890;
+  Alcotest.(check int) "rec ptr" 0x1234567890 (Layout.rec_ptr r a)
+
+let test_direct_key_roundtrip () =
+  let r = region () in
+  let a = Mem.alloc r 64 in
+  let k = Bytes.of_string "twentybytekey0123456" in
+  Layout.write_direct_key r a k;
+  Alcotest.check Support.key_testable "roundtrip" k (Layout.read_direct_key r a ~key_len:20);
+  let c, d = Layout.compare_direct r a ~key_len:20 (Bytes.of_string "twentybytekey0123455") in
+  Alcotest.check Support.cmp_testable "stored greater" Key.Gt c;
+  Alcotest.(check int) "at byte 19" 19 d
+
+let roundtrip_pk g ~l_bytes pk =
+  let r = region () in
+  let a = Mem.alloc r 64 in
+  Layout.write_pk r a ~l_bytes pk;
+  Layout.read_pk r a ~granularity:g
+
+let test_pk_roundtrip_byte () =
+  let pk = { Partial_key.pk_off = 7; pk_len = 2; pk_bits = Bytes.of_string "xy" } in
+  let got = roundtrip_pk Partial_key.Byte ~l_bytes:2 pk in
+  Alcotest.(check bool) "byte roundtrip" true (got = pk);
+  (* shorter than l: field zero-padded, live prefix returned *)
+  let pk0 = { Partial_key.pk_off = 3; pk_len = 1; pk_bits = Bytes.of_string "q" } in
+  let got0 = roundtrip_pk Partial_key.Byte ~l_bytes:4 pk0 in
+  Alcotest.(check bool) "clamped roundtrip" true (got0 = pk0)
+
+let test_pk_roundtrip_bit () =
+  (* 11 bits stored -> 2 bytes on disk *)
+  let pk = { Partial_key.pk_off = 100; pk_len = 11; pk_bits = Bytes.of_string "\xAB\xC0" } in
+  let got = roundtrip_pk Partial_key.Bit ~l_bytes:2 pk in
+  Alcotest.(check bool) "bit roundtrip" true (got = pk)
+
+let test_pk_field_bounds () =
+  let r = region () in
+  let a = Mem.alloc r 64 in
+  Alcotest.(check bool) "pk_off overflow rejected" true
+    (try
+       Layout.write_pk r a ~l_bytes:2
+         { Partial_key.pk_off = 70_000; pk_len = 0; pk_bits = Bytes.empty };
+       false
+     with Invalid_argument _ -> true)
+
+let test_pk_first_byte () =
+  let r = region () in
+  let a = Mem.alloc r 64 in
+  Layout.write_pk r a ~l_bytes:2 { Partial_key.pk_off = 1; pk_len = 2; pk_bits = Bytes.of_string "AB" };
+  Alcotest.(check int) "first byte" (Char.code 'A') (Layout.read_pk_first_byte r a);
+  Layout.write_pk r a ~l_bytes:2 { Partial_key.pk_off = 1; pk_len = 0; pk_bits = Bytes.empty };
+  Alcotest.(check int) "empty -> -1" (-1) (Layout.read_pk_first_byte r a)
+
+(* resolve_pk_units over the stored form agrees with
+   Pk_compare.resolve_by_units over the in-memory form. *)
+let prop_resolve_units_equiv seed =
+  let rng = Prng.create (Int64.of_int seed) in
+  let g = if Prng.bool rng then Partial_key.Bit else Partial_key.Byte in
+  let l_bytes = 1 + Prng.int rng 3 in
+  let len = 3 + Prng.int rng 4 in
+  let rand_key () = Bytes.init len (fun _ -> Char.chr (Prng.int rng 5)) in
+  let base = rand_key () and key = rand_key () and search = rand_key () in
+  if Key.equal base key then true
+  else begin
+    let pk = Partial_key.encode g ~l_bytes ~base ~key in
+    let r = region () in
+    let a = Mem.alloc r 64 in
+    Layout.write_pk r a ~l_bytes pk;
+    let rel = if Prng.bool rng then Key.Gt else Key.Eq in
+    let off = pk.Partial_key.pk_off in
+    let expect =
+      Pk_compare.resolve_by_units g ~search ~rel ~off ~pk_len:pk.Partial_key.pk_len
+        ~pk_bits:pk.Partial_key.pk_bits
+    in
+    let got = Layout.resolve_pk_units r a ~scheme_granularity:g ~search ~rel ~off in
+    got = expect
+  end
+
+let () =
+  Alcotest.run "pk_layout"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "entry sizes" `Quick test_entry_sizes;
+          Alcotest.test_case "scheme tags" `Quick test_scheme_tags;
+          Alcotest.test_case "rec ptr" `Quick test_rec_ptr_roundtrip;
+          Alcotest.test_case "direct key" `Quick test_direct_key_roundtrip;
+          Alcotest.test_case "pk roundtrip (byte)" `Quick test_pk_roundtrip_byte;
+          Alcotest.test_case "pk roundtrip (bit)" `Quick test_pk_roundtrip_bit;
+          Alcotest.test_case "pk field bounds" `Quick test_pk_field_bounds;
+          Alcotest.test_case "pk first byte" `Quick test_pk_first_byte;
+          Support.seeded_qtest ~count:500 "stored/in-memory unit resolution agrees"
+            prop_resolve_units_equiv;
+        ] );
+    ]

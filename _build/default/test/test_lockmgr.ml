@@ -1,0 +1,407 @@
+(* Tests for the ARIES/KVL-style lock manager and the next-key-locking
+   index wrapper (phantom prevention). *)
+
+module Key = Pk_keys.Key
+module Index = Pk_core.Index
+module Layout = Pk_core.Layout
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+module L = Pk_lockmgr.Lock_manager
+module LI = Pk_lockmgr.Locking_index
+
+let k s = L.Key (Bytes.of_string s)
+
+let test_compatibility_matrix () =
+  (* The textbook table, exhaustively. *)
+  let expected =
+    [
+      (L.IS, L.IS, true); (L.IS, L.IX, true); (L.IS, L.S, true); (L.IS, L.SIX, true);
+      (L.IS, L.X, false);
+      (L.IX, L.IX, true); (L.IX, L.S, false); (L.IX, L.SIX, false); (L.IX, L.X, false);
+      (L.S, L.S, true); (L.S, L.SIX, false); (L.S, L.X, false);
+      (L.SIX, L.SIX, false); (L.SIX, L.X, false);
+      (L.X, L.X, false);
+    ]
+  in
+  List.iter
+    (fun (a, b, want) ->
+      let name = Format.asprintf "%a/%a" L.pp_mode a L.pp_mode b in
+      Alcotest.(check bool) name want (L.compatible a b);
+      Alcotest.(check bool) (name ^ " sym") want (L.compatible b a))
+    expected
+
+let test_sup_lattice () =
+  Alcotest.(check bool) "S v IX = SIX" true (L.sup L.S L.IX = L.SIX);
+  Alcotest.(check bool) "IS v S = S" true (L.sup L.IS L.S = L.S);
+  Alcotest.(check bool) "X absorbs" true (L.sup L.X L.IS = L.X);
+  Alcotest.(check bool) "idempotent" true (L.sup L.SIX L.SIX = L.SIX)
+
+let test_grant_conflict_release () =
+  let m = L.create () in
+  let t1 = L.begin_txn m and t2 = L.begin_txn m in
+  Alcotest.(check bool) "t1 S" true (L.acquire m t1 (k "a") L.S = L.Granted);
+  Alcotest.(check bool) "t2 S shares" true (L.acquire m t2 (k "a") L.S = L.Granted);
+  (match L.acquire m t1 (k "a") L.X with
+  | L.Would_block [ id ] -> Alcotest.(check int) "blocked by t2" (L.txn_id t2) id
+  | _ -> Alcotest.fail "upgrade should block");
+  L.release_all m t2;
+  Alcotest.(check bool) "upgrade after release" true (L.acquire m t1 (k "a") L.X = L.Granted);
+  Alcotest.(check int) "one holder" 1 (List.length (L.holders m (k "a")));
+  L.release_all m t1;
+  Alcotest.(check (list (pair int reject))) "table emptied" []
+    (List.map (fun (i, m') -> (i, m')) (L.holders m (k "a")))
+
+let test_upgrade_is_sup () =
+  let m = L.create () in
+  let t1 = L.begin_txn m in
+  Alcotest.(check bool) "S" true (L.acquire m t1 (k "a") L.S = L.Granted);
+  Alcotest.(check bool) "then IX" true (L.acquire m t1 (k "a") L.IX = L.Granted);
+  (match L.held m t1 with
+  | [ (_, mode) ] -> Alcotest.(check bool) "held SIX" true (mode = L.SIX)
+  | _ -> Alcotest.fail "one lock expected")
+
+let test_deadlock_detection () =
+  let m = L.create () in
+  let t1 = L.begin_txn m and t2 = L.begin_txn m in
+  Alcotest.(check bool) "t1 X a" true (L.acquire m t1 (k "a") L.X = L.Granted);
+  Alcotest.(check bool) "t2 X b" true (L.acquire m t2 (k "b") L.X = L.Granted);
+  (match L.acquire m t1 (k "b") L.X with
+  | L.Would_block _ -> ()
+  | _ -> Alcotest.fail "t1 should wait");
+  (match L.acquire m t2 (k "a") L.X with
+  | L.Deadlock -> ()
+  | _ -> Alcotest.fail "t2 must detect the cycle");
+  (* t2 aborts; t1 can proceed. *)
+  L.release_all m t2;
+  Alcotest.(check bool) "t1 proceeds" true (L.acquire m t1 (k "b") L.X = L.Granted)
+
+let test_three_party_cycle () =
+  let m = L.create () in
+  let t1 = L.begin_txn m and t2 = L.begin_txn m and t3 = L.begin_txn m in
+  ignore (L.acquire m t1 (k "a") L.X);
+  ignore (L.acquire m t2 (k "b") L.X);
+  ignore (L.acquire m t3 (k "c") L.X);
+  ignore (L.acquire m t1 (k "b") L.X);
+  (* t1 -> t2 *)
+  ignore (L.acquire m t2 (k "c") L.X);
+  (* t2 -> t3 *)
+  match L.acquire m t3 (k "a") L.X with
+  | L.Deadlock -> ()
+  | _ -> Alcotest.fail "three-party cycle undetected"
+
+let test_cancel_wait_breaks_edge () =
+  let m = L.create () in
+  let t1 = L.begin_txn m and t2 = L.begin_txn m in
+  ignore (L.acquire m t1 (k "a") L.X);
+  ignore (L.acquire m t2 (k "b") L.X);
+  ignore (L.acquire m t1 (k "b") L.X);
+  (* t1 waits on b *)
+  L.cancel_wait m t1;
+  (* now t2's request for a does not close a cycle *)
+  match L.acquire m t2 (k "a") L.X with
+  | L.Would_block _ -> ()
+  | _ -> Alcotest.fail "expected plain block after cancel"
+
+(* {2 Next-key locking} *)
+
+let make_locking_index () =
+  let mem, records = Support.make_env () in
+  let ix =
+    Index.make Index.B_tree
+      (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+      mem records
+  in
+  let li = LI.wrap (L.create ()) ix in
+  let put s =
+    let key = Bytes.of_string s in
+    let rid = Record_store.insert records ~key ~payload:Bytes.empty in
+    assert (ix.Index.insert key ~rid)
+  in
+  List.iter put [ "banana"; "cherry"; "damson"; "elderberry" ];
+  (li, records)
+
+let key s = Bytes.of_string s
+
+let test_lookup_locks_present_key () =
+  let li, _ = make_locking_index () in
+  let t1 = LI.begin_txn li and t2 = LI.begin_txn li in
+  (match LI.lookup li t1 (key "cherry") with
+  | `Ok (Some _) -> ()
+  | _ -> Alcotest.fail "lookup should succeed");
+  (* another reader shares, a writer blocks *)
+  (match LI.lookup li t2 (key "cherry") with
+  | `Ok (Some _) -> ()
+  | _ -> Alcotest.fail "shared read");
+  match LI.delete li t2 (key "cherry") with
+  | `Blocked _ -> ()
+  | _ -> Alcotest.fail "delete must block on reader"
+
+let test_phantom_prevention_gap_read () =
+  let li, records = make_locking_index () in
+  let t1 = LI.begin_txn li and t2 = LI.begin_txn li in
+  (* t1 reads an absent key: the gap's next key (cherry) gets
+     S-locked. *)
+  (match LI.lookup li t1 (key "cat") with
+  | `Ok None -> ()
+  | _ -> Alcotest.fail "absent lookup");
+  (* t2 tries to insert into that gap: the next key is cherry, X
+     conflicts with t1's S. *)
+  let rid = Record_store.insert records ~key:(key "cedar") ~payload:Bytes.empty in
+  (match LI.insert li t2 (key "cedar") ~rid with
+  | `Blocked _ -> ()
+  | _ -> Alcotest.fail "phantom insert must block");
+  (* After t1 commits, the insert goes through. *)
+  LI.commit li t1;
+  match LI.insert li t2 (key "cedar") ~rid with
+  | `Ok true -> LI.commit li t2
+  | _ -> Alcotest.fail "insert after commit"
+
+let test_phantom_prevention_range_scan () =
+  let li, records = make_locking_index () in
+  let t1 = LI.begin_txn li and t2 = LI.begin_txn li in
+  (match LI.range li t1 ~lo:(key "banana") ~hi:(key "damson") with
+  | `Ok items -> Alcotest.(check int) "scan width" 3 (List.length items)
+  | _ -> Alcotest.fail "range should succeed");
+  (* An insert inside the scanned range blocks... *)
+  let rid = Record_store.insert records ~key:(key "coconut") ~payload:Bytes.empty in
+  (match LI.insert li t2 (key "coconut") ~rid with
+  | `Blocked _ -> ()
+  | _ -> Alcotest.fail "insert into scanned range must block");
+  (* ...and so does one in the gap just above the range (fenced by the
+     first key beyond hi). *)
+  let rid2 = Record_store.insert records ~key:(key "date") ~payload:Bytes.empty in
+  (match LI.insert li t2 (key "date") ~rid:rid2 with
+  | `Blocked _ -> ()
+  | _ -> Alcotest.fail "insert just above range must block");
+  LI.commit li t1;
+  (match LI.insert li t2 (key "coconut") ~rid with
+  | `Ok true -> ()
+  | _ -> Alcotest.fail "insert after commit");
+  LI.commit li t2
+
+let test_insert_at_end_locks_sentinel () =
+  let li, records = make_locking_index () in
+  let t1 = LI.begin_txn li and t2 = LI.begin_txn li in
+  (* t1 reads past the last key: sentinel S-locked. *)
+  (match LI.lookup li t1 (key "zebra") with
+  | `Ok None -> ()
+  | _ -> Alcotest.fail "absent high lookup");
+  let rid = Record_store.insert records ~key:(key "zucchini") ~payload:Bytes.empty in
+  (match LI.insert li t2 (key "zucchini") ~rid with
+  | `Blocked _ -> ()
+  | _ -> Alcotest.fail "append past reader must block");
+  LI.commit li t1;
+  match LI.insert li t2 (key "zucchini") ~rid with
+  | `Ok true -> ()
+  | _ -> Alcotest.fail "append after commit"
+
+let test_writers_serialize_on_neighbouring_inserts () =
+  let li, records = make_locking_index () in
+  let t1 = LI.begin_txn li and t2 = LI.begin_txn li in
+  let rid1 = Record_store.insert records ~key:(key "cara") ~payload:Bytes.empty in
+  let rid2 = Record_store.insert records ~key:(key "carb") ~payload:Bytes.empty in
+  (match LI.insert li t1 (key "cara") ~rid:rid1 with
+  | `Ok true -> ()
+  | _ -> Alcotest.fail "t1 insert");
+  (* t2's insert into the same gap needs the same next key (cherry)
+     OR the freshly inserted cara... its at_or_after is carb->cherry?
+     "carb" > "cara": next at-or-after is "cherry"?  No: t1 inserted
+     "cara" < "carb", so next key after "carb" is "cherry", which t1
+     X-locked as its own next key. *)
+  (match LI.insert li t2 (key "carb") ~rid:rid2 with
+  | `Blocked _ -> ()
+  | _ -> Alcotest.fail "neighbouring insert must block");
+  LI.commit li t1;
+  match LI.insert li t2 (key "carb") ~rid:rid2 with
+  | `Ok true -> ()
+  | _ -> Alcotest.fail "after commit"
+
+(* {2 Serializability}
+
+   Random two-transaction schedules under strict 2PL with next-key
+   locking must be equivalent to one of the two serial orders.  Blocked
+   operations yield to the other transaction; deadlock victims undo
+   their work, release, and restart.  The final key set is compared
+   against both serial executions. *)
+
+type op = L of string | I of string | D of string
+
+let fresh_env_index () =
+  let mem, records = Support.make_env () in
+  let ix =
+    Index.make Index.B_tree
+      (Layout.Partial { granularity = Partial_key.Byte; l_bytes = 2 })
+      mem records
+  in
+  (ix, records)
+
+let seed_keys = [ "k1"; "k3"; "k5"; "k7" ]
+
+let load_initial ix records =
+  List.iter
+    (fun s ->
+      let k = Bytes.of_string s in
+      let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+      assert (ix.Index.insert k ~rid))
+    seed_keys
+
+let key_set ix =
+  let acc = ref [] in
+  ix.Index.iter (fun ~key:k ~rid:_ -> acc := Bytes.to_string k :: !acc);
+  List.sort compare !acc
+
+(* Apply a program directly (serial execution). *)
+let run_serial ix records prog =
+  List.iter
+    (fun op ->
+      match op with
+      | L k -> ignore (ix.Index.lookup (Bytes.of_string k))
+      | I k ->
+          let kb = Bytes.of_string k in
+          if ix.Index.lookup kb = None then begin
+            let rid = Record_store.insert records ~key:kb ~payload:Bytes.empty in
+            ignore (ix.Index.insert kb ~rid)
+          end
+      | D k -> ignore (ix.Index.delete (Bytes.of_string k)))
+    prog
+
+let serial_outcome prog1 prog2 =
+  let ix, records = fresh_env_index () in
+  load_initial ix records;
+  run_serial ix records prog1;
+  run_serial ix records prog2;
+  key_set ix
+
+(* One transaction's state during the interleaved run. *)
+type attempt = {
+  mutable remaining : op list;
+  mutable undo : op list; (* inverse ops, most recent first *)
+  mutable txn : L.txn;
+  mutable blocked : bool;
+  mutable finished : bool;
+  mutable restarts : int;
+  prog : op list;
+}
+
+let prop_serializable seed =
+  let rng = Pk_util.Prng.create (Int64.of_int seed) in
+  let rand_op () =
+    let k = Printf.sprintf "k%d" (Pk_util.Prng.int rng 8) in
+    match Pk_util.Prng.int rng 3 with 0 -> L k | 1 -> I k | _ -> D k
+  in
+  let prog () = List.init (3 + Pk_util.Prng.int rng 4) (fun _ -> rand_op ()) in
+  let p1 = prog () and p2 = prog () in
+  let s12 = serial_outcome p1 p2 and s21 = serial_outcome p2 p1 in
+  (* Interleaved run. *)
+  let ix, records = fresh_env_index () in
+  load_initial ix records;
+  let li = LI.wrap (L.create ()) ix in
+  let mk prog = {
+      remaining = prog; undo = []; txn = LI.begin_txn li;
+      blocked = false; finished = false; restarts = 0; prog;
+    }
+  in
+  let a1 = mk p1 and a2 = mk p2 in
+  let apply_undo a =
+    List.iter
+      (fun op ->
+        match op with
+        | I k -> ignore (ix.Index.delete (Bytes.of_string k))
+        | D k ->
+            let kb = Bytes.of_string k in
+            let rid = Record_store.insert records ~key:kb ~payload:Bytes.empty in
+            ignore (ix.Index.insert kb ~rid)
+        | L _ -> ())
+      a.undo
+  in
+  let restart a =
+    apply_undo a;
+    LI.abort li a.txn;
+    a.txn <- LI.begin_txn li;
+    a.remaining <- a.prog;
+    a.undo <- [];
+    a.blocked <- false;
+    a.restarts <- a.restarts + 1;
+    if a.restarts > 20 then Alcotest.fail "livelock: too many restarts"
+  in
+  let step a =
+    match a.remaining with
+    | [] ->
+        LI.commit li a.txn;
+        a.finished <- true
+    | op :: rest -> (
+        let outcome =
+          match op with
+          | L k -> (match LI.lookup li a.txn (Bytes.of_string k) with
+                    | `Ok _ -> `Done
+                    | (`Blocked _ | `Deadlock) as e -> e)
+          | I k -> (
+              let kb = Bytes.of_string k in
+              match LI.insert li a.txn kb
+                      ~rid:(Record_store.insert records ~key:kb ~payload:Bytes.empty)
+              with
+              | `Ok true -> a.undo <- I k :: a.undo; `Done
+              | `Ok false -> `Done
+              | (`Blocked _ | `Deadlock) as e -> e)
+          | D k -> (
+              match LI.delete li a.txn (Bytes.of_string k) with
+              | `Ok true -> a.undo <- D k :: a.undo; `Done
+              | `Ok false -> `Done
+              | (`Blocked _ | `Deadlock) as e -> e)
+        in
+        match outcome with
+        | `Done ->
+            a.remaining <- rest;
+            a.blocked <- false
+        | `Blocked _ -> a.blocked <- true
+        | `Deadlock -> restart a)
+  in
+  let steps = ref 0 in
+  while (not a1.finished) || not a2.finished do
+    incr steps;
+    if !steps > 2000 then Alcotest.fail "schedule did not terminate";
+    (* Random scheduling among unfinished, unblocked transactions;
+       blocked ones retry when the other can't run. *)
+    let runnable = List.filter (fun a -> not a.finished) [ a1; a2 ] in
+    let unblocked = List.filter (fun a -> not a.blocked) runnable in
+    let pick =
+      match unblocked with
+      | [] ->
+          (* both blocked is impossible under deadlock detection *)
+          Alcotest.fail "all transactions blocked"
+      | [ a ] -> a
+      | choices -> List.nth choices (Pk_util.Prng.int rng (List.length choices))
+    in
+    step pick;
+    (* A blocked transaction becomes retryable whenever the other
+       one makes progress or finishes. *)
+    List.iter (fun a -> if a.blocked && (a1.finished || a2.finished || Pk_util.Prng.bool rng) then a.blocked <- false) [ a1; a2 ]
+  done;
+  let final = key_set ix in
+  ix.Index.validate ();
+  final = s12 || final = s21
+
+let () =
+  Alcotest.run "pk_lockmgr"
+    [
+      ( "lock-manager",
+        [
+          Alcotest.test_case "compatibility matrix" `Quick test_compatibility_matrix;
+          Alcotest.test_case "sup lattice" `Quick test_sup_lattice;
+          Alcotest.test_case "grant/conflict/release" `Quick test_grant_conflict_release;
+          Alcotest.test_case "upgrade is sup" `Quick test_upgrade_is_sup;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "three-party cycle" `Quick test_three_party_cycle;
+          Alcotest.test_case "cancel_wait" `Quick test_cancel_wait_breaks_edge;
+        ] );
+      ( "next-key-locking",
+        [
+          Alcotest.test_case "reader locks present key" `Quick test_lookup_locks_present_key;
+          Alcotest.test_case "gap read blocks phantom" `Quick test_phantom_prevention_gap_read;
+          Alcotest.test_case "range scan blocks phantoms" `Quick test_phantom_prevention_range_scan;
+          Alcotest.test_case "sentinel at end" `Quick test_insert_at_end_locks_sentinel;
+          Alcotest.test_case "neighbouring inserts serialize" `Quick
+            test_writers_serialize_on_neighbouring_inserts;
+          Support.seeded_qtest ~count:300 "random schedules are serializable" prop_serializable;
+        ] );
+    ]

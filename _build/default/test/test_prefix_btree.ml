@@ -1,0 +1,186 @@
+(* Tests for the prefix B+-tree baseline (§2's key-compression
+   alternative). *)
+
+module Key = Pk_keys.Key
+module Keygen = Pk_keys.Keygen
+module Prng = Pk_util.Prng
+module Index = Pk_core.Index
+module Prefix_btree = Pk_core.Prefix_btree
+module Record_store = Pk_records.Record_store
+
+let make () =
+  let mem, records = Support.make_env () in
+  (Prefix_btree.create mem records Prefix_btree.default_config, records, mem)
+
+let insert_all p records keys =
+  Array.iter
+    (fun k ->
+      let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+      if not (Prefix_btree.insert p k ~rid) then Alcotest.failf "insert %s" (Key.to_hex k))
+    keys
+
+let test_empty_and_single () =
+  let p, records, _ = make () in
+  Alcotest.(check (option int)) "empty lookup" None (Prefix_btree.lookup p (Bytes.of_string "x"));
+  Alcotest.(check bool) "empty delete" false (Prefix_btree.delete p (Bytes.of_string "x"));
+  let k = Bytes.of_string "solo" in
+  let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+  Alcotest.(check bool) "insert" true (Prefix_btree.insert p k ~rid);
+  Alcotest.(check bool) "dup refused" false (Prefix_btree.insert p k ~rid);
+  Alcotest.(check (option int)) "found" (Some rid) (Prefix_btree.lookup p k);
+  Prefix_btree.validate p;
+  Alcotest.(check bool) "delete" true (Prefix_btree.delete p k);
+  Alcotest.(check int) "empty" 0 (Prefix_btree.count p);
+  Prefix_btree.validate p
+
+let test_random_build_and_drain () =
+  let p, records, _ = make () in
+  let rng = Prng.create 1L in
+  let keys = Keygen.uniform ~rng ~key_len:12 ~alphabet:12 4000 in
+  insert_all p records keys;
+  Prefix_btree.validate p;
+  Array.iter
+    (fun k -> if Prefix_btree.lookup p k = None then Alcotest.failf "lost %s" (Key.to_hex k))
+    keys;
+  let absent = Keygen.uniform ~rng ~key_len:11 ~alphabet:12 100 in
+  Array.iter
+    (fun k ->
+      if Prefix_btree.lookup p k <> None then Alcotest.failf "phantom %s" (Key.to_hex k))
+    absent;
+  let order = Support.shuffled ~seed:2 keys in
+  Array.iteri
+    (fun i k ->
+      if not (Prefix_btree.delete p k) then Alcotest.failf "delete %d" i;
+      if i mod 400 = 0 then Prefix_btree.validate p)
+    order;
+  Alcotest.(check int) "drained" 0 (Prefix_btree.count p);
+  Prefix_btree.validate p
+
+let test_variable_length_keys () =
+  let p, records, _ = make () in
+  let rng = Prng.create 3L in
+  let keys =
+    Keygen.prefixed ~rng
+      ~prefixes:[| "inventory/boxes/"; "inventory/crates/"; "users/profiles/" |]
+      ~suffix_len:8 ~alphabet:30 2000
+  in
+  insert_all p records keys;
+  Prefix_btree.validate p;
+  Array.iter
+    (fun k -> if Prefix_btree.lookup p k = None then Alcotest.failf "lost %s" (Key.to_hex k))
+    keys
+
+let test_prefix_compression_saves_space () =
+  (* Keys sharing a long prefix: the prefix B+-tree stores it once per
+     node, beating direct storage handily. *)
+  let mem, records = Support.make_env () in
+  let p = Prefix_btree.create mem records Prefix_btree.default_config in
+  let d =
+    Pk_core.Btree.create mem records
+      { Pk_core.Btree.scheme = Pk_core.Layout.Direct { key_len = 30 }; node_bytes = 192; naive_search = false }
+  in
+  let keys = Array.init 3000 (fun i -> Bytes.of_string (Printf.sprintf "warehouse/zone-7/item-%08d" i)) in
+  Alcotest.(check int) "key length" 30 (Bytes.length keys.(0));
+  Array.iter
+    (fun k ->
+      let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+      assert (Prefix_btree.insert p k ~rid);
+      assert (Pk_core.Btree.insert d k ~rid))
+    keys;
+  Prefix_btree.validate p;
+  Alcotest.(check bool)
+    (Printf.sprintf "prefix %d < direct %d bytes" (Prefix_btree.space_bytes p)
+       (Pk_core.Btree.space_bytes d))
+    true
+    (Prefix_btree.space_bytes p * 2 < Pk_core.Btree.space_bytes d)
+
+let test_separator_truncation () =
+  let p, records, _ = make () in
+  (* Fill with keys whose neighbours differ early: separators must stay
+     short even though keys are long. *)
+  let keys =
+    Array.init 2000 (fun i ->
+        Bytes.of_string (Printf.sprintf "%04d-loooooooooooooooong-tail" i))
+  in
+  insert_all p records keys;
+  Prefix_btree.validate p;
+  let max_sep = Prefix_btree.max_separator_len p in
+  Alcotest.(check bool)
+    (Printf.sprintf "separators truncated (max %d << 30)" max_sep)
+    true (max_sep <= 8)
+
+let test_no_dereferences () =
+  let mem, records = Support.make_env () in
+  let p = Prefix_btree.create mem records Prefix_btree.default_config in
+  let rng = Prng.create 4L in
+  let keys = Keygen.uniform ~rng ~key_len:20 ~alphabet:12 3000 in
+  Array.iter
+    (fun k ->
+      let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+      assert (Prefix_btree.insert p k ~rid))
+    keys;
+  (* Lossless compression: lookups never touch the record region. *)
+  let cache = Option.get (Pk_mem.Mem.cache mem) in
+  Pk_mem.Mem.set_tracing mem true;
+  Pk_cachesim.Cachesim.flush cache;
+  let before = Pk_cachesim.Cachesim.snapshot cache in
+  Array.iter (fun k -> ignore (Prefix_btree.lookup p k)) keys;
+  let after = Pk_cachesim.Cachesim.snapshot cache in
+  Pk_mem.Mem.set_tracing mem false;
+  let d = Pk_cachesim.Cachesim.diff ~before ~after in
+  Alcotest.(check bool) "accesses happened" true (d.Pk_cachesim.Cachesim.total_accesses > 0);
+  Alcotest.(check int) "deref counter stays zero" 0 (Prefix_btree.deref_count p)
+
+let test_cursor_and_range () =
+  let p, records, _ = make () in
+  let keys = Keygen.sequential ~key_len:8 ~start:0 1500 in
+  insert_all p records keys;
+  let got = List.of_seq (Seq.take 5 (Prefix_btree.seq_from p keys.(700))) in
+  List.iteri
+    (fun i (k, _) -> Alcotest.check Support.key_testable "cursor keys" keys.(700 + i) k)
+    got;
+  let cnt = ref 0 in
+  Prefix_btree.range p ~lo:keys.(100) ~hi:keys.(199) (fun ~key:_ ~rid:_ -> incr cnt);
+  Alcotest.(check int) "range width" 100 !cnt;
+  (* full iteration is sorted and complete *)
+  let seen = ref 0 and prev = ref None in
+  Prefix_btree.iter p (fun ~key ~rid:_ ->
+      incr seen;
+      (match !prev with
+      | Some q when Key.compare q key >= 0 -> Alcotest.fail "unsorted"
+      | _ -> ());
+      prev := Some key);
+  Alcotest.(check int) "iter complete" 1500 !seen
+
+let test_oversized_key_rejected () =
+  let p, records, _ = make () in
+  let k = Bytes.make 180 'k' in
+  let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+  Alcotest.(check bool) "too long for a node" true
+    (try
+       ignore (Prefix_btree.insert p k ~rid);
+       false
+     with Invalid_argument _ -> true)
+
+let conformance =
+  Alcotest.test_case "model conformance" `Slow (fun () ->
+      Support.conformance_run
+        ~make_index:(fun mem records -> Index.make_prefix_btree mem records)
+        ~key_len:10 ~alphabet:8 ~n_keys:400 ~n_ops:3000 ~seed:777 ())
+
+let () =
+  Alcotest.run "pk_prefix_btree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty/single" `Quick test_empty_and_single;
+          Alcotest.test_case "random build + drain" `Quick test_random_build_and_drain;
+          Alcotest.test_case "variable-length keys" `Quick test_variable_length_keys;
+          Alcotest.test_case "prefix compression space" `Quick test_prefix_compression_saves_space;
+          Alcotest.test_case "separator truncation" `Quick test_separator_truncation;
+          Alcotest.test_case "no dereferences" `Quick test_no_dereferences;
+          Alcotest.test_case "cursor + range" `Quick test_cursor_and_range;
+          Alcotest.test_case "oversized key" `Quick test_oversized_key_rejected;
+        ] );
+      ("conformance", [ conformance ]);
+    ]

@@ -1,0 +1,198 @@
+(* Unit tests for pk_util: Prng, Stats_acc, Tables. *)
+
+module Prng = Pk_util.Prng
+module Stats_acc = Pk_util.Stats_acc
+module Tables = Pk_util.Tables
+
+let test_prng_deterministic () =
+  let a = Prng.create 42L and b = Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_prng_distinct_seeds () =
+  let a = Prng.create 1L and b = Prng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Prng.next_int64 a = Prng.next_int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams diverge" true (!same < 4)
+
+let test_prng_int_bounds () =
+  let t = Prng.create 7L in
+  for bound = 1 to 50 do
+    for _ = 1 to 50 do
+      let v = Prng.int t bound in
+      if v < 0 || v >= bound then Alcotest.failf "int %d out of [0,%d)" v bound
+    done
+  done
+
+let test_prng_int_uniformish () =
+  let t = Prng.create 9L in
+  let counts = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Prng.int t 10 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = n / 10 in
+      if abs (c - expected) > expected / 5 then
+        Alcotest.failf "bucket %d skewed: %d vs %d" i c expected)
+    counts
+
+let test_prng_float_bounds () =
+  let t = Prng.create 11L in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "float %f out of range" v
+  done
+
+let test_prng_split_independent () =
+  let t = Prng.create 5L in
+  let u = Prng.split t in
+  Alcotest.(check bool) "split stream differs" true (Prng.next_int64 t <> Prng.next_int64 u)
+
+let test_prng_copy () =
+  let t = Prng.create 13L in
+  ignore (Prng.next_int64 t);
+  let u = Prng.copy t in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 t) (Prng.next_int64 u)
+
+let test_stats_basic () =
+  let s = Stats_acc.create () in
+  List.iter (Stats_acc.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  Alcotest.(check int) "count" 4 (Stats_acc.count s);
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats_acc.mean s);
+  Alcotest.(check (float 1e-9)) "total" 10.0 (Stats_acc.total s);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats_acc.min s);
+  Alcotest.(check (float 1e-9)) "max" 4.0 (Stats_acc.max s);
+  Alcotest.(check (float 1e-6)) "stddev" 1.2909944487 (Stats_acc.stddev s)
+
+let test_stats_percentile () =
+  let s = Stats_acc.create () in
+  for i = 1 to 100 do
+    Stats_acc.add s (float_of_int i)
+  done;
+  Alcotest.(check (float 1e-9)) "p0" 1.0 (Stats_acc.percentile s 0.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats_acc.percentile s 100.0);
+  Alcotest.(check (float 0.6)) "p50" 50.5 (Stats_acc.percentile s 50.0);
+  Alcotest.(check (float 0.6)) "p90" 90.1 (Stats_acc.percentile s 90.0)
+
+let test_stats_growth_and_interleaved_percentiles () =
+  (* add -> percentile -> add again exercises the re-sort path. *)
+  let s = Stats_acc.create () in
+  for i = 1 to 200 do
+    Stats_acc.add s (float_of_int (201 - i))
+  done;
+  ignore (Stats_acc.percentile s 50.0);
+  Stats_acc.add s 1000.0;
+  Alcotest.(check (float 1e-9)) "new max" 1000.0 (Stats_acc.max s);
+  Alcotest.(check int) "count" 201 (Stats_acc.count s)
+
+let test_stats_empty () =
+  let s = Stats_acc.create () in
+  Alcotest.(check (float 0.0)) "mean of empty" 0.0 (Stats_acc.mean s);
+  Alcotest.check_raises "min raises" (Invalid_argument "Stats_acc.min: empty") (fun () ->
+      ignore (Stats_acc.min s))
+
+let test_stats_merge () =
+  let a = Stats_acc.create () and b = Stats_acc.create () in
+  List.iter (Stats_acc.add a) [ 1.0; 2.0 ];
+  List.iter (Stats_acc.add b) [ 3.0; 4.0 ];
+  let m = Stats_acc.merge a b in
+  Alcotest.(check int) "merged count" 4 (Stats_acc.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.5 (Stats_acc.mean m)
+
+let test_tables_render () =
+  let t = Tables.create ~columns:[ ("name", Tables.Left); ("n", Tables.Right) ] in
+  Tables.add_row t [ "alpha"; "1" ];
+  Tables.add_separator t;
+  Tables.add_row t [ "b"; "22" ];
+  let s = Tables.render t in
+  Alcotest.(check bool) "has header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  (match widths with
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "aligned widths" w w') rest
+  | [] -> Alcotest.fail "no output");
+  Alcotest.check_raises "arity enforced"
+    (Invalid_argument "Tables.add_row: 1 cells for 2 columns") (fun () ->
+      Tables.add_row t [ "only-one" ])
+
+let test_tables_csv () =
+  let t = Tables.create ~columns:[ ("a", Tables.Left); ("b", Tables.Left) ] in
+  Tables.add_row t [ "x,y"; "plain" ];
+  Tables.add_row t [ "with\"quote"; "z" ];
+  let csv = Tables.render_csv t in
+  Alcotest.(check string) "csv escaping" "a,b\n\"x,y\",plain\n\"with\"\"quote\",z\n" csv
+
+let test_formats () =
+  Alcotest.(check string) "fmt_int" "1,500,000" (Tables.fmt_int 1_500_000);
+  Alcotest.(check string) "fmt_int small" "42" (Tables.fmt_int 42);
+  Alcotest.(check string) "fmt_int negative" "-1,234" (Tables.fmt_int (-1234));
+  Alcotest.(check string) "fmt_float" "3.14" (Tables.fmt_float 3.14159);
+  Alcotest.(check string) "fmt_bytes b" "512 B" (Tables.fmt_bytes 512);
+  Alcotest.(check string) "fmt_bytes k" "1.5 KiB" (Tables.fmt_bytes 1536);
+  Alcotest.(check string) "fmt_bytes m" "2.0 MiB" (Tables.fmt_bytes (2 * 1024 * 1024))
+
+let test_scatter_render () =
+  let open Pk_util.Scatter in
+  let s =
+    render ~width:20 ~height:5 ~x_label:"x" ~y_label:"y"
+      [
+        { label = "lo"; marker = 'a'; points = [ (0.0, 0.0); (1.0, 1.0) ] };
+        { label = "hi"; marker = 'z'; points = [ (2.0, 5.0) ] };
+      ]
+  in
+  Alcotest.(check bool) "contains markers" true
+    (String.contains s 'a' && String.contains s 'z');
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "legend lines" true
+    (List.exists (fun l -> l = "   a = lo") lines && List.exists (fun l -> l = "   z = hi") lines);
+  Alcotest.(check bool) "plot rows present" true (List.length lines >= 5);
+  (* ranges annotated *)
+  Alcotest.(check bool) "x range" true
+    (List.exists (fun l -> l = "   x: 0.00 .. 2.00") lines)
+
+let test_scatter_empty () =
+  let open Pk_util.Scatter in
+  Alcotest.(check string) "empty" "(no data)\n" (render ~x_label:"x" ~y_label:"y" []);
+  (* single point (degenerate ranges) must not crash *)
+  let s = render ~x_label:"x" ~y_label:"y" [ { label = "p"; marker = '*'; points = [ (3.0, 4.0) ] } ] in
+  Alcotest.(check bool) "single point renders" true (String.contains s '*')
+
+let () =
+  Alcotest.run "pk_util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "distinct seeds" `Quick test_prng_distinct_seeds;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "int uniform-ish" `Quick test_prng_int_uniformish;
+          Alcotest.test_case "float bounds" `Quick test_prng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_prng_split_independent;
+          Alcotest.test_case "copy" `Quick test_prng_copy;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic moments" `Quick test_stats_basic;
+          Alcotest.test_case "percentiles" `Quick test_stats_percentile;
+          Alcotest.test_case "growth + resort" `Quick test_stats_growth_and_interleaved_percentiles;
+          Alcotest.test_case "empty" `Quick test_stats_empty;
+          Alcotest.test_case "merge" `Quick test_stats_merge;
+        ] );
+      ( "tables",
+        [
+          Alcotest.test_case "render alignment" `Quick test_tables_render;
+          Alcotest.test_case "csv escaping" `Quick test_tables_csv;
+          Alcotest.test_case "formats" `Quick test_formats;
+        ] );
+      ( "scatter",
+        [
+          Alcotest.test_case "render" `Quick test_scatter_render;
+          Alcotest.test_case "degenerate" `Quick test_scatter_empty;
+        ] );
+    ]
