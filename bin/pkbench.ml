@@ -40,6 +40,9 @@ let run_cmd =
     Option.iter (fun v -> Unix.putenv "PK_KEYS" (string_of_int v)) keys;
     Option.iter (fun v -> Unix.putenv "PK_LOOKUPS" (string_of_int v)) lookups;
     Option.iter (fun v -> Unix.putenv "PK_SCALE" (string_of_float v)) scale;
+    (* Wall-clock runs measure the paper's layout story; keep the
+       undo-journal byte copies out of the hot path. *)
+    Pk_fault.Fault.set_unwind false;
     register_all ();
     Pk_harness.Experiment.run_ids ids
   in

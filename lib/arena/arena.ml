@@ -1,9 +1,22 @@
+module Fault = Pk_fault.Fault
+
+type undo =
+  | U_bytes of int * Bytes.t (* offset, saved old content *)
+  | U_alloc of int * int (* off, size: undo by returning to the free list *)
+
+type journal = {
+  mutable undos : undo list; (* newest first *)
+  mutable pending_frees : (int * int) list; (* applied on commit, dropped on abort *)
+}
+
 type t = {
   arena_name : string;
   mutable data : Bytes.t;
   mutable used : int;
   mutable freed : int; (* bytes currently sitting in free lists *)
   free_lists : (int, int list ref) Hashtbl.t; (* size -> offsets *)
+  free_set : (int, int) Hashtbl.t; (* offset -> size, for double-free detection *)
+  mutable txn : journal option;
 }
 
 let null = 0
@@ -18,6 +31,8 @@ let create ?(initial_capacity = 64 * 1024) ~name () =
     used = 8;
     freed = 0;
     free_lists = Hashtbl.create 16;
+    free_set = Hashtbl.create 16;
+    txn = None;
   }
 
 let name t = t.arena_name
@@ -38,49 +53,131 @@ let grow_to t want =
 
 let align_up off align = (off + align - 1) land lnot (align - 1)
 
-let alloc t ?(align = 8) size =
-  if size <= 0 then invalid_arg "Arena.alloc: size <= 0";
-  if align <= 0 || align land (align - 1) <> 0 then
-    invalid_arg "Arena.alloc: align must be a positive power of two";
-  match Hashtbl.find_opt t.free_lists size with
-  | Some ({ contents = off :: rest } as cell) ->
-      cell := rest;
-      t.freed <- t.freed - size;
-      off
-  | Some _ | None ->
-      let off = align_up t.used align in
-      grow_to t (off + size);
-      t.used <- off + size;
-      off
+(* {2 Undo journal} *)
 
-let fill t ~off ~len c = Bytes.fill t.data off len c
+let in_txn t = t.txn <> None
 
-let free t off size =
-  if off = null then invalid_arg "Arena.free: null";
-  fill t ~off ~len:size '\000';
+let begin_txn t =
+  if in_txn t then invalid_arg "Arena.begin_txn: transaction already open";
+  t.txn <- Some { undos = []; pending_frees = [] }
+
+(* Log the current content of [off, off+len) so an abort can restore
+   it.  Called before every in-place mutation while a txn is open. *)
+let[@inline] log_bytes t off len =
+  match t.txn with
+  | None -> ()
+  | Some j -> j.undos <- U_bytes (off, Bytes.sub t.data off len) :: j.undos
+
+let[@inline] log_alloc t off size =
+  match t.txn with
+  | None -> ()
+  | Some j -> j.undos <- U_alloc (off, size) :: j.undos
+
+let push_free t off size =
   t.freed <- t.freed + size;
+  Hashtbl.replace t.free_set off size;
   match Hashtbl.find_opt t.free_lists size with
   | Some cell -> cell := off :: !cell
   | None -> Hashtbl.add t.free_lists size (ref [ off ])
 
+let commit_txn t =
+  match t.txn with
+  | None -> invalid_arg "Arena.commit_txn: no open transaction"
+  | Some j ->
+      t.txn <- None;
+      (* Deferred frees become real only now: an aborted operation
+         never dismembers nodes it had logically freed. *)
+      List.iter (fun (off, size) -> push_free t off size) (List.rev j.pending_frees)
+
+let abort_txn t =
+  match t.txn with
+  | None -> invalid_arg "Arena.abort_txn: no open transaction"
+  | Some j ->
+      t.txn <- None;
+      (* Newest-first replay: byte restores land before the enclosing
+         allocation is recycled. *)
+      List.iter
+        (function
+          | U_bytes (off, saved) -> Bytes.blit saved 0 t.data off (Bytes.length saved)
+          | U_alloc (off, size) -> push_free t off size)
+        j.undos
+
+(* {2 Allocation} *)
+
+let alloc t ?(align = 8) size =
+  if size <= 0 then invalid_arg "Arena.alloc: size <= 0";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Arena.alloc: align must be a positive power of two";
+  Fault.point "arena.alloc";
+  match Hashtbl.find_opt t.free_lists size with
+  | Some ({ contents = off :: rest } as cell) ->
+      cell := rest;
+      Hashtbl.remove t.free_set off;
+      t.freed <- t.freed - size;
+      log_alloc t off size;
+      off
+  | Some _ | None ->
+      let off = align_up t.used align in
+      if off + size > Bytes.length t.data then Fault.point "arena.grow";
+      grow_to t (off + size);
+      t.used <- off + size;
+      log_alloc t off size;
+      off
+
+let fill t ~off ~len c =
+  log_bytes t off len;
+  Bytes.fill t.data off len c
+
+let free t off size =
+  if off = null then invalid_arg "Arena.free: null";
+  if off < 8 || off + size > t.used then invalid_arg "Arena.free: region outside arena";
+  (match t.txn with
+  | None ->
+      if Hashtbl.mem t.free_set off then
+        invalid_arg (Printf.sprintf "Arena.free: double free of offset %d" off);
+      fill t ~off ~len:size '\000';
+      push_free t off size
+  | Some j ->
+      if Hashtbl.mem t.free_set off || List.mem_assoc off j.pending_frees then
+        invalid_arg (Printf.sprintf "Arena.free: double free of offset %d" off);
+      fill t ~off ~len:size '\000';
+      j.pending_frees <- (off, size) :: j.pending_frees)
+
+(* {2 Raw accessors} *)
+
 let get_u8 t off = Char.code (Bytes.get t.data off)
-let set_u8 t off v = Bytes.set t.data off (Char.chr (v land 0xff))
+
+let set_u8 t off v =
+  log_bytes t off 1;
+  Bytes.set t.data off (Char.chr (v land 0xff))
+
 let get_u16 t off = Bytes.get_uint16_le t.data off
-let set_u16 t off v = Bytes.set_uint16_le t.data off (v land 0xffff)
+
+let set_u16 t off v =
+  log_bytes t off 2;
+  Bytes.set_uint16_le t.data off (v land 0xffff)
 
 let get_u32 t off = Int32.to_int (Bytes.get_int32_le t.data off) land 0xffffffff
-let set_u32 t off v = Bytes.set_int32_le t.data off (Int32.of_int v)
+
+let set_u32 t off v =
+  log_bytes t off 4;
+  Bytes.set_int32_le t.data off (Int32.of_int v)
 
 let get_u64 t off = Int64.to_int (Bytes.get_int64_le t.data off)
-let set_u64 t off v = Bytes.set_int64_le t.data off (Int64.of_int v)
+
+let set_u64 t off v =
+  log_bytes t off 8;
+  Bytes.set_int64_le t.data off (Int64.of_int v)
 
 let blit_from_bytes t ~src ~src_off ~dst_off ~len =
+  log_bytes t dst_off len;
   Bytes.blit src src_off t.data dst_off len
 
 let blit_to_bytes t ~src_off ~dst ~dst_off ~len =
   Bytes.blit t.data src_off dst dst_off len
 
 let blit_within t ~src_off ~dst_off ~len =
+  log_bytes t dst_off len;
   Bytes.blit t.data src_off t.data dst_off len
 
 let compare_with_bytes t ~off b ~b_off ~len =

@@ -31,12 +31,29 @@ val alloc : t -> ?align:int -> int -> int
     must be a power of two).  Reuses freed regions of the same size
     class when available (freed regions are reused only for requests of
     the identical size, so alignment of recycled blocks is preserved).
-    Raises [Invalid_argument] for [size <= 0]. *)
+    Raises [Invalid_argument] for [size <= 0].  Fault points:
+    ["arena.alloc"] on entry, ["arena.grow"] when the backing buffer
+    would have to grow. *)
 
 val free : t -> int -> int -> unit
 (** [free t off size] returns a region to the arena's free list for its
     size class.  The region is zeroed eagerly so stale bytes cannot
-    leak into re-allocations. *)
+    leak into re-allocations.  Raises [Invalid_argument] on a double
+    free (the offset is already on a free list or pending free) and on
+    regions outside the allocated range. *)
+
+(** {1 Undo journal} — crash consistency for index maintenance.
+
+    While a transaction is open, every in-place mutation logs the bytes
+    it overwrites, allocations are recorded, and frees are deferred.
+    [abort_txn] restores the arena to its exact state at [begin_txn]
+    (modulo the high-water mark); [commit_txn] applies deferred frees.
+    Transactions do not nest. *)
+
+val begin_txn : t -> unit
+val commit_txn : t -> unit
+val abort_txn : t -> unit
+val in_txn : t -> bool
 
 val used_bytes : t -> int
 (** High-water mark of bytes ever bump-allocated (excludes capacity

@@ -1,0 +1,234 @@
+module Fault = Pk_fault.Fault
+module Prng = Pk_util.Prng
+module Key = Pk_keys.Key
+module Keygen = Pk_keys.Keygen
+module Mem = Pk_mem.Mem
+module Record_store = Pk_records.Record_store
+module Index = Pk_core.Index
+module Layout = Pk_core.Layout
+module Partial_key = Pk_partialkey.Partial_key
+
+module KMap = Map.Make (struct
+  type t = Key.t
+
+  let compare = Key.compare
+end)
+
+type tree = T | B | PkT | PkB | Prefix
+
+let all_trees = [ T; B; PkT; PkB; Prefix ]
+let tree_tag = function T -> "T" | B -> "B" | PkT -> "pkT" | PkB -> "pkB" | Prefix -> "prefix"
+
+type fault_plan = (string * Fault.schedule) list
+
+let fault_sites =
+  [
+    "arena.alloc";
+    "arena.grow";
+    "mem.read";
+    "mem.write";
+    "btree.split";
+    "btree.split.mid";
+    "btree.merge";
+    "btree.merge.mid";
+    "btree.borrow";
+    "ttree.rotate";
+    "ttree.rotate.mid";
+    "ttree.slide";
+    "ttree.merge";
+    "prefix.split";
+    "prefix.split.mid";
+    "prefix.merge";
+  ]
+
+let default_fault_plan ~seed =
+  let rng = Prng.create (Int64.of_int (seed lxor 0x5eed)) in
+  let n_sites = 2 + Prng.int rng 3 in
+  let pool = Array.of_list fault_sites in
+  Keygen.shuffle ~rng pool;
+  List.init n_sites (fun i ->
+      let sched =
+        match Prng.int rng 3 with
+        | 0 -> Fault.Every_nth (4 + Prng.int rng 60)
+        | 1 -> Fault.Probability (0.002 +. Prng.float rng 0.02)
+        | _ -> Fault.One_shot (1 + Prng.int rng 40)
+      in
+      (pool.(i), sched))
+
+type outcome = { ops : int; applied : int; injected : int; validations : int }
+
+let zero = { ops = 0; applied = 0; injected = 0; validations = 0 }
+
+let add a b =
+  {
+    ops = a.ops + b.ops;
+    applied = a.applied + b.applied;
+    injected = a.injected + b.injected;
+    validations = a.validations + b.validations;
+  }
+
+(* Seed-derived index configuration.  Node size, key length, byte
+   entropy and key scheme all vary with the seed so the suite sweeps
+   the configuration space instead of one corner of it. *)
+let build_index rng tree mem records =
+  let node_bytes = [| 128; 192; 256 |].(Prng.int rng 3) in
+  let key_len = 8 + Prng.int rng 9 in
+  let baseline () = if Prng.bool rng then Layout.Direct { key_len } else Layout.Indirect in
+  let partial () =
+    let granularity = if Prng.bool rng then Partial_key.Byte else Partial_key.Bit in
+    let l_bytes = [| 0; 2; 4 |].(Prng.int rng 3) in
+    Layout.Partial { granularity; l_bytes }
+  in
+  let ix =
+    match tree with
+    | T -> Index.make ~node_bytes Index.T_tree (baseline ()) mem records
+    | B -> Index.make ~node_bytes Index.B_tree (baseline ()) mem records
+    | PkT -> Index.make ~node_bytes Index.T_tree (partial ()) mem records
+    | PkB -> Index.make ~node_bytes Index.B_tree (partial ()) mem records
+    | Prefix -> Index.make_prefix_btree ~node_bytes mem records
+  in
+  (ix, key_len)
+
+let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
+  Fault.reset ~seed ();
+  List.iter (fun (site, sched) -> Fault.arm site sched) faults;
+  Fun.protect ~finally:(fun () -> Fault.reset ()) @@ fun () ->
+  let rng = Prng.create (Int64.of_int seed) in
+  let mem = Mem.create () in
+  let records = Record_store.create mem in
+  let ix, key_len = build_index rng tree mem records in
+  let seed_alpha = [| 2; 12; 64; 220; 256 |].(Prng.int rng 5) in
+  let alphabet = Option.value alphabet ~default:seed_alpha in
+  let n_pool = 32 + Prng.int rng 33 in
+  let pool = Keygen.uniform ~rng ~key_len ~alphabet n_pool in
+  let oracle = ref KMap.empty in
+  let applied = ref 0 and injected = ref 0 and validations = ref 0 in
+  let fail ~op fmt =
+    Printf.ksprintf
+      (fun msg ->
+        failwith
+          (Printf.sprintf "[chaos seed=%d tree=%s op=%d] %s (replay: seed %d)" seed
+             (tree_tag tree) op msg seed))
+      fmt
+  in
+  (* The deep validator and all oracle bookkeeping run with injection
+     paused: only the index operation under test may fault. *)
+  let deep_validate ~op () =
+    incr validations;
+    Fault.pause (fun () ->
+        try ix.Index.validate ()
+        with Failure msg -> fail ~op "deep validator failed after injection: %s" msg)
+  in
+  let check_key ~op ~what key =
+    Fault.pause (fun () ->
+        let got = ix.Index.lookup key in
+        let want = KMap.find_opt key !oracle in
+        if got <> want then
+          fail ~op "%s: lookup %s returned %s, oracle says %s" what (Key.to_hex key)
+            (match got with None -> "None" | Some r -> string_of_int r)
+            (match want with None -> "None" | Some r -> string_of_int r))
+  in
+  let attempt f = try Ok (f ()) with Fault.Injected site -> Error site in
+  for op = 1 to ops do
+    let key = pool.(Prng.int rng n_pool) in
+    let r = Prng.int rng 16 in
+    if r < 7 then begin
+      (* insert *)
+      let rid =
+        Fault.pause (fun () -> Record_store.insert records ~key ~payload:Bytes.empty)
+      in
+      match attempt (fun () -> ix.Index.insert key ~rid) with
+      | Ok ok ->
+          let fresh = not (KMap.mem key !oracle) in
+          if ok <> fresh then
+            fail ~op "insert %s returned %b, oracle expected %b" (Key.to_hex key) ok fresh;
+          if ok then begin
+            oracle := KMap.add key rid !oracle;
+            incr applied
+          end
+          else Fault.pause (fun () -> Record_store.delete records rid)
+      | Error site ->
+          incr injected;
+          Fault.pause (fun () -> Record_store.delete records rid);
+          deep_validate ~op ();
+          check_key ~op ~what:(Printf.sprintf "insert aborted at %s" site) key
+    end
+    else if r < 12 then begin
+      (* delete *)
+      match attempt (fun () -> ix.Index.delete key) with
+      | Ok ok ->
+          let expected = KMap.mem key !oracle in
+          if ok <> expected then
+            fail ~op "delete %s returned %b, oracle expected %b" (Key.to_hex key) ok expected;
+          if ok then begin
+            Fault.pause (fun () -> Record_store.delete records (KMap.find key !oracle));
+            oracle := KMap.remove key !oracle;
+            incr applied
+          end
+      | Error site ->
+          incr injected;
+          deep_validate ~op ();
+          check_key ~op ~what:(Printf.sprintf "delete aborted at %s" site) key
+    end
+    else if r < 15 then begin
+      (* lookup *)
+      match attempt (fun () -> ix.Index.lookup key) with
+      | Ok got ->
+          let want = KMap.find_opt key !oracle in
+          if got <> want then
+            fail ~op "lookup %s returned %s, oracle says %s" (Key.to_hex key)
+              (match got with None -> "None" | Some r -> string_of_int r)
+              (match want with None -> "None" | Some r -> string_of_int r)
+      | Error _ ->
+          (* Lookups mutate nothing; an injected read fault is just an
+             aborted query. *)
+          incr injected;
+          deep_validate ~op ()
+    end
+    else begin
+      (* range over a random key interval, injection paused *)
+      Fault.pause (fun () ->
+          let a = pool.(Prng.int rng n_pool) and b = pool.(Prng.int rng n_pool) in
+          let lo = if Key.compare a b <= 0 then a else b in
+          let hi = if Key.compare a b <= 0 then b else a in
+          let want =
+            KMap.bindings !oracle
+            |> List.filter (fun (k, _) -> Key.compare k lo >= 0 && Key.compare k hi <= 0)
+          in
+          let acc = ref [] in
+          ix.Index.range ~lo ~hi (fun ~key ~rid -> acc := (key, rid) :: !acc);
+          let got = List.rev !acc in
+          if got <> want then
+            fail ~op "range [%s, %s]: %d results, oracle has %d" (Key.to_hex lo)
+              (Key.to_hex hi) (List.length got) (List.length want))
+    end
+  done;
+  (* Schedule epilogue: full differential sweep, injection paused. *)
+  Fault.pause (fun () ->
+      (try ix.Index.validate ()
+       with Failure msg -> fail ~op:ops "final deep validation failed: %s" msg);
+      incr validations;
+      let want = KMap.bindings !oracle in
+      if ix.Index.count () <> List.length want then
+        fail ~op:ops "count %d, oracle has %d" (ix.Index.count ()) (List.length want);
+      let acc = ref [] in
+      ix.Index.iter (fun ~key ~rid -> acc := (key, rid) :: !acc);
+      let got = List.rev !acc in
+      if got <> want then fail ~op:ops "full iteration diverges from oracle";
+      let from = pool.(Prng.int rng n_pool) in
+      let want_suffix = List.filter (fun (k, _) -> Key.compare k from >= 0) want in
+      let got_suffix =
+        List.of_seq (Seq.take (List.length want_suffix + 1) (ix.Index.seq_from from))
+      in
+      if got_suffix <> want_suffix then
+        fail ~op:ops "seq_from %s diverges from oracle" (Key.to_hex from));
+  { ops; applied = !applied; injected = !injected; validations = !validations }
+
+let run_suite ?(faults = fun ~seed:_ -> []) ?alphabet ?(trees = all_trees) ~seeds ~ops () =
+  List.fold_left
+    (fun acc seed ->
+      List.fold_left
+        (fun acc tree ->
+          add acc (run_schedule ~faults:(faults ~seed) ?alphabet ~tree ~seed ~ops ()))
+        acc trees)
+    zero seeds

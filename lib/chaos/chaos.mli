@@ -1,0 +1,61 @@
+(** Chaos + differential harness for the index maintenance paths.
+
+    A {e schedule} is a seeded random interleaving of
+    insert/delete/lookup/range/cursor operations driven against one
+    index configuration and cross-checked, operation by operation,
+    against a [Map]-based oracle.  With a {e fault plan} active
+    ({!module:Pk_fault.Fault} sites armed), injected faults abort
+    operations mid-split / mid-rotation / mid-merge; the harness then
+    checks that the operation unwound to a no-op and that the tree
+    still passes its deep structural validator.
+
+    Everything — key pool, operation stream, node size, scheme, fault
+    schedules — derives deterministically from the integer seed, so any
+    reported failure replays from the seed alone.  Failures raise
+    [Failure] with a message beginning [\[chaos seed=N tree=T\]]. *)
+
+module Fault = Pk_fault.Fault
+
+(** The five index configurations of the acceptance matrix.  [T]/[B]
+    use a baseline key scheme (direct or indirect, seed-chosen); [PkT]/
+    [PkB] use partial keys (granularity and [l] seed-chosen);
+    [Prefix] is the prefix B+-tree. *)
+type tree = T | B | PkT | PkB | Prefix
+
+val all_trees : tree list
+val tree_tag : tree -> string
+
+type fault_plan = (string * Fault.schedule) list
+
+val fault_sites : string list
+(** Every site wired into the storage and index layers. *)
+
+val default_fault_plan : seed:int -> fault_plan
+(** A seed-derived plan: 2–4 sites, each with a seed-derived
+    every-Nth / probability / one-shot schedule. *)
+
+type outcome = {
+  ops : int;  (** operations attempted *)
+  applied : int;  (** operations that took effect *)
+  injected : int;  (** operations aborted by an injected fault *)
+  validations : int;  (** deep-validator runs (all passed) *)
+}
+
+val run_schedule :
+  ?faults:fault_plan -> ?alphabet:int -> tree:tree -> seed:int -> ops:int -> unit -> outcome
+(** Run one schedule.  Arms [faults] (default none) after a
+    [Fault.reset ~seed], restores a clean fault registry on exit.
+    [alphabet] overrides the seed-derived per-byte alphabet (e.g. 256
+    for full byte entropy). *)
+
+val run_suite :
+  ?faults:(seed:int -> fault_plan) ->
+  ?alphabet:int ->
+  ?trees:tree list ->
+  seeds:int list ->
+  ops:int ->
+  unit ->
+  outcome
+(** Run [ops]-operation schedules for every (tree, seed) pair and sum
+    the outcomes.  [faults] builds each schedule's plan from its seed
+    (default: no faults — pure differential mode). *)

@@ -1,4 +1,5 @@
 module Mem = Pk_mem.Mem
+module Fault = Pk_fault.Fault
 module Key = Pk_keys.Key
 module Record_store = Pk_records.Record_store
 module Partial_key = Pk_partialkey.Partial_key
@@ -220,6 +221,7 @@ let locate t node key =
    around the new separator change (§4.2); the right half's leftmost
    key keeps the median as base, as before the split. *)
 let split_child t parent ci =
+  Fault.point "btree.split";
   let c = child t parent ci in
   let n = num_keys t c in
   let m = n / 2 in
@@ -229,6 +231,9 @@ let split_child t parent ci =
   if not (is_leaf t c) then blit_children t ~src:c ~src_i:(m + 1) ~dst:right ~dst_i:0 ~n:(n - m);
   set_num_keys t right right_n;
   set_num_keys t c m;
+  (* Mid-split: the child is halved but the parent does not yet know
+     about the new right node.  An injection here must unwind. *)
+  Fault.point "btree.split.mid";
   open_entry_gap t parent ci;
   open_child_gap t parent (ci + 1);
   (* The separator entry is a verbatim copy of the median entry (record
@@ -273,6 +278,27 @@ let rec insert_nonfull t node key rid ~base =
       insert_nonfull t (child t node !pos) key rid ~base:child_base
   end
 
+(* Exception safety for the maintenance paths: snapshot the scalar
+   header, run the operation under the arena undo journal, and restore
+   both on any exception (an injected fault, an allocation failure).
+   The caller observes either the completed operation or the exact
+   pre-operation tree. *)
+let guarded t f =
+  if not (Fault.unwind_enabled ()) then f ()
+  else begin
+    let root = t.root
+    and h = t.tree_height
+    and nn = t.n_nodes
+    and nk = t.n_keys in
+    try Mem.guard t.reg f
+    with e ->
+      t.root <- root;
+      t.tree_height <- h;
+      t.n_nodes <- nn;
+      t.n_keys <- nk;
+      raise e
+  end
+
 let insert t key ~rid =
   (match t.cfg.scheme with
   | Layout.Direct { key_len } when Bytes.length key <> key_len ->
@@ -280,21 +306,22 @@ let insert t key ~rid =
         (Printf.sprintf "Btree.insert: direct scheme expects %d-byte keys, got %d" key_len
            (Bytes.length key))
   | _ -> ());
-  if t.root = null then begin
-    t.root <- alloc_node t ~leaf:true;
-    t.tree_height <- 1
-  end;
-  if num_keys t t.root = capacity t t.root then begin
-    let new_root = alloc_node t ~leaf:false in
-    set_child t new_root 0 t.root;
-    split_child t new_root 0;
-    fix_pk_after_separator t new_root 0 ~base:None;
-    t.root <- new_root;
-    t.tree_height <- t.tree_height + 1
-  end;
-  let ok = insert_nonfull t t.root key rid ~base:None in
-  if ok then t.n_keys <- t.n_keys + 1;
-  ok
+  guarded t (fun () ->
+      if t.root = null then begin
+        t.root <- alloc_node t ~leaf:true;
+        t.tree_height <- 1
+      end;
+      if num_keys t t.root = capacity t t.root then begin
+        let new_root = alloc_node t ~leaf:false in
+        set_child t new_root 0 t.root;
+        split_child t new_root 0;
+        fix_pk_after_separator t new_root 0 ~base:None;
+        t.root <- new_root;
+        t.tree_height <- t.tree_height + 1
+      end;
+      let ok = insert_nonfull t t.root key rid ~base:None in
+      if ok then t.n_keys <- t.n_keys + 1;
+      ok)
 
 (* {2 Lookup} *)
 
@@ -402,6 +429,7 @@ let lookup t search =
 (* Left sibling lends its last entry: it moves up to parent[ci-1],
    whose old occupant moves down to the front of child [ci]. *)
 let borrow_from_left t parent ci ~base =
+  Fault.point "btree.borrow";
   let c = child t parent ci and ls = child t parent (ci - 1) in
   let ln = num_keys t ls and cn = num_keys t c in
   open_entry_gap t c 0;
@@ -422,6 +450,7 @@ let borrow_from_left t parent ci ~base =
 
 (* Right sibling lends its first entry via parent[ci]. *)
 let borrow_from_right t parent ci ~base =
+  Fault.point "btree.borrow";
   let c = child t parent ci and rs = child t parent (ci + 1) in
   let cn = num_keys t c in
   blit_entries t ~src:parent ~src_i:ci ~dst:c ~dst_i:cn ~n:1;
@@ -439,12 +468,16 @@ let borrow_from_right t parent ci ~base =
 
 (* Merge child [j], parent entry [j] and child [j+1] into child [j]. *)
 let merge_children t parent j ~base =
+  Fault.point "btree.merge";
   let l = child t parent j and r = child t parent (j + 1) in
   let ln = num_keys t l and rn = num_keys t r in
   blit_entries t ~src:parent ~src_i:j ~dst:l ~dst_i:ln ~n:1;
   blit_entries t ~src:r ~src_i:0 ~dst:l ~dst_i:(ln + 1) ~n:rn;
   if not (is_leaf t l) then blit_children t ~src:r ~src_i:0 ~dst:l ~dst_i:(ln + 1) ~n:(rn + 1);
   set_num_keys t l (ln + 1 + rn);
+  (* Mid-merge: both halves live in [l] but the parent still points at
+     the absorbed right node. *)
+  Fault.point "btree.merge.mid";
   remove_entry t parent j;
   remove_child t parent (j + 1);
   free_node t r;
@@ -551,27 +584,27 @@ let rec delete_rec t node key ~base =
 
 let delete t key =
   if t.root = null then false
-  else begin
+  else
+    guarded t (fun () ->
     let ok = delete_rec t t.root key ~base:None in
-    if ok then begin
-      t.n_keys <- t.n_keys - 1;
-      (* Shrink the root when it empties. *)
-      if num_keys t t.root = 0 then
-        if is_leaf t t.root then begin
-          free_node t t.root;
-          t.root <- null;
-          t.tree_height <- 0
-        end
-        else begin
-          let only = child t t.root 0 in
-          free_node t t.root;
-          t.root <- only;
-          t.tree_height <- t.tree_height - 1;
-          refresh_chain t t.root ~base:None
-        end
-    end;
-    ok
-  end
+    if ok then t.n_keys <- t.n_keys - 1;
+    (* Shrink the root when it empties.  Not gated on [ok]: the
+       preemptive rebalancing of the descent can merge the root's only
+       two children even when the key then turns out to be absent. *)
+    if num_keys t t.root = 0 then
+      if is_leaf t t.root then begin
+        free_node t t.root;
+        t.root <- null;
+        t.tree_height <- 0
+      end
+      else begin
+        let only = child t t.root 0 in
+        free_node t t.root;
+        t.root <- only;
+        t.tree_height <- t.tree_height - 1;
+        refresh_chain t t.root ~base:None
+      end;
+    ok)
 
 (* {2 Traversal} *)
 
@@ -653,13 +686,16 @@ let range t ~lo ~hi f =
 let validate t =
   let fail fmt = Printf.ksprintf failwith fmt in
   if t.root = null then begin
-    if t.n_keys <> 0 then fail "empty root but %d keys" t.n_keys
+    if t.n_keys <> 0 then fail "empty root but %d keys" t.n_keys;
+    if t.n_nodes <> 0 then fail "empty root but %d nodes" t.n_nodes
   end
   else begin
     let total = ref 0 in
+    let nodes = ref 0 in
     let leaf_depth = ref (-1) in
     (* [lo]/[hi]: exclusive bounds; [base]: base key for entry 0. *)
     let rec walk node depth ~lo ~hi ~base =
+      incr nodes;
       let n = num_keys t node in
       if node <> t.root && n < min_keys t node then
         fail "node %d underfull: %d < %d" node n (min_keys t node);
@@ -717,6 +753,8 @@ let validate t =
     in
     walk t.root 0 ~lo:None ~hi:None ~base:None;
     if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys;
+    if !nodes <> t.n_nodes then
+      fail "node count mismatch: walked %d, recorded %d" !nodes t.n_nodes;
     if !leaf_depth + 1 <> t.tree_height then
       fail "height mismatch: leaves at depth %d, height %d" !leaf_depth t.tree_height
   end

@@ -1,4 +1,5 @@
 module Mem = Pk_mem.Mem
+module Fault = Pk_fault.Fault
 module Key = Pk_keys.Key
 module Record_store = Pk_records.Record_store
 
@@ -244,8 +245,12 @@ let rec insert_rec t node key rid =
       let left = List.filteri (fun i _ -> i < m) entries in
       let right = List.filteri (fun i _ -> i >= m) entries in
       let sep = truncated_separator (fst (List.nth left (m - 1))) (fst (List.hd right)) in
+      Fault.point "prefix.split";
       let rnode = alloc_node t ~leaf:true in
       write_node t rnode ~leaf:true ~link_v:(link t node) right;
+      (* Mid-split: the right node exists and is linked into the leaf
+         chain target, but the left half still holds every entry. *)
+      Fault.point "prefix.split.mid";
       write_node t node ~leaf:true ~link_v:rnode left;
       Split (sep, rnode)
     end
@@ -278,11 +283,31 @@ let rec insert_rec t node key rid =
           let left = List.filteri (fun i _ -> i < j) entries in
           let mid_sep, mid_child = List.nth entries j in
           let right = List.filteri (fun i _ -> i > j) entries in
+          Fault.point "prefix.split";
           let rnode = alloc_node t ~leaf:false in
           write_node t rnode ~leaf:false ~link_v:mid_child right;
+          Fault.point "prefix.split.mid";
           write_node t node ~leaf:false ~link_v:(link t node) left;
           Split (mid_sep, rnode)
         end
+  end
+
+(* Exception safety: scalar snapshot + arena undo journal, as in
+   {!module:Btree}. *)
+let guarded t f =
+  if not (Fault.unwind_enabled ()) then f ()
+  else begin
+    let root = t.root
+    and h = t.tree_height
+    and nn = t.n_nodes
+    and nk = t.n_keys in
+    try Mem.guard t.reg f
+    with e ->
+      t.root <- root;
+      t.tree_height <- h;
+      t.n_nodes <- nn;
+      t.n_keys <- nk;
+      raise e
   end
 
 let insert t key ~rid =
@@ -290,22 +315,23 @@ let insert t key ~rid =
     invalid_arg
       (Printf.sprintf "Prefix_btree.insert: %d-byte key cannot fit a %d-byte node"
          (Bytes.length key) t.node_bytes);
-  if t.root = null then begin
-    t.root <- alloc_node t ~leaf:true;
-    t.tree_height <- 1
-  end;
-  match insert_rec t t.root key rid with
-  | No_split ->
-      t.n_keys <- t.n_keys + 1;
-      true
-  | Split (sep, rnode) ->
-      let new_root = alloc_node t ~leaf:false in
-      write_node t new_root ~leaf:false ~link_v:t.root [ (sep, rnode) ];
-      t.root <- new_root;
-      t.tree_height <- t.tree_height + 1;
-      t.n_keys <- t.n_keys + 1;
-      true
-  | exception Duplicate -> false
+  guarded t (fun () ->
+      if t.root = null then begin
+        t.root <- alloc_node t ~leaf:true;
+        t.tree_height <- 1
+      end;
+      match insert_rec t t.root key rid with
+      | No_split ->
+          t.n_keys <- t.n_keys + 1;
+          true
+      | Split (sep, rnode) ->
+          let new_root = alloc_node t ~leaf:false in
+          write_node t new_root ~leaf:false ~link_v:t.root [ (sep, rnode) ];
+          t.root <- new_root;
+          t.tree_height <- t.tree_height + 1;
+          t.n_keys <- t.n_keys + 1;
+          true
+      | exception Duplicate -> false)
 
 (* {2 Delete} *)
 
@@ -322,10 +348,32 @@ let children t node =
 
 exception Not_present
 
+(* Split-point candidates in [lo, hi], most central first.  Re-splits
+   prefer an even cut but may have to settle for a skewed one: the
+   refreshed separator must also fit the parent. *)
+let centre_out lo hi =
+  if hi < lo then []
+  else begin
+    let m = (lo + hi) / 2 in
+    let rec go d acc =
+      if m + d > hi && m - d < lo then List.rev acc
+      else
+        let acc = if m + d <= hi then (m + d) :: acc else acc in
+        let acc = if d > 0 && m - d >= lo then (m - d) :: acc else acc in
+        go (d + 1) acc
+    in
+    go 0 []
+  end
+
 (* Rebalance child [ci] (0 = leftmost) of internal [node]: merge with a
    neighbour when the union fits, otherwise re-split the union and
-   refresh the separator. *)
+   refresh the separator.  A refreshed separator can be longer than the
+   one it replaces, so every re-split candidate is checked against the
+   parent's capacity; when no cut fits, the rebalance is skipped — the
+   minimum-occupancy target is a space heuristic, not an invariant, and
+   overflowing the parent would corrupt its slot directory. *)
 let rebalance_child t node ci =
+  Fault.point "prefix.merge";
   let kids = Array.of_list (children t node) in
   let n_seps = num_keys t node in
   (* Pair (left_i) with (left_i + 1); separator index = left_i. *)
@@ -345,16 +393,27 @@ let rebalance_child t node ci =
         write_node t node ~leaf:false ~link_v:(link t node) seps'
       end
       else begin
-        (* Re-split evenly and refresh the separator. *)
-        let n = List.length union in
-        let m = n / 2 in
-        let left = List.filteri (fun i _ -> i < m) union in
-        let right = List.filteri (fun i _ -> i >= m) union in
-        let sep = truncated_separator (fst (List.nth left (m - 1))) (fst (List.hd right)) in
-        write_node t rchild ~leaf:true ~link_v:(link t rchild) right;
-        write_node t lchild ~leaf:true ~link_v:rchild left;
-        let seps' = List.mapi (fun i (s, c) -> if i = li then (sep, c) else (s, c)) seps in
-        write_node t node ~leaf:false ~link_v:(link t node) seps'
+        (* Re-split and refresh the separator. *)
+        let u = Array.of_list union in
+        let n = Array.length u in
+        let try_cut m =
+          let left = Array.to_list (Array.sub u 0 m) in
+          let right = Array.to_list (Array.sub u m (n - m)) in
+          let sep = truncated_separator (fst u.(m - 1)) (fst u.(m)) in
+          let seps' = List.mapi (fun i (s, c) -> if i = li then (sep, c) else (s, c)) seps in
+          if
+            packed_size left <= t.node_bytes
+            && packed_size right <= t.node_bytes
+            && packed_size seps' <= t.node_bytes
+          then Some (left, right, seps')
+          else None
+        in
+        match List.find_map try_cut (centre_out 1 (n - 1)) with
+        | Some (left, right, seps') ->
+            write_node t rchild ~leaf:true ~link_v:(link t rchild) right;
+            write_node t lchild ~leaf:true ~link_v:rchild left;
+            write_node t node ~leaf:false ~link_v:(link t node) seps'
+        | None -> ()
       end
     end
     else begin
@@ -369,15 +428,27 @@ let rebalance_child t node ci =
         write_node t node ~leaf:false ~link_v:(link t node) seps'
       end
       else begin
-        let n = List.length union in
-        let j = n / 2 in
-        let left = List.filteri (fun i _ -> i < j) union in
-        let mid_sep, mid_child = List.nth union j in
-        let right = List.filteri (fun i _ -> i > j) union in
-        write_node t rchild ~leaf:false ~link_v:mid_child right;
-        write_node t lchild ~leaf:false ~link_v:(link t lchild) left;
-        let seps' = List.mapi (fun i (s, c) -> if i = li then (mid_sep, c) else (s, c)) seps in
-        write_node t node ~leaf:false ~link_v:(link t node) seps'
+        let u = Array.of_list union in
+        let n = Array.length u in
+        let try_cut j =
+          let left = Array.to_list (Array.sub u 0 j) in
+          let mid_sep, mid_child = u.(j) in
+          let right = Array.to_list (Array.sub u (j + 1) (n - j - 1)) in
+          let seps' = List.mapi (fun i (s, c) -> if i = li then (mid_sep, c) else (s, c)) seps in
+          if
+            packed_size left <= t.node_bytes
+            && packed_size right <= t.node_bytes
+            && packed_size seps' <= t.node_bytes
+          then Some (left, mid_child, right, seps')
+          else None
+        in
+        (* Both halves must keep at least one separator. *)
+        match List.find_map try_cut (centre_out 1 (n - 2)) with
+        | Some (left, mid_child, right, seps') ->
+            write_node t rchild ~leaf:false ~link_v:mid_child right;
+            write_node t lchild ~leaf:false ~link_v:(link t lchild) left;
+            write_node t node ~leaf:false ~link_v:(link t node) seps'
+        | None -> ()
       end
     end
   end
@@ -406,6 +477,7 @@ let rec delete_rec t node key =
 let delete t key =
   if t.root = null then false
   else
+    guarded t (fun () ->
     match delete_rec t t.root key with
     | () ->
         t.n_keys <- t.n_keys - 1;
@@ -429,7 +501,7 @@ let delete t key =
         in
         shrink ();
         true
-    | exception Not_present -> false
+    | exception Not_present -> false)
 
 (* {2 Scans} — B+-trees walk the leaf chain. *)
 
@@ -515,14 +587,17 @@ let debug_dump t oc =
 let validate t =
   let fail fmt = Printf.ksprintf failwith fmt in
   if t.root = null then begin
-    if t.n_keys <> 0 then fail "empty tree with %d keys" t.n_keys
+    if t.n_keys <> 0 then fail "empty tree with %d keys" t.n_keys;
+    if t.n_nodes <> 0 then fail "empty tree with %d nodes" t.n_nodes
   end
   else begin
     let total = ref 0 in
+    let nodes = ref 0 in
     let leaves_in_order = ref [] in
     let leaf_depth = ref (-1) in
     (* lo (inclusive) <= keys < hi (exclusive), as byte strings. *)
     let rec walk node depth ~lo ~hi =
+      incr nodes;
       if packed_size (read_entries t node) > t.node_bytes then fail "node %d overfull" node;
       let keys = List.map fst (read_entries t node) in
       let plen = prefix_len t node in
@@ -570,6 +645,7 @@ let validate t =
     in
     walk t.root 0 ~lo:None ~hi:None;
     if !total <> t.n_keys then fail "count mismatch: %d vs %d" !total t.n_keys;
+    if !nodes <> t.n_nodes then fail "node count mismatch: %d vs %d" !nodes t.n_nodes;
     if !leaf_depth + 1 <> t.tree_height then
       fail "height mismatch: %d vs %d" (!leaf_depth + 1) t.tree_height;
     (* Leaf chain covers exactly the leaves, in order. *)

@@ -1,4 +1,5 @@
 module Mem = Pk_mem.Mem
+module Fault = Pk_fault.Fault
 module Key = Pk_keys.Key
 module Record_store = Pk_records.Record_store
 module Partial_key = Pk_partialkey.Partial_key
@@ -188,8 +189,12 @@ let balance_factor t node = node_height t (left t node) - node_height t (right t
    parent changed get their entry-0 partial keys refreshed; the caller
    refreshes the returned root against its own leftmost key. *)
 let rotate_right t z =
+  Fault.point "ttree.rotate";
   let y = left t z in
   set_left t z (right t y);
+  (* Mid-rotation: [z] has dropped its left child but [y] does not yet
+     point at [z].  An injection here must unwind. *)
+  Fault.point "ttree.rotate.mid";
   set_right t y z;
   update_height t z;
   update_height t y;
@@ -202,8 +207,10 @@ let rotate_right t z =
   y
 
 let rotate_left t z =
+  Fault.point "ttree.rotate";
   let y = right t z in
   set_right t z (left t y);
+  Fault.point "ttree.rotate.mid";
   set_left t y z;
   update_height t z;
   update_height t y;
@@ -215,40 +222,53 @@ let rotate_left t z =
   end;
   y
 
-(* A T-tree special case: an inner node that is about to become the
-   subtree root through a double rotation may hold very few entries
-   (it can be a freshly created leaf).  Slide entries from the old
-   root so the new internal root is not nearly empty (Lehman–Carey's
-   "special rotation").  We move entries after rotating, which keeps
-   the ordering invariants — see [slide_fill]. *)
-let slide_fill t node =
-  (* If [node] is internal and underfull, pull the tail of its left
-     child's entry array (those keys immediately precede node's). *)
-  if node <> null && not (is_leaf t node) then begin
-    let l = left t node in
-    if l <> null && num_keys t node < t.min_internal then begin
-      (* Never push the donor below its own minimum. *)
-      let donor_floor = if is_leaf t l then 1 else t.min_internal in
-      let want = min (t.min_internal - num_keys t node) (num_keys t l - donor_floor) in
-      if want > 0 then begin
-        let ln = num_keys t l in
-        let n = num_keys t node in
-        blit_entries t ~src:node ~src_i:0 ~dst:node ~dst_i:want ~n;
-        blit_entries t ~src:l ~src_i:(ln - want) ~dst:node ~dst_i:0 ~n:want;
-        set_num_keys t node (n + want);
-        set_num_keys t l (ln - want);
-        if is_partial t then begin
-          (* Every moved boundary changed: recompute the seam. *)
-          fix_pk t node want ~base:None;
-          for i = 1 to want - 1 do
-            fix_pk t node i ~base:None
-          done
-        end
-      end
+(* Merge a half-leaf with its single child when the combined entries
+   fit in one node.  AVL balance guarantees the child is a leaf. *)
+let merge_half_leaf t node =
+  let l = left t node and r = right t node in
+  let child = if l <> null then l else r in
+  let n = num_keys t node and cn = num_keys t child in
+  if is_leaf t child && n + cn <= t.max_entries then begin
+    Fault.point "ttree.merge";
+    if l <> null then begin
+      (* Prepend the left child's (smaller) entries. *)
+      blit_entries t ~src:node ~src_i:0 ~dst:node ~dst_i:cn ~n;
+      blit_entries t ~src:child ~src_i:0 ~dst:node ~dst_i:0 ~n:cn;
+      set_left t node null;
+      set_num_keys t node (n + cn);
+      (* Seam: the old first entry now follows the child's last. *)
+      fix_pk t node cn ~base:None
     end
+    else begin
+      blit_entries t ~src:child ~src_i:0 ~dst:node ~dst_i:n ~n:cn;
+      set_right t node null;
+      set_num_keys t node (n + cn);
+      fix_pk t node n ~base:None
+    end;
+    free_node t child
   end
 
-let rebalance t node ~base =
+(* A T-tree special case: an inner node that becomes the subtree root
+   through a rotation — or gains a second child — may hold very few
+   entries (it can be a freshly created leaf).  Refill it so that no
+   internal node stays below the occupancy minimum (Lehman–Carey's
+   "special rotation").  Each pull takes the subtree's greatest lower
+   bound — [remove_max] of the left child — which keeps the ordering
+   invariants for any left-subtree shape; a plain entry blit from the
+   left child is only sound when that child has no right subtree.  If
+   the left subtree drains completely the node degrades to a (legal)
+   half-leaf and the loop stops.  Mutually recursive with [rebalance]
+   and the removal helpers it reuses. *)
+let rec slide_fill t node =
+  if node <> null then
+    while left t node <> null && right t node <> null && num_keys t node < t.min_internal do
+      Fault.point "ttree.slide";
+      let l', (k, rid) = remove_max t (left t node) ~base:(Some (entry_key t node 0)) in
+      set_left t node l';
+      insert_at t node 0 ~key:k ~rid
+    done
+
+and rebalance t node ~base =
   let bf = balance_factor t node in
   let node' =
     if bf > 1 then begin
@@ -271,9 +291,66 @@ let rebalance t node ~base =
     end
   in
   slide_fill t node';
-  (* Sliding can change key[0] of the new root and its left child. *)
+  (* Refilling can shrink the left subtree: refresh the height and
+     re-check the balance before publishing the new root. *)
+  update_height t node';
+  let node' = if abs (balance_factor t node') > 1 then rebalance t node' ~base else node' in
+  (* Sliding can change key[0] of the new root and its children. *)
   if is_partial t then fix_pk0_and_children t node' ~base;
   node'
+
+(* Lehman–Carey case analysis after removing an entry from a node:
+   - internal (two children) below minimum occupancy: refill with the
+     subtree's greatest lower bound (max of the left subtree);
+   - half-leaf (one child): merge the child's entries in when they fit;
+   - leaf left empty: splice the node out.
+   [fix_after_removal] applies these rules and returns the replacement
+   subtree root; the removal helpers use it on every node they drain. *)
+and fix_after_removal t node ~base =
+  let n = num_keys t node in
+  let l = left t node and r = right t node in
+  if n = 0 && l = null && r = null then begin
+    free_node t node;
+    null
+  end
+  else begin
+    if l <> null && r <> null && n < t.min_internal then begin
+      (* Internal: pull the greatest lower bound up into position 0. *)
+      let l', (k, rid) = remove_max t l ~base:(Some (entry_key t node 0)) in
+      set_left t node l';
+      insert_at t node 0 ~key:k ~rid;
+      fix_pk0_and_children t node ~base
+    end;
+    let l = left t node and r = right t node in
+    if n > 0 && (l = null) <> (r = null) then merge_half_leaf t node;
+    if num_keys t node = 0 then begin
+      (* Still empty: node had exactly one child and no keys. *)
+      let l = left t node and r = right t node in
+      let repl = if l <> null then l else r in
+      free_node t node;
+      repl
+    end
+    else node
+  end
+
+(* Remove and return the greatest entry of the subtree. *)
+and remove_max t node ~base =
+  let n = num_keys t node in
+  if right t node <> null then begin
+    let r, kv = remove_max t (right t node) ~base:(Some (entry_key t node 0)) in
+    set_right t node r;
+    (rebalance t node ~base, kv)
+  end
+  else begin
+    let kv = (entry_key t node (n - 1), rec_ptr t node (n - 1)) in
+    remove_at t node (n - 1);
+    let node' = fix_after_removal t node ~base in
+    if node' = null then (null, kv)
+    else begin
+      fix_pk0_and_children t node' ~base;
+      (rebalance t node' ~base, kv)
+    end
+  end
 
 (* {2 Insert} *)
 
@@ -313,6 +390,22 @@ let rec insert_max t node ~key ~rid ~base =
   end
 
 exception Duplicate
+
+(* Exception safety: snapshot the scalar header, run under the arena
+   undo journal, restore both on any escaping exception.  [Duplicate] /
+   [Not_present] are raised before any mutation and handled inside the
+   guarded thunk, so they commit a no-op. *)
+let guarded t f =
+  if not (Fault.unwind_enabled ()) then f ()
+  else begin
+    let root = t.root and nn = t.n_nodes and nk = t.n_keys in
+    try Mem.guard t.reg f
+    with e ->
+      t.root <- root;
+      t.n_nodes <- nn;
+      t.n_keys <- nk;
+      raise e
+  end
 
 let rec insert_rec t node key rid ~base =
   if node = null then new_leaf t ~key ~rid ~base
@@ -363,94 +456,20 @@ let insert t key ~rid =
         (Printf.sprintf "Ttree.insert: direct scheme expects %d-byte keys, got %d" key_len
            (Bytes.length key))
   | _ -> ());
-  match insert_rec t t.root key rid ~base:None with
-  | root ->
-      t.root <- root;
-      fix_pk0_and_children t t.root ~base:None;
-      t.n_keys <- t.n_keys + 1;
-      true
-  | exception Duplicate -> false
+  guarded t (fun () ->
+      match insert_rec t t.root key rid ~base:None with
+      | root ->
+          t.root <- root;
+          fix_pk0_and_children t t.root ~base:None;
+          t.n_keys <- t.n_keys + 1;
+          true
+      | exception Duplicate -> false)
 
 (* {2 Delete}
 
-   Lehman–Carey case analysis after removing an entry from a node:
-   - internal (two children) below minimum occupancy: refill with the
-     subtree's greatest lower bound (max of the left subtree);
-   - half-leaf (one child): merge the child's entries in when they fit;
-   - leaf left empty: splice the node out.
-   [fix_after_removal] applies these rules and returns the replacement
-   subtree root; the removal helpers use it on every node they drain. *)
-
-(* Merge a half-leaf with its single child when the combined entries
-   fit in one node.  AVL balance guarantees the child is a leaf. *)
-let merge_half_leaf t node =
-  let l = left t node and r = right t node in
-  let child = if l <> null then l else r in
-  let n = num_keys t node and cn = num_keys t child in
-  if is_leaf t child && n + cn <= t.max_entries then begin
-    if l <> null then begin
-      (* Prepend the left child's (smaller) entries. *)
-      blit_entries t ~src:node ~src_i:0 ~dst:node ~dst_i:cn ~n;
-      blit_entries t ~src:child ~src_i:0 ~dst:node ~dst_i:0 ~n:cn;
-      set_left t node null;
-      set_num_keys t node (n + cn);
-      (* Seam: the old first entry now follows the child's last. *)
-      fix_pk t node cn ~base:None
-    end
-    else begin
-      blit_entries t ~src:child ~src_i:0 ~dst:node ~dst_i:n ~n:cn;
-      set_right t node null;
-      set_num_keys t node (n + cn);
-      fix_pk t node n ~base:None
-    end;
-    free_node t child
-  end
-
-let rec fix_after_removal t node ~base =
-  let n = num_keys t node in
-  let l = left t node and r = right t node in
-  if n = 0 && l = null && r = null then begin
-    free_node t node;
-    null
-  end
-  else begin
-    if l <> null && r <> null && n < t.min_internal then begin
-      (* Internal: pull the greatest lower bound up into position 0. *)
-      let l', (k, rid) = remove_max t l ~base:(Some (entry_key t node 0)) in
-      set_left t node l';
-      insert_at t node 0 ~key:k ~rid;
-      fix_pk0_and_children t node ~base
-    end;
-    let l = left t node and r = right t node in
-    if n > 0 && (l = null) <> (r = null) then merge_half_leaf t node;
-    if num_keys t node = 0 then begin
-      (* Still empty: node had exactly one child and no keys. *)
-      let l = left t node and r = right t node in
-      let repl = if l <> null then l else r in
-      free_node t node;
-      repl
-    end
-    else node
-  end
-
-(* Remove and return the greatest entry of the subtree. *)
-and remove_max t node ~base =
-  let n = num_keys t node in
-  if right t node <> null then begin
-    let r, kv = remove_max t (right t node) ~base:(Some (entry_key t node 0)) in
-    set_right t node r;
-    (rebalance t node ~base, kv)
-  end
-  else begin
-    let kv = (entry_key t node (n - 1), rec_ptr t node (n - 1)) in
-    remove_at t node (n - 1);
-    let node' = fix_after_removal t node ~base in
-    if node' = null then (null, kv)
-    else begin
-      fix_pk0_and_children t node' ~base;
-      (rebalance t node' ~base, kv)
-    end
-  end
+   The Lehman–Carey removal case analysis lives in [fix_after_removal]
+   above (mutually recursive with [rebalance]); the helpers below walk
+   to the key and apply it on every node they drain. *)
 
 exception Not_present
 
@@ -484,13 +503,14 @@ let rec delete_rec t node key ~base =
   end
 
 let delete t key =
-  match delete_rec t t.root key ~base:None with
-  | root ->
-      t.root <- root;
-      fix_pk0_and_children t t.root ~base:None;
-      t.n_keys <- t.n_keys - 1;
-      true
-  | exception Not_present -> false
+  guarded t (fun () ->
+      match delete_rec t t.root key ~base:None with
+      | root ->
+          t.root <- root;
+          fix_pk0_and_children t t.root ~base:None;
+          t.n_keys <- t.n_keys - 1;
+          true
+      | exception Not_present -> false)
 
 (* {2 Lookup} *)
 
@@ -690,9 +710,11 @@ let range t ~lo ~hi f =
 let validate t =
   let fail fmt = Printf.ksprintf failwith fmt in
   let total = ref 0 in
+  let nodes = ref 0 in
   let rec walk node ~lo ~hi ~base =
     if node = null then 0
     else begin
+      incr nodes;
       let n = num_keys t node in
       if n = 0 then fail "node %d empty" node;
       if n > t.max_entries then fail "node %d overfull" node;
@@ -741,4 +763,5 @@ let validate t =
     end
   in
   ignore (walk t.root ~lo:None ~hi:None ~base:None);
-  if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys
+  if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys;
+  if !nodes <> t.n_nodes then fail "node count mismatch: walked %d, recorded %d" !nodes t.n_nodes

@@ -1,0 +1,88 @@
+module Prng = Pk_util.Prng
+module L = Lock_manager
+module LI = Locking_index
+
+type policy = {
+  max_attempts : int;
+  base_backoff : float;
+  max_backoff : float;
+  jitter : float;
+}
+
+let default_policy =
+  { max_attempts = 8; base_backoff = 0.001; max_backoff = 0.1; jitter = 0.5 }
+
+type stats = {
+  attempts : int;
+  retries : int;
+  aborts : int;
+  deadlocks : int;
+  gave_up : int;
+  backoff_total : float;
+}
+
+let zero_stats =
+  { attempts = 0; retries = 0; aborts = 0; deadlocks = 0; gave_up = 0; backoff_total = 0.0 }
+
+type t = {
+  li : LI.t;
+  pol : policy;
+  rng : Prng.t;
+  sleep : float -> unit;
+  mutable st : stats;
+}
+
+let create ?(policy = default_policy) ?(seed = 0) ?(sleep = fun _ -> ()) li =
+  if policy.max_attempts < 1 then invalid_arg "Retry.create: max_attempts < 1";
+  if not (policy.jitter >= 0.0 && policy.jitter <= 1.0) then
+    invalid_arg "Retry.create: jitter outside [0, 1]";
+  { li; pol = policy; rng = Prng.create (Int64.of_int seed); sleep; st = zero_stats }
+
+let index t = t.li
+let policy t = t.pol
+let stats t = t.st
+let reset_stats t = t.st <- zero_stats
+
+(* Exponential backoff for retry number [n] (1-based), scaled by a
+   deterministic jitter factor in [1 - jitter, 1 + jitter]. *)
+let backoff_for t n =
+  let raw = t.pol.base_backoff *. (2.0 ** float_of_int (n - 1)) in
+  let capped = Float.min raw t.pol.max_backoff in
+  let u = Prng.float t.rng 1.0 in
+  capped *. (1.0 +. (t.pol.jitter *. ((2.0 *. u) -. 1.0)))
+
+let run t ?(on_retry = fun ~attempt:_ -> ()) f =
+  let rec go attempt =
+    t.st <- { t.st with attempts = t.st.attempts + 1 };
+    let txn = LI.begin_txn t.li in
+    match f txn with
+    | `Ok v ->
+        LI.commit t.li txn;
+        `Ok v
+    | (`Blocked _ | `Deadlock) as outcome ->
+        LI.abort t.li txn;
+        t.st <-
+          {
+            t.st with
+            aborts = t.st.aborts + 1;
+            deadlocks = (t.st.deadlocks + match outcome with `Deadlock -> 1 | _ -> 0);
+          };
+        if attempt >= t.pol.max_attempts then begin
+          t.st <- { t.st with gave_up = t.st.gave_up + 1 };
+          `Gave_up attempt
+        end
+        else begin
+          let pause = backoff_for t attempt in
+          t.st <-
+            { t.st with retries = t.st.retries + 1; backoff_total = t.st.backoff_total +. pause };
+          t.sleep pause;
+          on_retry ~attempt;
+          go (attempt + 1)
+        end
+  in
+  go 1
+
+let lookup t key = run t (fun txn -> LI.lookup t.li txn key)
+let insert t key ~rid = run t (fun txn -> LI.insert t.li txn key ~rid)
+let delete t key = run t (fun txn -> LI.delete t.li txn key)
+let range t ~lo ~hi = run t (fun txn -> LI.range t.li txn ~lo ~hi)

@@ -1,0 +1,63 @@
+(** Retry/backoff policy around {!module:Locking_index}.
+
+    A single-threaded lock manager reports contention as [`Blocked] or
+    [`Deadlock] outcomes rather than parking a thread.  [Retry] turns
+    those outcomes into the standard production discipline: release
+    everything, back off with deterministic pseudo-random jitter
+    (exponential, capped), and retry with a fresh transaction up to a
+    bounded budget.  Retries, aborts, deadlocks, give-ups and
+    accumulated backoff are counted and exposed alongside the index's
+    own statistics. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first ([>= 1]) *)
+  base_backoff : float;  (** seconds before the first retry *)
+  max_backoff : float;  (** cap for the exponential schedule *)
+  jitter : float;  (** relative jitter in [\[0, 1\]]: each backoff is scaled by [1 ± jitter] *)
+}
+
+val default_policy : policy
+(** 8 attempts, 1 ms base, 100 ms cap, 0.5 jitter. *)
+
+type stats = {
+  attempts : int;  (** operation attempts started *)
+  retries : int;  (** attempts that were retries of a failed attempt *)
+  aborts : int;  (** transactions released on [`Blocked] / [`Deadlock] *)
+  deadlocks : int;  (** aborts caused by deadlock detection *)
+  gave_up : int;  (** operations abandoned after exhausting the budget *)
+  backoff_total : float;  (** summed backoff seconds (simulated by default) *)
+}
+
+type t
+
+val create : ?policy:policy -> ?seed:int -> ?sleep:(float -> unit) -> Locking_index.t -> t
+(** [sleep] receives each backoff duration; the default records it in
+    the stats without actually sleeping, keeping tests instant and
+    deterministic.  [seed] (default 0) drives the jitter PRNG. *)
+
+val index : t -> Locking_index.t
+val policy : t -> policy
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val run :
+  t ->
+  ?on_retry:(attempt:int -> unit) ->
+  (Lock_manager.txn -> 'a Locking_index.result) ->
+  [ `Ok of 'a | `Gave_up of int ]
+(** [run t f] executes [f] with a fresh transaction.  On [`Ok v] the
+    transaction commits (releasing its locks) and [`Ok v] is returned.
+    On [`Blocked]/[`Deadlock] the transaction aborts, the policy backs
+    off, [on_retry ~attempt] runs (tests use it to resolve the
+    contention), and [f] runs again with a new transaction — up to
+    [policy.max_attempts], after which [`Gave_up attempts] is
+    returned. *)
+
+(** {1 Single-operation conveniences} — each is one [run]. *)
+
+val lookup : t -> Pk_keys.Key.t -> [ `Ok of int option | `Gave_up of int ]
+val insert : t -> Pk_keys.Key.t -> rid:int -> [ `Ok of bool | `Gave_up of int ]
+val delete : t -> Pk_keys.Key.t -> [ `Ok of bool | `Gave_up of int ]
+
+val range :
+  t -> lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> [ `Ok of (Pk_keys.Key.t * int) list | `Gave_up of int ]

@@ -1,5 +1,6 @@
 module Arena = Pk_arena.Arena
 module Cachesim = Pk_cachesim.Cachesim
+module Fault = Pk_fault.Fault
 
 type t = {
   mutable sim : Cachesim.t option;
@@ -41,6 +42,20 @@ let used_bytes r = Arena.used_bytes r.arena
 
 let alloc r ?align size = Arena.alloc r.arena ?align size
 let free r off size = Arena.free r.arena off size
+let in_txn r = Arena.in_txn r.arena
+
+let guard r f =
+  if (not (Fault.unwind_enabled ())) || Arena.in_txn r.arena then f ()
+  else begin
+    Arena.begin_txn r.arena;
+    match f () with
+    | v ->
+        Arena.commit_txn r.arena;
+        v
+    | exception e ->
+        Arena.abort_txn r.arena;
+        raise e
+  end
 
 let[@inline] charge r off len =
   match r.owner.sim with
@@ -48,50 +63,62 @@ let[@inline] charge r off len =
   | Some _ | None -> ()
 
 let read_u8 r off =
+  Fault.point "mem.read";
   charge r off 1;
   Arena.get_u8 r.arena off
 
 let write_u8 r off v =
+  Fault.point "mem.write";
   charge r off 1;
   Arena.set_u8 r.arena off v
 
 let read_u16 r off =
+  Fault.point "mem.read";
   charge r off 2;
   Arena.get_u16 r.arena off
 
 let write_u16 r off v =
+  Fault.point "mem.write";
   charge r off 2;
   Arena.set_u16 r.arena off v
 
 let read_u32 r off =
+  Fault.point "mem.read";
   charge r off 4;
   Arena.get_u32 r.arena off
 
 let write_u32 r off v =
+  Fault.point "mem.write";
   charge r off 4;
   Arena.set_u32 r.arena off v
 
 let read_u64 r off =
+  Fault.point "mem.read";
   charge r off 8;
   Arena.get_u64 r.arena off
 
 let write_u64 r off v =
+  Fault.point "mem.write";
   charge r off 8;
   Arena.set_u64 r.arena off v
 
 let read_bytes r ~off ~len =
+  Fault.point "mem.read";
   charge r off len;
   Arena.sub_bytes r.arena ~off ~len
 
 let read_into r ~off ~dst ~dst_off ~len =
+  Fault.point "mem.read";
   charge r off len;
   Arena.blit_to_bytes r.arena ~src_off:off ~dst ~dst_off ~len
 
 let write_bytes r ~off ~src ~src_off ~len =
+  Fault.point "mem.write";
   charge r off len;
   Arena.blit_from_bytes r.arena ~src ~src_off ~dst_off:off ~len
 
 let move r ~src_off ~dst_off ~len =
+  Fault.point "mem.write";
   charge r src_off len;
   charge r dst_off len;
   Arena.blit_within r.arena ~src_off ~dst_off ~len

@@ -53,6 +53,16 @@ val used_bytes : region -> int
 val alloc : region -> ?align:int -> int -> int
 val free : region -> int -> int -> unit
 
+val guard : region -> (unit -> 'a) -> 'a
+(** [guard r f] runs [f] inside an arena undo transaction on [r]'s
+    arena: on normal return the writes are committed (and deferred
+    frees applied); on any exception the arena is rolled back to its
+    state at entry and the exception re-raised.  Reentrant — a nested
+    guard joins the open transaction.  A no-op (direct call) when
+    {!val:Pk_fault.Fault.unwind_enabled} is off. *)
+
+val in_txn : region -> bool
+
 (** {1 Typed accesses} — every call charges the simulator with the
     touched byte range when tracing is on. *)
 

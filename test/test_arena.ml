@@ -107,6 +107,85 @@ let test_invalid_args () =
   Alcotest.check_raises "free null" (Invalid_argument "Arena.free: null") (fun () ->
       Arena.free a 0 8)
 
+let test_double_free () =
+  let a = make () in
+  let o1 = Arena.alloc a 32 in
+  let o2 = Arena.alloc a 32 in
+  Arena.free a o1 32;
+  Alcotest.check_raises "double free rejected"
+    (Invalid_argument (Printf.sprintf "Arena.free: double free of offset %d" o1)) (fun () ->
+      Arena.free a o1 32);
+  (* a re-allocation of the region makes it freeable again *)
+  let o3 = Arena.alloc a 32 in
+  Alcotest.(check int) "free list reused" o1 o3;
+  Arena.free a o3 32;
+  Arena.free a o2 32;
+  Alcotest.check_raises "tracked per offset"
+    (Invalid_argument (Printf.sprintf "Arena.free: double free of offset %d" o2)) (fun () ->
+      Arena.free a o2 32)
+
+let test_txn_abort_restores_bytes () =
+  let a = make () in
+  let off = Arena.alloc a 32 in
+  Arena.set_u64 a off 0xAAAA;
+  Arena.set_u64 a (off + 8) 0xBBBB;
+  Arena.begin_txn a;
+  Alcotest.(check bool) "in_txn" true (Arena.in_txn a);
+  Arena.set_u64 a off 0x1111;
+  Arena.blit_from_bytes a ~src:(Bytes.make 8 'x') ~src_off:0 ~dst_off:(off + 8) ~len:8;
+  Arena.fill a ~off:(off + 16) ~len:8 '\xff';
+  Arena.abort_txn a;
+  Alcotest.(check bool) "txn closed" false (Arena.in_txn a);
+  Alcotest.(check int) "u64 restored" 0xAAAA (Arena.get_u64 a off);
+  Alcotest.(check int) "blit undone" 0xBBBB (Arena.get_u64 a (off + 8));
+  Alcotest.(check int) "fill undone" 0 (Arena.get_u64 a (off + 16))
+
+let test_txn_abort_returns_allocations () =
+  let a = make () in
+  ignore (Arena.alloc a 16);
+  Arena.begin_txn a;
+  let o1 = Arena.alloc a 48 in
+  Arena.set_u64 a o1 123;
+  Arena.abort_txn a;
+  (* the aborted allocation went back on the free list: the same
+     request finds the same region, zeroed *)
+  let o2 = Arena.alloc a 48 in
+  Alcotest.(check int) "region recycled" o1 o2;
+  Alcotest.(check int) "contents zeroed by undo" 0 (Arena.get_u64 a o2)
+
+let test_txn_frees_deferred () =
+  let a = make () in
+  let o1 = Arena.alloc a 48 in
+  Arena.set_u64 a o1 7;
+  (* Abort: the free is undone along with everything else. *)
+  Arena.begin_txn a;
+  Arena.free a o1 48;
+  Alcotest.check_raises "double free caught inside txn"
+    (Invalid_argument (Printf.sprintf "Arena.free: double free of offset %d" o1)) (fun () ->
+      Arena.free a o1 48);
+  Arena.abort_txn a;
+  Alcotest.(check int) "freed bytes restored on abort" 7 (Arena.get_u64 a o1);
+  let o2 = Arena.alloc a 48 in
+  Alcotest.(check bool) "region still live after abort" true (o2 <> o1);
+  (* Commit: only now does the region reach the free list. *)
+  Arena.begin_txn a;
+  Arena.free a o1 48;
+  let held = Arena.alloc a 48 in
+  Alcotest.(check bool) "free not visible before commit" true (held <> o1);
+  Arena.commit_txn a;
+  let o3 = Arena.alloc a 48 in
+  Alcotest.(check int) "free applied at commit" o1 o3
+
+let test_txn_nesting_rejected () =
+  let a = make () in
+  Arena.begin_txn a;
+  Alcotest.check_raises "no nesting"
+    (Invalid_argument "Arena.begin_txn: transaction already open") (fun () ->
+      Arena.begin_txn a);
+  Arena.commit_txn a;
+  Alcotest.check_raises "commit without txn"
+    (Invalid_argument "Arena.commit_txn: no open transaction") (fun () -> Arena.commit_txn a)
+
 let () =
   Alcotest.run "pk_arena"
     [
@@ -123,5 +202,13 @@ let () =
           Alcotest.test_case "blits and compare" `Quick test_blits_and_compare;
           Alcotest.test_case "overlapping blit" `Quick test_blit_within_overlap;
           Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
+          Alcotest.test_case "double free rejected" `Quick test_double_free;
+        ] );
+      ( "undo-journal",
+        [
+          Alcotest.test_case "abort restores bytes" `Quick test_txn_abort_restores_bytes;
+          Alcotest.test_case "abort returns allocations" `Quick test_txn_abort_returns_allocations;
+          Alcotest.test_case "frees deferred to commit" `Quick test_txn_frees_deferred;
+          Alcotest.test_case "nesting rejected" `Quick test_txn_nesting_rejected;
         ] );
     ]

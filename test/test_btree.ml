@@ -252,6 +252,27 @@ let test_seq_from () =
   Alcotest.(check int) "full cursor scan" 999
     (Seq.length (Btree.seq_from b (Bytes.make 8 '\000')))
 
+(* Regression: a delete of an ABSENT key can still merge the root's
+   only two children during the descent (preemptive rebalancing); the
+   empty root must collapse even though the delete returns false. *)
+let test_absent_delete_collapses_root () =
+  let key i = Bytes.of_string (Printf.sprintf "%08d" i) in
+  for n = 2 to 48 do
+    let b, records = make_btree ~node_bytes:128 (Layout.Direct { key_len = 8 }) in
+    (* even keys present, odd keys absent *)
+    insert_all b records (Array.init n (fun i -> key (2 * i)));
+    for round = n - 1 downto 0 do
+      (* probe an absent key near every present key, then shrink *)
+      for i = 0 to round do
+        Alcotest.(check bool) "absent" false (Btree.delete b (key ((2 * i) + 1)));
+        Btree.validate b
+      done;
+      Alcotest.(check bool) "present" true (Btree.delete b (key (2 * round)));
+      Btree.validate b;
+      Alcotest.(check int) "count" round (Btree.count b)
+    done
+  done
+
 let conformance name structure scheme ~key_len ~alphabet =
   Alcotest.test_case name `Slow (fun () ->
       Support.conformance_run
@@ -278,6 +299,8 @@ let () =
           Alcotest.test_case "internal key deletes" `Quick test_internal_key_delete;
           Alcotest.test_case "space accounting" `Quick test_space_accounting;
           Alcotest.test_case "seq_from cursor" `Quick test_seq_from;
+          Alcotest.test_case "absent delete collapses root" `Quick
+            test_absent_delete_collapses_root;
         ] );
       ( "conformance",
         List.map

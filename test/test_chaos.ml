@@ -1,0 +1,82 @@
+(* Chaos + differential acceptance suite.
+
+   The headline run drives >= 1000 seeded operation schedules (200
+   seeds x 5 index configurations) with seed-derived fault plans armed,
+   cross-checking every operation against a Map oracle and
+   deep-validating after every injected fault.  Any divergence raises
+   with a replay seed; this suite passing means zero validator failures
+   and zero oracle divergences. *)
+
+module Chaos = Pk_chaos.Chaos
+
+let seeds ~base n = List.init n (fun i -> base + i)
+
+let test_fault_acceptance () =
+  let o =
+    Chaos.run_suite ~faults:(fun ~seed -> Chaos.default_fault_plan ~seed)
+      ~seeds:(seeds ~base:1 200) ~ops:120 ()
+  in
+  Alcotest.(check int) "1000 schedules x 120 ops" (200 * 5 * 120) o.Chaos.ops;
+  Alcotest.(check bool) "fault plans actually injected" true (o.Chaos.injected > 100);
+  Alcotest.(check bool) "most operations still applied" true (o.Chaos.applied > o.Chaos.injected);
+  (* one epilogue validation per schedule, plus one per injection *)
+  Alcotest.(check bool) "validators ran" true (o.Chaos.validations >= 1000)
+
+(* Pure differential mode: no faults, denser schedules. *)
+let test_differential_no_faults () =
+  let o = Chaos.run_suite ~seeds:(seeds ~base:10_000 40) ~ops:250 () in
+  Alcotest.(check int) "no injections without a plan" 0 o.Chaos.injected;
+  Alcotest.(check bool) "applied" true (o.Chaos.applied > 0)
+
+(* Satellite: the prefix B-tree against the oracle under full
+   byte-entropy keys (every byte value equally likely), where prefix
+   compression has the least structure to lean on. *)
+let test_prefix_byte_entropy () =
+  let o =
+    Chaos.run_suite ~trees:[ Chaos.Prefix ] ~alphabet:256 ~seeds:(seeds ~base:20_000 60)
+      ~ops:250 ()
+  in
+  Alcotest.(check int) "60 schedules" (60 * 250) o.Chaos.ops;
+  Alcotest.(check int) "pure differential" 0 o.Chaos.injected;
+  Alcotest.(check bool) "applied" true (o.Chaos.applied > 0)
+
+(* Regressions: seeds on which the chaos harness found real latent
+   bugs.  Seed 73 (B, 120 ops): deleting an absent key could merge the
+   root's two children without collapsing the root.  Seed 50 (pkT, 150
+   ops): an insert-side AVL rotation promoted a node to internal below
+   the occupancy minimum and the entry slide could not refill it.
+   Seed 206 (prefix, 200 ops): a delete-side re-split refreshed a
+   parent separator with a longer one and overflowed the parent's slot
+   directory.  All replay from the seed with the default fault plan
+   armed. *)
+let test_chaos_found_regressions () =
+  List.iter
+    (fun (tree, seed, ops) ->
+      ignore
+        (Chaos.run_schedule ~faults:(Chaos.default_fault_plan ~seed) ~tree ~seed ~ops ()))
+    [ (Chaos.B, 73, 120); (Chaos.PkT, 50, 150); (Chaos.Prefix, 206, 200) ]
+
+(* Failures must replay from the seed alone: the same seed must
+   produce the identical outcome, faults included. *)
+let test_replay_determinism () =
+  let run () =
+    Chaos.run_schedule
+      ~faults:(Chaos.default_fault_plan ~seed:77)
+      ~tree:Chaos.PkB ~seed:77 ~ops:300 ()
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "identical outcome on replay" true (a = b)
+
+let () =
+  Alcotest.run "pk_chaos"
+    [
+      ( "chaos",
+        [
+          Alcotest.test_case "1000-schedule fault acceptance" `Slow test_fault_acceptance;
+          Alcotest.test_case "differential, no faults" `Quick test_differential_no_faults;
+          Alcotest.test_case "prefix under byte entropy" `Quick test_prefix_byte_entropy;
+          Alcotest.test_case "chaos-found regressions" `Quick test_chaos_found_regressions;
+          Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+        ] );
+    ]

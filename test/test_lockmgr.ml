@@ -381,6 +381,233 @@ let prop_serializable seed =
   ix.Index.validate ();
   final = s12 || final = s21
 
+(* {2 Lattice laws and long cycles} *)
+
+let all_modes = [ L.IS; L.IX; L.S; L.SIX; L.X ]
+
+(* The lattice order induced by sup. *)
+let leq a b = L.sup a b = b
+
+let test_lattice_laws () =
+  let chk name cond = if not cond then Alcotest.fail name in
+  List.iter
+    (fun a ->
+      chk "idempotent" (L.sup a a = a);
+      chk "IS is bottom" (leq L.IS a);
+      chk "X is top" (leq a L.X))
+    all_modes;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let s = L.sup a b in
+          chk "commutative" (L.sup b a = s);
+          chk "upper bound of a" (leq a s);
+          chk "upper bound of b" (leq b s);
+          chk "antisymmetric" (not (leq a b && leq b a) || a = b);
+          List.iter
+            (fun c ->
+              chk "associative" (L.sup (L.sup a b) c = L.sup a (L.sup b c));
+              chk "transitive" (not (leq a b && leq b c) || leq a c);
+              (* least among upper bounds *)
+              if leq a c && leq b c then chk "least upper bound" (leq s c))
+            all_modes)
+        all_modes)
+    all_modes;
+  (* sup must also dominate conflicts: anything incompatible with a or
+     b is incompatible with sup a b *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          List.iter
+            (fun c ->
+              if not (L.compatible a c) || not (L.compatible b c) then
+                chk "sup keeps conflicts" (not (L.compatible (L.sup a b) c)))
+            all_modes)
+        all_modes)
+    all_modes
+
+let test_upgrade_path_is_six_x () =
+  let m = L.create () in
+  let t1 = L.begin_txn m and t2 = L.begin_txn m in
+  let mode_of t = List.assoc (k "u") (L.held m t) in
+  Alcotest.(check bool) "t2 IS" true (L.acquire m t2 (k "u") L.IS = L.Granted);
+  Alcotest.(check bool) "t1 IS" true (L.acquire m t1 (k "u") L.IS = L.Granted);
+  (* IS -> SIX coexists with another IS holder *)
+  Alcotest.(check bool) "t1 upgrades to SIX" true (L.acquire m t1 (k "u") L.SIX = L.Granted);
+  Alcotest.(check bool) "held mode is SIX" true (mode_of t1 = L.SIX);
+  (* SIX -> X must wait for the IS holder *)
+  (match L.acquire m t1 (k "u") L.X with
+  | L.Would_block [ id ] -> Alcotest.(check int) "blocked by the IS holder" (L.txn_id t2) id
+  | _ -> Alcotest.fail "SIX -> X should block on IS");
+  Alcotest.(check bool) "still SIX while blocked" true (mode_of t1 = L.SIX);
+  L.release_all m t2;
+  Alcotest.(check bool) "t1 reaches X" true (L.acquire m t1 (k "u") L.X = L.Granted);
+  Alcotest.(check bool) "held mode is X" true (mode_of t1 = L.X)
+
+let test_four_party_cycle () =
+  let m = L.create () in
+  let txns = Array.init 4 (fun _ -> L.begin_txn m) in
+  let keys = [| k "a"; k "b"; k "c"; k "d" |] in
+  Array.iteri (fun i t -> ignore (L.acquire m t keys.(i) L.X)) txns;
+  (* t0 -> t1 -> t2 -> t3 each wait on the next one's key *)
+  for i = 0 to 2 do
+    match L.acquire m txns.(i) keys.(i + 1) L.X with
+    | L.Would_block _ -> ()
+    | _ -> Alcotest.failf "t%d should wait on t%d" i (i + 1)
+  done;
+  (match L.acquire m txns.(3) keys.(0) L.X with
+  | L.Deadlock -> ()
+  | _ -> Alcotest.fail "four-party cycle undetected");
+  (* the victim aborts; the chain drains: t2 gets d, then t1, then t0 *)
+  L.release_all m txns.(3);
+  Alcotest.(check bool) "t2 proceeds" true (L.acquire m txns.(2) keys.(3) L.X = L.Granted);
+  L.release_all m txns.(2);
+  Alcotest.(check bool) "t1 proceeds" true (L.acquire m txns.(1) keys.(2) L.X = L.Granted);
+  L.release_all m txns.(1);
+  Alcotest.(check bool) "t0 proceeds" true (L.acquire m txns.(0) keys.(1) L.X = L.Granted)
+
+let test_five_party_cycle_with_shared_locks () =
+  (* A longer cycle through S-lock conflicts, not just X/X. *)
+  let m = L.create () in
+  let txns = Array.init 5 (fun _ -> L.begin_txn m) in
+  let keys = Array.init 5 (fun i -> k (String.make 1 (Char.chr (Char.code 'p' + i)))) in
+  Array.iteri (fun i t -> ignore (L.acquire m t keys.(i) L.S)) txns;
+  for i = 0 to 3 do
+    match L.acquire m txns.(i) keys.(i + 1) L.X with
+    | L.Would_block _ -> ()
+    | _ -> Alcotest.failf "t%d should wait" i
+  done;
+  match L.acquire m txns.(4) keys.(0) L.X with
+  | L.Deadlock -> ()
+  | _ -> Alcotest.fail "five-party cycle undetected"
+
+(* {2 Retry/backoff wrapper} *)
+
+module R = Pk_lockmgr.Retry
+
+let test_retry_resolves_contention () =
+  let li, records = make_locking_index () in
+  let blocker = LI.begin_txn li in
+  (match LI.delete li blocker (key "damson") with
+  | `Ok true -> ()
+  | _ -> Alcotest.fail "blocker delete");
+  let r = R.create ~policy:{ R.default_policy with max_attempts = 5 } li in
+  (* X-locks held by the blocker force a retry; releasing them on the
+     first retry lets the second attempt through. *)
+  let outcome =
+    R.run r
+      ~on_retry:(fun ~attempt ->
+        if attempt = 1 then begin
+          (* the blocker aborts: restore the key it deleted, drop locks *)
+          let ix = LI.index li in
+          (match Pk_core.Index.(ix.lookup) (key "damson") with
+          | Some _ -> ()
+          | None ->
+              let rid =
+                Record_store.insert records ~key:(key "damson") ~payload:Bytes.empty
+              in
+              assert (Pk_core.Index.(ix.insert) (key "damson") ~rid));
+          LI.abort li blocker
+        end)
+      (fun txn -> LI.lookup li txn (key "damson"))
+  in
+  (match outcome with
+  | `Ok (Some _) -> ()
+  | `Ok None -> Alcotest.fail "key missing after blocker abort"
+  | `Gave_up n -> Alcotest.failf "gave up after %d attempts" n);
+  let st = R.stats r in
+  Alcotest.(check int) "attempts" 2 st.R.attempts;
+  Alcotest.(check int) "retries" 1 st.R.retries;
+  Alcotest.(check int) "aborts" 1 st.R.aborts;
+  Alcotest.(check int) "gave up" 0 st.R.gave_up;
+  Alcotest.(check bool) "backoff accumulated" true (st.R.backoff_total > 0.0)
+
+let test_retry_gives_up () =
+  let li, _records = make_locking_index () in
+  let blocker = LI.begin_txn li in
+  (match LI.lookup li blocker (key "cherry") with
+  | `Ok (Some _) -> ()
+  | _ -> Alcotest.fail "blocker lookup");
+  let r = R.create ~policy:{ R.default_policy with max_attempts = 3 } li in
+  (match R.delete r (key "cherry") with
+  | `Gave_up 3 -> ()
+  | `Gave_up n -> Alcotest.failf "gave up after %d, wanted 3" n
+  | `Ok _ -> Alcotest.fail "delete should never get past the reader");
+  let st = R.stats r in
+  Alcotest.(check int) "attempts" 3 st.R.attempts;
+  Alcotest.(check int) "retries" 2 st.R.retries;
+  Alcotest.(check int) "aborts" 3 st.R.aborts;
+  Alcotest.(check int) "gave up" 1 st.R.gave_up;
+  (* the reader never lost its lock and the index never changed *)
+  (match LI.lookup li blocker (key "cherry") with
+  | `Ok (Some _) -> ()
+  | _ -> Alcotest.fail "blocker unaffected");
+  LI.commit li blocker
+
+let test_retry_backoff_schedule () =
+  let li, _records = make_locking_index () in
+  let blocker = LI.begin_txn li in
+  (match LI.lookup li blocker (key "banana") with
+  | `Ok (Some _) -> ()
+  | _ -> Alcotest.fail "blocker lookup");
+  let sleeps = ref [] in
+  let policy =
+    { R.max_attempts = 6; base_backoff = 0.001; max_backoff = 0.004; jitter = 0.0 }
+  in
+  let r = R.create ~policy ~sleep:(fun d -> sleeps := d :: !sleeps) li in
+  (match R.delete r (key "banana") with
+  | `Gave_up 6 -> ()
+  | _ -> Alcotest.fail "expected give-up");
+  (* jitter 0: pure capped exponential, deterministic *)
+  Alcotest.(check (list (float 1e-9)))
+    "exponential, capped"
+    [ 0.001; 0.002; 0.004; 0.004; 0.004 ]
+    (List.rev !sleeps);
+  let st = R.stats r in
+  Alcotest.(check (float 1e-9)) "backoff_total" 0.015 st.R.backoff_total
+
+let test_retry_jitter_deterministic () =
+  let li, _records = make_locking_index () in
+  let schedule seed =
+    let blocker = LI.begin_txn li in
+    (match LI.lookup li blocker (key "banana") with
+    | `Ok (Some _) -> ()
+    | _ -> Alcotest.fail "blocker lookup");
+    let sleeps = ref [] in
+    let r = R.create ~seed ~sleep:(fun d -> sleeps := d :: !sleeps) li in
+    ignore (R.delete r (key "banana"));
+    LI.commit li blocker;
+    List.rev !sleeps
+  in
+  let a = schedule 9 and b = schedule 9 and c = schedule 10 in
+  Alcotest.(check bool) "same seed, same jitter" true (a = b);
+  Alcotest.(check bool) "jitter within +/- 50%" true
+    (List.for_all2
+       (fun got pure -> got >= pure *. 0.5 -. 1e-12 && got <= pure *. 1.5 +. 1e-12)
+       a
+       [ 0.001; 0.002; 0.004; 0.008; 0.016; 0.032; 0.064 ]);
+  Alcotest.(check bool) "different seed, different jitter" true (a <> c)
+
+let test_retry_counts_deadlocks () =
+  let li, _records = make_locking_index () in
+  let r = R.create li in
+  let first = ref true in
+  let outcome =
+    R.run r (fun _txn ->
+        if !first then begin
+          first := false;
+          `Deadlock
+        end
+        else `Ok 42)
+  in
+  Alcotest.(check bool) "recovered" true (outcome = `Ok 42);
+  let st = R.stats r in
+  Alcotest.(check int) "deadlocks counted" 1 st.R.deadlocks;
+  Alcotest.(check int) "aborts" 1 st.R.aborts;
+  Alcotest.(check int) "retries" 1 st.R.retries
+
 let () =
   Alcotest.run "pk_lockmgr"
     [
@@ -388,11 +615,24 @@ let () =
         [
           Alcotest.test_case "compatibility matrix" `Quick test_compatibility_matrix;
           Alcotest.test_case "sup lattice" `Quick test_sup_lattice;
+          Alcotest.test_case "lattice laws (exhaustive)" `Quick test_lattice_laws;
+          Alcotest.test_case "upgrade path IS->SIX->X" `Quick test_upgrade_path_is_six_x;
           Alcotest.test_case "grant/conflict/release" `Quick test_grant_conflict_release;
           Alcotest.test_case "upgrade is sup" `Quick test_upgrade_is_sup;
           Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
           Alcotest.test_case "three-party cycle" `Quick test_three_party_cycle;
+          Alcotest.test_case "four-party cycle" `Quick test_four_party_cycle;
+          Alcotest.test_case "five-party cycle via S locks" `Quick
+            test_five_party_cycle_with_shared_locks;
           Alcotest.test_case "cancel_wait" `Quick test_cancel_wait_breaks_edge;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "retry resolves contention" `Quick test_retry_resolves_contention;
+          Alcotest.test_case "bounded give-up" `Quick test_retry_gives_up;
+          Alcotest.test_case "backoff schedule" `Quick test_retry_backoff_schedule;
+          Alcotest.test_case "jitter is seeded" `Quick test_retry_jitter_deterministic;
+          Alcotest.test_case "deadlocks counted" `Quick test_retry_counts_deadlocks;
         ] );
       ( "next-key-locking",
         [
