@@ -3,9 +3,12 @@
    (SIGMOD 2001), plus the ablations indexed in DESIGN.md.
 
    Usage:  dune exec bench/main.exe [-- id ...]
-     ids: t2 f9a f9b f10a f10b a1 a2 a3 a4 a5 a6 a7   (none = all)
+     ids: t2 f9a f9b f10a f10b a1 a2 a3 a4 a5 a6 a7 a8 a9   (none = all)
    Scaling: PK_KEYS / PK_LOOKUPS override sizes, PK_SCALE multiplies
-   the defaults (paper scale is PK_KEYS=1500000 PK_LOOKUPS=100000). *)
+   the defaults (paper scale is PK_KEYS=1500000 PK_LOOKUPS=100000).
+   A9 also honours PK_BATCH (single batch size instead of the
+   {1,8,64,512} sweep) and PK_FILL (bulk-load fill factor), and writes
+   machine-readable results to BENCH_A9.json. *)
 
 let () =
   Pk_experiments.Exp_tables.register ();

@@ -33,13 +33,21 @@ let lookups_arg =
 let scale_arg =
   Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"X" ~doc:"Multiply default sizes by X.")
 
+let batch_arg =
+  Arg.(value & opt (some int) None & info [ "batch"; "b" ] ~docv:"N" ~doc:"Batched-lookup group size for a9 (replaces the default {1,8,64,512} sweep).")
+
+let fill_arg =
+  Arg.(value & opt (some float) None & info [ "fill" ] ~docv:"F" ~doc:"Bulk-load fill factor for a9, clamped to [0.5, 1.0] (default 1.0).")
+
 let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
 let run_cmd =
-  let run keys lookups scale ids =
+  let run keys lookups scale batch fill ids =
     Option.iter (fun v -> Unix.putenv "PK_KEYS" (string_of_int v)) keys;
     Option.iter (fun v -> Unix.putenv "PK_LOOKUPS" (string_of_int v)) lookups;
     Option.iter (fun v -> Unix.putenv "PK_SCALE" (string_of_float v)) scale;
+    Option.iter (fun v -> Unix.putenv "PK_BATCH" (string_of_int v)) batch;
+    Option.iter (fun v -> Unix.putenv "PK_FILL" (string_of_float v)) fill;
     (* Wall-clock runs measure the paper's layout story; keep the
        undo-journal byte copies out of the hot path. *)
     Pk_fault.Fault.set_unwind false;
@@ -48,7 +56,7 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments (all tables/figures of the paper plus ablations)")
-    Term.(const run $ keys_arg $ lookups_arg $ scale_arg $ ids_arg)
+    Term.(const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ ids_arg)
 
 let () =
   let doc = "benchmarks for the pkT/pkB partial-key index reproduction (SIGMOD 2001)" in

@@ -103,6 +103,13 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
   let pool = Keygen.uniform ~rng ~key_len ~alphabet n_pool in
   let oracle = ref KMap.empty in
   let applied = ref 0 and injected = ref 0 and validations = ref 0 in
+  (* A fraction of schedules exercise the batched entry points
+     (lookup_batch / insert_batch / delete_batch) and seed the index
+     through the bottom-up bulk loader instead of one-at-a-time
+     inserts, so the access-path layer sees the same fault plans and
+     oracle discipline as the classic operations. *)
+  let use_batched = Prng.int rng 2 = 0 in
+  let use_bulk = Prng.int rng 4 = 0 in
   let fail ~op fmt =
     Printf.ksprintf
       (fun msg ->
@@ -129,10 +136,129 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
             (match want with None -> "None" | Some r -> string_of_int r))
   in
   let attempt f = try Ok (f ()) with Fault.Injected site -> Error site in
+  (* Bulk-seeded schedules: load a sorted slice of the pool bottom-up
+     before the operation stream starts.  The loader runs with faults
+     armed; an injected abort must leave the index empty and valid. *)
+  if use_bulk then begin
+    let m = 8 + Prng.int rng (n_pool - 8) in
+    let seed_keys = Array.sub pool 0 m in
+    Array.sort Key.compare seed_keys;
+    let pairs =
+      Array.map
+        (fun k ->
+          (k, Fault.pause (fun () -> Record_store.insert records ~key:k ~payload:Bytes.empty)))
+        seed_keys
+    in
+    let fill = 0.5 +. Prng.float rng 0.5 in
+    match attempt (fun () -> ix.Index.of_sorted ~fill pairs) with
+    | Ok () ->
+        Array.iter (fun (k, rid) -> oracle := KMap.add k rid !oracle) pairs;
+        applied := !applied + m
+    | Error site ->
+        incr injected;
+        deep_validate ~op:0 ();
+        Fault.pause (fun () ->
+            if ix.Index.count () <> 0 then
+              fail ~op:0 "bulk load aborted at %s but %d keys remain" site (ix.Index.count ());
+            Array.iter (fun (_, rid) -> Record_store.delete records rid) pairs)
+  end;
+  let batch_of_pool () =
+    let m = 2 + Prng.int rng 7 in
+    Array.init m (fun _ -> pool.(Prng.int rng n_pool))
+  in
+  let check_batch_keys ~op ~what keys = Array.iter (fun k -> check_key ~op ~what k) keys in
+  (* Batched mutations promise singles-in-batch-order results and
+     all-or-nothing unwinding, so the oracle simulates slot by slot and
+     an abort must leave every batch key untouched. *)
+  let batch_insert ~op () =
+    let keys = batch_of_pool () in
+    let rids =
+      Array.map
+        (fun k -> Fault.pause (fun () -> Record_store.insert records ~key:k ~payload:Bytes.empty))
+        keys
+    in
+    let sim = ref !oracle in
+    let expected =
+      Array.mapi
+        (fun i k ->
+          if KMap.mem k !sim then false
+          else begin
+            sim := KMap.add k rids.(i) !sim;
+            true
+          end)
+        keys
+    in
+    match attempt (fun () -> ix.Index.insert_batch keys ~rids) with
+    | Ok res ->
+        Array.iteri
+          (fun i ok ->
+            if ok <> expected.(i) then
+              fail ~op "insert_batch slot %d (%s) returned %b, oracle expected %b" i
+                (Key.to_hex keys.(i)) ok expected.(i);
+            if ok then incr applied
+            else Fault.pause (fun () -> Record_store.delete records rids.(i)))
+          res;
+        oracle := !sim
+    | Error site ->
+        incr injected;
+        Fault.pause (fun () -> Array.iter (Record_store.delete records) rids);
+        deep_validate ~op ();
+        check_batch_keys ~op ~what:(Printf.sprintf "insert_batch aborted at %s" site) keys
+  in
+  let batch_delete ~op () =
+    let keys = batch_of_pool () in
+    let sim = ref !oracle in
+    let freed = ref [] in
+    let expected =
+      Array.map
+        (fun k ->
+          match KMap.find_opt k !sim with
+          | Some rid ->
+              sim := KMap.remove k !sim;
+              freed := rid :: !freed;
+              true
+          | None -> false)
+        keys
+    in
+    match attempt (fun () -> ix.Index.delete_batch keys) with
+    | Ok res ->
+        Array.iteri
+          (fun i ok ->
+            if ok <> expected.(i) then
+              fail ~op "delete_batch slot %d (%s) returned %b, oracle expected %b" i
+                (Key.to_hex keys.(i)) ok expected.(i);
+            if ok then incr applied)
+          res;
+        Fault.pause (fun () -> List.iter (Record_store.delete records) !freed);
+        oracle := !sim
+    | Error site ->
+        incr injected;
+        deep_validate ~op ();
+        check_batch_keys ~op ~what:(Printf.sprintf "delete_batch aborted at %s" site) keys
+  in
+  let batch_lookup ~op () =
+    let keys = batch_of_pool () in
+    match attempt (fun () -> ix.Index.lookup_batch keys) with
+    | Ok res ->
+        Array.iteri
+          (fun i got ->
+            let want = KMap.find_opt keys.(i) !oracle in
+            if got <> want then
+              fail ~op "lookup_batch slot %d (%s) returned %s, oracle says %s" i
+                (Key.to_hex keys.(i))
+                (match got with None -> "None" | Some r -> string_of_int r)
+                (match want with None -> "None" | Some r -> string_of_int r))
+          res
+    | Error _ ->
+        incr injected;
+        deep_validate ~op ()
+  in
   for op = 1 to ops do
     let key = pool.(Prng.int rng n_pool) in
     let r = Prng.int rng 16 in
     if r < 7 then begin
+      if use_batched && Prng.int rng 4 = 0 then batch_insert ~op ()
+      else begin
       (* insert *)
       let rid =
         Fault.pause (fun () -> Record_store.insert records ~key ~payload:Bytes.empty)
@@ -152,8 +278,11 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
           Fault.pause (fun () -> Record_store.delete records rid);
           deep_validate ~op ();
           check_key ~op ~what:(Printf.sprintf "insert aborted at %s" site) key
+      end
     end
     else if r < 12 then begin
+      if use_batched && Prng.int rng 4 = 0 then batch_delete ~op ()
+      else begin
       (* delete *)
       match attempt (fun () -> ix.Index.delete key) with
       | Ok ok ->
@@ -169,8 +298,11 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
           incr injected;
           deep_validate ~op ();
           check_key ~op ~what:(Printf.sprintf "delete aborted at %s" site) key
+      end
     end
     else if r < 15 then begin
+      if use_batched && Prng.int rng 4 = 0 then batch_lookup ~op ()
+      else begin
       (* lookup *)
       match attempt (fun () -> ix.Index.lookup key) with
       | Ok got ->
@@ -184,6 +316,7 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
              aborted query. *)
           incr injected;
           deep_validate ~op ()
+      end
     end
     else begin
       (* range over a random key interval, injection paused *)

@@ -46,7 +46,15 @@ val run_schedule :
 (** Run one schedule.  Arms [faults] (default none) after a
     [Fault.reset ~seed], restores a clean fault registry on exit.
     [alphabet] overrides the seed-derived per-byte alphabet (e.g. 256
-    for full byte entropy). *)
+    for full byte entropy).
+
+    A seed-derived fraction of schedules also covers the batched
+    access-path layer: half route a quarter of their operations through
+    [lookup_batch] / [insert_batch] / [delete_batch] (results checked
+    slot by slot against the oracle, aborts checked for all-or-nothing
+    unwinding), and a quarter seed the index through the bottom-up bulk
+    loader [of_sorted] with faults armed (an aborted bulk load must
+    leave the index empty and valid). *)
 
 val run_suite :
   ?faults:(seed:int -> fault_plan) ->

@@ -1,0 +1,96 @@
+module Key = Pk_keys.Key
+
+(* {2 Scratch-array management}
+
+   The batched descent keeps per-probe state in reusable arrays owned
+   by the tree; they grow to the largest batch seen and are then stable,
+   so steady-state batches allocate nothing. *)
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+let pow2_at_least n = pow2_at_least (max n 1) 16
+
+let ensure_int a n = if Array.length a >= n then a else Array.make (pow2_at_least n) 0
+
+let ensure_cmp (a : Key.cmp array) n =
+  if Array.length a >= n then a else Array.make (pow2_at_least n) Key.Eq
+
+let fill_perm perm n =
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done
+
+(* {2 Probe ordering}
+
+   [sort_perm keys perm n] sorts [perm.[0..n)] so the referenced keys
+   ascend; equal keys keep their original relative order (ties broken
+   by slot index), which makes batched mutations observationally equal
+   to applying the ops singly in batch order.
+
+   The sort is written as top-level recursive functions — no closures,
+   no [ref] cells — so a batch lookup performs no heap allocation. *)
+
+let[@inline] cmp_slot (keys : Key.t array) a b =
+  let c = Key.compare keys.(a) keys.(b) in
+  if c <> 0 then c else a - b
+
+let[@inline] swap (perm : int array) i j =
+  let tmp = perm.(i) in
+  perm.(i) <- perm.(j);
+  perm.(j) <- tmp
+
+let rec shift_down keys perm lo j v =
+  if j >= lo && cmp_slot keys perm.(j) v > 0 then begin
+    perm.(j + 1) <- perm.(j);
+    shift_down keys perm lo (j - 1) v
+  end
+  else perm.(j + 1) <- v
+
+let rec insertion_sort keys perm lo hi i =
+  if i < hi then begin
+    shift_down keys perm lo (i - 1) perm.(i);
+    insertion_sort keys perm lo hi (i + 1)
+  end
+
+let rec scan_up keys perm pivot i =
+  if cmp_slot keys perm.(i) pivot < 0 then scan_up keys perm pivot (i + 1) else i
+
+let rec scan_down keys perm pivot j =
+  if cmp_slot keys perm.(j) pivot > 0 then scan_down keys perm pivot (j - 1) else j
+
+(* Hoare partition over the pivot *value*; terminates because slots are
+   distinct, so sentinels (>= pivot up, <= pivot down) always exist. *)
+let rec partition keys perm pivot i j =
+  let i = scan_up keys perm pivot i in
+  let j = scan_down keys perm pivot j in
+  if i >= j then j
+  else begin
+    swap perm i j;
+    partition keys perm pivot (i + 1) (j - 1)
+  end
+
+let rec qsort keys perm lo hi =
+  if hi - lo <= 16 then insertion_sort keys perm lo hi (lo + 1)
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    if cmp_slot keys perm.(mid) perm.(lo) < 0 then swap perm mid lo;
+    if cmp_slot keys perm.(hi - 1) perm.(lo) < 0 then swap perm (hi - 1) lo;
+    if cmp_slot keys perm.(hi - 1) perm.(mid) < 0 then swap perm (hi - 1) mid;
+    let pivot = perm.(mid) in
+    let j = partition keys perm pivot lo (hi - 1) in
+    qsort keys perm lo (j + 1);
+    qsort keys perm (j + 1) hi
+  end
+
+let sort_perm keys perm n = qsort keys perm 0 n
+
+(* {2 Option-layer adapters} *)
+
+let lookup_batch_of_into lookup_into keys =
+  let n = Array.length keys in
+  let out = Array.make (max n 1) (-1) in
+  lookup_into keys out;
+  Array.init n (fun i -> if out.(i) < 0 then None else Some out.(i))
+
+let check_rids keys ~rids =
+  if Array.length rids <> Array.length keys then
+    invalid_arg "insert_batch: keys and rids must have the same length"

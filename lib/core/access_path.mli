@@ -1,0 +1,42 @@
+(** Shared machinery of the batched access path.
+
+    The three index structures ({!module:Btree}, {!module:Ttree},
+    {!module:Prefix_btree}) implement {e group descent}: a probe batch
+    is sorted once, then the tree is descended level by level with the
+    sorted batch partitioned across children, so each node's cache
+    lines are touched once per batch instead of once per key.  This
+    module holds the parts of that machinery that are identical across
+    structures: scratch-array growth, the allocation-free permutation
+    sort that orders a batch, and the adapters that present batched
+    results through the single-op option API.
+
+    Everything on the lookup path here is written without closures or
+    [ref] cells so that a steady-state [lookup_into] performs no OCaml
+    heap allocation per probe (asserted by the test suite via
+    [Gc.minor_words]). *)
+
+val pow2_at_least : int -> int
+(** Smallest power of two >= the argument (min 16) — scratch growth
+    policy. *)
+
+val ensure_int : int array -> int -> int array
+(** [ensure_int a n] is [a] when it already holds [n] slots, otherwise
+    a fresh zero array of [pow2_at_least n]. *)
+
+val ensure_cmp : Pk_keys.Key.cmp array -> int -> Pk_keys.Key.cmp array
+
+val fill_perm : int array -> int -> unit
+(** Write the identity permutation into the first [n] slots. *)
+
+val sort_perm : Pk_keys.Key.t array -> int array -> int -> unit
+(** [sort_perm keys perm n] reorders [perm.[0..n)] (slot indices into
+    [keys]) so the referenced keys ascend; equal keys keep batch order.
+    Allocation-free. *)
+
+val lookup_batch_of_into :
+  (Pk_keys.Key.t array -> int array -> unit) -> Pk_keys.Key.t array -> int option array
+(** Lift an into-style batched lookup ([-1] sentinel) to the
+    allocating option API. *)
+
+val check_rids : Pk_keys.Key.t array -> rids:int array -> unit
+(** Raise [Invalid_argument] unless the arrays have equal length. *)

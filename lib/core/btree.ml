@@ -23,6 +23,14 @@ type t = {
   mutable n_keys : int;
   mutable derefs : int;
   mutable visits : int;
+  (* Batched-lookup scratch (group descent): grown to the largest batch
+     seen, then reused so steady-state batches allocate nothing. *)
+  mutable bperm : int array;
+  mutable brel : Key.cmp array;
+  mutable boff : int array;
+  mutable bsearch : Key.t; (* probe the reusable entry_ops reads *)
+  mutable bnode : int; (* node the reusable entry_ops reads *)
+  mutable bops : Node_search.entry_ops option;
 }
 
 let null = Pk_arena.Arena.null
@@ -54,6 +62,12 @@ let create mem records cfg =
     n_keys = 0;
     derefs = 0;
     visits = 0;
+    bperm = [||];
+    brel = [||];
+    boff = [||];
+    bsearch = Bytes.empty;
+    bnode = null;
+    bops = None;
   }
 
 let scheme t = t.cfg.scheme
@@ -422,6 +436,181 @@ let lookup t search =
   | Layout.Partial _ -> lookup_partial t search
   | Layout.Direct _ | Layout.Indirect -> lookup_plain t search
 
+(* {2 Batched lookup (group descent)}
+
+   The probe batch is sorted once ({!val:Access_path.sort_perm}), then
+   the tree is descended level by level: at each node the sorted probes
+   are resolved in order and contiguous runs that fall into the same
+   child are recursed as one segment, so the node's cache lines are
+   touched once per batch instead of once per probe.  [node_visits]
+   counts one visit per (node, segment) — the sharing the batch buys.
+
+   For the direct and indirect schemes the whole path is written as
+   top-level recursive functions over sign-only comparisons
+   ({!val:Mem.compare_sign}); a steady-state batch performs no heap
+   allocation per probe.  The partial-key path reuses one mutable
+   {!type:Node_search.entry_ops} re-aimed at each node; only FINDNODE's
+   result records and comparison pairs are allocated. *)
+
+let ensure_scratch t n =
+  t.bperm <- Access_path.ensure_int t.bperm n;
+  if is_partial t then begin
+    t.brel <- Access_path.ensure_cmp t.brel n;
+    t.boff <- Access_path.ensure_int t.boff n
+  end
+
+(* Sign of c(search, entry i), allocation-free (plain schemes only). *)
+let probe_cmp_plain t node probe i =
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      -Mem.compare_sign t.reg
+         ~off:(entry_addr t node i + 8)
+         ~len:key_len probe ~key_off:0 ~key_len:(Bytes.length probe)
+  | Layout.Indirect ->
+      t.derefs <- t.derefs + 1;
+      -Record_store.compare_sign t.records (rec_ptr t node i) probe
+  | Layout.Partial _ -> assert false
+
+(* Binary search for [probe]; [lnot pos] (negative) encodes an exact
+   match at [pos], a non-negative result is the child slot. *)
+let rec plain_locate t node probe lo hi =
+  if lo >= hi then lo
+  else
+    let mid = (lo + hi) / 2 in
+    let c = probe_cmp_plain t node probe mid in
+    if c = 0 then lnot mid
+    else if c < 0 then plain_locate t node probe lo mid
+    else plain_locate t node probe (mid + 1) hi
+
+(* [run_from]/[run_child]: pending run of sorted probes that fall into
+   the same child ([run_child = -1] = no pending run). *)
+let rec descend_plain t keys out node lo hi =
+  t.visits <- t.visits + 1;
+  scan_plain t keys out node (is_leaf t node) (num_keys t node) hi lo lo (-1)
+
+and scan_plain t keys out node leaf n hi p run_from run_child =
+  if p >= hi then flush_plain t keys out node leaf p run_from run_child
+  else begin
+    let slot = t.bperm.(p) in
+    let r = plain_locate t node keys.(slot) 0 n in
+    if r < 0 then begin
+      out.(slot) <- rec_ptr t node (lnot r);
+      flush_plain t keys out node leaf p run_from run_child;
+      scan_plain t keys out node leaf n hi (p + 1) (p + 1) (-1)
+    end
+    else if r = run_child then scan_plain t keys out node leaf n hi (p + 1) run_from run_child
+    else begin
+      flush_plain t keys out node leaf p run_from run_child;
+      scan_plain t keys out node leaf n hi (p + 1) p r
+    end
+  end
+
+and flush_plain t keys out node leaf upto run_from run_child =
+  if run_child >= 0 && upto > run_from then
+    if leaf then
+      for q = run_from to upto - 1 do
+        out.(t.bperm.(q)) <- -1
+      done
+    else descend_plain t keys out (child t node run_child) run_from upto
+
+(* One entry_ops per tree, re-aimed via [t.bnode]/[t.bsearch]. *)
+let batch_ops t =
+  match t.bops with
+  | Some ops -> ops
+  | None ->
+      let g = granularity t in
+      let ops : Node_search.entry_ops =
+        {
+          Node_search.num_keys = 0;
+          pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t t.bnode i));
+          resolve_units =
+            (fun i ~rel ~off ->
+              Layout.resolve_pk_units t.reg (entry_addr t t.bnode i) ~scheme_granularity:g
+                ~search:t.bsearch ~rel ~off);
+          branch_unit =
+            (fun i ->
+              match g with
+              | Partial_key.Bit -> 1
+              | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t t.bnode i));
+          search_unit =
+            (fun u ->
+              match g with
+              | Partial_key.Bit -> bit_or_zero t.bsearch u
+              | Partial_key.Byte -> byte_or_zero t.bsearch u);
+          deref = (fun i -> deref_entry t t.bnode t.bsearch i);
+        }
+      in
+      t.bops <- Some ops;
+      ops
+
+let rec descend_partial t keys out find ops node lo hi =
+  t.visits <- t.visits + 1;
+  scan_partial t keys out find ops node (is_leaf t node) (num_keys t node) hi lo lo (-1)
+
+and scan_partial t keys out find ops node leaf n hi p run_from run_child =
+  if p >= hi then flush_partial t keys out find ops node leaf p run_from run_child
+  else begin
+    let slot = t.bperm.(p) in
+    (* Re-aim the shared ops: a recursed segment moved them away. *)
+    t.bnode <- node;
+    t.bsearch <- keys.(slot);
+    ops.Node_search.num_keys <- n;
+    let r = find ops ~rel0:t.brel.(slot) ~off0:t.boff.(slot) in
+    if r.Node_search.low = r.Node_search.high then begin
+      out.(slot) <- rec_ptr t node r.Node_search.low;
+      flush_partial t keys out find ops node leaf p run_from run_child;
+      scan_partial t keys out find ops node leaf n hi (p + 1) (p + 1) (-1)
+    end
+    else begin
+      (* FINDBTREE child-state update (Fig. 8). *)
+      if r.Node_search.low <> -1 then t.brel.(slot) <- Key.Gt;
+      t.boff.(slot) <- r.Node_search.off_low;
+      let ci = r.Node_search.high in
+      if ci = run_child then scan_partial t keys out find ops node leaf n hi (p + 1) run_from run_child
+      else begin
+        flush_partial t keys out find ops node leaf p run_from run_child;
+        scan_partial t keys out find ops node leaf n hi (p + 1) p ci
+      end
+    end
+  end
+
+and flush_partial t keys out find ops node leaf upto run_from run_child =
+  if run_child >= 0 && upto > run_from then
+    if leaf then
+      for q = run_from to upto - 1 do
+        out.(t.bperm.(q)) <- -1
+      done
+    else descend_partial t keys out find ops (child t node run_child) run_from upto
+
+let lookup_into t keys out =
+  let n = Array.length keys in
+  if Array.length out < n then invalid_arg "Btree.lookup_into: result array too small";
+  if n > 0 then
+    if t.root = null then
+      for i = 0 to n - 1 do
+        out.(i) <- -1
+      done
+    else begin
+      ensure_scratch t n;
+      Access_path.fill_perm t.bperm n;
+      Access_path.sort_perm keys t.bperm n;
+      match t.cfg.scheme with
+      | Layout.Direct _ | Layout.Indirect -> descend_plain t keys out t.root 0 n
+      | Layout.Partial _ ->
+          let g = granularity t in
+          for i = 0 to n - 1 do
+            let rel, off = Partial_key.initial_state g keys.(i) in
+            t.brel.(i) <- rel;
+            t.boff.(i) <- off
+          done;
+          let find =
+            if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node
+          in
+          descend_partial t keys out find (batch_ops t) t.root 0 n
+    end
+
+let lookup_batch t keys = Access_path.lookup_batch_of_into (lookup_into t) keys
+
 (* {2 Delete} — CLRS-style: every child entered during the descent is
    first brought above the minimum, so underflow never propagates
    upward and partial-key repairs stay local. *)
@@ -605,6 +794,143 @@ let delete t key =
         refresh_chain t t.root ~base:None
       end;
     ok)
+
+(* {2 Batched mutations}
+
+   Applied in sorted key order (ties keep batch order, so duplicate
+   keys within a batch resolve exactly as they would applied singly in
+   batch order) under one [guarded] scope: when fault unwinding is on,
+   an injected fault anywhere in the batch unwinds the whole batch. *)
+
+let insert_batch t keys ~rids =
+  Access_path.check_rids keys ~rids;
+  let n = Array.length keys in
+  let res = Array.make n false in
+  if n > 0 then begin
+    ensure_scratch t n;
+    Access_path.fill_perm t.bperm n;
+    Access_path.sort_perm keys t.bperm n;
+    guarded t (fun () ->
+        for p = 0 to n - 1 do
+          let slot = t.bperm.(p) in
+          res.(slot) <- insert t keys.(slot) ~rid:rids.(slot)
+        done)
+  end;
+  res
+
+let delete_batch t keys =
+  let n = Array.length keys in
+  let res = Array.make n false in
+  if n > 0 then begin
+    ensure_scratch t n;
+    Access_path.fill_perm t.bperm n;
+    Access_path.sort_perm keys t.bperm n;
+    guarded t (fun () ->
+        for p = 0 to n - 1 do
+          let slot = t.bperm.(p) in
+          res.(slot) <- delete t keys.(slot)
+        done)
+  end;
+  res
+
+(* {2 Bottom-up bulk load}
+
+   Build the tree level by level from a sorted entry array: leaves are
+   packed to [fill * capacity] (clamped to [[min_keys, capacity]]), one
+   entry between adjacent nodes is promoted as the next level's
+   separator, and so on until a single root remains.  Partial keys are
+   derived from sorted neighbours (Theorem 3.1): within a node entry
+   [i]'s base is entry [i - 1]; entry 0's base is the key immediately
+   preceding the node's subtree in sorted order — exactly the §4.2
+   base rules, with no per-key root-to-leaf insertion. *)
+
+let bulk_load t ?(fill = 1.0) entries =
+  if t.root <> null then invalid_arg "Btree.bulk_load: index is not empty";
+  let n = Array.length entries in
+  (match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      Array.iter
+        (fun (k, _) ->
+          if Bytes.length k <> key_len then
+            invalid_arg
+              (Printf.sprintf "Btree.bulk_load: direct scheme expects %d-byte keys, got %d"
+                 key_len (Bytes.length k)))
+        entries
+  | Layout.Indirect | Layout.Partial _ -> ());
+  for i = 1 to n - 1 do
+    if Key.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
+      invalid_arg "Btree.bulk_load: keys must be strictly ascending"
+  done;
+  if n > 0 then
+    guarded t (fun () ->
+        let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
+        let key i = fst entries.(i) in
+        let rid i = snd entries.(i) in
+        (* [items]: global entry indices placed at this level; [kids]:
+           nodes of the level below; [kid_lo]: global index of each
+           child subtree's minimum (for entry-0 base derivation). *)
+        let rec build_level ~levels items kids kid_lo =
+          let s = Array.length items in
+          let leaf = Array.length kids = 0 in
+          let cap = if leaf then t.leaf_max else t.internal_max in
+          let minn = (cap - 1) / 2 in
+          let target =
+            let tgt = int_of_float (fill *. float_of_int cap) in
+            max (max 1 minn) (min cap tgt)
+          in
+          (* Node count: aim at [target] entries per node, never exceed
+             capacity, and lower the count again only while every node
+             stays at or above the B-tree minimum. *)
+          let k = ref (if s <= target then 1 else (s + target) / (target + 1)) in
+          while s / !k > cap do
+            incr k
+          done;
+          while !k > 1 && (s - (!k - 1)) / !k < minn && s / (!k - 1) <= cap do
+            decr k
+          done;
+          let k = !k in
+          let total = s - (k - 1) in
+          let q = total / k and r = total mod k in
+          let nodes = Array.make k null in
+          let los = Array.make k 0 in
+          let next_items = Array.make (max 0 (k - 1)) 0 in
+          let pos = ref 0 and kid = ref 0 in
+          for i = 0 to k - 1 do
+            let sz = q + if i < r then 1 else 0 in
+            let node = alloc_node t ~leaf in
+            nodes.(i) <- node;
+            for j = 0 to sz - 1 do
+              let g = items.(!pos + j) in
+              write_entry t node j ~key:(key g) ~rid:(rid g)
+            done;
+            set_num_keys t node sz;
+            if not leaf then
+              for j = 0 to sz do
+                set_child t node j kids.(!kid + j)
+              done;
+            let lo_g = if leaf then items.(!pos) else kid_lo.(!kid) in
+            los.(i) <- lo_g;
+            if is_partial t then begin
+              fix_pk t node 0 ~base:(if lo_g = 0 then None else Some (key (lo_g - 1)));
+              for j = 1 to sz - 1 do
+                fix_pk t node j ~base:None
+              done
+            end;
+            pos := !pos + sz;
+            kid := !kid + sz + 1;
+            if i < k - 1 then begin
+              next_items.(i) <- items.(!pos);
+              incr pos
+            end
+          done;
+          if k = 1 then begin
+            t.root <- nodes.(0);
+            t.tree_height <- levels
+          end
+          else build_level ~levels:(levels + 1) next_items nodes los
+        in
+        build_level ~levels:1 (Array.init n (fun i -> i)) [||] [||];
+        t.n_keys <- n)
 
 (* {2 Traversal} *)
 

@@ -55,6 +55,39 @@ val lookup : t -> Pk_keys.Key.t -> int option
 val delete : t -> Pk_keys.Key.t -> bool
 (** Removes the key; [false] when absent. *)
 
+(** {2 Batched access path} *)
+
+val lookup_into : t -> Pk_keys.Key.t array -> int array -> unit
+(** [lookup_into t keys out] resolves every probe in one {e group
+    descent}: the batch is sorted once (by permutation, in scratch
+    owned by [t]) and the tree is descended level by level with the
+    batch partitioned across children, so each node is touched once
+    per batch.  [out.(i)] receives the record address of [keys.(i)],
+    or [-1] when absent; [out] must be at least as long as [keys].
+    Steady-state calls perform no per-probe heap allocation for the
+    [Direct]/[Indirect] schemes.  Counter semantics are preserved:
+    dereference counts equal the sum over probes of the single-lookup
+    cost, node visits are counted once per (node, batch). *)
+
+val lookup_batch : t -> Pk_keys.Key.t array -> int option array
+(** Allocating wrapper over {!lookup_into}. *)
+
+val insert_batch : t -> Pk_keys.Key.t array -> rids:int array -> bool array
+(** Apply the inserts in sorted key order under one unwind scope:
+    observationally equal to single inserts in batch order, and
+    batch-atomic under fault unwinding.  [res.(i)] is [insert]'s
+    result for [keys.(i)]. *)
+
+val delete_batch : t -> Pk_keys.Key.t array -> bool array
+
+val bulk_load : t -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
+(** [bulk_load t ~fill entries] builds the tree bottom-up from a
+    strictly ascending (key, rid) array into an {e empty} index: leaf
+    and internal nodes are packed to [fill] (clamped to [0.5, 1.0]) of
+    capacity and partial keys are derived directly from sorted
+    neighbours (Theorem 3.1).  Raises [Invalid_argument] on a
+    non-empty index or unsorted input. *)
+
 val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
 (** In ascending key order.  Keys are read from records for non-direct
     schemes. *)

@@ -3,6 +3,11 @@ type t = {
   insert : Pk_keys.Key.t -> rid:int -> bool;
   lookup : Pk_keys.Key.t -> int option;
   delete : Pk_keys.Key.t -> bool;
+  lookup_into : Pk_keys.Key.t array -> int array -> unit;
+  lookup_batch : Pk_keys.Key.t array -> int option array;
+  insert_batch : Pk_keys.Key.t array -> rids:int array -> bool array;
+  delete_batch : Pk_keys.Key.t array -> bool array;
+  of_sorted : fill:float -> (Pk_keys.Key.t * int) array -> unit;
   iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
   range :
     lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
@@ -31,6 +36,11 @@ let make ?(node_bytes = 192) ?(naive_search = false) structure scheme mem record
         insert = (fun key ~rid -> Btree.insert b key ~rid);
         lookup = Btree.lookup b;
         delete = Btree.delete b;
+        lookup_into = Btree.lookup_into b;
+        lookup_batch = Btree.lookup_batch b;
+        insert_batch = (fun keys ~rids -> Btree.insert_batch b keys ~rids);
+        delete_batch = Btree.delete_batch b;
+        of_sorted = (fun ~fill entries -> Btree.bulk_load b ~fill entries);
         iter = Btree.iter b;
         range = (fun ~lo ~hi f -> Btree.range b ~lo ~hi f);
         seq_from = Btree.seq_from b;
@@ -50,6 +60,11 @@ let make ?(node_bytes = 192) ?(naive_search = false) structure scheme mem record
         insert = (fun key ~rid -> Ttree.insert tt key ~rid);
         lookup = Ttree.lookup tt;
         delete = Ttree.delete tt;
+        lookup_into = Ttree.lookup_into tt;
+        lookup_batch = Ttree.lookup_batch tt;
+        insert_batch = (fun keys ~rids -> Ttree.insert_batch tt keys ~rids);
+        delete_batch = Ttree.delete_batch tt;
+        of_sorted = (fun ~fill entries -> Ttree.bulk_load tt ~fill entries);
         iter = Ttree.iter tt;
         range = (fun ~lo ~hi f -> Ttree.range tt ~lo ~hi f);
         seq_from = Ttree.seq_from tt;
@@ -70,6 +85,11 @@ let make_prefix_btree ?(node_bytes = 192) mem records =
     insert = (fun key ~rid -> Prefix_btree.insert p key ~rid);
     lookup = Prefix_btree.lookup p;
     delete = Prefix_btree.delete p;
+    lookup_into = Prefix_btree.lookup_into p;
+    lookup_batch = Prefix_btree.lookup_batch p;
+    insert_batch = (fun keys ~rids -> Prefix_btree.insert_batch p keys ~rids);
+    delete_batch = Prefix_btree.delete_batch p;
+    of_sorted = (fun ~fill entries -> Prefix_btree.bulk_load p ~fill entries);
     iter = Prefix_btree.iter p;
     range = (fun ~lo ~hi f -> Prefix_btree.range p ~lo ~hi f);
     seq_from = Prefix_btree.seq_from p;

@@ -7,6 +7,20 @@ type t = {
   insert : Pk_keys.Key.t -> rid:int -> bool;
   lookup : Pk_keys.Key.t -> int option;
   delete : Pk_keys.Key.t -> bool;
+  lookup_into : Pk_keys.Key.t array -> int array -> unit;
+      (** Batched lookup by group descent into a caller-supplied result
+          array ([-1] = absent); the zero-allocation hot path.  See
+          {!Btree.lookup_into}. *)
+  lookup_batch : Pk_keys.Key.t array -> int option array;
+      (** Allocating wrapper over [lookup_into]. *)
+  insert_batch : Pk_keys.Key.t array -> rids:int array -> bool array;
+      (** Batch insert; equal to singles in batch order, batch-atomic
+          under fault unwinding. *)
+  delete_batch : Pk_keys.Key.t array -> bool array;
+  of_sorted : fill:float -> (Pk_keys.Key.t * int) array -> unit;
+      (** Bottom-up bulk load of an empty index from strictly ascending
+          (key, rid) pairs at the given fill factor (clamped to
+          [0.5, 1.0]). *)
   iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
   range :
     lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;

@@ -16,6 +16,7 @@ type t = {
   mutable n_nodes : int;
   mutable n_keys : int;
   mutable visits : int;
+  mutable bperm : int array;  (* batch probe permutation (reused scratch) *)
 }
 
 let null = Pk_arena.Arena.null
@@ -44,6 +45,7 @@ let create mem records (cfg : config) =
     n_nodes = 0;
     n_keys = 0;
     visits = 0;
+    bperm = [||];
   }
 
 let count t = t.n_keys
@@ -212,6 +214,67 @@ let lookup t search =
       go child
   in
   if t.root = null then None else go t.root
+
+(* {2 Batched lookups (group descent)}
+
+   The sorted probe batch is partitioned across children at every
+   internal node: the child index for a probe is monotone
+   non-decreasing in sorted key order, so probes reaching the same
+   child form one contiguous run and every node is visited (and its
+   prefix compared) once per batch. *)
+
+let child_index t node search =
+  match compare_prefix t node search with
+  | `Below -> 0
+  | `Above -> num_keys t node
+  | `Within -> fst (locate_in_node t node search)
+
+let child_at t node ci = if ci = 0 then link t node else rec_child t node (ci - 1)
+
+(* Probes [perm.[p..hi)] all reach [node]. *)
+let rec pdescend t keys out node p hi =
+  t.visits <- t.visits + 1;
+  if is_leaf t node then
+    for q = p to hi - 1 do
+      let slot = t.bperm.(q) in
+      let search = keys.(slot) in
+      out.(slot) <-
+        (match compare_prefix t node search with
+        | `Below | `Above -> -1
+        | `Within -> (
+            match locate_in_node t node search with
+            | _, Some i -> rec_rid t node i
+            | _, None -> -1))
+    done
+  else pscan t keys out node hi (p + 1) p (child_index t node keys.(t.bperm.(p)))
+
+(* Scan forward from [p] extending the run of probes that route to
+   child [run_ci]; flush each completed run into its child. *)
+and pscan t keys out node hi p run_from run_ci =
+  if p >= hi then pdescend t keys out (child_at t node run_ci) run_from p
+  else
+    let ci = child_index t node keys.(t.bperm.(p)) in
+    if ci = run_ci then pscan t keys out node hi (p + 1) run_from run_ci
+    else begin
+      pdescend t keys out (child_at t node run_ci) run_from p;
+      pscan t keys out node hi (p + 1) p ci
+    end
+
+let lookup_into t keys out =
+  let n = Array.length keys in
+  if Array.length out < n then invalid_arg "Prefix_btree.lookup_into: out array too small";
+  if t.root = null || n = 0 then
+    for i = 0 to n - 1 do
+      out.(i) <- -1
+    done
+  else begin
+    t.bperm <- Access_path.ensure_int t.bperm n;
+    Access_path.fill_perm t.bperm n;
+    Access_path.sort_perm keys t.bperm n;
+    pdescend t keys out t.root 0 n
+  end
+
+let lookup_batch t keys = Access_path.lookup_batch_of_into (lookup_into t) keys
 
 (* {2 Separator truncation} *)
 
@@ -503,7 +566,158 @@ let delete t key =
         true
     | exception Not_present -> false)
 
-(* {2 Scans} — B+-trees walk the leaf chain. *)
+(* {2 Batched mutations}
+
+   Singles applied in sorted key order (ties keep batch order) under
+   one [guarded] scope: observationally equal to applying the ops
+   singly in batch order, and batch-atomic under fault unwinding. *)
+
+let prep_batch t keys n =
+  t.bperm <- Access_path.ensure_int t.bperm n;
+  Access_path.fill_perm t.bperm n;
+  Access_path.sort_perm keys t.bperm n
+
+let insert_batch t keys ~rids =
+  Access_path.check_rids keys ~rids;
+  let n = Array.length keys in
+  let res = Array.make (max n 1) false in
+  if n > 0 then begin
+    prep_batch t keys n;
+    guarded t (fun () ->
+        for p = 0 to n - 1 do
+          let slot = t.bperm.(p) in
+          res.(slot) <- insert t keys.(slot) ~rid:rids.(slot)
+        done)
+  end;
+  res
+
+let delete_batch t keys =
+  let n = Array.length keys in
+  let res = Array.make (max n 1) false in
+  if n > 0 then begin
+    prep_batch t keys n;
+    guarded t (fun () ->
+        for p = 0 to n - 1 do
+          let slot = t.bperm.(p) in
+          res.(slot) <- delete t keys.(slot)
+        done)
+  end;
+  res
+
+(* {2 Bulk load}
+
+   Bottom-up construction from a sorted array: leaves are packed
+   greedily to a byte budget of [fill * node_bytes], chained left to
+   right, and each internal level groups the previous level's nodes
+   with one truncated separator promoted between adjacent children.
+   Every group keeps at least two children (one separator), so no
+   internal node is left without separators. *)
+
+let bulk_load t ?(fill = 1.0) entries =
+  if t.root <> null then invalid_arg "Prefix_btree.bulk_load: index not empty";
+  let n = Array.length entries in
+  for i = 0 to n - 1 do
+    let k = fst entries.(i) in
+    if rec_overhead + Bytes.length k > max_entry_bytes t then
+      invalid_arg
+        (Printf.sprintf "Prefix_btree.bulk_load: %d-byte key cannot fit a %d-byte node"
+           (Bytes.length k) t.node_bytes);
+    if i > 0 && Key.compare (fst entries.(i - 1)) k >= 0 then
+      invalid_arg "Prefix_btree.bulk_load: keys must be strictly ascending"
+  done;
+  if n > 0 then
+    guarded t (fun () ->
+        let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
+        let budget = int_of_float (fill *. float_of_int t.node_bytes) in
+        (* Leaf level: greedy byte packing.  [packed_size] is monotone
+           in the entry list (adding an entry can only shrink the
+           shared prefix), so the greedy cut is safe. *)
+        let leaves = ref [] in
+        (* (node, first key, last key), newest first *)
+        let group = ref [] in
+        (* current group, reversed *)
+        let flush_leaf () =
+          match List.rev !group with
+          | [] -> ()
+          | es ->
+              let node = alloc_node t ~leaf:true in
+              write_node t node ~leaf:true ~link_v:null es;
+              let first = fst (List.hd es) in
+              let last = fst (List.nth es (List.length es - 1)) in
+              leaves := (node, first, last) :: !leaves;
+              group := []
+        in
+        for i = 0 to n - 1 do
+          let e = entries.(i) in
+          if !group <> [] && packed_size (List.rev (e :: !group)) > budget then flush_leaf ();
+          group := e :: !group
+        done;
+        flush_leaf ();
+        let level = Array.of_list (List.rev !leaves) in
+        (* Chain the leaves. *)
+        Array.iteri
+          (fun i (node, _, _) ->
+            let next = if i + 1 < Array.length level then
+                (let nd, _, _ = level.(i + 1) in nd)
+              else null
+            in
+            set_link t node next)
+          level;
+        (* Internal levels. *)
+        let rec build level height =
+          if Array.length level = 1 then begin
+            let root, _, _ = level.(0) in
+            t.root <- root;
+            t.tree_height <- height
+          end
+          else begin
+            let len = Array.length level in
+            let sep i =
+              (* Separates level.(i) from level.(i + 1). *)
+              let _, _, last_l = level.(i) in
+              let _, first_r, _ = level.(i + 1) in
+              truncated_separator last_l first_r
+            in
+            (* Separator entries of the group [s .. s + c). *)
+            let entries_of s c =
+              List.init (c - 1) (fun j ->
+                  let nd, _, _ = level.(s + j + 1) in
+                  (sep (s + j), nd))
+            in
+            (* Each group takes >= 2 children (so every internal node
+               carries at least one separator) and grows greedily to
+               the budget; a trailing single child is never stranded —
+               a large last group sheds one child to pair with it,
+               otherwise the group absorbs it. *)
+            let next_level = ref [] in
+            let i = ref 0 in
+            while !i < len do
+              let s = !i in
+              let c = ref 2 in
+              let growing = ref true in
+              while !growing do
+                let rem = len - (s + !c) in
+                if rem = 0 then growing := false
+                else if rem = 1 then begin
+                  if !c >= 3 then decr c else incr c;
+                  growing := false
+                end
+                else if packed_size (entries_of s (!c + 1)) > budget then growing := false
+                else incr c
+              done;
+              let es = entries_of s !c in
+              let node = alloc_node t ~leaf:false in
+              let first_child, first_key, _ = level.(s) in
+              write_node t node ~leaf:false ~link_v:first_child es;
+              let _, _, last_key = level.(s + !c - 1) in
+              next_level := (node, first_key, last_key) :: !next_level;
+              i := s + !c
+            done;
+            build (Array.of_list (List.rev !next_level)) (height + 1)
+          end
+        in
+        build level 1;
+        t.n_keys <- n)
 
 let rec leftmost_leaf t node = if is_leaf t node then node else leftmost_leaf t (link t node)
 

@@ -38,6 +38,23 @@ val insert : t -> Pk_keys.Key.t -> rid:int -> bool
 val lookup : t -> Pk_keys.Key.t -> int option
 val delete : t -> Pk_keys.Key.t -> bool
 
+(** {2 Batched access path} *)
+
+val lookup_into : t -> Pk_keys.Key.t array -> int array -> unit
+(** Group descent over the sorted batch ([-1] = absent); each node's
+    prefix and slot directory are touched once per batch.  See
+    {!Btree.lookup_into} for the contract. *)
+
+val lookup_batch : t -> Pk_keys.Key.t array -> int option array
+val insert_batch : t -> Pk_keys.Key.t array -> rids:int array -> bool array
+val delete_batch : t -> Pk_keys.Key.t array -> bool array
+
+val bulk_load : t -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
+(** Bottom-up build from strictly ascending (key, rid) pairs into an
+    empty index: leaves are packed greedily to [fill] (clamped to
+    [0.5, 1.0]) of the node byte budget and chained; internal levels
+    promote one truncated separator between adjacent children. *)
+
 val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
 val range :
   t -> lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit

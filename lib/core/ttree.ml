@@ -22,6 +22,16 @@ type t = {
   mutable n_keys : int;
   mutable derefs : int;
   mutable visits : int;
+  (* Batched-lookup scratch (group descent): grown to the largest batch
+     seen, then reused so steady-state batches allocate nothing. *)
+  mutable bperm : int array;
+  mutable brel : Key.cmp array; (* per-probe FINDTTREE rel state *)
+  mutable boff : int array; (* per-probe FINDTTREE offset state *)
+  mutable bla : int array; (* per-probe offset at the last Gt ancestor *)
+  mutable bsign : int array; (* per-probe sign at the current node *)
+  mutable bsearch : Key.t; (* probe the reusable entry_ops reads *)
+  mutable bnode : int; (* node the reusable entry_ops reads *)
+  mutable bops : Node_search.entry_ops option;
 }
 
 let null = Pk_arena.Arena.null
@@ -49,6 +59,14 @@ let create mem records cfg =
     n_keys = 0;
     derefs = 0;
     visits = 0;
+    bperm = [||];
+    brel = [||];
+    boff = [||];
+    bla = [||];
+    bsign = [||];
+    bsearch = Bytes.empty;
+    bnode = null;
+    bops = None;
   }
 
 let scheme t = t.cfg.scheme
@@ -640,6 +658,293 @@ let lookup t search =
     match t.cfg.scheme with
     | Layout.Partial _ -> lookup_partial t search
     | Layout.Direct _ | Layout.Indirect -> lookup_plain t search
+
+(* {2 Batched lookup (group descent)}
+
+   FINDTTREE descends comparing only each node's leftmost entry, so a
+   sorted probe batch splits at every node into three contiguous
+   segments — below, equal to, and above entry 0 — and the two outer
+   segments descend left and right as groups.  Probes of one segment
+   share their whole path, hence also the last-Gt-ancestor node; only
+   the offset at that ancestor is per-probe state.  Each node's entry-0
+   fields are touched once per segment instead of once per probe.
+
+   As in {!module:Btree}, the direct/indirect path is allocation-free
+   (top-level recursion over {!val:Mem.compare_sign}); the partial path
+   reuses one mutable shifted [entry_ops] for the final in-ancestor
+   search and allocates only comparison pairs. *)
+
+let ensure_scratch t n =
+  t.bperm <- Access_path.ensure_int t.bperm n;
+  t.bsign <- Access_path.ensure_int t.bsign n;
+  if is_partial t then begin
+    t.brel <- Access_path.ensure_cmp t.brel n;
+    t.boff <- Access_path.ensure_int t.boff n;
+    t.bla <- Access_path.ensure_int t.bla n
+  end
+
+(* Sign of c(search, entry i), allocation-free (plain schemes only). *)
+let probe_cmp_entry t node probe i =
+  match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      -Mem.compare_sign t.reg
+         ~off:(entry_addr t node i + 8)
+         ~len:key_len probe ~key_off:0 ~key_len:(Bytes.length probe)
+  | Layout.Indirect ->
+      t.derefs <- t.derefs + 1;
+      -Record_store.compare_sign t.records (rec_ptr t node i) probe
+  | Layout.Partial _ -> assert false
+
+(* Segment boundaries over the sorted batch, reading the per-probe
+   signs left by the node pass. *)
+let rec bound_neg t p hi = if p < hi && t.bsign.(t.bperm.(p)) < 0 then bound_neg t (p + 1) hi else p
+
+let rec bound_zero t p hi =
+  if p < hi && t.bsign.(t.bperm.(p)) = 0 then bound_zero t (p + 1) hi else p
+
+(* Binary search among entries [lo, hi) of [node]; rid or -1. *)
+let rec tresolve t node probe lo hi =
+  if lo >= hi then -1
+  else
+    let mid = (lo + hi) / 2 in
+    let c = probe_cmp_entry t node probe mid in
+    if c = 0 then rec_ptr t node mid
+    else if c < 0 then tresolve t node probe lo mid
+    else tresolve t node probe (mid + 1) hi
+
+let rec tdescend_plain t keys out node la lo hi =
+  if lo < hi then
+    if node = null then
+      for p = lo to hi - 1 do
+        let slot = t.bperm.(p) in
+        out.(slot) <- (if la = null then -1 else tresolve t la keys.(slot) 1 (num_keys t la))
+      done
+    else begin
+      t.visits <- t.visits + 1;
+      for p = lo to hi - 1 do
+        let slot = t.bperm.(p) in
+        let c = probe_cmp_entry t node keys.(slot) 0 in
+        t.bsign.(slot) <- c;
+        if c = 0 then out.(slot) <- rec_ptr t node 0
+      done;
+      let a = bound_neg t lo hi in
+      let b = bound_zero t a hi in
+      tdescend_plain t keys out (left t node) la lo a;
+      tdescend_plain t keys out (right t node) node b hi
+    end
+
+(* One shifted entry_ops per tree (FINDTTREE's final search runs over
+   entries [1..n) of the last Gt ancestor), re-aimed via
+   [t.bnode]/[t.bsearch]. *)
+let batch_ops t =
+  match t.bops with
+  | Some ops -> ops
+  | None ->
+      let g = granularity t in
+      let ops : Node_search.entry_ops =
+        {
+          Node_search.num_keys = 0;
+          pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t t.bnode (i + 1)));
+          resolve_units =
+            (fun i ~rel ~off ->
+              Layout.resolve_pk_units t.reg
+                (entry_addr t t.bnode (i + 1))
+                ~scheme_granularity:g ~search:t.bsearch ~rel ~off);
+          branch_unit =
+            (fun i ->
+              match g with
+              | Partial_key.Bit -> 1
+              | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t t.bnode (i + 1)));
+          search_unit =
+            (fun u ->
+              match g with
+              | Partial_key.Bit -> bit_or_zero t.bsearch u
+              | Partial_key.Byte -> byte_or_zero t.bsearch u);
+          deref = (fun i -> deref_entry t t.bnode t.bsearch (i + 1));
+        }
+      in
+      t.bops <- Some ops;
+      ops
+
+let rec tdescend_pk t keys out find ops node la lo hi =
+  if lo < hi then
+    if node = null then
+      for p = lo to hi - 1 do
+        let slot = t.bperm.(p) in
+        if la = null then out.(slot) <- -1
+        else begin
+          t.bnode <- la;
+          t.bsearch <- keys.(slot);
+          ops.Node_search.num_keys <- num_keys t la - 1;
+          let r = find ops ~rel0:Key.Gt ~off0:t.bla.(slot) in
+          out.(slot) <-
+            (if r.Node_search.low = r.Node_search.high then rec_ptr t la (r.Node_search.low + 1)
+             else -1)
+        end
+      done
+    else begin
+      t.visits <- t.visits + 1;
+      let g = granularity t in
+      let a0 = entry_addr t node 0 in
+      for p = lo to hi - 1 do
+        let slot = t.bperm.(p) in
+        let search = keys.(slot) in
+        let rel = t.brel.(slot) and off = t.boff.(slot) in
+        let c, o =
+          match Pk_compare.resolve_by_offset ~rel ~off ~pk_off:(Layout.read_pk_off t.reg a0) with
+          | Pk_compare.Resolved (c, o) -> (c, o)
+          | Pk_compare.Need_units ->
+              Layout.resolve_pk_units t.reg a0 ~scheme_granularity:g ~search ~rel ~off
+        in
+        let c, o = if c = Key.Eq then deref_entry t node search 0 else (c, o) in
+        match c with
+        | Key.Eq ->
+            out.(slot) <- rec_ptr t node 0;
+            t.bsign.(slot) <- 0
+        | Key.Lt ->
+            t.brel.(slot) <- Key.Lt;
+            t.boff.(slot) <- o;
+            t.bsign.(slot) <- -1
+        | Key.Gt ->
+            t.brel.(slot) <- Key.Gt;
+            t.boff.(slot) <- o;
+            t.bla.(slot) <- o;
+            t.bsign.(slot) <- 1
+      done;
+      let a = bound_neg t lo hi in
+      let b = bound_zero t a hi in
+      tdescend_pk t keys out find ops (left t node) la lo a;
+      tdescend_pk t keys out find ops (right t node) node b hi
+    end
+
+let lookup_into t keys out =
+  let n = Array.length keys in
+  if Array.length out < n then invalid_arg "Ttree.lookup_into: result array too small";
+  if n > 0 then
+    if t.root = null then
+      for i = 0 to n - 1 do
+        out.(i) <- -1
+      done
+    else begin
+      ensure_scratch t n;
+      Access_path.fill_perm t.bperm n;
+      Access_path.sort_perm keys t.bperm n;
+      match t.cfg.scheme with
+      | Layout.Direct _ | Layout.Indirect -> tdescend_plain t keys out t.root null 0 n
+      | Layout.Partial _ ->
+          let g = granularity t in
+          for i = 0 to n - 1 do
+            let rel, off = Partial_key.initial_state g keys.(i) in
+            t.brel.(i) <- rel;
+            t.boff.(i) <- off
+          done;
+          let find =
+            if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node
+          in
+          tdescend_pk t keys out find (batch_ops t) t.root null 0 n
+    end
+
+let lookup_batch t keys = Access_path.lookup_batch_of_into (lookup_into t) keys
+
+(* {2 Batched mutations} — sorted order, one [guarded] scope: an
+   injected fault anywhere in the batch unwinds the whole batch. *)
+
+let insert_batch t keys ~rids =
+  Access_path.check_rids keys ~rids;
+  let n = Array.length keys in
+  let res = Array.make n false in
+  if n > 0 then begin
+    ensure_scratch t n;
+    Access_path.fill_perm t.bperm n;
+    Access_path.sort_perm keys t.bperm n;
+    guarded t (fun () ->
+        for p = 0 to n - 1 do
+          let slot = t.bperm.(p) in
+          res.(slot) <- insert t keys.(slot) ~rid:rids.(slot)
+        done)
+  end;
+  res
+
+let delete_batch t keys =
+  let n = Array.length keys in
+  let res = Array.make n false in
+  if n > 0 then begin
+    ensure_scratch t n;
+    Access_path.fill_perm t.bperm n;
+    Access_path.sort_perm keys t.bperm n;
+    guarded t (fun () ->
+        for p = 0 to n - 1 do
+          let slot = t.bperm.(p) in
+          res.(slot) <- delete t keys.(slot)
+        done)
+  end;
+  res
+
+(* {2 Bottom-up bulk load}
+
+   Cut the sorted entries into chunks of [fill * capacity] (clamped to
+   [[min_internal, capacity]]) and build the balanced midpoint BST over
+   the chunks.  Only the last chunk can be smaller than the internal
+   minimum, and the midpoint construction always places the last chunk
+   with no right child — a leaf or half-leaf, which carries no
+   occupancy minimum (Lehman–Carey).  Partial keys follow §4.1: entry 0
+   is based on the parent node's leftmost key, later entries on their
+   in-node predecessor — all derived from sorted neighbours. *)
+
+let bulk_load t ?(fill = 1.0) entries =
+  if t.root <> null then invalid_arg "Ttree.bulk_load: index is not empty";
+  let n = Array.length entries in
+  (match t.cfg.scheme with
+  | Layout.Direct { key_len } ->
+      Array.iter
+        (fun (k, _) ->
+          if Bytes.length k <> key_len then
+            invalid_arg
+              (Printf.sprintf "Ttree.bulk_load: direct scheme expects %d-byte keys, got %d"
+                 key_len (Bytes.length k)))
+        entries
+  | Layout.Indirect | Layout.Partial _ -> ());
+  for i = 1 to n - 1 do
+    if Key.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
+      invalid_arg "Ttree.bulk_load: keys must be strictly ascending"
+  done;
+  if n > 0 then
+    guarded t (fun () ->
+        let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
+        let cap = t.max_entries in
+        let c = max 1 (max t.min_internal (min cap (int_of_float (fill *. float_of_int cap)))) in
+        let m = (n + c - 1) / c in
+        (* Chunk [i] holds entries [i*c, min ((i+1)*c, n)). *)
+        let rec build clo chi ~base =
+          if clo >= chi then (null, 0)
+          else begin
+            let mid = (clo + chi) / 2 in
+            let start = mid * c in
+            let sz = min c (n - start) in
+            let node = alloc_node t in
+            for j = 0 to sz - 1 do
+              write_entry t node j ~key:(fst entries.(start + j)) ~rid:(snd entries.(start + j))
+            done;
+            set_num_keys t node sz;
+            if is_partial t then begin
+              fix_pk t node 0 ~base;
+              for j = 1 to sz - 1 do
+                fix_pk t node j ~base:None
+              done
+            end;
+            let k0 = Some (fst entries.(start)) in
+            let l, hl = build clo mid ~base:k0 in
+            let r, hr = build (mid + 1) chi ~base:k0 in
+            set_left t node l;
+            set_right t node r;
+            let h = 1 + max hl hr in
+            set_node_height t node h;
+            (node, h)
+          end
+        in
+        let root, _ = build 0 m ~base:None in
+        t.root <- root;
+        t.n_keys <- n)
 
 (* {2 Traversal} *)
 

@@ -35,6 +35,28 @@ val insert : t -> Pk_keys.Key.t -> rid:int -> bool
 val lookup : t -> Pk_keys.Key.t -> int option
 val delete : t -> Pk_keys.Key.t -> bool
 
+(** {2 Batched access path} *)
+
+val lookup_into : t -> Pk_keys.Key.t array -> int array -> unit
+(** Group descent: the sorted batch shares the one
+    comparison-per-level against each node's leftmost key, splitting
+    into (left, bounded-here, right) segments; the per-probe state is
+    the last greater-than ancestor and, for the partial scheme, the
+    FINDNODE (rel, offset) pair.  [-1] = absent.  See
+    {!Btree.lookup_into} for the contract. *)
+
+val lookup_batch : t -> Pk_keys.Key.t array -> int option array
+val insert_batch : t -> Pk_keys.Key.t array -> rids:int array -> bool array
+val delete_batch : t -> Pk_keys.Key.t array -> bool array
+
+val bulk_load : t -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
+(** Bottom-up build from strictly ascending (key, rid) pairs into an
+    empty index: keys are chunked to [fill] (clamped to [0.5, 1.0]) of
+    node capacity and the chunks arranged as a midpoint-balanced BST
+    (the rightmost — possibly short — chunk always lands as a leaf or
+    half-leaf, so Lehman–Carey occupancy holds).  Partial keys follow
+    the §4.1 base rules. *)
+
 val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
 val range :
   t -> lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit

@@ -14,6 +14,7 @@ module Workload = Pk_workload.Workload
 module Distribution = Pk_workload.Distribution
 module Experiment = Pk_harness.Experiment
 module Bench_time = Pk_harness.Bench_time
+module Json_out = Pk_harness.Json_out
 
 let low_entropy = Keygen.paper_low (* alphabet 12 -> 3.6 bits/byte *)
 let high_entropy = Keygen.paper_high (* alphabet 220 -> 7.8 bits/byte *)

@@ -34,3 +34,10 @@ val scaled_keys : int -> int
 
 val scaled_lookups : int -> int
 (** Same for the probe count via [$PK_LOOKUPS]. *)
+
+val env_int : string -> int option
+(** A positive integer from the environment ([None] when unset or
+    unparseable) — for experiment-specific knobs like [$PK_BATCH]. *)
+
+val env_float : string -> float option
+(** Same for positive floats, e.g. [$PK_FILL]. *)

@@ -1,0 +1,90 @@
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_repr f =
+  if not (Float.is_finite f) then "null"
+  else
+    (* %.17g round-trips but is noisy; %.6g is plenty for benchmark
+       metrics and keeps the files diffable. *)
+    let s = Printf.sprintf "%.6g" f in
+    (* Ensure the token parses as a JSON number (e.g. "1" stays valid,
+       but guard against locale-free "inf"/"nan" already handled above). *)
+    s
+
+let rec emit b indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool x -> Buffer.add_string b (if x then "true" else "false")
+  | Int x -> Buffer.add_string b (string_of_int x)
+  | Float x -> Buffer.add_string b (float_repr x)
+  | String s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          emit b (indent + 2) x)
+        xs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj kvs ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          Buffer.add_string b (pad (indent + 2));
+          Buffer.add_char b '"';
+          Buffer.add_string b (escape k);
+          Buffer.add_string b "\": ";
+          emit b (indent + 2) x)
+        kvs;
+      Buffer.add_char b '\n';
+      Buffer.add_string b (pad indent);
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 1024 in
+  emit b 0 v;
+  Buffer.contents b
+
+let bench_file ~id = Printf.sprintf "BENCH_%s.json" (String.uppercase_ascii id)
+
+let write_bench ~id ~params ~rows =
+  let doc = Obj [ ("experiment", String id); ("params", Obj params); ("rows", List rows) ] in
+  let path = bench_file ~id in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (to_string doc);
+      output_char oc '\n');
+  Printf.printf "  wrote %s\n" path

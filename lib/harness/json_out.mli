@@ -1,0 +1,29 @@
+(** Minimal JSON emission for machine-readable benchmark results.
+
+    The experiment suite prints human-oriented tables; CI and
+    downstream tooling want something parseable.  This is a tiny
+    dependency-free emitter — just enough JSON to serialise an
+    experiment id, its parameters and per-scheme result rows into
+    [BENCH_<ID>.json] in the working directory. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats serialise as [null]. *)
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+val to_string : value -> string
+(** Render with two-space indentation and escaped strings. *)
+
+val bench_file : id:string -> string
+(** [bench_file ~id] is ["BENCH_<ID>.json"] with [id] upper-cased. *)
+
+val write_bench :
+  id:string -> params:(string * value) list -> rows:value list -> unit
+(** Write [{"experiment": id, "params": {...}, "rows": [...]}] to
+    {!bench_file} in the current directory (the repo root when the
+    bench executable is run from there), replacing any previous file.
+    Prints the path written so logs record where the data went. *)

@@ -124,6 +124,7 @@ let move r ~src_off ~dst_off ~len =
   Arena.blit_within r.arena ~src_off ~dst_off ~len
 
 let compare_detail r ~off ~len probe ~key_off ~key_len =
+  Fault.point "mem.read";
   let common = min len key_len in
   let rec scan i =
     if i >= common then
@@ -137,5 +138,26 @@ let compare_detail r ~off ~len probe ~key_off ~key_len =
   let examined = min (diff + 1) common in
   if examined > 0 then charge r off examined;
   result
+
+(* Top-level recursion (not an inner [let rec]) so no closure is
+   allocated: [compare_sign] is the batched descent's hot path and must
+   not touch the OCaml heap. *)
+let rec sign_scan r off len probe key_off key_len common i =
+  if i >= common then begin
+    if common > 0 then charge r off common;
+    if len = key_len then 0 else if len < key_len then -1 else 1
+  end
+  else
+    let a = Arena.get_u8 r.arena (off + i) in
+    let b = Char.code (Bytes.get probe (key_off + i)) in
+    if a <> b then begin
+      charge r off (i + 1);
+      if a < b then -1 else 1
+    end
+    else sign_scan r off len probe key_off key_len common (i + 1)
+
+let compare_sign r ~off ~len probe ~key_off ~key_len =
+  Fault.point "mem.read";
+  sign_scan r off len probe key_off key_len (min len key_len) 0
 
 let touch r ~off ~len = charge r off len

@@ -94,6 +94,13 @@ val compare_detail :
     Charges exactly the prefix of region bytes examined — matching a
     real memcmp's memory traffic. *)
 
+val compare_sign :
+  region -> off:int -> len:int -> bytes -> key_off:int -> key_len:int -> int
+(** Like {!val:compare_detail} but returns only the comparison sign and
+    never allocates (no result tuple) — the building block of the
+    allocation-free batched lookup path.  Fires the same ["mem.read"]
+    fault point and charges the same examined prefix. *)
+
 val touch : region -> off:int -> len:int -> unit
 (** Explicitly charge a byte range (e.g. one logical field group read
     whose parts were already decoded). *)

@@ -1,7 +1,7 @@
 module Key = Pk_keys.Key
 
 type entry_ops = {
-  num_keys : int;
+  mutable num_keys : int;
   pk_off : int -> int;
   resolve_units : int -> rel:Pk_keys.Key.cmp -> off:int -> Pk_keys.Key.cmp * int;
   branch_unit : int -> int;

@@ -9,7 +9,9 @@
     cache simulator as a side effect). *)
 
 type entry_ops = {
-  num_keys : int;
+  mutable num_keys : int;
+      (** Mutable so a batched descent can re-aim one [entry_ops]
+          record at successive nodes without allocating. *)
   pk_off : int -> int;
       (** Difference-unit offset of entry [i] w.r.t. its base (the
           previous entry; entry 0's base precedes the node). *)

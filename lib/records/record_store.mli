@@ -45,6 +45,10 @@ val compare_key : t -> int -> Pk_keys.Key.t -> Pk_keys.Key.cmp * int
     vs probe and [d] the first differing byte index.  Only the examined
     prefix is charged to the cache simulator, like a real memcmp. *)
 
+val compare_sign : t -> int -> Pk_keys.Key.t -> int
+(** Sign-only variant of {!val:compare_key} that never allocates —
+    used by the batched lookup hot path for indirect schemes. *)
+
 val compare_key_bits : t -> int -> Pk_keys.Key.t -> Pk_keys.Key.cmp * int
 (** Same with [d] the first differing {e bit} offset (for
     bit-granularity partial keys). *)

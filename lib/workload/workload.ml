@@ -73,6 +73,40 @@ let measure_cache env ix ~warm ~probes =
     visits_per_op = float_of_int (ix.Index.node_visits ()) /. n;
   }
 
+(* Slice a probe list into [batch]-sized sub-arrays up front so the
+   measured loops do no slicing (the last batch may be short). *)
+let slice_batches probes batch =
+  if batch < 1 then invalid_arg "Workload.slice_batches: batch must be >= 1";
+  let n = Array.length probes in
+  let nb = (n + batch - 1) / batch in
+  Array.init nb (fun b -> Array.sub probes (b * batch) (min batch (n - (b * batch))))
+
+let measure_cache_batched env ix ~batch ?(contended = false) ~warm ~probes () =
+  let n = float_of_int (Array.length probes) in
+  let batches = slice_batches probes batch in
+  let out = Array.make (max batch 1) (-1) in
+  Mem.set_tracing env.mem true;
+  Cachesim.flush env.cache;
+  Array.iter (fun k -> ignore (ix.Index.lookup k)) warm;
+  ix.Index.reset_counters ();
+  let before = Cachesim.snapshot env.cache in
+  Array.iter
+    (fun b ->
+      if contended then Cachesim.flush env.cache;
+      ix.Index.lookup_into b out)
+    batches;
+  let after = Cachesim.snapshot env.cache in
+  Mem.set_tracing env.mem false;
+  let d = Cachesim.diff ~before ~after in
+  {
+    l1_per_op = float_of_int (Cachesim.misses d ~level:"L1") /. n;
+    l2_per_op = float_of_int (Cachesim.misses d ~level:"L2") /. n;
+    sim_ns_per_op = d.Cachesim.sim_ns /. n;
+    tlb_per_op = float_of_int d.Cachesim.tlb_misses /. n;
+    derefs_per_op = float_of_int (ix.Index.deref_count ()) /. n;
+    visits_per_op = float_of_int (ix.Index.node_visits ()) /. n;
+  }
+
 let wall_ns_per_op ?(repeats = 5) env ix ~probes =
   Mem.set_tracing env.mem false;
   (* Settle the GC so one index's build garbage is not collected
@@ -96,6 +130,40 @@ let wall_ns_per_op ?(repeats = 5) env ix ~probes =
   done;
   ignore !sink;
   Pk_util.Stats_acc.percentile acc 50.0
+
+let wall_ns_per_op_batched ?(repeats = 5) env ix ~batch ~probes () =
+  Mem.set_tracing env.mem false;
+  Gc.full_major ();
+  let n = Array.length probes in
+  let batches = slice_batches probes batch in
+  let out = Array.make (max batch 1) (-1) in
+  let sink = ref 0 in
+  let timed () =
+    let t0 = Unix.gettimeofday () in
+    Array.iter
+      (fun b ->
+        ix.Index.lookup_into b out;
+        sink := !sink + out.(0))
+      batches;
+    let t1 = Unix.gettimeofday () in
+    (t1 -. t0) *. 1e9 /. float_of_int n
+  in
+  ignore (timed ());
+  let acc = Pk_util.Stats_acc.create () in
+  for _ = 1 to repeats do
+    Pk_util.Stats_acc.add acc (timed ())
+  done;
+  ignore !sink;
+  Pk_util.Stats_acc.percentile acc 50.0
+
+(* The dataset's (key, rid) pairs in strictly ascending key order —
+   the input shape [Index.of_sorted] wants. *)
+let sorted_pairs ds =
+  let pairs = Array.mapi (fun i k -> (k, ds.rids.(i))) ds.keys in
+  Array.sort (fun (a, _) (b, _) -> Key.compare a b) pairs;
+  pairs
+
+let load_sorted ?(fill = 1.0) ds ix = ix.Index.of_sorted ~fill (sorted_pairs ds)
 
 type mix_result = { ops_done : int; wall_ns_per_mixed_op : float; final_count : int }
 

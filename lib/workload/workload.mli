@@ -50,11 +50,48 @@ val measure_cache : env -> Pk_core.Index.t -> warm:Pk_keys.Key.t array ->
 (** Steady-state simulated cache behaviour: flush, warm with one probe
     set, measure a disjoint set.  Tracing is enabled only inside. *)
 
+val measure_cache_batched :
+  env ->
+  Pk_core.Index.t ->
+  batch:int ->
+  ?contended:bool ->
+  warm:Pk_keys.Key.t array ->
+  probes:Pk_keys.Key.t array ->
+  unit ->
+  cache_stats
+(** Like {!measure_cache} but driving [lookup_into] over [batch]-sized
+    probe groups (group descent).  With [~contended:true] the simulated
+    cache is flushed before every batch, modelling an index evicted
+    between bursts: upper-level node misses then amortise across the
+    batch, which is the effect ablation A9 quantifies.  Probe slices
+    are cut before measurement begins. *)
+
 val wall_ns_per_op : ?repeats:int -> env -> Pk_core.Index.t -> probes:Pk_keys.Key.t array -> float
 (** Wall-clock nanoseconds per lookup, simulator detached; median of
     [repeats] (default 5) timed passes over the probe list.  (The
     benchmark executable uses Bechamel for its headline timings; this
     lightweight clock is for tests, examples and secondary columns.) *)
+
+val wall_ns_per_op_batched :
+  ?repeats:int ->
+  env ->
+  Pk_core.Index.t ->
+  batch:int ->
+  probes:Pk_keys.Key.t array ->
+  unit ->
+  float
+(** Wall-clock nanoseconds per lookup through the batched
+    ([lookup_into]) entry point; median of [repeats] passes.  The probe
+    slices and the result buffer are allocated before timing starts, so
+    the timed region exercises the zero-allocation hot path. *)
+
+val sorted_pairs : dataset -> (Pk_keys.Key.t * int) array
+(** The dataset as strictly ascending (key, rid) pairs — the input
+    shape bulk loading wants. *)
+
+val load_sorted : ?fill:float -> dataset -> Pk_core.Index.t -> unit
+(** Bottom-up bulk load of the whole dataset into an empty index via
+    [Index.of_sorted] (default fill factor 1.0). *)
 
 type mix_result = {
   ops_done : int;

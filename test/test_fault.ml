@@ -232,12 +232,69 @@ let unwind_cases =
     ("T-tree: alloc fails on node grow", check_insert_unwind ~make_index:mk_ttree ~site:"arena.alloc" ~sched:one ~seed:16);
     ("prefix: fault mid-split", check_insert_unwind ~make_index:mk_prefix ~site:"prefix.split.mid" ~sched:one ~seed:17);
     ("prefix: alloc fails during split", check_insert_unwind ~make_index:mk_prefix ~site:"arena.alloc" ~sched:one ~seed:18);
+    (* Read fault landing mid-insert (possibly inside split
+       maintenance): everything the operation touched unwinds. *)
+    ("B-tree: read fault mid-insert", check_insert_unwind ~make_index:mk_btree ~site:"mem.read" ~sched:(Fault.One_shot 2000) ~seed:23);
+    ("pkB: read fault mid-insert", check_insert_unwind ~make_index:mk_pkb ~site:"mem.read" ~sched:(Fault.One_shot 2000) ~seed:24);
     (* Delete-side maintenance: merges and rebalances unwind too. *)
     ("B-tree: fault mid-merge", check_delete_unwind ~make_index:mk_btree ~site:"btree.merge.mid" ~sched:one ~seed:19);
     ("pkB: fault on borrow", check_delete_unwind ~make_index:mk_pkb ~site:"btree.borrow" ~sched:one ~seed:20);
     ("T-tree: fault on merge", check_delete_unwind ~make_index:mk_ttree ~site:"ttree.merge" ~sched:one ~seed:21);
     ("prefix: fault on merge", check_delete_unwind ~make_index:mk_prefix ~site:"prefix.merge" ~sched:one ~seed:22);
   ]
+
+(* The comparison primitives thread the "mem.read" fault point:
+   [compare_detail] used to bypass it (reads went straight to the
+   arena), so read faults could never land in the in-node search. *)
+let test_mem_read_compare () =
+  with_clean_registry @@ fun () ->
+  let mem = Mem.create () in
+  let r = Mem.new_region mem ~name:"cmp" () in
+  let off = Mem.alloc r 16 in
+  Mem.write_bytes r ~off ~src:(Bytes.of_string "abcdefgh") ~src_off:0 ~len:8;
+  Fault.arm "mem.read" (Fault.One_shot 1);
+  Alcotest.check_raises "compare_detail hits mem.read" (Fault.Injected "mem.read") (fun () ->
+      ignore (Mem.compare_detail r ~off ~len:8 (Bytes.of_string "abcd") ~key_off:0 ~key_len:4));
+  Fault.arm "mem.read" (Fault.One_shot 1);
+  Alcotest.check_raises "compare_sign hits mem.read" (Fault.Injected "mem.read") (fun () ->
+      ignore (Mem.compare_sign r ~off ~len:8 (Bytes.of_string "abcd") ~key_off:0 ~key_len:4));
+  Fault.disarm_all ();
+  (* [arm] resets the counter, so only the second comparison is on it. *)
+  Alcotest.(check int) "hit counted since re-arm" 1 (Fault.hits "mem.read")
+
+(* A read fault mid-batch unwinds the whole batch (batch atomicity),
+   and the batch succeeds verbatim on retry. *)
+let test_batch_unwind () =
+  with_clean_registry @@ fun () ->
+  let mem, records = env () in
+  let ix = mk_btree mem records in
+  let keys = keys_for ~seed:44 ~n:220 in
+  Array.iteri
+    (fun i key ->
+      if i < 100 then begin
+        let rid = Record_store.insert records ~key ~payload:Bytes.empty in
+        if not (ix.Index.insert key ~rid) then Record_store.delete records rid
+      end)
+    keys;
+  let batch = Array.sub keys 100 120 in
+  let rids = Array.map (fun key -> Record_store.insert records ~key ~payload:Bytes.empty) batch in
+  let before = ix.Index.count () in
+  Fault.arm "mem.read" (Fault.One_shot 500);
+  (match ix.Index.insert_batch batch ~rids with
+  | _ -> Alcotest.fail "batch completed despite armed read fault"
+  | exception Fault.Injected "mem.read" -> ());
+  Fault.disarm_all ();
+  ix.Index.validate ();
+  Alcotest.(check int) "whole batch unwound" before (ix.Index.count ());
+  Array.iter
+    (fun key ->
+      if ix.Index.lookup key <> None then
+        Alcotest.failf "partial batch visible: %s" (Key.to_hex key))
+    batch;
+  let res = ix.Index.insert_batch batch ~rids in
+  Alcotest.(check bool) "retry inserts everything" true (Array.for_all Fun.id res);
+  ix.Index.validate ();
+  Alcotest.(check int) "count after retry" (before + Array.length batch) (ix.Index.count ())
 
 (* Repeated injections at one site: every split attempt aborts until
    disarm, and the tree survives each one. *)
@@ -278,10 +335,14 @@ let () =
           Alcotest.test_case "pause" `Quick test_pause;
           Alcotest.test_case "arm validation" `Quick test_arm_validation;
           Alcotest.test_case "disarm and accounting" `Quick test_disarm_and_sites;
+          Alcotest.test_case "mem.read covers comparisons" `Quick test_mem_read_compare;
         ] );
       ( "unwind",
         List.map
           (fun (name, run) -> Alcotest.test_case name `Quick (fun () -> run ()))
           unwind_cases
-        @ [ Alcotest.test_case "repeated injections" `Quick test_repeated_injections ] );
+        @ [
+            Alcotest.test_case "repeated injections" `Quick test_repeated_injections;
+            Alcotest.test_case "batch unwinds atomically" `Quick test_batch_unwind;
+          ] );
     ]
