@@ -27,17 +27,13 @@ let () =
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "chaos_main [options]: differential chaos testing of the index structures";
-  let tree_of_tag tag =
-    match List.find_opt (fun t -> Chaos.tree_tag t = tag) Chaos.all_trees with
-    | Some t -> t
-    | None ->
-        Printf.eprintf "chaos_main: unknown tree %S (expected %s)\n" tag
-          (String.concat ", " (List.map Chaos.tree_tag Chaos.all_trees));
-        exit 2
-  in
   let trees =
     if !trees = "" then Chaos.all_trees
-    else List.map tree_of_tag (String.split_on_char ',' !trees)
+    else
+      try List.map Chaos.tree_of_tag (String.split_on_char ',' !trees)
+      with Invalid_argument msg ->
+        Printf.eprintf "chaos_main: %s\n" msg;
+        exit 2
   in
   let seed_list = List.init !seeds (fun i -> !base + i) in
   let plan = if !faults then fun ~seed -> Chaos.default_fault_plan ~seed else fun ~seed:_ -> [] in

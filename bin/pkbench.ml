@@ -24,6 +24,29 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List the available experiments")
     Term.(const run $ const ())
 
+let list_schemes_cmd =
+  let run key_len =
+    (* Self-registering scheme modules must be linked before the
+       registry is enumerated. *)
+    Pk_core.Hybrid.ensure_registered ();
+    Pk_core.Variants.ensure_registered ();
+    Printf.printf "%-14s %-9s %s\n" "tag" "structure" (Printf.sprintf "entry bytes (key_len=%d)" key_len);
+    List.iter
+      (fun (info : Pk_core.Index.Registry.info) ->
+        Printf.printf "%-14s %-9s %s\n" info.Pk_core.Index.Registry.tag
+          info.Pk_core.Index.Registry.structure
+          (match info.Pk_core.Index.Registry.entry_bytes key_len with
+          | Some b -> string_of_int b
+          | None -> "variable"))
+      (Pk_core.Index.Registry.all ())
+  in
+  let key_len_arg =
+    Arg.(value & opt int 20 & info [ "key-len" ] ~docv:"N" ~doc:"Key length used to report per-entry sizes (default 20).")
+  in
+  Cmd.v
+    (Cmd.info "list-schemes" ~doc:"List every registered index scheme with its structure and entry size")
+    Term.(const run $ key_len_arg)
+
 let keys_arg =
   Arg.(value & opt (some int) None & info [ "keys"; "k" ] ~docv:"N" ~doc:"Number of indexed keys (overrides the default; the paper used 1500000).")
 
@@ -39,15 +62,19 @@ let batch_arg =
 let fill_arg =
   Arg.(value & opt (some float) None & info [ "fill" ] ~docv:"F" ~doc:"Bulk-load fill factor for a9, clamped to [0.5, 1.0] (default 1.0).")
 
+let schemes_arg =
+  Arg.(value & opt (some string) None & info [ "schemes" ] ~docv:"TAGS" ~doc:"Comma-separated registry scheme tags for a9 (see list-schemes; default: every registered scheme).")
+
 let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
 let run_cmd =
-  let run keys lookups scale batch fill ids =
+  let run keys lookups scale batch fill schemes ids =
     Option.iter (fun v -> Unix.putenv "PK_KEYS" (string_of_int v)) keys;
     Option.iter (fun v -> Unix.putenv "PK_LOOKUPS" (string_of_int v)) lookups;
     Option.iter (fun v -> Unix.putenv "PK_SCALE" (string_of_float v)) scale;
     Option.iter (fun v -> Unix.putenv "PK_BATCH" (string_of_int v)) batch;
     Option.iter (fun v -> Unix.putenv "PK_FILL" (string_of_float v)) fill;
+    Option.iter (fun v -> Unix.putenv "PK_SCHEMES" v) schemes;
     (* Wall-clock runs measure the paper's layout story; keep the
        undo-journal byte copies out of the hot path. *)
     Pk_fault.Fault.set_unwind false;
@@ -56,9 +83,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments (all tables/figures of the paper plus ablations)")
-    Term.(const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ ids_arg)
+    Term.(const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ schemes_arg $ ids_arg)
 
 let () =
   let doc = "benchmarks for the pkT/pkB partial-key index reproduction (SIGMOD 2001)" in
   let info = Cmd.info "pkbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; list_schemes_cmd; run_cmd ]))

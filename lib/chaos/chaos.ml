@@ -19,6 +19,14 @@ type tree = T | B | PkT | PkB | Prefix
 let all_trees = [ T; B; PkT; PkB; Prefix ]
 let tree_tag = function T -> "T" | B -> "B" | PkT -> "pkT" | PkB -> "pkB" | Prefix -> "prefix"
 
+let tree_of_tag tag =
+  match List.find_opt (fun t -> tree_tag t = tag) all_trees with
+  | Some t -> t
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown tree %S; valid trees: %s" tag
+           (String.concat ", " (List.map tree_tag all_trees)))
+
 type fault_plan = (string * Fault.schedule) list
 
 let fault_sites =

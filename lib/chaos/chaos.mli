@@ -25,6 +25,10 @@ type tree = T | B | PkT | PkB | Prefix
 val all_trees : tree list
 val tree_tag : tree -> string
 
+val tree_of_tag : string -> tree
+(** Inverse of {!val:tree_tag}.  Raises [Invalid_argument] listing the
+    valid tags when the tag is unknown. *)
+
 type fault_plan = (string * Fault.schedule) list
 
 val fault_sites : string list

@@ -4,6 +4,10 @@ module Key = Pk_keys.Key
 module Record_store = Pk_records.Record_store
 module Partial_key = Pk_partialkey.Partial_key
 module Node_search = Pk_partialkey.Node_search
+module Counters = Engine.Counters
+module Scratch = Engine.Scratch
+module Entries = Engine.Entries
+module Group = Engine.Group
 
 type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
 
@@ -13,7 +17,9 @@ type t = {
   reg : Mem.region;
   records : Record_store.t;
   cfg : config;
-  esz : int;
+  ec : Entries.ctx;
+  sc : Scratch.t;
+  aim : Entries.aim; (* (node, probe) the reusable entry_ops reads *)
   leaf_max : int;
   internal_max : int;
   child_base : int; (* offset of the child-pointer array within a node *)
@@ -21,16 +27,8 @@ type t = {
   mutable tree_height : int;
   mutable n_nodes : int;
   mutable n_keys : int;
-  mutable derefs : int;
-  mutable visits : int;
-  (* Batched-lookup scratch (group descent): grown to the largest batch
-     seen, then reused so steady-state batches allocate nothing. *)
-  mutable bperm : int array;
-  mutable brel : Key.cmp array;
-  mutable boff : int array;
-  mutable bsearch : Key.t; (* probe the reusable entry_ops reads *)
-  mutable bnode : int; (* node the reusable entry_ops reads *)
   mutable bops : Node_search.entry_ops option;
+  mutable router : Group.router option;
 }
 
 let null = Pk_arena.Arena.null
@@ -48,11 +46,18 @@ let create mem records cfg =
          "Btree.create: node of %d bytes holds only %d internal entries under scheme %s; use \
           larger nodes"
          cfg.node_bytes internal_max (Layout.scheme_tag cfg.scheme));
+  let reg =
+    Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:("btree-" ^ Layout.scheme_tag cfg.scheme)
+      ()
+  in
   {
-    reg = Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:("btree-" ^ Layout.scheme_tag cfg.scheme) ();
+    reg;
     records;
     cfg;
-    esz;
+    ec =
+      Entries.make ~name:"Btree" ~reg ~records ~scheme:cfg.scheme ~entries_at (Counters.create ());
+    sc = Scratch.create ();
+    aim = Entries.make_aim ();
     leaf_max;
     internal_max;
     child_base = entries_at + (internal_max * esz);
@@ -60,14 +65,8 @@ let create mem records cfg =
     tree_height = 0;
     n_nodes = 0;
     n_keys = 0;
-    derefs = 0;
-    visits = 0;
-    bperm = [||];
-    brel = [||];
-    boff = [||];
-    bsearch = Bytes.empty;
-    bnode = null;
     bops = None;
+    router = None;
   }
 
 let scheme t = t.cfg.scheme
@@ -78,19 +77,17 @@ let node_count t = t.n_nodes
 let space_bytes t = Mem.live_bytes t.reg
 let leaf_capacity t = t.leaf_max
 let internal_capacity t = t.internal_max
-let deref_count t = t.derefs
-let node_visits t = t.visits
-
-let reset_counters t =
-  t.derefs <- 0;
-  t.visits <- 0
+let cnt t = t.ec.Entries.cnt
+let deref_count t = (cnt t).Counters.derefs
+let node_visits t = (cnt t).Counters.visits
+let reset_counters t = Counters.reset (cnt t)
+let visit t = (cnt t).Counters.visits <- (cnt t).Counters.visits + 1
 
 (* {2 Node accessors} *)
 
 let num_keys t node = Mem.read_u16 t.reg node
 let set_num_keys t node n = Mem.write_u16 t.reg node n
 let is_leaf t node = Mem.read_u8 t.reg (node + 2) = 1
-let entry_addr t node i = node + entries_at + (i * t.esz)
 let child t node i = Mem.read_u64 t.reg (node + t.child_base + (8 * i))
 let set_child t node i v = Mem.write_u64 t.reg (node + t.child_base + (8 * i)) v
 let capacity t node = if is_leaf t node then t.leaf_max else t.internal_max
@@ -107,44 +104,15 @@ let free_node t node =
   Mem.free t.reg node t.cfg.node_bytes;
   t.n_nodes <- t.n_nodes - 1
 
-let rec_ptr t node i = Layout.rec_ptr t.reg (entry_addr t node i)
+let rec_ptr t node i = Entries.rec_ptr t.ec node i
+let entry_key t node i = Entries.entry_key t.ec node i
+let is_partial t = Entries.is_partial t.ec
 
-(* Full key of entry [i], from the node (direct) or the record. *)
-let entry_key t node i =
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } -> Layout.read_direct_key t.reg (entry_addr t node i) ~key_len
-  | Layout.Indirect | Layout.Partial _ -> Record_store.read_key t.records (rec_ptr t node i)
+(* {2 Partial-key maintenance} — scheme arithmetic lives in
+   {!module:Engine.Entries}; here only the base-key rules of §4.2. *)
 
-(* {2 Partial-key maintenance} *)
-
-let granularity t =
-  match t.cfg.scheme with
-  | Layout.Partial { granularity; _ } -> granularity
-  | Layout.Direct _ | Layout.Indirect -> assert false
-
-let l_bytes t =
-  match t.cfg.scheme with
-  | Layout.Partial { l_bytes; _ } -> l_bytes
-  | Layout.Direct _ | Layout.Indirect -> assert false
-
-let is_partial t = match t.cfg.scheme with Layout.Partial _ -> true | _ -> false
-
-(* Recompute the partial key of entry [i].  [base] is the base key for
-   entry 0 (None = virtual zero key); other entries use their
-   predecessor. *)
 let fix_pk t node i ~base =
-  if is_partial t && i < num_keys t node then begin
-    let g = granularity t and l = l_bytes t in
-    let key = entry_key t node i in
-    let pk =
-      if i = 0 then
-        match base with
-        | None -> Partial_key.encode_initial g ~l_bytes:l ~key
-        | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key
-      else Partial_key.encode g ~l_bytes:l ~base:(entry_key t node (i - 1)) ~key
-    in
-    Layout.write_pk t.reg (entry_addr t node i) ~l_bytes:l pk
-  end
+  if is_partial t then Entries.fix_pk t.ec node i ~n:(num_keys t node) ~base
 
 (* Refresh pk(0) along the ptr[0] chain below [node] (inclusive):
    every node on it inherits the same base (§4.2). *)
@@ -156,14 +124,7 @@ let rec refresh_chain t node ~base =
 
 (* {2 Raw entry movement} *)
 
-let blit_entries t ~src ~src_i ~dst ~dst_i ~n =
-  if n > 0 then
-    if src = dst then
-      Mem.move t.reg ~src_off:(entry_addr t src src_i) ~dst_off:(entry_addr t dst dst_i)
-        ~len:(n * t.esz)
-    else
-      let tmp = Mem.read_bytes t.reg ~off:(entry_addr t src src_i) ~len:(n * t.esz) in
-      Mem.write_bytes t.reg ~off:(entry_addr t dst dst_i) ~src:tmp ~src_off:0 ~len:(n * t.esz)
+let blit_entries t ~src ~src_i ~dst ~dst_i ~n = Entries.blit_entries t.ec ~src ~src_i ~dst ~dst_i ~n
 
 let blit_children t ~src ~src_i ~dst ~dst_i ~n =
   if n > 0 then
@@ -176,19 +137,7 @@ let blit_children t ~src ~src_i ~dst ~dst_i ~n =
       let tmp = Mem.read_bytes t.reg ~off:(src + t.child_base + (8 * src_i)) ~len:(n * 8) in
       Mem.write_bytes t.reg ~off:(dst + t.child_base + (8 * dst_i)) ~src:tmp ~src_off:0 ~len:(n * 8)
 
-(* Write the payload of entry [i] (record pointer + inline key for the
-   direct scheme); partial-key fields are fixed separately. *)
-let write_entry t node i ~key ~rid =
-  let a = entry_addr t node i in
-  Layout.set_rec_ptr t.reg a rid;
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      if Bytes.length key <> key_len then
-        invalid_arg
-          (Printf.sprintf "Btree: direct scheme expects %d-byte keys, got %d" key_len
-             (Bytes.length key));
-      Layout.write_direct_key t.reg a key
-  | Layout.Indirect | Layout.Partial _ -> ()
+let write_entry t node i ~key ~rid = Entries.write_entry t.ec node i ~key ~rid
 
 (* Make room at position [i] (entries [i..n) shift right); caller sets
    the new entry and bumps num_keys. *)
@@ -212,21 +161,8 @@ let remove_child t node i =
      children exist before removal. *)
   blit_children t ~src:node ~src_i:(i + 1) ~dst:node ~dst_i:i ~n:(n + 1 - i)
 
-(* {2 Position search (update paths)} — full-key binary search. *)
-
-let locate t node key =
-  let rec go lo hi =
-    (* invariant: entries [0,lo) < key < entries [hi,n) *)
-    if lo >= hi then (lo, false)
-    else
-      let mid = (lo + hi) / 2 in
-      let c, _ = Key.compare_detail key (entry_key t node mid) in
-      match c with
-      | Key.Eq -> (mid, true)
-      | Key.Lt -> go lo mid
-      | Key.Gt -> go (mid + 1) hi
-  in
-  go 0 (num_keys t node)
+(* Position search on the update paths — full-key binary search. *)
+let locate t node key = Entries.locate t.ec node ~n:(num_keys t node) key
 
 (* {2 Insert} *)
 
@@ -292,26 +228,15 @@ let rec insert_nonfull t node key rid ~base =
       insert_nonfull t (child t node !pos) key rid ~base:child_base
   end
 
-(* Exception safety for the maintenance paths: snapshot the scalar
-   header, run the operation under the arena undo journal, and restore
-   both on any exception (an injected fault, an allocation failure).
-   The caller observes either the completed operation or the exact
-   pre-operation tree. *)
-let guarded t f =
-  if not (Fault.unwind_enabled ()) then f ()
-  else begin
-    let root = t.root
-    and h = t.tree_height
-    and nn = t.n_nodes
-    and nk = t.n_keys in
-    try Mem.guard t.reg f
-    with e ->
-      t.root <- root;
-      t.tree_height <- h;
-      t.n_nodes <- nn;
-      t.n_keys <- nk;
-      raise e
-  end
+let save t = (t.root, t.tree_height, t.n_nodes, t.n_keys)
+
+let restore t (root, h, nn, nk) =
+  t.root <- root;
+  t.tree_height <- h;
+  t.n_nodes <- nn;
+  t.n_keys <- nk
+
+let guarded t f = Engine.guarded ~reg:t.reg ~save:(fun () -> save t) ~restore:(restore t) f
 
 let insert t key ~rid =
   (match t.cfg.scheme with
@@ -339,59 +264,27 @@ let insert t key ~rid =
 
 (* {2 Lookup} *)
 
-let byte_or_zero k i = if i < Bytes.length k then Char.code (Bytes.get k i) else 0
+(* One entry_ops per tree, re-aimed via [t.aim]. *)
+let batch_ops t =
+  match t.bops with
+  | Some ops -> ops
+  | None ->
+      let ops = Entries.make_ops t.ec t.aim ~shift:0 in
+      t.bops <- Some ops;
+      ops
 
-let bit_or_zero k i =
-  if i >= 8 * Bytes.length k then 0
-  else (Char.code (Bytes.get k (i lsr 3)) lsr (7 - (i land 7))) land 1
-
-(* Full comparison of the search key against entry [i]'s record key:
-   (c(search, key_i), d) in the scheme's granularity units. *)
-let deref_entry t node search i =
-  t.derefs <- t.derefs + 1;
-  let rid = rec_ptr t node i in
-  let c, d =
-    match granularity t with
-    | Partial_key.Bit -> Record_store.compare_key_bits t.records rid search
-    | Partial_key.Byte -> Record_store.compare_key t.records rid search
-  in
-  (Key.flip c, d)
-
-(* entry_ops over the node held in [cur]: allocated once per lookup,
-   re-aimed at each node of the descent. *)
-let entry_ops_cursor t cur search : Node_search.entry_ops =
-  let g = granularity t in
-  {
-    Node_search.num_keys = 0 (* patched per node by the caller *);
-    pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t !cur i));
-    resolve_units =
-      (fun i ~rel ~off ->
-        Layout.resolve_pk_units t.reg (entry_addr t !cur i) ~scheme_granularity:g ~search ~rel
-          ~off);
-    branch_unit =
-      (fun i ->
-        match g with
-        | Partial_key.Bit -> 1
-        | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t !cur i));
-    search_unit =
-      (fun u ->
-        match g with
-        | Partial_key.Bit -> bit_or_zero search u
-        | Partial_key.Byte -> byte_or_zero search u);
-    deref = (fun i -> deref_entry t !cur search i);
-  }
+let find_fn t = if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node
 
 (* FINDBTREE (Fig. 8): descend with FINDNODE per node. *)
 let lookup_partial t search =
-  let g = granularity t in
-  let find = if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node in
-  let rel0, off0 = Partial_key.initial_state g search in
-  let cur = ref t.root in
-  let ops = entry_ops_cursor t cur search in
+  let find = find_fn t in
+  let rel0, off0 = Partial_key.initial_state (Entries.granularity t.ec) search in
+  let ops = batch_ops t in
+  t.aim.Entries.search <- search;
   let rec go node rel off =
-    t.visits <- t.visits + 1;
-    cur := node;
-    let ops = { ops with Node_search.num_keys = num_keys t node } in
+    visit t;
+    t.aim.Entries.node <- node;
+    ops.Node_search.num_keys <- num_keys t node;
     let r = find ops ~rel0:rel ~off0:off in
     if r.Node_search.low = r.Node_search.high then Some (rec_ptr t node r.Node_search.low)
     else if is_leaf t node then None
@@ -402,29 +295,18 @@ let lookup_partial t search =
   if t.root = null then None else go t.root rel0 off0
 
 (* Direct / indirect lookup: binary search per node. *)
-let lookup_compare t node search i =
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      let c, _ = Layout.compare_direct t.reg (entry_addr t node i) ~key_len search in
-      Key.flip c
-  | Layout.Indirect ->
-      t.derefs <- t.derefs + 1;
-      let c, _ = Record_store.compare_key t.records (rec_ptr t node i) search in
-      Key.flip c
-  | Layout.Partial _ -> assert false
-
 let lookup_plain t search =
   let rec node_search node lo hi =
     if lo >= hi then `Child lo
     else
       let mid = (lo + hi) / 2 in
-      match lookup_compare t node search mid with
+      match Entries.probe_cmp t.ec node search mid with
       | Key.Eq -> `Found (rec_ptr t node mid)
       | Key.Lt -> node_search node lo mid
       | Key.Gt -> node_search node (mid + 1) hi
   in
   let rec go node =
-    t.visits <- t.visits + 1;
+    visit t;
     match node_search node 0 (num_keys t node) with
     | `Found rid -> Some rid
     | `Child i -> if is_leaf t node then None else go (child t node i)
@@ -436,40 +318,16 @@ let lookup t search =
   | Layout.Partial _ -> lookup_partial t search
   | Layout.Direct _ | Layout.Indirect -> lookup_plain t search
 
-(* {2 Batched lookup (group descent)}
+(* {2 Batched lookup hooks (group descent)}
 
-   The probe batch is sorted once ({!val:Access_path.sort_perm}), then
-   the tree is descended level by level: at each node the sorted probes
-   are resolved in order and contiguous runs that fall into the same
-   child are recursed as one segment, so the node's cache lines are
-   touched once per batch instead of once per probe.  [node_visits]
-   counts one visit per (node, segment) — the sharing the batch buys.
-
-   For the direct and indirect schemes the whole path is written as
-   top-level recursive functions over sign-only comparisons
-   ({!val:Mem.compare_sign}); a steady-state batch performs no heap
-   allocation per probe.  The partial-key path reuses one mutable
-   {!type:Node_search.entry_ops} re-aimed at each node; only FINDNODE's
-   result records and comparison pairs are allocated. *)
-
-let ensure_scratch t n =
-  t.bperm <- Access_path.ensure_int t.bperm n;
-  if is_partial t then begin
-    t.brel <- Access_path.ensure_cmp t.brel n;
-    t.boff <- Access_path.ensure_int t.boff n
-  end
-
-(* Sign of c(search, entry i), allocation-free (plain schemes only). *)
-let probe_cmp_plain t node probe i =
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      -Mem.compare_sign t.reg
-         ~off:(entry_addr t node i + 8)
-         ~len:key_len probe ~key_off:0 ~key_len:(Bytes.length probe)
-  | Layout.Indirect ->
-      t.derefs <- t.derefs + 1;
-      -Record_store.compare_sign t.records (rec_ptr t node i) probe
-  | Layout.Partial _ -> assert false
+   The engine ({!module:Engine.Group}) sorts the batch and descends it
+   as contiguous per-child runs; the router below supplies only the
+   per-probe in-node resolution.  For the direct and indirect schemes
+   everything is sign-only comparisons ({!val:Mem.compare_sign}) — a
+   steady-state batch performs no heap allocation per probe.  The
+   partial-key path reuses one mutable {!type:Node_search.entry_ops}
+   re-aimed at each (node, probe); only FINDNODE's result records and
+   comparison pairs are allocated. *)
 
 (* Binary search for [probe]; [lnot pos] (negative) encodes an exact
    match at [pos], a non-negative result is the child slot. *)
@@ -477,139 +335,73 @@ let rec plain_locate t node probe lo hi =
   if lo >= hi then lo
   else
     let mid = (lo + hi) / 2 in
-    let c = probe_cmp_plain t node probe mid in
+    let c = Entries.probe_sign t.ec node probe mid in
     if c = 0 then lnot mid
     else if c < 0 then plain_locate t node probe lo mid
     else plain_locate t node probe (mid + 1) hi
 
-(* [run_from]/[run_child]: pending run of sorted probes that fall into
-   the same child ([run_child = -1] = no pending run). *)
-let rec descend_plain t keys out node lo hi =
-  t.visits <- t.visits + 1;
-  scan_plain t keys out node (is_leaf t node) (num_keys t node) hi lo lo (-1)
-
-and scan_plain t keys out node leaf n hi p run_from run_child =
-  if p >= hi then flush_plain t keys out node leaf p run_from run_child
-  else begin
-    let slot = t.bperm.(p) in
-    let r = plain_locate t node keys.(slot) 0 n in
-    if r < 0 then begin
-      out.(slot) <- rec_ptr t node (lnot r);
-      flush_plain t keys out node leaf p run_from run_child;
-      scan_plain t keys out node leaf n hi (p + 1) (p + 1) (-1)
-    end
-    else if r = run_child then scan_plain t keys out node leaf n hi (p + 1) run_from run_child
-    else begin
-      flush_plain t keys out node leaf p run_from run_child;
-      scan_plain t keys out node leaf n hi (p + 1) p r
-    end
-  end
-
-and flush_plain t keys out node leaf upto run_from run_child =
-  if run_child >= 0 && upto > run_from then
-    if leaf then
-      for q = run_from to upto - 1 do
-        out.(t.bperm.(q)) <- -1
-      done
-    else descend_plain t keys out (child t node run_child) run_from upto
-
-(* One entry_ops per tree, re-aimed via [t.bnode]/[t.bsearch]. *)
-let batch_ops t =
-  match t.bops with
-  | Some ops -> ops
+let router t =
+  match t.router with
+  | Some r -> r
   | None ->
-      let g = granularity t in
-      let ops : Node_search.entry_ops =
+      let sc = t.sc in
+      let common route leaf_probe =
         {
-          Node_search.num_keys = 0;
-          pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t t.bnode i));
-          resolve_units =
-            (fun i ~rel ~off ->
-              Layout.resolve_pk_units t.reg (entry_addr t t.bnode i) ~scheme_granularity:g
-                ~search:t.bsearch ~rel ~off);
-          branch_unit =
-            (fun i ->
-              match g with
-              | Partial_key.Bit -> 1
-              | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t t.bnode i));
-          search_unit =
-            (fun u ->
-              match g with
-              | Partial_key.Bit -> bit_or_zero t.bsearch u
-              | Partial_key.Byte -> byte_or_zero t.bsearch u);
-          deref = (fun i -> deref_entry t t.bnode t.bsearch i);
+          Group.sc;
+          is_leaf = is_leaf t;
+          num_keys = num_keys t;
+          child = child t;
+          visit = (fun () -> visit t);
+          route;
+          leaf_probe;
         }
       in
-      t.bops <- Some ops;
-      ops
-
-let rec descend_partial t keys out find ops node lo hi =
-  t.visits <- t.visits + 1;
-  scan_partial t keys out find ops node (is_leaf t node) (num_keys t node) hi lo lo (-1)
-
-and scan_partial t keys out find ops node leaf n hi p run_from run_child =
-  if p >= hi then flush_partial t keys out find ops node leaf p run_from run_child
-  else begin
-    let slot = t.bperm.(p) in
-    (* Re-aim the shared ops: a recursed segment moved them away. *)
-    t.bnode <- node;
-    t.bsearch <- keys.(slot);
-    ops.Node_search.num_keys <- n;
-    let r = find ops ~rel0:t.brel.(slot) ~off0:t.boff.(slot) in
-    if r.Node_search.low = r.Node_search.high then begin
-      out.(slot) <- rec_ptr t node r.Node_search.low;
-      flush_partial t keys out find ops node leaf p run_from run_child;
-      scan_partial t keys out find ops node leaf n hi (p + 1) (p + 1) (-1)
-    end
-    else begin
-      (* FINDBTREE child-state update (Fig. 8). *)
-      if r.Node_search.low <> -1 then t.brel.(slot) <- Key.Gt;
-      t.boff.(slot) <- r.Node_search.off_low;
-      let ci = r.Node_search.high in
-      if ci = run_child then scan_partial t keys out find ops node leaf n hi (p + 1) run_from run_child
-      else begin
-        flush_partial t keys out find ops node leaf p run_from run_child;
-        scan_partial t keys out find ops node leaf n hi (p + 1) p ci
-      end
-    end
-  end
-
-and flush_partial t keys out find ops node leaf upto run_from run_child =
-  if run_child >= 0 && upto > run_from then
-    if leaf then
-      for q = run_from to upto - 1 do
-        out.(t.bperm.(q)) <- -1
-      done
-    else descend_partial t keys out find ops (child t node run_child) run_from upto
-
-let lookup_into t keys out =
-  let n = Array.length keys in
-  if Array.length out < n then invalid_arg "Btree.lookup_into: result array too small";
-  if n > 0 then
-    if t.root = null then
-      for i = 0 to n - 1 do
-        out.(i) <- -1
-      done
-    else begin
-      ensure_scratch t n;
-      Access_path.fill_perm t.bperm n;
-      Access_path.sort_perm keys t.bperm n;
-      match t.cfg.scheme with
-      | Layout.Direct _ | Layout.Indirect -> descend_plain t keys out t.root 0 n
-      | Layout.Partial _ ->
-          let g = granularity t in
-          for i = 0 to n - 1 do
-            let rel, off = Partial_key.initial_state g keys.(i) in
-            t.brel.(i) <- rel;
-            t.boff.(i) <- off
-          done;
-          let find =
-            if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node
-          in
-          descend_partial t keys out find (batch_ops t) t.root 0 n
-    end
-
-let lookup_batch t keys = Access_path.lookup_batch_of_into (lookup_into t) keys
+      let r =
+        match t.cfg.scheme with
+        | Layout.Direct _ | Layout.Indirect ->
+            common
+              (fun node n slot ->
+                let r = plain_locate t node sc.Scratch.keys.(slot) 0 n in
+                if r < 0 then begin
+                  sc.Scratch.out.(slot) <- rec_ptr t node (lnot r);
+                  -1
+                end
+                else r)
+              (fun node n slot ->
+                let r = plain_locate t node sc.Scratch.keys.(slot) 0 n in
+                sc.Scratch.out.(slot) <- (if r < 0 then rec_ptr t node (lnot r) else -1))
+        | Layout.Partial _ ->
+            let find = find_fn t in
+            let ops = batch_ops t in
+            (* Re-aim the shared ops at (node, probe) and run FINDNODE
+               from the probe's accumulated descent state. *)
+            let resolve node n slot =
+              t.aim.Entries.node <- node;
+              t.aim.Entries.search <- sc.Scratch.keys.(slot);
+              ops.Node_search.num_keys <- n;
+              find ops ~rel0:sc.Scratch.rel.(slot) ~off0:sc.Scratch.off.(slot)
+            in
+            common
+              (fun node n slot ->
+                let r = resolve node n slot in
+                if r.Node_search.low = r.Node_search.high then begin
+                  sc.Scratch.out.(slot) <- rec_ptr t node r.Node_search.low;
+                  -1
+                end
+                else begin
+                  (* FINDBTREE child-state update (Fig. 8). *)
+                  if r.Node_search.low <> -1 then sc.Scratch.rel.(slot) <- Key.Gt;
+                  sc.Scratch.off.(slot) <- r.Node_search.off_low;
+                  r.Node_search.high
+                end)
+              (fun node n slot ->
+                let r = resolve node n slot in
+                sc.Scratch.out.(slot) <-
+                  (if r.Node_search.low = r.Node_search.high then rec_ptr t node r.Node_search.low
+                   else -1))
+      in
+      t.router <- Some r;
+      r
 
 (* {2 Delete} — CLRS-style: every child entered during the descent is
    first brought above the minimum, so underflow never propagates
@@ -734,7 +526,10 @@ let rec delete_rec t node key ~base =
       write_entry t node pos ~key:pred_key ~rid:pred_rid;
       fix_pk t node pos ~base;
       fix_pk t node (pos + 1) ~base;
-      let ok = delete_rec t lc pred_key ~base:(if pos = 0 then base else Some (entry_key t node (pos - 1))) in
+      let ok =
+        delete_rec t lc pred_key
+          ~base:(if pos = 0 then base else Some (entry_key t node (pos - 1)))
+      in
       assert ok;
       (* The right subtree's leftmost chain is based on entry [pos],
          whose value changed. *)
@@ -755,8 +550,7 @@ let rec delete_rec t node key ~base =
     else begin
       (* Both neighbours minimal: merge around the key and recurse. *)
       let merged = merge_children t node pos ~base in
-      delete_rec t merged key
-        ~base:(if pos = 0 then base else Some (entry_key t node (pos - 1)))
+      delete_rec t merged key ~base:(if pos = 0 then base else Some (entry_key t node (pos - 1)))
     end
   end
   else begin
@@ -775,63 +569,26 @@ let delete t key =
   if t.root = null then false
   else
     guarded t (fun () ->
-    let ok = delete_rec t t.root key ~base:None in
-    if ok then t.n_keys <- t.n_keys - 1;
-    (* Shrink the root when it empties.  Not gated on [ok]: the
-       preemptive rebalancing of the descent can merge the root's only
-       two children even when the key then turns out to be absent. *)
-    if num_keys t t.root = 0 then
-      if is_leaf t t.root then begin
-        free_node t t.root;
-        t.root <- null;
-        t.tree_height <- 0
-      end
-      else begin
-        let only = child t t.root 0 in
-        free_node t t.root;
-        t.root <- only;
-        t.tree_height <- t.tree_height - 1;
-        refresh_chain t t.root ~base:None
-      end;
-    ok)
-
-(* {2 Batched mutations}
-
-   Applied in sorted key order (ties keep batch order, so duplicate
-   keys within a batch resolve exactly as they would applied singly in
-   batch order) under one [guarded] scope: when fault unwinding is on,
-   an injected fault anywhere in the batch unwinds the whole batch. *)
-
-let insert_batch t keys ~rids =
-  Access_path.check_rids keys ~rids;
-  let n = Array.length keys in
-  let res = Array.make n false in
-  if n > 0 then begin
-    ensure_scratch t n;
-    Access_path.fill_perm t.bperm n;
-    Access_path.sort_perm keys t.bperm n;
-    guarded t (fun () ->
-        for p = 0 to n - 1 do
-          let slot = t.bperm.(p) in
-          res.(slot) <- insert t keys.(slot) ~rid:rids.(slot)
-        done)
-  end;
-  res
-
-let delete_batch t keys =
-  let n = Array.length keys in
-  let res = Array.make n false in
-  if n > 0 then begin
-    ensure_scratch t n;
-    Access_path.fill_perm t.bperm n;
-    Access_path.sort_perm keys t.bperm n;
-    guarded t (fun () ->
-        for p = 0 to n - 1 do
-          let slot = t.bperm.(p) in
-          res.(slot) <- delete t keys.(slot)
-        done)
-  end;
-  res
+        let ok = delete_rec t t.root key ~base:None in
+        if ok then t.n_keys <- t.n_keys - 1;
+        (* Shrink the root when it empties.  Not gated on [ok]: the
+           preemptive rebalancing of the descent can merge the root's
+           only two children even when the key then turns out to be
+           absent. *)
+        if num_keys t t.root = 0 then
+          if is_leaf t t.root then begin
+            free_node t t.root;
+            t.root <- null;
+            t.tree_height <- 0
+          end
+          else begin
+            let only = child t t.root 0 in
+            free_node t t.root;
+            t.root <- only;
+            t.tree_height <- t.tree_height - 1;
+            refresh_chain t t.root ~base:None
+          end;
+        ok)
 
 (* {2 Bottom-up bulk load}
 
@@ -844,168 +601,93 @@ let delete_batch t keys =
    preceding the node's subtree in sorted order — exactly the §4.2
    base rules, with no per-key root-to-leaf insertion. *)
 
-let bulk_load t ?(fill = 1.0) entries =
-  if t.root <> null then invalid_arg "Btree.bulk_load: index is not empty";
+let load_sorted t ~fill entries =
   let n = Array.length entries in
-  (match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      Array.iter
-        (fun (k, _) ->
-          if Bytes.length k <> key_len then
-            invalid_arg
-              (Printf.sprintf "Btree.bulk_load: direct scheme expects %d-byte keys, got %d"
-                 key_len (Bytes.length k)))
-        entries
-  | Layout.Indirect | Layout.Partial _ -> ());
-  for i = 1 to n - 1 do
-    if Key.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
-      invalid_arg "Btree.bulk_load: keys must be strictly ascending"
-  done;
-  if n > 0 then
-    guarded t (fun () ->
-        let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
-        let key i = fst entries.(i) in
-        let rid i = snd entries.(i) in
-        (* [items]: global entry indices placed at this level; [kids]:
-           nodes of the level below; [kid_lo]: global index of each
-           child subtree's minimum (for entry-0 base derivation). *)
-        let rec build_level ~levels items kids kid_lo =
-          let s = Array.length items in
-          let leaf = Array.length kids = 0 in
-          let cap = if leaf then t.leaf_max else t.internal_max in
-          let minn = (cap - 1) / 2 in
-          let target =
-            let tgt = int_of_float (fill *. float_of_int cap) in
-            max (max 1 minn) (min cap tgt)
-          in
-          (* Node count: aim at [target] entries per node, never exceed
-             capacity, and lower the count again only while every node
-             stays at or above the B-tree minimum. *)
-          let k = ref (if s <= target then 1 else (s + target) / (target + 1)) in
-          while s / !k > cap do
-            incr k
-          done;
-          while !k > 1 && (s - (!k - 1)) / !k < minn && s / (!k - 1) <= cap do
-            decr k
-          done;
-          let k = !k in
-          let total = s - (k - 1) in
-          let q = total / k and r = total mod k in
-          let nodes = Array.make k null in
-          let los = Array.make k 0 in
-          let next_items = Array.make (max 0 (k - 1)) 0 in
-          let pos = ref 0 and kid = ref 0 in
-          for i = 0 to k - 1 do
-            let sz = q + if i < r then 1 else 0 in
-            let node = alloc_node t ~leaf in
-            nodes.(i) <- node;
-            for j = 0 to sz - 1 do
-              let g = items.(!pos + j) in
-              write_entry t node j ~key:(key g) ~rid:(rid g)
-            done;
-            set_num_keys t node sz;
-            if not leaf then
-              for j = 0 to sz do
-                set_child t node j kids.(!kid + j)
-              done;
-            let lo_g = if leaf then items.(!pos) else kid_lo.(!kid) in
-            los.(i) <- lo_g;
-            if is_partial t then begin
-              fix_pk t node 0 ~base:(if lo_g = 0 then None else Some (key (lo_g - 1)));
-              for j = 1 to sz - 1 do
-                fix_pk t node j ~base:None
-              done
-            end;
-            pos := !pos + sz;
-            kid := !kid + sz + 1;
-            if i < k - 1 then begin
-              next_items.(i) <- items.(!pos);
-              incr pos
-            end
-          done;
-          if k = 1 then begin
-            t.root <- nodes.(0);
-            t.tree_height <- levels
-          end
-          else build_level ~levels:(levels + 1) next_items nodes los
-        in
-        build_level ~levels:1 (Array.init n (fun i -> i)) [||] [||];
-        t.n_keys <- n)
-
-(* {2 Traversal} *)
-
-(* Lazy in-order cursor from the first key >= [from].  Frames are
-   (node, next_entry); the left spine below a frame is pushed so the
-   deepest node is on top.  The sequence reads the live tree: behaviour
-   under concurrent modification is unspecified. *)
-let seq_from t from =
-  let rec push_spine node stack =
-    if node = null then stack
-    else if is_leaf t node then (node, 0) :: stack
-    else push_spine (child t node 0) ((node, 0) :: stack)
-  in
-  let rec seek node stack =
-    if node = null then stack
-    else
-      let pos, found = locate t node from in
-      let frame = (node, pos) in
-      if found || is_leaf t node then frame :: stack else seek (child t node pos) (frame :: stack)
-  in
-  let rec next stack () =
-    match stack with
-    | [] -> Seq.Nil
-    | (node, i) :: rest ->
-        if i >= num_keys t node then next rest ()
-        else
-          let item = (entry_key t node i, rec_ptr t node i) in
-          let stack' =
-            if is_leaf t node then (node, i + 1) :: rest
-            else push_spine (child t node (i + 1)) ((node, i + 1) :: rest)
-          in
-          Seq.Cons (item, next stack')
-  in
-  next (seek t.root [])
-
-let iter t f =
-  let rec go node =
-    if node <> null then begin
-      let n = num_keys t node in
-      if is_leaf t node then
-        for i = 0 to n - 1 do
-          f ~key:(entry_key t node i) ~rid:(rec_ptr t node i)
-        done
-      else begin
-        for i = 0 to n - 1 do
-          go (child t node i);
-          f ~key:(entry_key t node i) ~rid:(rec_ptr t node i)
+  let key i = fst entries.(i) in
+  let rid i = snd entries.(i) in
+  (* [items]: global entry indices placed at this level; [kids]:
+     nodes of the level below; [kid_lo]: global index of each
+     child subtree's minimum (for entry-0 base derivation). *)
+  let rec build_level ~levels items kids kid_lo =
+    let s = Array.length items in
+    let leaf = Array.length kids = 0 in
+    let cap = if leaf then t.leaf_max else t.internal_max in
+    let minn = (cap - 1) / 2 in
+    let target =
+      let tgt = int_of_float (fill *. float_of_int cap) in
+      max (max 1 minn) (min cap tgt)
+    in
+    (* Node count: aim at [target] entries per node, never exceed
+       capacity, and lower the count again only while every node
+       stays at or above the B-tree minimum. *)
+    let k = ref (if s <= target then 1 else (s + target) / (target + 1)) in
+    while s / !k > cap do
+      incr k
+    done;
+    while !k > 1 && (s - (!k - 1)) / !k < minn && s / (!k - 1) <= cap do
+      decr k
+    done;
+    let k = !k in
+    let total = s - (k - 1) in
+    let q = total / k and r = total mod k in
+    let nodes = Array.make k null in
+    let los = Array.make k 0 in
+    let next_items = Array.make (max 0 (k - 1)) 0 in
+    let pos = ref 0 and kid = ref 0 in
+    for i = 0 to k - 1 do
+      let sz = q + if i < r then 1 else 0 in
+      let node = alloc_node t ~leaf in
+      nodes.(i) <- node;
+      for j = 0 to sz - 1 do
+        let g = items.(!pos + j) in
+        write_entry t node j ~key:(key g) ~rid:(rid g)
+      done;
+      set_num_keys t node sz;
+      if not leaf then
+        for j = 0 to sz do
+          set_child t node j kids.(!kid + j)
         done;
-        go (child t node n)
+      let lo_g = if leaf then items.(!pos) else kid_lo.(!kid) in
+      los.(i) <- lo_g;
+      if is_partial t then begin
+        fix_pk t node 0 ~base:(if lo_g = 0 then None else Some (key (lo_g - 1)));
+        for j = 1 to sz - 1 do
+          fix_pk t node j ~base:None
+        done
+      end;
+      pos := !pos + sz;
+      kid := !kid + sz + 1;
+      if i < k - 1 then begin
+        next_items.(i) <- items.(!pos);
+        incr pos
       end
+    done;
+    if k = 1 then begin
+      t.root <- nodes.(0);
+      t.tree_height <- levels
     end
+    else build_level ~levels:(levels + 1) next_items nodes los
   in
-  go t.root
+  build_level ~levels:1 (Array.init n (fun i -> i)) [||] [||];
+  t.n_keys <- n
 
-let range t ~lo ~hi f =
-  let rec go node =
-    if node <> null then begin
-      let n = num_keys t node in
-      let rec visit i =
-        if i < n then begin
-          let k = entry_key t node i in
-          let c_lo, _ = Key.compare_detail k lo in
-          let c_hi, _ = Key.compare_detail k hi in
-          let below_hi = c_hi <> Key.Gt in
-          if (not (is_leaf t node)) && c_lo <> Key.Lt then go (child t node i);
-          if c_lo <> Key.Lt && below_hi then f ~key:k ~rid:(rec_ptr t node i);
-          if below_hi then visit (i + 1)
-          else if not (is_leaf t node) then ()
-        end
-        else if not (is_leaf t node) then go (child t node n)
-      in
-      visit 0
-    end
-  in
-  go t.root
+(* {2 Cursor primitives}
+
+   Frames are (node, next_entry); the left spine below a frame is
+   pushed so the deepest node is on top. *)
+
+let rec push_spine t node stack =
+  if node = null then stack
+  else if is_leaf t node then (node, 0) :: stack
+  else push_spine t (child t node 0) ((node, 0) :: stack)
+
+let rec seek_from t from node stack =
+  if node = null then stack
+  else
+    let pos, found = locate t node from in
+    let frame = (node, pos) in
+    if found || is_leaf t node then frame :: stack
+    else seek_from t from (child t node pos) (frame :: stack)
 
 (* {2 Validation} *)
 
@@ -1049,25 +731,9 @@ let validate t =
               let rk = Record_store.read_key t.records (rec_ptr t node i) in
               if not (Key.equal rk k) then fail "node %d entry %d: inline key != record key" node i
           | _ -> ());
-          if is_partial t then begin
-            let g = granularity t and l = l_bytes t in
-            let expect =
-              if i = 0 then
-                match base with
-                | None -> Partial_key.encode_initial g ~l_bytes:l ~key:k
-                | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key:k
-              else Partial_key.encode g ~l_bytes:l ~base:keys.(i - 1) ~key:k
-            in
-            let got = Layout.read_pk t.reg (entry_addr t node i) ~granularity:g in
-            if
-              got.Partial_key.pk_off <> expect.Partial_key.pk_off
-              || got.Partial_key.pk_len <> expect.Partial_key.pk_len
-              || not (Bytes.equal got.Partial_key.pk_bits expect.Partial_key.pk_bits)
-            then
-              fail "node %d entry %d: pk mismatch (off %d/%d len %d/%d)" node i
-                got.Partial_key.pk_off expect.Partial_key.pk_off got.Partial_key.pk_len
-                expect.Partial_key.pk_len
-          end)
+          if is_partial t then
+            Entries.check_pk t.ec node i ~key:k
+              ~base:(if i = 0 then base else Some keys.(i - 1)))
         keys;
       if not (is_leaf t node) then
         for i = 0 to n do
@@ -1084,3 +750,69 @@ let validate t =
     if !leaf_depth + 1 <> t.tree_height then
       fail "height mismatch: leaves at depth %d, height %d" !leaf_depth t.tree_height
   end
+
+(* {2 Engine plug-in} — everything batched, bulk or cursor-shaped is
+   derived from these primitives by {!module:Engine.Make}. *)
+
+module Structure = struct
+  type nonrec t = t
+  type snap = int * int * int * int
+
+  let name = "Btree"
+  let region t = t.reg
+  let counters = cnt
+  let scratch t = t.sc
+  let root t = t.root
+  let save = save
+  let restore = restore
+  let insert = insert
+  let lookup = lookup
+  let delete = delete
+
+  let prepare_batch t keys n =
+    let sc = t.sc in
+    sc.Scratch.perm <- Engine.ensure_int sc.Scratch.perm n;
+    if is_partial t then begin
+      sc.Scratch.rel <- Engine.ensure_cmp sc.Scratch.rel n;
+      sc.Scratch.off <- Engine.ensure_int sc.Scratch.off n;
+      let g = Entries.granularity t.ec in
+      for i = 0 to n - 1 do
+        let rel, off = Partial_key.initial_state g keys.(i) in
+        sc.Scratch.rel.(i) <- rel;
+        sc.Scratch.off.(i) <- off
+      done
+    end
+
+  let descend t n = Group.drive (router t) t.root 0 n
+
+  let check_load_key t k =
+    match t.cfg.scheme with
+    | Layout.Direct { key_len } ->
+        if Bytes.length k <> key_len then
+          invalid_arg
+            (Printf.sprintf "Btree.bulk_load: direct scheme expects %d-byte keys, got %d" key_len
+               (Bytes.length k))
+    | Layout.Indirect | Layout.Partial _ -> ()
+
+  let load_sorted = load_sorted
+
+  let cursor_start t = function
+    | None -> push_spine t t.root []
+    | Some from -> seek_from t from t.root []
+
+  let frame_entries = num_keys
+  let frame_entry t node i = (entry_key t node i, rec_ptr t node i)
+
+  let advance t node i rest =
+    if is_leaf t node then (node, i + 1) :: rest
+    else push_spine t (child t node (i + 1)) ((node, i + 1) :: rest)
+
+  let exhausted _ _ rest = rest
+  let count = count
+  let height = height
+  let node_count = node_count
+  let space_bytes = space_bytes
+  let validate = validate
+end
+
+include Engine.Make (Structure)

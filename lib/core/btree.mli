@@ -120,3 +120,7 @@ val reset_counters : t -> unit
 val validate : t -> unit
 (** Full invariant check; raises [Failure] with a description on any
     violation.  O(n) with record reads — for tests. *)
+
+val wrap : t -> tag:string -> Engine.ops
+(** The full access-path record over this tree, assembled by
+    {!module:Engine.Make}. *)

@@ -1,0 +1,702 @@
+(* Shared traversal/maintenance engine for the index structures.
+
+   The three index structures ({!module:Btree}, {!module:Ttree},
+   {!module:Prefix_btree}) expose one access path: batched lookups by
+   group descent, sorted batch mutations under one unwind scope,
+   bottom-up bulk load, spine-stack cursors and counter plumbing.  This
+   module implements that path once; each tree supplies only its
+   per-structure primitives through {!module-type:STRUCTURE} and is
+   rebuilt into the uniform closure record {!type:ops} by
+   {!module:Make}[.wrap].
+
+   Everything on the lookup path is written so that a steady-state
+   batch performs no OCaml heap allocation per probe (asserted by the
+   test suite via [Gc.minor_words]): the drivers are top-level
+   recursive functions over int state, per-probe state lives in
+   reusable scratch arrays, and the per-tree hooks are closures created
+   once per tree and cached. *)
+
+module Mem = Pk_mem.Mem
+module Fault = Pk_fault.Fault
+module Key = Pk_keys.Key
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+module Pk_compare = Pk_partialkey.Pk_compare
+module Node_search = Pk_partialkey.Node_search
+
+let null = Pk_arena.Arena.null
+
+(* {2 Scratch-array management}
+
+   The batched descent keeps per-probe state in reusable arrays owned
+   by the tree; they grow to the largest batch seen and are then stable,
+   so steady-state batches allocate nothing. *)
+
+let rec pow2_at_least n acc = if acc >= n then acc else pow2_at_least n (acc * 2)
+let pow2_at_least n = pow2_at_least (max n 1) 16
+
+let ensure_int a n = if Array.length a >= n then a else Array.make (pow2_at_least n) 0
+
+let ensure_cmp (a : Key.cmp array) n =
+  if Array.length a >= n then a else Array.make (pow2_at_least n) Key.Eq
+
+let fill_perm perm n =
+  for i = 0 to n - 1 do
+    perm.(i) <- i
+  done
+
+(* {2 Probe ordering}
+
+   [sort_perm keys perm n] sorts [perm.[0..n)] so the referenced keys
+   ascend; equal keys keep their original relative order (ties broken
+   by slot index), which makes batched mutations observationally equal
+   to applying the ops singly in batch order.
+
+   The sort is written as top-level recursive functions — no closures,
+   no [ref] cells — so a batch lookup performs no heap allocation. *)
+
+let[@inline] cmp_slot (keys : Key.t array) a b =
+  let c = Key.compare keys.(a) keys.(b) in
+  if c <> 0 then c else a - b
+
+let[@inline] swap (perm : int array) i j =
+  let tmp = perm.(i) in
+  perm.(i) <- perm.(j);
+  perm.(j) <- tmp
+
+let rec shift_down keys perm lo j v =
+  if j >= lo && cmp_slot keys perm.(j) v > 0 then begin
+    perm.(j + 1) <- perm.(j);
+    shift_down keys perm lo (j - 1) v
+  end
+  else perm.(j + 1) <- v
+
+let rec insertion_sort keys perm lo hi i =
+  if i < hi then begin
+    shift_down keys perm lo (i - 1) perm.(i);
+    insertion_sort keys perm lo hi (i + 1)
+  end
+
+let rec scan_up keys perm pivot i =
+  if cmp_slot keys perm.(i) pivot < 0 then scan_up keys perm pivot (i + 1) else i
+
+let rec scan_down keys perm pivot j =
+  if cmp_slot keys perm.(j) pivot > 0 then scan_down keys perm pivot (j - 1) else j
+
+(* Hoare partition over the pivot *value*; terminates because slots are
+   distinct, so sentinels (>= pivot up, <= pivot down) always exist. *)
+let rec partition keys perm pivot i j =
+  let i = scan_up keys perm pivot i in
+  let j = scan_down keys perm pivot j in
+  if i >= j then j
+  else begin
+    swap perm i j;
+    partition keys perm pivot (i + 1) (j - 1)
+  end
+
+let rec qsort keys perm lo hi =
+  if hi - lo <= 16 then insertion_sort keys perm lo hi (lo + 1)
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    if cmp_slot keys perm.(mid) perm.(lo) < 0 then swap perm mid lo;
+    if cmp_slot keys perm.(hi - 1) perm.(lo) < 0 then swap perm (hi - 1) lo;
+    if cmp_slot keys perm.(hi - 1) perm.(mid) < 0 then swap perm (hi - 1) mid;
+    let pivot = perm.(mid) in
+    let j = partition keys perm pivot lo (hi - 1) in
+    qsort keys perm lo (j + 1);
+    qsort keys perm (j + 1) hi
+  end
+
+let sort_perm keys perm n = qsort keys perm 0 n
+
+(* {2 Option-layer adapters} *)
+
+let lookup_batch_of_into lookup_into keys =
+  let n = Array.length keys in
+  let out = Array.make (max n 1) (-1) in
+  lookup_into keys out;
+  Array.init n (fun i -> if out.(i) < 0 then None else Some out.(i))
+
+let check_rids keys ~rids =
+  if Array.length rids <> Array.length keys then
+    invalid_arg "insert_batch: keys and rids must have the same length"
+
+(* {2 Counters} *)
+
+module Counters = struct
+  type t = { mutable derefs : int; mutable visits : int }
+
+  let create () = { derefs = 0; visits = 0 }
+
+  let reset c =
+    c.derefs <- 0;
+    c.visits <- 0
+end
+
+(* {2 Per-tree batch scratch}
+
+   One record per tree holding every reusable per-probe array the
+   drivers need; which fields a tree grows is its own business
+   ([prepare_batch]).  [keys]/[out] are re-aimed at the caller's arrays
+   for the duration of a batched lookup so the cached per-tree hook
+   closures can reach them without per-call closure creation. *)
+
+module Scratch = struct
+  type t = {
+    mutable perm : int array;  (* sorted probe permutation *)
+    mutable rel : Key.cmp array;  (* per-probe FINDNODE rel state *)
+    mutable off : int array;  (* per-probe FINDNODE offset state *)
+    mutable la : int array;  (* per-probe offset at the last Gt ancestor *)
+    mutable sign : int array;  (* per-probe sign at the current node *)
+    mutable keys : Key.t array;  (* current batch's probes *)
+    mutable out : int array;  (* current batch's result slots *)
+  }
+
+  let create () =
+    { perm = [||]; rel = [||]; off = [||]; la = [||]; sign = [||]; keys = [||]; out = [||] }
+end
+
+(* {2 Fault-guard wrapping}
+
+   Exception safety for the maintenance paths: snapshot the scalar
+   header ([save]), run the operation under the arena undo journal, and
+   restore both on any exception (an injected fault, an allocation
+   failure).  The caller observes either the completed operation or the
+   exact pre-operation tree. *)
+
+let guarded ~reg ~save ~restore f =
+  if not (Fault.unwind_enabled ()) then f ()
+  else begin
+    let s = save () in
+    try Mem.guard reg f
+    with e ->
+      restore s;
+      raise e
+  end
+
+(* {2 Entry-layout helpers}
+
+   The scheme-dependent entry code shared by the fixed-size-entry trees
+   (B-tree and T-tree): address arithmetic, key access, partial-key
+   maintenance, and the comparison primitives of the lookup paths.  A
+   [ctx] captures everything the helpers need so trees keep no copies
+   of this logic. *)
+
+module Entries = struct
+  type ctx = {
+    name : string;  (* for error messages, e.g. "Btree" *)
+    reg : Mem.region;
+    records : Record_store.t;
+    scheme : Layout.scheme;
+    esz : int;
+    entries_at : int;  (* offset of the entry array within a node *)
+    cnt : Counters.t;
+  }
+
+  let make ~name ~reg ~records ~scheme ~entries_at cnt =
+    { name; reg; records; scheme; esz = Layout.entry_size scheme; entries_at; cnt }
+
+  let entry_addr c node i = node + c.entries_at + (i * c.esz)
+  let rec_ptr c node i = Layout.rec_ptr c.reg (entry_addr c node i)
+
+  (* Full key of entry [i], from the node (direct) or the record. *)
+  let entry_key c node i =
+    match c.scheme with
+    | Layout.Direct { key_len } -> Layout.read_direct_key c.reg (entry_addr c node i) ~key_len
+    | Layout.Indirect | Layout.Partial _ -> Record_store.read_key c.records (rec_ptr c node i)
+
+  let granularity c =
+    match c.scheme with
+    | Layout.Partial { granularity; _ } -> granularity
+    | Layout.Direct _ | Layout.Indirect -> assert false
+
+  let l_bytes c =
+    match c.scheme with
+    | Layout.Partial { l_bytes; _ } -> l_bytes
+    | Layout.Direct _ | Layout.Indirect -> assert false
+
+  let is_partial c = match c.scheme with Layout.Partial _ -> true | _ -> false
+
+  (* Recompute the partial key of entry [i] of a node with [n] entries.
+     [base] is the base key for entry 0 (None = virtual zero key);
+     other entries use their predecessor.  The caller has checked the
+     scheme is partial. *)
+  let fix_pk c node i ~n ~base =
+    if i >= 0 && i < n then begin
+      let g = granularity c and l = l_bytes c in
+      let key = entry_key c node i in
+      let pk =
+        if i = 0 then
+          match base with
+          | None -> Partial_key.encode_initial g ~l_bytes:l ~key
+          | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key
+        else Partial_key.encode g ~l_bytes:l ~base:(entry_key c node (i - 1)) ~key
+      in
+      Layout.write_pk c.reg (entry_addr c node i) ~l_bytes:l pk
+    end
+
+  (* Re-derive entry [i]'s stored partial key from the record keys and
+     fail on mismatch (validators). *)
+  let check_pk c node i ~key ~base =
+    let g = granularity c and l = l_bytes c in
+    let expect =
+      match base with
+      | None -> Partial_key.encode_initial g ~l_bytes:l ~key
+      | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key
+    in
+    let got = Layout.read_pk c.reg (entry_addr c node i) ~granularity:g in
+    if
+      got.Partial_key.pk_off <> expect.Partial_key.pk_off
+      || got.Partial_key.pk_len <> expect.Partial_key.pk_len
+      || not (Bytes.equal got.Partial_key.pk_bits expect.Partial_key.pk_bits)
+    then
+      Printf.ksprintf failwith "node %d entry %d: pk mismatch (off %d/%d len %d/%d)" node i
+        got.Partial_key.pk_off expect.Partial_key.pk_off got.Partial_key.pk_len
+        expect.Partial_key.pk_len
+
+  let blit_entries c ~src ~src_i ~dst ~dst_i ~n =
+    if n > 0 then
+      if src = dst then
+        Mem.move c.reg ~src_off:(entry_addr c src src_i) ~dst_off:(entry_addr c dst dst_i)
+          ~len:(n * c.esz)
+      else
+        let tmp = Mem.read_bytes c.reg ~off:(entry_addr c src src_i) ~len:(n * c.esz) in
+        Mem.write_bytes c.reg ~off:(entry_addr c dst dst_i) ~src:tmp ~src_off:0 ~len:(n * c.esz)
+
+  (* Write the payload of entry [i] (record pointer + inline key for
+     the direct scheme); partial-key fields are fixed separately. *)
+  let write_entry c node i ~key ~rid =
+    let a = entry_addr c node i in
+    Layout.set_rec_ptr c.reg a rid;
+    match c.scheme with
+    | Layout.Direct { key_len } ->
+        if Bytes.length key <> key_len then
+          invalid_arg
+            (Printf.sprintf "%s: direct scheme expects %d-byte keys, got %d" c.name key_len
+               (Bytes.length key));
+        Layout.write_direct_key c.reg a key
+    | Layout.Indirect | Layout.Partial _ -> ()
+
+  (* Full-key binary search among [n] entries (update paths). *)
+  let locate c node ~n key =
+    let rec go lo hi =
+      (* invariant: entries [0,lo) < key < entries [hi,n) *)
+      if lo >= hi then (lo, false)
+      else
+        let mid = (lo + hi) / 2 in
+        let r, _ = Key.compare_detail key (entry_key c node mid) in
+        match r with Key.Eq -> (mid, true) | Key.Lt -> go lo mid | Key.Gt -> go (mid + 1) hi
+    in
+    go 0 n
+
+  let byte_or_zero k i = if i < Bytes.length k then Char.code (Bytes.get k i) else 0
+
+  let bit_or_zero k i =
+    if i >= 8 * Bytes.length k then 0
+    else (Char.code (Bytes.get k (i lsr 3)) lsr (7 - (i land 7))) land 1
+
+  (* Full comparison of the search key against entry [i]'s record key:
+     (c(search, key_i), d) in the scheme's granularity units. *)
+  let deref_entry c node search i =
+    c.cnt.Counters.derefs <- c.cnt.Counters.derefs + 1;
+    let rid = rec_ptr c node i in
+    let r, d =
+      match granularity c with
+      | Partial_key.Bit -> Record_store.compare_key_bits c.records rid search
+      | Partial_key.Byte -> Record_store.compare_key c.records rid search
+    in
+    (Key.flip r, d)
+
+  (* Sign of c(probe, entry i), allocation-free (plain schemes only). *)
+  let probe_sign c node probe i =
+    match c.scheme with
+    | Layout.Direct { key_len } ->
+        -Mem.compare_sign c.reg
+           ~off:(entry_addr c node i + 8)
+           ~len:key_len probe ~key_off:0 ~key_len:(Bytes.length probe)
+    | Layout.Indirect ->
+        c.cnt.Counters.derefs <- c.cnt.Counters.derefs + 1;
+        -Record_store.compare_sign c.records (rec_ptr c node i) probe
+    | Layout.Partial _ -> assert false
+
+  (* c(probe, entry i) as a {!type:Key.cmp} (plain schemes only). *)
+  let probe_cmp c node probe i =
+    match c.scheme with
+    | Layout.Direct { key_len } ->
+        let r, _ = Layout.compare_direct c.reg (entry_addr c node i) ~key_len probe in
+        Key.flip r
+    | Layout.Indirect ->
+        c.cnt.Counters.derefs <- c.cnt.Counters.derefs + 1;
+        let r, _ = Record_store.compare_key c.records (rec_ptr c node i) probe in
+        Key.flip r
+    | Layout.Partial _ -> assert false
+
+  (* FINDNODE entry_ops aimed through a mutable cursor: one ops record
+     per tree, re-aimed at each (node, search) instead of rebuilt. *)
+  type aim = { mutable node : int; mutable search : Key.t }
+
+  let make_aim () = { node = null; search = Bytes.empty }
+
+  let make_ops c aim ~shift : Node_search.entry_ops =
+    let g = granularity c in
+    {
+      Node_search.num_keys = 0 (* patched per node by the caller *);
+      pk_off = (fun i -> Layout.read_pk_off c.reg (entry_addr c aim.node (i + shift)));
+      resolve_units =
+        (fun i ~rel ~off ->
+          Layout.resolve_pk_units c.reg
+            (entry_addr c aim.node (i + shift))
+            ~scheme_granularity:g ~search:aim.search ~rel ~off);
+      branch_unit =
+        (fun i ->
+          match g with
+          | Partial_key.Bit -> 1
+          | Partial_key.Byte -> Layout.read_pk_first_byte c.reg (entry_addr c aim.node (i + shift)));
+      search_unit =
+        (fun u ->
+          match g with
+          | Partial_key.Bit -> bit_or_zero aim.search u
+          | Partial_key.Byte -> byte_or_zero aim.search u);
+      deref = (fun i -> deref_entry c aim.node aim.search (i + shift));
+    }
+
+  (* Partial-key comparison of [search] against entry 0 — FINDTTREE's
+     per-level step.  Offset-only resolution first (the common case
+     touches just the pk_off field), units next, one dereference on
+     partial-key equality. *)
+  let head_pk_cmp c node search ~rel ~off =
+    let a0 = entry_addr c node 0 in
+    let r, o =
+      match Pk_compare.resolve_by_offset ~rel ~off ~pk_off:(Layout.read_pk_off c.reg a0) with
+      | Pk_compare.Resolved (r, o) -> (r, o)
+      | Pk_compare.Need_units ->
+          Layout.resolve_pk_units c.reg a0 ~scheme_granularity:(granularity c) ~search ~rel ~off
+    in
+    if r = Key.Eq then deref_entry c node search 0 else (r, o)
+end
+
+(* {2 Group descent over child-partitioned trees}
+
+   The sorted probe batch is descended level by level: at each node the
+   probes are resolved in order and contiguous runs that fall into the
+   same child are recursed as one segment, so the node's cache lines
+   are touched once per batch instead of once per probe.  [visit] is
+   called once per (node, segment) — the sharing the batch buys.
+
+   Works for any tree whose per-node routing maps a probe to a child
+   index monotone non-decreasing in key order (B-tree, prefix
+   B+-tree). *)
+
+module Group = struct
+  type router = {
+    sc : Scratch.t;
+    is_leaf : int -> bool;
+    num_keys : int -> int;
+    child : int -> int -> int;  (* node -> child index -> child node *)
+    visit : unit -> unit;
+    route : int -> int -> int -> int;
+        (* [route node n slot]: child index for the probe, or -1 when
+           the probe resolved at this node (the hook wrote [sc.out]). *)
+    leaf_probe : int -> int -> int -> unit;
+        (* [leaf_probe node n slot]: resolve the probe at a leaf,
+           writing [sc.out]. *)
+  }
+
+  (* [run_from]/[run_child]: pending run of sorted probes that fall
+     into the same child ([run_child = -1] = no pending run). *)
+  let rec drive r node lo hi =
+    r.visit ();
+    let n = r.num_keys node in
+    if r.is_leaf node then
+      for p = lo to hi - 1 do
+        r.leaf_probe node n r.sc.Scratch.perm.(p)
+      done
+    else scan r node n hi lo lo (-1)
+
+  and scan r node n hi p run_from run_child =
+    if p >= hi then flush r node p run_from run_child
+    else begin
+      let ci = r.route node n r.sc.Scratch.perm.(p) in
+      if ci < 0 then begin
+        flush r node p run_from run_child;
+        scan r node n hi (p + 1) (p + 1) (-1)
+      end
+      else if ci = run_child then scan r node n hi (p + 1) run_from run_child
+      else begin
+        flush r node p run_from run_child;
+        scan r node n hi (p + 1) p ci
+      end
+    end
+
+  and flush r node upto run_from run_child =
+    if run_child >= 0 && upto > run_from then drive r (r.child node run_child) run_from upto
+end
+
+(* {2 Group descent over binary (T-tree) structures}
+
+   FINDTTREE descends comparing only each node's leftmost entry, so a
+   sorted probe batch splits at every node into three contiguous
+   segments — below, equal to, and above entry 0 — and the two outer
+   segments descend left and right as groups.  [classify] leaves the
+   per-probe sign in [sc.sign]; probes reaching a null child resolve
+   via [final] against the last greater-than ancestor. *)
+
+module Tgroup = struct
+  type driver = {
+    sc : Scratch.t;
+    left : int -> int;
+    right : int -> int;
+    visit : unit -> unit;
+    classify : int -> int -> unit;  (* node -> slot: sign + state updates *)
+    final : int -> int -> unit;  (* last-Gt ancestor (or null) -> slot *)
+  }
+
+  (* Segment boundaries over the sorted batch, reading the per-probe
+     signs left by the node pass. *)
+  let rec bound_neg sc p hi =
+    if p < hi && sc.Scratch.sign.(sc.Scratch.perm.(p)) < 0 then bound_neg sc (p + 1) hi else p
+
+  let rec bound_zero sc p hi =
+    if p < hi && sc.Scratch.sign.(sc.Scratch.perm.(p)) = 0 then bound_zero sc (p + 1) hi else p
+
+  let rec drive d node la lo hi =
+    if lo < hi then
+      if node = null then
+        for p = lo to hi - 1 do
+          d.final la d.sc.Scratch.perm.(p)
+        done
+      else begin
+        d.visit ();
+        for p = lo to hi - 1 do
+          d.classify node d.sc.Scratch.perm.(p)
+        done;
+        let a = bound_neg d.sc lo hi in
+        let b = bound_zero d.sc a hi in
+        drive d (d.left node) la lo a;
+        drive d (d.right node) node b hi
+      end
+end
+
+(* {2 The uniform access-path record} *)
+
+type ops = {
+  tag : string;
+  insert : Key.t -> rid:int -> bool;
+  lookup : Key.t -> int option;
+  delete : Key.t -> bool;
+  lookup_into : Key.t array -> int array -> unit;
+  lookup_batch : Key.t array -> int option array;
+  insert_batch : Key.t array -> rids:int array -> bool array;
+  delete_batch : Key.t array -> bool array;
+  of_sorted : fill:float -> (Key.t * int) array -> unit;
+  iter : (key:Key.t -> rid:int -> unit) -> unit;
+  range : lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit;
+  seq_from : Key.t -> (Key.t * int) Seq.t;
+  count : unit -> int;
+  height : unit -> int;
+  node_count : unit -> int;
+  space_bytes : unit -> int;
+  deref_count : unit -> int;
+  node_visits : unit -> int;
+  reset_counters : unit -> unit;
+  validate : unit -> unit;
+}
+
+(* {2 The per-structure primitive set} *)
+
+module type STRUCTURE = sig
+  type t
+  type snap
+  (** Scalar-header snapshot for fault unwinding. *)
+
+  val name : string
+  (** Error-message prefix, e.g. ["Btree"]. *)
+
+  val region : t -> Mem.region
+  val counters : t -> Counters.t
+  val scratch : t -> Scratch.t
+  val root : t -> int
+  val save : t -> snap
+  val restore : t -> snap -> unit
+
+  (** Single-key operations (the tree's own mutation/search logic). *)
+
+  val insert : t -> Key.t -> rid:int -> bool
+  val lookup : t -> Key.t -> int option
+  val delete : t -> Key.t -> bool
+
+  (** Group descent: grow/initialise the per-probe scratch state, then
+      resolve the sorted batch (permutation, probes and result slots
+      are already in the scratch record). *)
+
+  val prepare_batch : t -> Key.t array -> int -> unit
+  val descend : t -> int -> unit
+
+  (** Bulk load: per-key admission check, then the level-building body
+      (run under the engine's unwind scope with [fill] clamped). *)
+
+  val check_load_key : t -> Key.t -> unit
+  val load_sorted : t -> fill:float -> (Key.t * int) array -> unit
+
+  (** Spine-stack cursor: frames are (node, next entry index).
+      [cursor_start] positions at the first key (None) or the first key
+      >= the probe; [advance] consumes entry [i] of the top frame;
+      [exhausted] replaces a drained top frame. *)
+
+  val cursor_start : t -> Key.t option -> (int * int) list
+  val frame_entries : t -> int -> int
+  val frame_entry : t -> int -> int -> Key.t * int
+  val advance : t -> int -> int -> (int * int) list -> (int * int) list
+  val exhausted : t -> int -> (int * int) list -> (int * int) list
+
+  (** Statistics and validation. *)
+
+  val count : t -> int
+  val height : t -> int
+  val node_count : t -> int
+  val space_bytes : t -> int
+  val validate : t -> unit
+end
+
+(* {2 The engine proper} *)
+
+module Make (S : STRUCTURE) = struct
+  let guarded t f = guarded ~reg:(S.region t) ~save:(fun () -> S.save t) ~restore:(S.restore t) f
+
+  let lookup_into t keys out =
+    let n = Array.length keys in
+    if Array.length out < n then invalid_arg (S.name ^ ".lookup_into: result array too small");
+    if n > 0 then
+      if S.root t = null then
+        for i = 0 to n - 1 do
+          out.(i) <- -1
+        done
+      else begin
+        let sc = S.scratch t in
+        sc.Scratch.keys <- keys;
+        sc.Scratch.out <- out;
+        S.prepare_batch t keys n;
+        fill_perm sc.Scratch.perm n;
+        sort_perm keys sc.Scratch.perm n;
+        S.descend t n
+      end
+
+  let lookup_batch t keys = lookup_batch_of_into (lookup_into t) keys
+
+  (* Batched mutations: applied in sorted key order (ties keep batch
+     order, so duplicate keys within a batch resolve exactly as they
+     would applied singly in batch order) under one unwind scope — an
+     injected fault anywhere in the batch unwinds the whole batch. *)
+
+  let sorted_batch t keys n =
+    let sc = S.scratch t in
+    sc.Scratch.perm <- ensure_int sc.Scratch.perm n;
+    fill_perm sc.Scratch.perm n;
+    sort_perm keys sc.Scratch.perm n;
+    sc.Scratch.perm
+
+  let insert_batch t keys ~rids =
+    check_rids keys ~rids;
+    let n = Array.length keys in
+    let res = Array.make n false in
+    if n > 0 then begin
+      let perm = sorted_batch t keys n in
+      guarded t (fun () ->
+          for p = 0 to n - 1 do
+            let slot = perm.(p) in
+            res.(slot) <- S.insert t keys.(slot) ~rid:rids.(slot)
+          done)
+    end;
+    res
+
+  let delete_batch t keys =
+    let n = Array.length keys in
+    let res = Array.make n false in
+    if n > 0 then begin
+      let perm = sorted_batch t keys n in
+      guarded t (fun () ->
+          for p = 0 to n - 1 do
+            let slot = perm.(p) in
+            res.(slot) <- S.delete t keys.(slot)
+          done)
+    end;
+    res
+
+  let bulk_load t ?(fill = 1.0) entries =
+    if S.root t <> null then invalid_arg (S.name ^ ".bulk_load: index is not empty");
+    let n = Array.length entries in
+    for i = 0 to n - 1 do
+      S.check_load_key t (fst entries.(i));
+      if i > 0 && Key.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
+        invalid_arg (S.name ^ ".bulk_load: keys must be strictly ascending")
+    done;
+    if n > 0 then
+      guarded t (fun () ->
+          let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
+          S.load_sorted t ~fill entries)
+
+  (* Lazy in-order cursor over the structure's spine stack.  The
+     sequence reads the live tree: behaviour under concurrent
+     modification is unspecified. *)
+
+  let rec cursor_next t stack () =
+    match stack with
+    | [] -> Seq.Nil
+    | (node, i) :: rest ->
+        if i >= S.frame_entries t node then cursor_next t (S.exhausted t node rest) ()
+        else Seq.Cons (S.frame_entry t node i, cursor_next t (S.advance t node i rest))
+
+  let seq_from t from = cursor_next t (S.cursor_start t (Some from))
+
+  let iter t f =
+    let rec go stack =
+      match stack with
+      | [] -> ()
+      | (node, i) :: rest ->
+          if i >= S.frame_entries t node then go (S.exhausted t node rest)
+          else begin
+            let key, rid = S.frame_entry t node i in
+            f ~key ~rid;
+            go (S.advance t node i rest)
+          end
+    in
+    go (S.cursor_start t None)
+
+  (* Inclusive range scan: walk from [lo], stop past [hi].  [lo > hi]
+     is naturally empty. *)
+  let range t ~lo ~hi f =
+    let rec go seq =
+      match seq () with
+      | Seq.Nil -> ()
+      | Seq.Cons ((key, rid), rest) ->
+          if Key.compare key hi <= 0 then begin
+            f ~key ~rid;
+            go rest
+          end
+    in
+    go (seq_from t lo)
+
+  let wrap t ~tag =
+    {
+      tag;
+      insert = (fun key ~rid -> S.insert t key ~rid);
+      lookup = S.lookup t;
+      delete = S.delete t;
+      lookup_into = lookup_into t;
+      lookup_batch = lookup_batch t;
+      insert_batch = (fun keys ~rids -> insert_batch t keys ~rids);
+      delete_batch = delete_batch t;
+      of_sorted = (fun ~fill entries -> bulk_load t ~fill entries);
+      iter = iter t;
+      range = (fun ~lo ~hi f -> range t ~lo ~hi f);
+      seq_from = seq_from t;
+      count = (fun () -> S.count t);
+      height = (fun () -> S.height t);
+      node_count = (fun () -> S.node_count t);
+      space_bytes = (fun () -> S.space_bytes t);
+      deref_count = (fun () -> (S.counters t).Counters.derefs);
+      node_visits = (fun () -> (S.counters t).Counters.visits);
+      reset_counters = (fun () -> Counters.reset (S.counters t));
+      validate = (fun () -> S.validate t);
+    }
+end

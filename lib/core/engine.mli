@@ -1,0 +1,266 @@
+(** Shared traversal/maintenance engine for the index structures.
+
+    The batched access path — group-descent lookups, sorted batch
+    mutations under one unwind scope, bottom-up bulk load, spine-stack
+    cursors, deref/visit counters and fault-guard wrapping — is
+    implemented once here.  Each tree supplies its per-structure
+    primitives through {!module-type:STRUCTURE} and is rebuilt into the
+    uniform closure record {!type:ops} by {!module:Make}[.wrap]. *)
+
+module Mem = Pk_mem.Mem
+module Fault = Pk_fault.Fault
+module Key = Pk_keys.Key
+module Record_store = Pk_records.Record_store
+module Partial_key = Pk_partialkey.Partial_key
+module Pk_compare = Pk_partialkey.Pk_compare
+module Node_search = Pk_partialkey.Node_search
+
+val null : int
+
+(** {2 Scratch-array management} *)
+
+val pow2_at_least : int -> int
+val ensure_int : int array -> int -> int array
+val ensure_cmp : Key.cmp array -> int -> Key.cmp array
+val fill_perm : int array -> int -> unit
+
+val sort_perm : Key.t array -> int array -> int -> unit
+(** [sort_perm keys perm n] sorts [perm.[0..n)] so the referenced keys
+    ascend, ties broken by slot index (stable).  Allocation-free. *)
+
+val lookup_batch_of_into : (Key.t array -> int array -> unit) -> Key.t array -> int option array
+(** Option-layer adapter over a [lookup_into]-shaped function. *)
+
+val check_rids : Key.t array -> rids:int array -> unit
+(** Raise [Invalid_argument] unless [keys] and [rids] have equal length. *)
+
+(** Per-tree dereference / node-visit counters. *)
+module Counters : sig
+  type t = { mutable derefs : int; mutable visits : int }
+
+  val create : unit -> t
+  val reset : t -> unit
+end
+
+(** Reusable per-probe batch state owned by each tree.  [keys]/[out]
+    are re-aimed at the caller's arrays for the duration of a batched
+    lookup so cached hook closures can reach them without per-call
+    allocation. *)
+module Scratch : sig
+  type t = {
+    mutable perm : int array;
+    mutable rel : Key.cmp array;
+    mutable off : int array;
+    mutable la : int array;
+    mutable sign : int array;
+    mutable keys : Key.t array;
+    mutable out : int array;
+  }
+
+  val create : unit -> t
+end
+
+val guarded : reg:Mem.region -> save:(unit -> 'a) -> restore:('a -> unit) -> (unit -> 'b) -> 'b
+(** Run [f] under the arena undo journal with a scalar-header snapshot,
+    restoring both on any exception.  A no-op wrapper when unwinding is
+    disabled. *)
+
+(** Scheme-dependent entry helpers shared by the fixed-size-entry trees
+    (B-tree, T-tree): address arithmetic, key access, partial-key
+    maintenance, comparison primitives. *)
+module Entries : sig
+  type ctx = {
+    name : string;
+    reg : Mem.region;
+    records : Record_store.t;
+    scheme : Layout.scheme;
+    esz : int;
+    entries_at : int;
+    cnt : Counters.t;
+  }
+
+  val make :
+    name:string ->
+    reg:Mem.region ->
+    records:Record_store.t ->
+    scheme:Layout.scheme ->
+    entries_at:int ->
+    Counters.t ->
+    ctx
+
+  val entry_addr : ctx -> int -> int -> int
+  val rec_ptr : ctx -> int -> int -> int
+  val entry_key : ctx -> int -> int -> Key.t
+  val granularity : ctx -> Partial_key.granularity
+  val l_bytes : ctx -> int
+  val is_partial : ctx -> bool
+
+  val fix_pk : ctx -> int -> int -> n:int -> base:Key.t option -> unit
+  (** Recompute entry [i]'s stored partial key ([base] = base key for
+      entry 0; [None] is the virtual zero key).  Out-of-range [i] is a
+      no-op.  Partial schemes only. *)
+
+  val check_pk : ctx -> int -> int -> key:Key.t -> base:Key.t option -> unit
+  (** Re-derive entry [i]'s partial key and [failwith] on mismatch. *)
+
+  val blit_entries : ctx -> src:int -> src_i:int -> dst:int -> dst_i:int -> n:int -> unit
+  val write_entry : ctx -> int -> int -> key:Key.t -> rid:int -> unit
+
+  val locate : ctx -> int -> n:int -> Key.t -> int * bool
+  (** Full-key binary search among [n] entries: (position, found). *)
+
+  val byte_or_zero : Key.t -> int -> int
+  val bit_or_zero : Key.t -> int -> int
+
+  val deref_entry : ctx -> int -> Key.t -> int -> Key.cmp * int
+  (** Full comparison of the search key against entry [i]'s record key;
+      counts one dereference. *)
+
+  val probe_sign : ctx -> int -> Key.t -> int -> int
+  (** Sign of [c(probe, entry i)], allocation-free.  Plain schemes
+      only; counts a dereference under the indirect scheme. *)
+
+  val probe_cmp : ctx -> int -> Key.t -> int -> Key.cmp
+  (** [c(probe, entry i)] as a {!type:Key.cmp}.  Plain schemes only. *)
+
+  (** Mutable aiming point for a cached FINDNODE ops record. *)
+  type aim = { mutable node : int; mutable search : Key.t }
+
+  val make_aim : unit -> aim
+
+  val make_ops : ctx -> aim -> shift:int -> Node_search.entry_ops
+  (** Build one {!type:Node_search.entry_ops} reading entries
+      [i + shift] of [aim.node] against [aim.search]; re-aim instead of
+      rebuilding.  [num_keys] starts at 0 and is patched per node. *)
+
+  val head_pk_cmp : ctx -> int -> Key.t -> rel:Key.cmp -> off:int -> Key.cmp * int
+  (** Partial-key comparison of the search key against entry 0 —
+      FINDTTREE's per-level step (offset-only resolution, then units,
+      then one dereference on partial-key equality). *)
+end
+
+(** Group descent over child-partitioned trees (B-tree, prefix
+    B+-tree): sorted probes descend as contiguous per-child runs;
+    [visit] fires once per (node, segment). *)
+module Group : sig
+  type router = {
+    sc : Scratch.t;
+    is_leaf : int -> bool;
+    num_keys : int -> int;
+    child : int -> int -> int;
+    visit : unit -> unit;
+    route : int -> int -> int -> int;
+        (** [route node n slot]: child index, or -1 when the probe
+            resolved at this node (hook wrote [sc.out]). *)
+    leaf_probe : int -> int -> int -> unit;
+        (** [leaf_probe node n slot]: resolve at a leaf into [sc.out]. *)
+  }
+
+  val drive : router -> int -> int -> int -> unit
+  (** [drive r node lo hi] resolves sorted-permutation positions
+      [lo..hi) starting at [node]. *)
+end
+
+(** Group descent over binary (T-tree) structures: each node splits the
+    sorted batch into below / equal / above its leftmost entry. *)
+module Tgroup : sig
+  type driver = {
+    sc : Scratch.t;
+    left : int -> int;
+    right : int -> int;
+    visit : unit -> unit;
+    classify : int -> int -> unit;
+        (** [classify node slot]: leave the probe's sign against entry 0
+            in [sc.sign] (plus any per-probe state updates). *)
+    final : int -> int -> unit;
+        (** [final la slot]: resolve a probe that reached a null child
+            against its last greater-than ancestor [la] (or [null]). *)
+  }
+
+  val drive : driver -> int -> int -> int -> int -> unit
+  (** [drive d node la lo hi]. *)
+end
+
+(** {2 The uniform access-path record} *)
+
+type ops = {
+  tag : string;
+  insert : Key.t -> rid:int -> bool;
+  lookup : Key.t -> int option;
+  delete : Key.t -> bool;
+  lookup_into : Key.t array -> int array -> unit;
+  lookup_batch : Key.t array -> int option array;
+  insert_batch : Key.t array -> rids:int array -> bool array;
+  delete_batch : Key.t array -> bool array;
+  of_sorted : fill:float -> (Key.t * int) array -> unit;
+  iter : (key:Key.t -> rid:int -> unit) -> unit;
+  range : lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit;
+  seq_from : Key.t -> (Key.t * int) Seq.t;
+  count : unit -> int;
+  height : unit -> int;
+  node_count : unit -> int;
+  space_bytes : unit -> int;
+  deref_count : unit -> int;
+  node_visits : unit -> int;
+  reset_counters : unit -> unit;
+  validate : unit -> unit;
+}
+
+(** The per-structure primitive set a tree supplies to the engine. *)
+module type STRUCTURE = sig
+  type t
+
+  type snap
+  (** Scalar-header snapshot for fault unwinding. *)
+
+  val name : string
+  val region : t -> Mem.region
+  val counters : t -> Counters.t
+  val scratch : t -> Scratch.t
+  val root : t -> int
+  val save : t -> snap
+  val restore : t -> snap -> unit
+  val insert : t -> Key.t -> rid:int -> bool
+  val lookup : t -> Key.t -> int option
+  val delete : t -> Key.t -> bool
+
+  val prepare_batch : t -> Key.t array -> int -> unit
+  (** Grow/initialise the per-probe scratch state for an [n]-probe batch. *)
+
+  val descend : t -> int -> unit
+  (** Resolve the sorted batch (permutation, probes, result slots are in
+      the scratch record). *)
+
+  val check_load_key : t -> Key.t -> unit
+  val load_sorted : t -> fill:float -> (Key.t * int) array -> unit
+
+  val cursor_start : t -> Key.t option -> (int * int) list
+  (** Spine stack positioned at the first key ([None]) or the first key
+      >= the probe; frames are (node, next entry index). *)
+
+  val frame_entries : t -> int -> int
+  val frame_entry : t -> int -> int -> Key.t * int
+  val advance : t -> int -> int -> (int * int) list -> (int * int) list
+  val exhausted : t -> int -> (int * int) list -> (int * int) list
+
+  val count : t -> int
+  val height : t -> int
+  val node_count : t -> int
+  val space_bytes : t -> int
+  val validate : t -> unit
+end
+
+module Make (S : STRUCTURE) : sig
+  val guarded : S.t -> (unit -> 'a) -> 'a
+  val lookup_into : S.t -> Key.t array -> int array -> unit
+  val lookup_batch : S.t -> Key.t array -> int option array
+  val insert_batch : S.t -> Key.t array -> rids:int array -> bool array
+  val delete_batch : S.t -> Key.t array -> bool array
+  val bulk_load : S.t -> ?fill:float -> (Key.t * int) array -> unit
+  val seq_from : S.t -> Key.t -> (Key.t * int) Seq.t
+  val iter : S.t -> (key:Key.t -> rid:int -> unit) -> unit
+  val range : S.t -> lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit
+
+  val wrap : S.t -> tag:string -> ops
+  (** Assemble the full access-path record over one tree instance. *)
+end

@@ -9,3 +9,17 @@ let make ?node_bytes ~key_len ?granularity ?l_bytes structure mem records =
   let scheme = scheme_for ~key_len ?granularity ?l_bytes () in
   let ix = Index.make ?node_bytes structure scheme mem records in
   { ix with Index.tag = "hybrid(" ^ ix.Index.tag ^ ")" }
+
+let () =
+  Index.Registry.register
+    {
+      Index.Registry.tag = "hybrid";
+      structure = "B";
+      entry_bytes =
+        (fun key_len -> Some (Layout.entry_size (scheme_for ~key_len:(Some key_len) ())));
+      build =
+        (fun ?node_bytes ~key_len mem records ->
+          make ?node_bytes ~key_len:(Some key_len) Index.B_tree mem records);
+    }
+
+let ensure_registered () = ()

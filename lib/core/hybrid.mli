@@ -32,3 +32,8 @@ val make :
   Index.t
 (** A hybrid index: the structure is as requested, the key-storage
     scheme chosen by {!val:scheme_for}.  Tagged ["hybrid(...)"]. *)
+
+val ensure_registered : unit -> unit
+(** No-op forcing this module's linkage, so its ["hybrid"]
+    {!Index.Registry} entry (a B-tree with the per-key-length scheme
+    choice above) is visible to enumerators. *)

@@ -1,4 +1,7 @@
-type t = {
+(* The uniform access-path record is built once by {!Engine.Make}; this
+   module only re-exports it, picks the tree behind each scheme, and
+   keeps the first-class scheme registry. *)
+type t = Engine.ops = {
   tag : string;
   insert : Pk_keys.Key.t -> rid:int -> bool;
   lookup : Pk_keys.Key.t -> int option;
@@ -29,87 +32,93 @@ let structure_tag = function T_tree -> "T" | B_tree -> "B"
 let make ?(node_bytes = 192) ?(naive_search = false) structure scheme mem records =
   let tag = structure_tag structure ^ "/" ^ Layout.scheme_tag scheme in
   match structure with
-  | B_tree ->
-      let b = Btree.create mem records { Btree.scheme; node_bytes; naive_search } in
-      {
-        tag;
-        insert = (fun key ~rid -> Btree.insert b key ~rid);
-        lookup = Btree.lookup b;
-        delete = Btree.delete b;
-        lookup_into = Btree.lookup_into b;
-        lookup_batch = Btree.lookup_batch b;
-        insert_batch = (fun keys ~rids -> Btree.insert_batch b keys ~rids);
-        delete_batch = Btree.delete_batch b;
-        of_sorted = (fun ~fill entries -> Btree.bulk_load b ~fill entries);
-        iter = Btree.iter b;
-        range = (fun ~lo ~hi f -> Btree.range b ~lo ~hi f);
-        seq_from = Btree.seq_from b;
-        count = (fun () -> Btree.count b);
-        height = (fun () -> Btree.height b);
-        node_count = (fun () -> Btree.node_count b);
-        space_bytes = (fun () -> Btree.space_bytes b);
-        deref_count = (fun () -> Btree.deref_count b);
-        node_visits = (fun () -> Btree.node_visits b);
-        reset_counters = (fun () -> Btree.reset_counters b);
-        validate = (fun () -> Btree.validate b);
-      }
-  | T_tree ->
-      let tt = Ttree.create mem records { Ttree.scheme; node_bytes; naive_search } in
-      {
-        tag;
-        insert = (fun key ~rid -> Ttree.insert tt key ~rid);
-        lookup = Ttree.lookup tt;
-        delete = Ttree.delete tt;
-        lookup_into = Ttree.lookup_into tt;
-        lookup_batch = Ttree.lookup_batch tt;
-        insert_batch = (fun keys ~rids -> Ttree.insert_batch tt keys ~rids);
-        delete_batch = Ttree.delete_batch tt;
-        of_sorted = (fun ~fill entries -> Ttree.bulk_load tt ~fill entries);
-        iter = Ttree.iter tt;
-        range = (fun ~lo ~hi f -> Ttree.range tt ~lo ~hi f);
-        seq_from = Ttree.seq_from tt;
-        count = (fun () -> Ttree.count tt);
-        height = (fun () -> Ttree.height tt);
-        node_count = (fun () -> Ttree.node_count tt);
-        space_bytes = (fun () -> Ttree.space_bytes tt);
-        deref_count = (fun () -> Ttree.deref_count tt);
-        node_visits = (fun () -> Ttree.node_visits tt);
-        reset_counters = (fun () -> Ttree.reset_counters tt);
-        validate = (fun () -> Ttree.validate tt);
-      }
+  | B_tree -> Btree.wrap (Btree.create mem records { Btree.scheme; node_bytes; naive_search }) ~tag
+  | T_tree -> Ttree.wrap (Ttree.create mem records { Ttree.scheme; node_bytes; naive_search }) ~tag
 
 let make_prefix_btree ?(node_bytes = 192) mem records =
-  let p = Prefix_btree.create mem records { Prefix_btree.node_bytes } in
-  {
-    tag = "B+/prefix";
-    insert = (fun key ~rid -> Prefix_btree.insert p key ~rid);
-    lookup = Prefix_btree.lookup p;
-    delete = Prefix_btree.delete p;
-    lookup_into = Prefix_btree.lookup_into p;
-    lookup_batch = Prefix_btree.lookup_batch p;
-    insert_batch = (fun keys ~rids -> Prefix_btree.insert_batch p keys ~rids);
-    delete_batch = Prefix_btree.delete_batch p;
-    of_sorted = (fun ~fill entries -> Prefix_btree.bulk_load p ~fill entries);
-    iter = Prefix_btree.iter p;
-    range = (fun ~lo ~hi f -> Prefix_btree.range p ~lo ~hi f);
-    seq_from = Prefix_btree.seq_from p;
-    count = (fun () -> Prefix_btree.count p);
-    height = (fun () -> Prefix_btree.height p);
-    node_count = (fun () -> Prefix_btree.node_count p);
-    space_bytes = (fun () -> Prefix_btree.space_bytes p);
-    deref_count = (fun () -> Prefix_btree.deref_count p);
-    node_visits = (fun () -> Prefix_btree.node_visits p);
-    reset_counters = (fun () -> Prefix_btree.reset_counters p);
-    validate = (fun () -> Prefix_btree.validate p);
-  }
+  Prefix_btree.wrap (Prefix_btree.create mem records { Prefix_btree.node_bytes }) ~tag:"B+/prefix"
+
+(* {2 The six paper schemes (Figure 9), single-sourced} *)
+
+type kind = K_direct | K_indirect | K_pk
+
+let scheme_of kind ~key_len ~l_bytes =
+  match kind with
+  | K_direct -> Layout.Direct { key_len }
+  | K_indirect -> Layout.Indirect
+  | K_pk -> Layout.Partial { granularity = Pk_partialkey.Partial_key.Byte; l_bytes }
+
+let paper_defs =
+  [
+    ("T-direct", T_tree, K_direct);
+    ("T-indirect", T_tree, K_indirect);
+    ("pkT", T_tree, K_pk);
+    ("B-direct", B_tree, K_direct);
+    ("B-indirect", B_tree, K_indirect);
+    ("pkB", B_tree, K_pk);
+  ]
 
 let paper_schemes ~key_len ?(l_bytes = 2) () =
-  let pk = Layout.Partial { granularity = Pk_partialkey.Partial_key.Byte; l_bytes } in
-  [
-    ("T-direct", T_tree, Layout.Direct { key_len });
-    ("T-indirect", T_tree, Layout.Indirect);
-    ("pkT", T_tree, pk);
-    ("B-direct", B_tree, Layout.Direct { key_len });
-    ("B-indirect", B_tree, Layout.Indirect);
-    ("pkB", B_tree, pk);
-  ]
+  List.map
+    (fun (name, structure, kind) -> (name, structure, scheme_of kind ~key_len ~l_bytes))
+    paper_defs
+
+(* {2 Scheme registry} *)
+
+module Registry = struct
+  type info = {
+    tag : string;
+    structure : string;
+    entry_bytes : int -> int option;
+    build : ?node_bytes:int -> key_len:int -> Pk_mem.Mem.t -> Pk_records.Record_store.t -> t;
+  }
+
+  let table : (string, info) Hashtbl.t = Hashtbl.create 16
+  let order : string list ref = ref []  (* registration order, newest first *)
+
+  let register info =
+    if not (Hashtbl.mem table info.tag) then begin
+      Hashtbl.replace table info.tag info;
+      order := info.tag :: !order
+    end
+
+  let tags () = List.rev !order
+  let find tag = Hashtbl.find_opt table tag
+  let all () = List.filter_map find (tags ())
+
+  let get tag =
+    match find tag with
+    | Some info -> info
+    | None ->
+        invalid_arg
+          (Printf.sprintf "unknown scheme tag %S; valid tags: %s" tag
+             (String.concat ", " (tags ())))
+
+  let build ?node_bytes ~key_len tag mem records =
+    (get tag).build ?node_bytes ~key_len mem records
+end
+
+(* The six paper schemes and the §2 prefix B+-tree register here;
+   further variants ({!Hybrid}, {!Variants}) register themselves. *)
+let () =
+  List.iter
+    (fun (tag, structure, kind) ->
+      Registry.register
+        {
+          Registry.tag;
+          structure = structure_tag structure;
+          entry_bytes =
+            (fun key_len -> Some (Layout.entry_size (scheme_of kind ~key_len ~l_bytes:2)));
+          build =
+            (fun ?node_bytes ~key_len mem records ->
+              make ?node_bytes structure (scheme_of kind ~key_len ~l_bytes:2) mem records);
+        })
+    paper_defs;
+  Registry.register
+    {
+      Registry.tag = "B+/prefix";
+      structure = "B+";
+      entry_bytes = (fun _ -> None);
+      build =
+        (fun ?node_bytes ~key_len:_ mem records -> make_prefix_btree ?node_bytes mem records);
+    }

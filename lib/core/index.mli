@@ -1,8 +1,11 @@
-(** Uniform first-class interface over the six index schemes of §5
-    (plus any configuration), so workloads, benchmarks and examples can
-    treat them interchangeably. *)
+(** Uniform first-class interface over the index schemes of §5 (plus
+    any configuration), so workloads, benchmarks and examples can treat
+    them interchangeably — plus the scheme {!module:Registry} every
+    driver enumerates. *)
 
-type t = {
+(** The access-path record assembled by {!Engine.Make}[.wrap]
+    (re-exported so the fields are usable through either name). *)
+type t = Engine.ops = {
   tag : string;  (** e.g. ["B/pk-byte-l2"]. *)
   insert : Pk_keys.Key.t -> rid:int -> bool;
   lookup : Pk_keys.Key.t -> int option;
@@ -62,3 +65,45 @@ val paper_schemes : key_len:int -> ?l_bytes:int -> unit -> (string * structure *
     T-direct, T-indirect, pkT, B-direct, B-indirect, pkB — with
     byte-granularity partial keys of [l_bytes] (default 2), the paper's
     preferred configuration. *)
+
+(** Tag → constructor registry of every available scheme.  The six
+    paper schemes and the prefix B+-tree are registered at module
+    initialisation; extension modules ({!module:Hybrid},
+    {!module:Variants}) register themselves — force their linkage with
+    their [ensure_registered] before enumerating. *)
+module Registry : sig
+  type info = {
+    tag : string;  (** Registry name, e.g. ["pkB"]; the built index's
+                       [tag] field may be more specific. *)
+    structure : string;  (** "T", "B" or "B+". *)
+    entry_bytes : int -> int option;
+        (** Per-entry node bytes for a given key length; [None] =
+            variable-size entries. *)
+    build : ?node_bytes:int -> key_len:int -> Pk_mem.Mem.t -> Pk_records.Record_store.t -> t;
+  }
+
+  val register : info -> unit
+  (** First registration of a tag wins; later ones are ignored. *)
+
+  val tags : unit -> string list
+  (** All registered tags, in registration order. *)
+
+  val find : string -> info option
+
+  val get : string -> info
+  (** Like {!val:find}, but raises [Invalid_argument] listing the valid
+      tags when the tag is unknown. *)
+
+  val all : unit -> info list
+  (** All registered schemes, in registration order. *)
+
+  val build :
+    ?node_bytes:int ->
+    key_len:int ->
+    string ->
+    Pk_mem.Mem.t ->
+    Pk_records.Record_store.t ->
+    t
+  (** Build by tag.  Raises [Invalid_argument] listing the valid tags
+      when the tag is unknown. *)
+end

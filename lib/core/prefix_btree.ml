@@ -1,7 +1,10 @@
-module Mem = Pk_mem.Mem
-module Fault = Pk_fault.Fault
-module Key = Pk_keys.Key
-module Record_store = Pk_records.Record_store
+module Mem = Engine.Mem
+module Fault = Engine.Fault
+module Key = Engine.Key
+module Record_store = Engine.Record_store
+module Counters = Engine.Counters
+module Scratch = Engine.Scratch
+module Group = Engine.Group
 
 type config = { node_bytes : int }
 
@@ -15,11 +18,12 @@ type t = {
   mutable tree_height : int;
   mutable n_nodes : int;
   mutable n_keys : int;
-  mutable visits : int;
-  mutable bperm : int array;  (* batch probe permutation (reused scratch) *)
+  cnt : Counters.t;
+  sc : Scratch.t;
+  mutable router : Group.router option;  (* cached group-descent hooks *)
 }
 
-let null = Pk_arena.Arena.null
+let null = Engine.null
 
 (* Node layout (slotted page):
    [0: num u16][2: flags u8, bit0 = leaf][3: pad][4: prefix_len u16]
@@ -44,17 +48,19 @@ let create mem records (cfg : config) =
     tree_height = 0;
     n_nodes = 0;
     n_keys = 0;
-    visits = 0;
-    bperm = [||];
+    cnt = Counters.create ();
+    sc = Scratch.create ();
+    router = None;
   }
 
 let count t = t.n_keys
 let height t = t.tree_height
 let node_count t = t.n_nodes
 let space_bytes t = Mem.live_bytes t.reg
-let deref_count _ = 0
-let node_visits t = t.visits
-let reset_counters t = t.visits <- 0
+let deref_count t = t.cnt.Counters.derefs
+let node_visits t = t.cnt.Counters.visits
+let reset_counters t = Counters.reset t.cnt
+let visit t = t.cnt.Counters.visits <- t.cnt.Counters.visits + 1
 
 (* {2 Raw node accessors} *)
 
@@ -191,38 +197,9 @@ let locate_in_node t node search =
   in
   go 0 n None
 
-let lookup t search =
-  let rec go node =
-    t.visits <- t.visits + 1;
-    if is_leaf t node then
-      match compare_prefix t node search with
-      | `Below | `Above -> None
-      | `Within -> (
-          match locate_in_node t node search with
-          | _, Some i -> Some (rec_rid t node i)
-          | _, None -> None)
-    else
-      let child =
-        match compare_prefix t node search with
-        | `Below -> link t node
-        | `Above -> rec_child t node (num_keys t node - 1)
-        | `Within ->
-            (* Rightmost separator <= search owns the subtree. *)
-            let upper, _exact = locate_in_node t node search in
-            if upper = 0 then link t node else rec_child t node (upper - 1)
-      in
-      go child
-  in
-  if t.root = null then None else go t.root
-
-(* {2 Batched lookups (group descent)}
-
-   The sorted probe batch is partitioned across children at every
-   internal node: the child index for a probe is monotone
-   non-decreasing in sorted key order, so probes reaching the same
-   child form one contiguous run and every node is visited (and its
-   prefix compared) once per batch. *)
-
+(* Child index for a search key: 0 = leftmost ([link]), i > 0 =
+   separator child [i - 1] — the rightmost separator <= search owns
+   the subtree. *)
 let child_index t node search =
   match compare_prefix t node search with
   | `Below -> 0
@@ -231,50 +208,51 @@ let child_index t node search =
 
 let child_at t node ci = if ci = 0 then link t node else rec_child t node (ci - 1)
 
-(* Probes [perm.[p..hi)] all reach [node]. *)
-let rec pdescend t keys out node p hi =
-  t.visits <- t.visits + 1;
-  if is_leaf t node then
-    for q = p to hi - 1 do
-      let slot = t.bperm.(q) in
-      let search = keys.(slot) in
-      out.(slot) <-
-        (match compare_prefix t node search with
-        | `Below | `Above -> -1
-        | `Within -> (
-            match locate_in_node t node search with
-            | _, Some i -> rec_rid t node i
-            | _, None -> -1))
-    done
-  else pscan t keys out node hi (p + 1) p (child_index t node keys.(t.bperm.(p)))
+(* Resolve a search key inside a leaf: record address or -1. *)
+let leaf_find t node search =
+  match compare_prefix t node search with
+  | `Below | `Above -> -1
+  | `Within -> (
+      match locate_in_node t node search with
+      | _, Some i -> rec_rid t node i
+      | _, None -> -1)
 
-(* Scan forward from [p] extending the run of probes that route to
-   child [run_ci]; flush each completed run into its child. *)
-and pscan t keys out node hi p run_from run_ci =
-  if p >= hi then pdescend t keys out (child_at t node run_ci) run_from p
-  else
-    let ci = child_index t node keys.(t.bperm.(p)) in
-    if ci = run_ci then pscan t keys out node hi (p + 1) run_from run_ci
-    else begin
-      pdescend t keys out (child_at t node run_ci) run_from p;
-      pscan t keys out node hi (p + 1) p ci
-    end
+let lookup t search =
+  let rec go node =
+    visit t;
+    if is_leaf t node then
+      match leaf_find t node search with -1 -> None | rid -> Some rid
+    else go (child_at t node (child_index t node search))
+  in
+  if t.root = null then None else go t.root
 
-let lookup_into t keys out =
-  let n = Array.length keys in
-  if Array.length out < n then invalid_arg "Prefix_btree.lookup_into: out array too small";
-  if t.root = null || n = 0 then
-    for i = 0 to n - 1 do
-      out.(i) <- -1
-    done
-  else begin
-    t.bperm <- Access_path.ensure_int t.bperm n;
-    Access_path.fill_perm t.bperm n;
-    Access_path.sort_perm keys t.bperm n;
-    pdescend t keys out t.root 0 n
-  end
+(* {2 Batched lookups (group descent)}
 
-let lookup_batch t keys = Access_path.lookup_batch_of_into (lookup_into t) keys
+   The child index for a probe is monotone non-decreasing in sorted
+   key order, so probes reaching the same child form one contiguous
+   run and every node is visited (and its prefix compared) once per
+   batch — {!Engine.Group} drives the partitioned descent. *)
+
+let router t =
+  match t.router with
+  | Some r -> r
+  | None ->
+      let sc = t.sc in
+      let r =
+        {
+          Group.sc;
+          is_leaf = is_leaf t;
+          num_keys = num_keys t;
+          child = child_at t;
+          visit = (fun () -> visit t);
+          route = (fun node _n slot -> child_index t node sc.Scratch.keys.(slot));
+          leaf_probe =
+            (fun node _n slot ->
+              sc.Scratch.out.(slot) <- leaf_find t node sc.Scratch.keys.(slot));
+        }
+      in
+      t.router <- Some r;
+      r
 
 (* {2 Separator truncation} *)
 
@@ -319,15 +297,7 @@ let rec insert_rec t node key rid =
     end
   end
   else begin
-    let ci_child =
-      match compare_prefix t node key with
-      | `Below -> link t node
-      | `Above -> rec_child t node (num_keys t node - 1)
-      | `Within ->
-          let upper, _ = locate_in_node t node key in
-          if upper = 0 then link t node else rec_child t node (upper - 1)
-    in
-    match insert_rec t ci_child key rid with
+    match insert_rec t (child_at t node (child_index t node key)) key rid with
     | No_split -> No_split
     | Split (sep, rchild) ->
         let entries = read_entries t node in
@@ -357,21 +327,15 @@ let rec insert_rec t node key rid =
 
 (* Exception safety: scalar snapshot + arena undo journal, as in
    {!module:Btree}. *)
-let guarded t f =
-  if not (Fault.unwind_enabled ()) then f ()
-  else begin
-    let root = t.root
-    and h = t.tree_height
-    and nn = t.n_nodes
-    and nk = t.n_keys in
-    try Mem.guard t.reg f
-    with e ->
-      t.root <- root;
-      t.tree_height <- h;
-      t.n_nodes <- nn;
-      t.n_keys <- nk;
-      raise e
-  end
+let save t = (t.root, t.tree_height, t.n_nodes, t.n_keys)
+
+let restore t (root, h, nn, nk) =
+  t.root <- root;
+  t.tree_height <- h;
+  t.n_nodes <- nn;
+  t.n_keys <- nk
+
+let guarded t f = Engine.guarded ~reg:t.reg ~save:(fun () -> save t) ~restore:(restore t) f
 
 let insert t key ~rid =
   if rec_overhead + Bytes.length key > max_entry_bytes t then
@@ -524,15 +488,8 @@ let rec delete_rec t node key =
     write_node t node ~leaf:true ~link_v:(link t node) entries'
   end
   else begin
-    let ci =
-      match compare_prefix t node key with
-      | `Below -> 0
-      | `Above -> num_keys t node
-      | `Within ->
-          let upper, _ = locate_in_node t node key in
-          upper
-    in
-    let child = if ci = 0 then link t node else rec_child t node (ci - 1) in
+    let ci = child_index t node key in
+    let child = child_at t node ci in
     delete_rec t child key;
     if num_keys t child = 0 || used_bytes_of t child < min_bytes t then rebalance_child t node ci
   end
@@ -566,44 +523,6 @@ let delete t key =
         true
     | exception Not_present -> false)
 
-(* {2 Batched mutations}
-
-   Singles applied in sorted key order (ties keep batch order) under
-   one [guarded] scope: observationally equal to applying the ops
-   singly in batch order, and batch-atomic under fault unwinding. *)
-
-let prep_batch t keys n =
-  t.bperm <- Access_path.ensure_int t.bperm n;
-  Access_path.fill_perm t.bperm n;
-  Access_path.sort_perm keys t.bperm n
-
-let insert_batch t keys ~rids =
-  Access_path.check_rids keys ~rids;
-  let n = Array.length keys in
-  let res = Array.make (max n 1) false in
-  if n > 0 then begin
-    prep_batch t keys n;
-    guarded t (fun () ->
-        for p = 0 to n - 1 do
-          let slot = t.bperm.(p) in
-          res.(slot) <- insert t keys.(slot) ~rid:rids.(slot)
-        done)
-  end;
-  res
-
-let delete_batch t keys =
-  let n = Array.length keys in
-  let res = Array.make (max n 1) false in
-  if n > 0 then begin
-    prep_batch t keys n;
-    guarded t (fun () ->
-        for p = 0 to n - 1 do
-          let slot = t.bperm.(p) in
-          res.(slot) <- delete t keys.(slot)
-        done)
-  end;
-  res
-
 (* {2 Bulk load}
 
    Bottom-up construction from a sorted array: leaves are packed
@@ -613,161 +532,127 @@ let delete_batch t keys =
    Every group keeps at least two children (one separator), so no
    internal node is left without separators. *)
 
-let bulk_load t ?(fill = 1.0) entries =
-  if t.root <> null then invalid_arg "Prefix_btree.bulk_load: index not empty";
+let check_load_key t k =
+  if rec_overhead + Bytes.length k > max_entry_bytes t then
+    invalid_arg
+      (Printf.sprintf "Prefix_btree.bulk_load: %d-byte key cannot fit a %d-byte node"
+         (Bytes.length k) t.node_bytes)
+
+let load_sorted t ~fill entries =
   let n = Array.length entries in
+  let budget = int_of_float (fill *. float_of_int t.node_bytes) in
+  (* Leaf level: greedy byte packing.  [packed_size] is monotone
+     in the entry list (adding an entry can only shrink the
+     shared prefix), so the greedy cut is safe. *)
+  let leaves = ref [] in
+  (* (node, first key, last key), newest first *)
+  let group = ref [] in
+  (* current group, reversed *)
+  let flush_leaf () =
+    match List.rev !group with
+    | [] -> ()
+    | es ->
+        let node = alloc_node t ~leaf:true in
+        write_node t node ~leaf:true ~link_v:null es;
+        let first = fst (List.hd es) in
+        let last = fst (List.nth es (List.length es - 1)) in
+        leaves := (node, first, last) :: !leaves;
+        group := []
+  in
   for i = 0 to n - 1 do
-    let k = fst entries.(i) in
-    if rec_overhead + Bytes.length k > max_entry_bytes t then
-      invalid_arg
-        (Printf.sprintf "Prefix_btree.bulk_load: %d-byte key cannot fit a %d-byte node"
-           (Bytes.length k) t.node_bytes);
-    if i > 0 && Key.compare (fst entries.(i - 1)) k >= 0 then
-      invalid_arg "Prefix_btree.bulk_load: keys must be strictly ascending"
+    let e = entries.(i) in
+    if !group <> [] && packed_size (List.rev (e :: !group)) > budget then flush_leaf ();
+    group := e :: !group
   done;
-  if n > 0 then
-    guarded t (fun () ->
-        let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
-        let budget = int_of_float (fill *. float_of_int t.node_bytes) in
-        (* Leaf level: greedy byte packing.  [packed_size] is monotone
-           in the entry list (adding an entry can only shrink the
-           shared prefix), so the greedy cut is safe. *)
-        let leaves = ref [] in
-        (* (node, first key, last key), newest first *)
-        let group = ref [] in
-        (* current group, reversed *)
-        let flush_leaf () =
-          match List.rev !group with
-          | [] -> ()
-          | es ->
-              let node = alloc_node t ~leaf:true in
-              write_node t node ~leaf:true ~link_v:null es;
-              let first = fst (List.hd es) in
-              let last = fst (List.nth es (List.length es - 1)) in
-              leaves := (node, first, last) :: !leaves;
-              group := []
-        in
-        for i = 0 to n - 1 do
-          let e = entries.(i) in
-          if !group <> [] && packed_size (List.rev (e :: !group)) > budget then flush_leaf ();
-          group := e :: !group
+  flush_leaf ();
+  let level = Array.of_list (List.rev !leaves) in
+  (* Chain the leaves. *)
+  Array.iteri
+    (fun i (node, _, _) ->
+      let next = if i + 1 < Array.length level then
+          (let nd, _, _ = level.(i + 1) in nd)
+        else null
+      in
+      set_link t node next)
+    level;
+  (* Internal levels. *)
+  let rec build level height =
+    if Array.length level = 1 then begin
+      let root, _, _ = level.(0) in
+      t.root <- root;
+      t.tree_height <- height
+    end
+    else begin
+      let len = Array.length level in
+      let sep i =
+        (* Separates level.(i) from level.(i + 1). *)
+        let _, _, last_l = level.(i) in
+        let _, first_r, _ = level.(i + 1) in
+        truncated_separator last_l first_r
+      in
+      (* Separator entries of the group [s .. s + c). *)
+      let entries_of s c =
+        List.init (c - 1) (fun j ->
+            let nd, _, _ = level.(s + j + 1) in
+            (sep (s + j), nd))
+      in
+      (* Each group takes >= 2 children (so every internal node
+         carries at least one separator) and grows greedily to
+         the budget; a trailing single child is never stranded —
+         a large last group sheds one child to pair with it,
+         otherwise the group absorbs it. *)
+      let next_level = ref [] in
+      let i = ref 0 in
+      while !i < len do
+        let s = !i in
+        let c = ref 2 in
+        let growing = ref true in
+        while !growing do
+          let rem = len - (s + !c) in
+          if rem = 0 then growing := false
+          else if rem = 1 then begin
+            if !c >= 3 then decr c else incr c;
+            growing := false
+          end
+          else if packed_size (entries_of s (!c + 1)) > budget then growing := false
+          else incr c
         done;
-        flush_leaf ();
-        let level = Array.of_list (List.rev !leaves) in
-        (* Chain the leaves. *)
-        Array.iteri
-          (fun i (node, _, _) ->
-            let next = if i + 1 < Array.length level then
-                (let nd, _, _ = level.(i + 1) in nd)
-              else null
-            in
-            set_link t node next)
-          level;
-        (* Internal levels. *)
-        let rec build level height =
-          if Array.length level = 1 then begin
-            let root, _, _ = level.(0) in
-            t.root <- root;
-            t.tree_height <- height
-          end
-          else begin
-            let len = Array.length level in
-            let sep i =
-              (* Separates level.(i) from level.(i + 1). *)
-              let _, _, last_l = level.(i) in
-              let _, first_r, _ = level.(i + 1) in
-              truncated_separator last_l first_r
-            in
-            (* Separator entries of the group [s .. s + c). *)
-            let entries_of s c =
-              List.init (c - 1) (fun j ->
-                  let nd, _, _ = level.(s + j + 1) in
-                  (sep (s + j), nd))
-            in
-            (* Each group takes >= 2 children (so every internal node
-               carries at least one separator) and grows greedily to
-               the budget; a trailing single child is never stranded —
-               a large last group sheds one child to pair with it,
-               otherwise the group absorbs it. *)
-            let next_level = ref [] in
-            let i = ref 0 in
-            while !i < len do
-              let s = !i in
-              let c = ref 2 in
-              let growing = ref true in
-              while !growing do
-                let rem = len - (s + !c) in
-                if rem = 0 then growing := false
-                else if rem = 1 then begin
-                  if !c >= 3 then decr c else incr c;
-                  growing := false
-                end
-                else if packed_size (entries_of s (!c + 1)) > budget then growing := false
-                else incr c
-              done;
-              let es = entries_of s !c in
-              let node = alloc_node t ~leaf:false in
-              let first_child, first_key, _ = level.(s) in
-              write_node t node ~leaf:false ~link_v:first_child es;
-              let _, _, last_key = level.(s + !c - 1) in
-              next_level := (node, first_key, last_key) :: !next_level;
-              i := s + !c
-            done;
-            build (Array.of_list (List.rev !next_level)) (height + 1)
-          end
-        in
-        build level 1;
-        t.n_keys <- n)
+        let es = entries_of s !c in
+        let node = alloc_node t ~leaf:false in
+        let first_child, first_key, _ = level.(s) in
+        write_node t node ~leaf:false ~link_v:first_child es;
+        let _, _, last_key = level.(s + !c - 1) in
+        next_level := (node, first_key, last_key) :: !next_level;
+        i := s + !c
+      done;
+      build (Array.of_list (List.rev !next_level)) (height + 1)
+    end
+  in
+  build level 1;
+  t.n_keys <- n
+
+(* {2 Cursor primitives}
+
+   The leaf chain makes the spine stack a single (leaf, next entry
+   index) frame; an exhausted leaf is replaced by its link. *)
 
 let rec leftmost_leaf t node = if is_leaf t node then node else leftmost_leaf t (link t node)
 
-let seq_from t from =
-  let rec seek node =
-    if is_leaf t node then node
-    else
-      let child =
-        match compare_prefix t node from with
-        | `Below -> link t node
-        | `Above -> rec_child t node (num_keys t node - 1)
-        | `Within ->
-            let upper, _ = locate_in_node t node from in
-            if upper = 0 then link t node else rec_child t node (upper - 1)
-      in
-      seek child
-  in
-  let rec walk node i () =
-    if node = null then Seq.Nil
-    else if i >= num_keys t node then walk (link t node) 0 ()
-    else
-      let k = entry_key t node i in
-      if Key.compare k from < 0 then walk node (i + 1) ()
-      else Seq.Cons ((k, rec_rid t node i), walk node (i + 1))
-  in
-  if t.root = null then Seq.empty else walk (seek t.root) 0
+let rec seek_leaf t node from =
+  if is_leaf t node then node
+  else seek_leaf t (child_at t node (child_index t node from)) from
 
-let iter t f =
-  if t.root <> null then
-    let rec walk node =
-      if node <> null then begin
-        for i = 0 to num_keys t node - 1 do
-          f ~key:(entry_key t node i) ~rid:(rec_rid t node i)
-        done;
-        walk (link t node)
-      end
-    in
-    walk (leftmost_leaf t t.root)
-
-let range t ~lo ~hi f =
-  let rec go seq =
-    match seq () with
-    | Seq.Nil -> ()
-    | Seq.Cons ((k, rid), rest) ->
-        if Key.compare k hi <= 0 then begin
-          f ~key:k ~rid;
-          go rest
-        end
-  in
-  go (seq_from t lo)
+(* First entry index >= [from] in the landing leaf.  Later leaves hold
+   only larger keys (routing stops below the next separator), so no
+   per-key skipping is needed past this leaf. *)
+let start_index t node from =
+  match compare_prefix t node from with
+  | `Below -> 0
+  | `Above -> num_keys t node
+  | `Within -> (
+      match locate_in_node t node from with
+      | _, Some i -> i
+      | upper, None -> upper)
 
 let max_separator_len t =
   let best = ref 0 in
@@ -873,3 +758,50 @@ let validate t =
     follow (leftmost_leaf t t.root);
     if List.rev !chain <> List.rev !leaves_in_order then fail "leaf chain broken"
   end
+
+(* {2 Engine assembly} *)
+
+module Structure = struct
+  type nonrec t = t
+  type snap = int * int * int * int
+
+  let name = "Prefix_btree"
+  let region t = t.reg
+  let counters t = t.cnt
+  let scratch t = t.sc
+  let root t = t.root
+  let save = save
+  let restore = restore
+  let insert = insert
+  let lookup = lookup
+  let delete = delete
+  let prepare_batch t _keys n = t.sc.Scratch.perm <- Engine.ensure_int t.sc.Scratch.perm n
+  let descend t n = Group.drive (router t) t.root 0 n
+  let check_load_key = check_load_key
+  let load_sorted = load_sorted
+
+  let cursor_start t from =
+    if t.root = null then []
+    else
+      match from with
+      | None -> [ (leftmost_leaf t t.root, 0) ]
+      | Some key ->
+          let leaf = seek_leaf t t.root key in
+          [ (leaf, start_index t leaf key) ]
+
+  let frame_entries t node = num_keys t node
+  let frame_entry t node i = (entry_key t node i, rec_rid t node i)
+  let advance _t node i rest = (node, i + 1) :: rest
+
+  let exhausted t node rest =
+    let l = link t node in
+    if l = null then rest else (l, 0) :: rest
+
+  let count = count
+  let height = height
+  let node_count = node_count
+  let space_bytes = space_bytes
+  let validate = validate
+end
+
+include Engine.Make (Structure)

@@ -79,3 +79,7 @@ val validate : t -> unit
 
 val debug_dump : t -> out_channel -> unit
 (** Print the node structure (debugging aid). *)
+
+val wrap : t -> tag:string -> Engine.ops
+(** The full access-path record over this tree, assembled by
+    {!module:Engine.Make}. *)

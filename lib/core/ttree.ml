@@ -3,8 +3,11 @@ module Fault = Pk_fault.Fault
 module Key = Pk_keys.Key
 module Record_store = Pk_records.Record_store
 module Partial_key = Pk_partialkey.Partial_key
-module Pk_compare = Pk_partialkey.Pk_compare
 module Node_search = Pk_partialkey.Node_search
+module Counters = Engine.Counters
+module Scratch = Engine.Scratch
+module Entries = Engine.Entries
+module Tgroup = Engine.Tgroup
 
 type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
 
@@ -14,24 +17,16 @@ type t = {
   reg : Mem.region;
   records : Record_store.t;
   cfg : config;
-  esz : int;
+  ec : Entries.ctx;
+  sc : Scratch.t;
+  aim : Entries.aim; (* (node, probe) the reusable entry_ops reads *)
   max_entries : int;
   min_internal : int;
   mutable root : int;
   mutable n_nodes : int;
   mutable n_keys : int;
-  mutable derefs : int;
-  mutable visits : int;
-  (* Batched-lookup scratch (group descent): grown to the largest batch
-     seen, then reused so steady-state batches allocate nothing. *)
-  mutable bperm : int array;
-  mutable brel : Key.cmp array; (* per-probe FINDTTREE rel state *)
-  mutable boff : int array; (* per-probe FINDTTREE offset state *)
-  mutable bla : int array; (* per-probe offset at the last Gt ancestor *)
-  mutable bsign : int array; (* per-probe sign at the current node *)
-  mutable bsearch : Key.t; (* probe the reusable entry_ops reads *)
-  mutable bnode : int; (* node the reusable entry_ops reads *)
   mutable bops : Node_search.entry_ops option;
+  mutable td : Tgroup.driver option;
 }
 
 let null = Pk_arena.Arena.null
@@ -47,26 +42,25 @@ let create mem records cfg =
     invalid_arg
       (Printf.sprintf "Ttree.create: node of %d bytes holds %d entries under scheme %s"
          cfg.node_bytes max_entries (Layout.scheme_tag cfg.scheme));
+  let reg =
+    Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:("ttree-" ^ Layout.scheme_tag cfg.scheme)
+      ()
+  in
   {
-    reg = Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:("ttree-" ^ Layout.scheme_tag cfg.scheme) ();
+    reg;
     records;
     cfg;
-    esz;
+    ec =
+      Entries.make ~name:"Ttree" ~reg ~records ~scheme:cfg.scheme ~entries_at (Counters.create ());
+    sc = Scratch.create ();
+    aim = Entries.make_aim ();
     max_entries;
     min_internal = max 1 (max_entries - 2);
     root = null;
     n_nodes = 0;
     n_keys = 0;
-    derefs = 0;
-    visits = 0;
-    bperm = [||];
-    brel = [||];
-    boff = [||];
-    bla = [||];
-    bsign = [||];
-    bsearch = Bytes.empty;
-    bnode = null;
     bops = None;
+    td = None;
   }
 
 let scheme t = t.cfg.scheme
@@ -75,12 +69,11 @@ let count t = t.n_keys
 let node_count t = t.n_nodes
 let space_bytes t = Mem.live_bytes t.reg
 let entry_capacity t = t.max_entries
-let deref_count t = t.derefs
-let node_visits t = t.visits
-
-let reset_counters t =
-  t.derefs <- 0;
-  t.visits <- 0
+let cnt t = t.ec.Entries.cnt
+let deref_count t = (cnt t).Counters.derefs
+let node_visits t = (cnt t).Counters.visits
+let reset_counters t = Counters.reset (cnt t)
+let visit t = (cnt t).Counters.visits <- (cnt t).Counters.visits + 1
 
 (* {2 Node accessors} *)
 
@@ -92,8 +85,6 @@ let left t node = Mem.read_u64 t.reg (node + 8)
 let set_left t node v = Mem.write_u64 t.reg (node + 8) v
 let right t node = Mem.read_u64 t.reg (node + 16)
 let set_right t node v = Mem.write_u64 t.reg (node + 16) v
-let entry_addr t node i = node + entries_at + (i * t.esz)
-let rec_ptr t node i = Layout.rec_ptr t.reg (entry_addr t node i)
 let height t = node_height t t.root
 let is_leaf t node = left t node = null && right t node = null
 
@@ -110,40 +101,17 @@ let free_node t node =
   Mem.free t.reg node t.cfg.node_bytes;
   t.n_nodes <- t.n_nodes - 1
 
-let entry_key t node i =
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } -> Layout.read_direct_key t.reg (entry_addr t node i) ~key_len
-  | Layout.Indirect | Layout.Partial _ -> Record_store.read_key t.records (rec_ptr t node i)
+let rec_ptr t node i = Entries.rec_ptr t.ec node i
+let entry_key t node i = Entries.entry_key t.ec node i
+let is_partial t = Entries.is_partial t.ec
 
-(* {2 Partial-key maintenance (§4.1)} *)
-
-let granularity t =
-  match t.cfg.scheme with
-  | Layout.Partial { granularity; _ } -> granularity
-  | Layout.Direct _ | Layout.Indirect -> assert false
-
-let l_bytes t =
-  match t.cfg.scheme with
-  | Layout.Partial { l_bytes; _ } -> l_bytes
-  | Layout.Direct _ | Layout.Indirect -> assert false
-
-let is_partial t = match t.cfg.scheme with Layout.Partial _ -> true | _ -> false
+(* {2 Partial-key maintenance (§4.1)} — scheme arithmetic lives in
+   {!module:Engine.Entries}; here only the base-key rules. *)
 
 (* Recompute the partial key of entry [i]; [base] is the base for entry
    0, i.e. the parent node's leftmost key (None at the root). *)
 let fix_pk t node i ~base =
-  if is_partial t && node <> null && i >= 0 && i < num_keys t node then begin
-    let g = granularity t and l = l_bytes t in
-    let key = entry_key t node i in
-    let pk =
-      if i = 0 then
-        match base with
-        | None -> Partial_key.encode_initial g ~l_bytes:l ~key
-        | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key
-      else Partial_key.encode g ~l_bytes:l ~base:(entry_key t node (i - 1)) ~key
-    in
-    Layout.write_pk t.reg (entry_addr t node i) ~l_bytes:l pk
-  end
+  if is_partial t && node <> null then Entries.fix_pk t.ec node i ~n:(num_keys t node) ~base
 
 (* After any change to [node]'s leftmost key or to its children's
    parentage, restore the §4.1 invariants: node.key[0] is based on the
@@ -158,26 +126,8 @@ let fix_pk0_and_children t node ~base =
 
 (* {2 Raw entry movement} *)
 
-let blit_entries t ~src ~src_i ~dst ~dst_i ~n =
-  if n > 0 then
-    if src = dst then
-      Mem.move t.reg ~src_off:(entry_addr t src src_i) ~dst_off:(entry_addr t dst dst_i)
-        ~len:(n * t.esz)
-    else
-      let tmp = Mem.read_bytes t.reg ~off:(entry_addr t src src_i) ~len:(n * t.esz) in
-      Mem.write_bytes t.reg ~off:(entry_addr t dst dst_i) ~src:tmp ~src_off:0 ~len:(n * t.esz)
-
-let write_entry t node i ~key ~rid =
-  let a = entry_addr t node i in
-  Layout.set_rec_ptr t.reg a rid;
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      if Bytes.length key <> key_len then
-        invalid_arg
-          (Printf.sprintf "Ttree: direct scheme expects %d-byte keys, got %d" key_len
-             (Bytes.length key));
-      Layout.write_direct_key t.reg a key
-  | Layout.Indirect | Layout.Partial _ -> ()
+let blit_entries t ~src ~src_i ~dst ~dst_i ~n = Entries.blit_entries t.ec ~src ~src_i ~dst ~dst_i ~n
+let write_entry t node i ~key ~rid = Entries.write_entry t.ec node i ~key ~rid
 
 (* Insert an entry at position [i]; fixes the local partial keys of
    positions i and i+1 (entry 0 fixes, which need the parent's key, are
@@ -372,15 +322,7 @@ and remove_max t node ~base =
 
 (* {2 Insert} *)
 
-let locate t node key =
-  let rec go lo hi =
-    if lo >= hi then (lo, false)
-    else
-      let mid = (lo + hi) / 2 in
-      let c, _ = Key.compare_detail key (entry_key t node mid) in
-      match c with Key.Eq -> (mid, true) | Key.Lt -> go lo mid | Key.Gt -> go (mid + 1) hi
-  in
-  go 0 (num_keys t node)
+let locate t node key = Entries.locate t.ec node ~n:(num_keys t node) key
 
 let new_leaf t ~key ~rid ~base =
   let node = alloc_node t in
@@ -409,21 +351,18 @@ let rec insert_max t node ~key ~rid ~base =
 
 exception Duplicate
 
+let save t = (t.root, t.n_nodes, t.n_keys)
+
+let restore t (root, nn, nk) =
+  t.root <- root;
+  t.n_nodes <- nn;
+  t.n_keys <- nk
+
 (* Exception safety: snapshot the scalar header, run under the arena
    undo journal, restore both on any escaping exception.  [Duplicate] /
    [Not_present] are raised before any mutation and handled inside the
    guarded thunk, so they commit a no-op. *)
-let guarded t f =
-  if not (Fault.unwind_enabled ()) then f ()
-  else begin
-    let root = t.root and nn = t.n_nodes and nk = t.n_keys in
-    try Mem.guard t.reg f
-    with e ->
-      t.root <- root;
-      t.n_nodes <- nn;
-      t.n_keys <- nk;
-      raise e
-  end
+let guarded t f = Engine.guarded ~reg:t.reg ~save:(fun () -> save t) ~restore:(restore t) f
 
 let rec insert_rec t node key rid ~base =
   if node = null then new_leaf t ~key ~rid ~base
@@ -446,7 +385,8 @@ let rec insert_rec t node key rid ~base =
         | Key.Eq -> raise Duplicate
         | Key.Gt ->
             if right t node <> null then
-              set_right t node (insert_rec t (right t node) key rid ~base:(Some (entry_key t node 0)))
+              set_right t node
+                (insert_rec t (right t node) key rid ~base:(Some (entry_key t node 0)))
             else if n < t.max_entries then insert_at t node n ~key ~rid
             else set_right t node (new_leaf t ~key ~rid ~base:(Some (entry_key t node 0)))
         | Key.Lt ->
@@ -461,7 +401,10 @@ let rec insert_rec t node key rid ~base =
               remove_at t node 0;
               insert_at t node (pos - 1) ~key ~rid;
               fix_pk0_and_children t node ~base;
-              let l = insert_max t (left t node) ~key:ev_key ~rid:ev_rid ~base:(Some (entry_key t node 0)) in
+              let l =
+                insert_max t (left t node) ~key:ev_key ~rid:ev_rid
+                  ~base:(Some (entry_key t node 0))
+              in
               set_left t node l
             end));
     rebalance t node ~base
@@ -532,125 +475,69 @@ let delete t key =
 
 (* {2 Lookup} *)
 
-let byte_or_zero k i = if i < Bytes.length k then Char.code (Bytes.get k i) else 0
+(* One shifted entry_ops per tree: FINDTTREE's final search runs over
+   entries [1..n) of the last Gt ancestor (its leftmost key is the
+   base), re-aimed via [t.aim]. *)
+let batch_ops t =
+  match t.bops with
+  | Some ops -> ops
+  | None ->
+      let ops = Entries.make_ops t.ec t.aim ~shift:1 in
+      t.bops <- Some ops;
+      ops
 
-let bit_or_zero k i =
-  if i >= 8 * Bytes.length k then 0
-  else (Char.code (Bytes.get k (i lsr 3)) lsr (7 - (i land 7))) land 1
+let find_fn t = if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node
 
-let deref_entry t node search i =
-  t.derefs <- t.derefs + 1;
-  let rid = rec_ptr t node i in
-  let c, d =
-    match granularity t with
-    | Partial_key.Bit -> Record_store.compare_key_bits t.records rid search
-    | Partial_key.Byte -> Record_store.compare_key t.records rid search
-  in
-  (Key.flip c, d)
-
-(* entry_ops over entries [1..n), as FINDTTREE searches the bounding
-   node with its leftmost key removed (it is the base). *)
-let entry_ops_shifted t node search : Node_search.entry_ops =
-  let g = granularity t in
-  {
-    Node_search.num_keys = num_keys t node - 1;
-    pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t node (i + 1)));
-    resolve_units =
-      (fun i ~rel ~off ->
-        Layout.resolve_pk_units t.reg (entry_addr t node (i + 1)) ~scheme_granularity:g ~search
-          ~rel ~off);
-    branch_unit =
-      (fun i ->
-        match g with
-        | Partial_key.Bit -> 1
-        | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t node (i + 1)));
-    search_unit =
-      (fun u ->
-        match g with
-        | Partial_key.Bit -> bit_or_zero search u
-        | Partial_key.Byte -> byte_or_zero search u);
-    deref = (fun i -> deref_entry t node search (i + 1));
-  }
-
-(* FINDTTREE (Fig. 7). *)
+(* FINDTTREE (Fig. 7).  [la]/[la_off]: the last node left via a
+   greater-than branch and the resolved offset there. *)
 let lookup_partial t search =
-  let g = granularity t in
-  let find = if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node in
-  let rel0, off0 = Partial_key.initial_state g search in
-  let rec descend node la rel off =
+  let find = find_fn t in
+  let ops = batch_ops t in
+  t.aim.Entries.search <- search;
+  let rel0, off0 = Partial_key.initial_state (Entries.granularity t.ec) search in
+  let rec descend node la la_off rel off =
     if node = null then
-      match la with
-      | None -> None
-      | Some (lan, la_off) ->
-          let r = find (entry_ops_shifted t lan search) ~rel0:Key.Gt ~off0:la_off in
-          if r.Node_search.low = r.Node_search.high then
-            Some (rec_ptr t lan (r.Node_search.low + 1))
-          else None
+      if la = null then None
+      else begin
+        t.aim.Entries.node <- la;
+        ops.Node_search.num_keys <- num_keys t la - 1;
+        let r = find ops ~rel0:Key.Gt ~off0:la_off in
+        if r.Node_search.low = r.Node_search.high then Some (rec_ptr t la (r.Node_search.low + 1))
+        else None
+      end
     else begin
-      t.visits <- t.visits + 1;
-      (* Offset-only resolution first: the common case touches just the
-         pk_off field of the leftmost entry. *)
-      let a = entry_addr t node 0 in
-      let c, o =
-        match Pk_compare.resolve_by_offset ~rel ~off ~pk_off:(Layout.read_pk_off t.reg a) with
-        | Pk_compare.Resolved (c, o) -> (c, o)
-        | Pk_compare.Need_units ->
-            Layout.resolve_pk_units t.reg a ~scheme_granularity:g ~search ~rel ~off
-      in
-      let c, o = if c = Key.Eq then deref_entry t node search 0 else (c, o) in
+      visit t;
+      let c, o = Entries.head_pk_cmp t.ec node search ~rel ~off in
       match c with
       | Key.Eq -> Some (rec_ptr t node 0)
-      | Key.Lt -> descend (left t node) la c o
-      | Key.Gt -> descend (right t node) (Some (node, o)) c o
+      | Key.Lt -> descend (left t node) la la_off c o
+      | Key.Gt -> descend (right t node) node o c o
     end
   in
-  descend t.root None rel0 off0
+  descend t.root null 0 rel0 off0
 
 (* Direct / indirect: single comparison per level against entry 0. *)
-let compare_entry0 t node search =
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      let c, _ = Layout.compare_direct t.reg (entry_addr t node 0) ~key_len search in
-      Key.flip c
-  | Layout.Indirect ->
-      t.derefs <- t.derefs + 1;
-      let c, _ = Record_store.compare_key t.records (rec_ptr t node 0) search in
-      Key.flip c
-  | Layout.Partial _ -> assert false
-
 let lookup_plain t search =
-  let cmp_at node i =
-    match t.cfg.scheme with
-    | Layout.Direct { key_len } ->
-        let c, _ = Layout.compare_direct t.reg (entry_addr t node i) ~key_len search in
-        Key.flip c
-    | Layout.Indirect ->
-        t.derefs <- t.derefs + 1;
-        let c, _ = Record_store.compare_key t.records (rec_ptr t node i) search in
-        Key.flip c
-    | Layout.Partial _ -> assert false
-  in
   let rec in_node node lo hi =
     if lo >= hi then None
     else
       let mid = (lo + hi) / 2 in
-      match cmp_at node mid with
+      match Entries.probe_cmp t.ec node search mid with
       | Key.Eq -> Some (rec_ptr t node mid)
       | Key.Lt -> in_node node lo mid
       | Key.Gt -> in_node node (mid + 1) hi
   in
   let rec descend node la =
-    if node = null then
-      match la with None -> None | Some lan -> in_node lan 1 (num_keys t lan)
+    if node = null then if la = null then None else in_node la 1 (num_keys t la)
     else begin
-      t.visits <- t.visits + 1;
-      match compare_entry0 t node search with
+      visit t;
+      match Entries.probe_cmp t.ec node search 0 with
       | Key.Eq -> Some (rec_ptr t node 0)
       | Key.Lt -> descend (left t node) la
-      | Key.Gt -> descend (right t node) (Some node)
+      | Key.Gt -> descend (right t node) node
     end
   in
-  descend t.root None
+  descend t.root null
 
 let lookup t search =
   if t.root = null then None
@@ -659,226 +546,84 @@ let lookup t search =
     | Layout.Partial _ -> lookup_partial t search
     | Layout.Direct _ | Layout.Indirect -> lookup_plain t search
 
-(* {2 Batched lookup (group descent)}
+(* {2 Batched lookup hooks (group descent)}
 
-   FINDTTREE descends comparing only each node's leftmost entry, so a
-   sorted probe batch splits at every node into three contiguous
-   segments — below, equal to, and above entry 0 — and the two outer
-   segments descend left and right as groups.  Probes of one segment
-   share their whole path, hence also the last-Gt-ancestor node; only
-   the offset at that ancestor is per-probe state.  Each node's entry-0
-   fields are touched once per segment instead of once per probe.
-
-   As in {!module:Btree}, the direct/indirect path is allocation-free
-   (top-level recursion over {!val:Mem.compare_sign}); the partial path
-   reuses one mutable shifted [entry_ops] for the final in-ancestor
-   search and allocates only comparison pairs. *)
-
-let ensure_scratch t n =
-  t.bperm <- Access_path.ensure_int t.bperm n;
-  t.bsign <- Access_path.ensure_int t.bsign n;
-  if is_partial t then begin
-    t.brel <- Access_path.ensure_cmp t.brel n;
-    t.boff <- Access_path.ensure_int t.boff n;
-    t.bla <- Access_path.ensure_int t.bla n
-  end
-
-(* Sign of c(search, entry i), allocation-free (plain schemes only). *)
-let probe_cmp_entry t node probe i =
-  match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      -Mem.compare_sign t.reg
-         ~off:(entry_addr t node i + 8)
-         ~len:key_len probe ~key_off:0 ~key_len:(Bytes.length probe)
-  | Layout.Indirect ->
-      t.derefs <- t.derefs + 1;
-      -Record_store.compare_sign t.records (rec_ptr t node i) probe
-  | Layout.Partial _ -> assert false
-
-(* Segment boundaries over the sorted batch, reading the per-probe
-   signs left by the node pass. *)
-let rec bound_neg t p hi = if p < hi && t.bsign.(t.bperm.(p)) < 0 then bound_neg t (p + 1) hi else p
-
-let rec bound_zero t p hi =
-  if p < hi && t.bsign.(t.bperm.(p)) = 0 then bound_zero t (p + 1) hi else p
+   The engine ({!module:Engine.Tgroup}) splits the sorted batch at
+   every node into below / equal / above segments against the leftmost
+   entry; probes of one segment share their whole path, hence also the
+   last-Gt-ancestor node — only the offset at that ancestor is
+   per-probe state.  As in {!module:Btree}, the direct/indirect path is
+   allocation-free (sign comparisons into the scratch arrays); the
+   partial path reuses one mutable shifted [entry_ops] for the final
+   in-ancestor search and allocates only comparison pairs. *)
 
 (* Binary search among entries [lo, hi) of [node]; rid or -1. *)
 let rec tresolve t node probe lo hi =
   if lo >= hi then -1
   else
     let mid = (lo + hi) / 2 in
-    let c = probe_cmp_entry t node probe mid in
+    let c = Entries.probe_sign t.ec node probe mid in
     if c = 0 then rec_ptr t node mid
     else if c < 0 then tresolve t node probe lo mid
     else tresolve t node probe (mid + 1) hi
 
-let rec tdescend_plain t keys out node la lo hi =
-  if lo < hi then
-    if node = null then
-      for p = lo to hi - 1 do
-        let slot = t.bperm.(p) in
-        out.(slot) <- (if la = null then -1 else tresolve t la keys.(slot) 1 (num_keys t la))
-      done
-    else begin
-      t.visits <- t.visits + 1;
-      for p = lo to hi - 1 do
-        let slot = t.bperm.(p) in
-        let c = probe_cmp_entry t node keys.(slot) 0 in
-        t.bsign.(slot) <- c;
-        if c = 0 then out.(slot) <- rec_ptr t node 0
-      done;
-      let a = bound_neg t lo hi in
-      let b = bound_zero t a hi in
-      tdescend_plain t keys out (left t node) la lo a;
-      tdescend_plain t keys out (right t node) node b hi
-    end
-
-(* One shifted entry_ops per tree (FINDTTREE's final search runs over
-   entries [1..n) of the last Gt ancestor), re-aimed via
-   [t.bnode]/[t.bsearch]. *)
-let batch_ops t =
-  match t.bops with
-  | Some ops -> ops
+let tdriver t =
+  match t.td with
+  | Some d -> d
   | None ->
-      let g = granularity t in
-      let ops : Node_search.entry_ops =
-        {
-          Node_search.num_keys = 0;
-          pk_off = (fun i -> Layout.read_pk_off t.reg (entry_addr t t.bnode (i + 1)));
-          resolve_units =
-            (fun i ~rel ~off ->
-              Layout.resolve_pk_units t.reg
-                (entry_addr t t.bnode (i + 1))
-                ~scheme_granularity:g ~search:t.bsearch ~rel ~off);
-          branch_unit =
-            (fun i ->
-              match g with
-              | Partial_key.Bit -> 1
-              | Partial_key.Byte -> Layout.read_pk_first_byte t.reg (entry_addr t t.bnode (i + 1)));
-          search_unit =
-            (fun u ->
-              match g with
-              | Partial_key.Bit -> bit_or_zero t.bsearch u
-              | Partial_key.Byte -> byte_or_zero t.bsearch u);
-          deref = (fun i -> deref_entry t t.bnode t.bsearch (i + 1));
-        }
+      let sc = t.sc in
+      let common classify final =
+        { Tgroup.sc; left = left t; right = right t; visit = (fun () -> visit t); classify; final }
       in
-      t.bops <- Some ops;
-      ops
-
-let rec tdescend_pk t keys out find ops node la lo hi =
-  if lo < hi then
-    if node = null then
-      for p = lo to hi - 1 do
-        let slot = t.bperm.(p) in
-        if la = null then out.(slot) <- -1
-        else begin
-          t.bnode <- la;
-          t.bsearch <- keys.(slot);
-          ops.Node_search.num_keys <- num_keys t la - 1;
-          let r = find ops ~rel0:Key.Gt ~off0:t.bla.(slot) in
-          out.(slot) <-
-            (if r.Node_search.low = r.Node_search.high then rec_ptr t la (r.Node_search.low + 1)
-             else -1)
-        end
-      done
-    else begin
-      t.visits <- t.visits + 1;
-      let g = granularity t in
-      let a0 = entry_addr t node 0 in
-      for p = lo to hi - 1 do
-        let slot = t.bperm.(p) in
-        let search = keys.(slot) in
-        let rel = t.brel.(slot) and off = t.boff.(slot) in
-        let c, o =
-          match Pk_compare.resolve_by_offset ~rel ~off ~pk_off:(Layout.read_pk_off t.reg a0) with
-          | Pk_compare.Resolved (c, o) -> (c, o)
-          | Pk_compare.Need_units ->
-              Layout.resolve_pk_units t.reg a0 ~scheme_granularity:g ~search ~rel ~off
-        in
-        let c, o = if c = Key.Eq then deref_entry t node search 0 else (c, o) in
-        match c with
-        | Key.Eq ->
-            out.(slot) <- rec_ptr t node 0;
-            t.bsign.(slot) <- 0
-        | Key.Lt ->
-            t.brel.(slot) <- Key.Lt;
-            t.boff.(slot) <- o;
-            t.bsign.(slot) <- -1
-        | Key.Gt ->
-            t.brel.(slot) <- Key.Gt;
-            t.boff.(slot) <- o;
-            t.bla.(slot) <- o;
-            t.bsign.(slot) <- 1
-      done;
-      let a = bound_neg t lo hi in
-      let b = bound_zero t a hi in
-      tdescend_pk t keys out find ops (left t node) la lo a;
-      tdescend_pk t keys out find ops (right t node) node b hi
-    end
-
-let lookup_into t keys out =
-  let n = Array.length keys in
-  if Array.length out < n then invalid_arg "Ttree.lookup_into: result array too small";
-  if n > 0 then
-    if t.root = null then
-      for i = 0 to n - 1 do
-        out.(i) <- -1
-      done
-    else begin
-      ensure_scratch t n;
-      Access_path.fill_perm t.bperm n;
-      Access_path.sort_perm keys t.bperm n;
-      match t.cfg.scheme with
-      | Layout.Direct _ | Layout.Indirect -> tdescend_plain t keys out t.root null 0 n
-      | Layout.Partial _ ->
-          let g = granularity t in
-          for i = 0 to n - 1 do
-            let rel, off = Partial_key.initial_state g keys.(i) in
-            t.brel.(i) <- rel;
-            t.boff.(i) <- off
-          done;
-          let find =
-            if t.cfg.naive_search then Node_search.naive_find_node else Node_search.find_node
-          in
-          tdescend_pk t keys out find (batch_ops t) t.root null 0 n
-    end
-
-let lookup_batch t keys = Access_path.lookup_batch_of_into (lookup_into t) keys
-
-(* {2 Batched mutations} — sorted order, one [guarded] scope: an
-   injected fault anywhere in the batch unwinds the whole batch. *)
-
-let insert_batch t keys ~rids =
-  Access_path.check_rids keys ~rids;
-  let n = Array.length keys in
-  let res = Array.make n false in
-  if n > 0 then begin
-    ensure_scratch t n;
-    Access_path.fill_perm t.bperm n;
-    Access_path.sort_perm keys t.bperm n;
-    guarded t (fun () ->
-        for p = 0 to n - 1 do
-          let slot = t.bperm.(p) in
-          res.(slot) <- insert t keys.(slot) ~rid:rids.(slot)
-        done)
-  end;
-  res
-
-let delete_batch t keys =
-  let n = Array.length keys in
-  let res = Array.make n false in
-  if n > 0 then begin
-    ensure_scratch t n;
-    Access_path.fill_perm t.bperm n;
-    Access_path.sort_perm keys t.bperm n;
-    guarded t (fun () ->
-        for p = 0 to n - 1 do
-          let slot = t.bperm.(p) in
-          res.(slot) <- delete t keys.(slot)
-        done)
-  end;
-  res
+      let d =
+        match t.cfg.scheme with
+        | Layout.Direct _ | Layout.Indirect ->
+            common
+              (fun node slot ->
+                let c = Entries.probe_sign t.ec node sc.Scratch.keys.(slot) 0 in
+                sc.Scratch.sign.(slot) <- c;
+                if c = 0 then sc.Scratch.out.(slot) <- rec_ptr t node 0)
+              (fun la slot ->
+                sc.Scratch.out.(slot) <-
+                  (if la = null then -1 else tresolve t la sc.Scratch.keys.(slot) 1 (num_keys t la)))
+        | Layout.Partial _ ->
+            let find = find_fn t in
+            let ops = batch_ops t in
+            common
+              (fun node slot ->
+                let search = sc.Scratch.keys.(slot) in
+                let c, o =
+                  Entries.head_pk_cmp t.ec node search ~rel:sc.Scratch.rel.(slot)
+                    ~off:sc.Scratch.off.(slot)
+                in
+                match c with
+                | Key.Eq ->
+                    sc.Scratch.out.(slot) <- rec_ptr t node 0;
+                    sc.Scratch.sign.(slot) <- 0
+                | Key.Lt ->
+                    sc.Scratch.rel.(slot) <- Key.Lt;
+                    sc.Scratch.off.(slot) <- o;
+                    sc.Scratch.sign.(slot) <- -1
+                | Key.Gt ->
+                    sc.Scratch.rel.(slot) <- Key.Gt;
+                    sc.Scratch.off.(slot) <- o;
+                    sc.Scratch.la.(slot) <- o;
+                    sc.Scratch.sign.(slot) <- 1)
+              (fun la slot ->
+                if la = null then sc.Scratch.out.(slot) <- -1
+                else begin
+                  t.aim.Entries.node <- la;
+                  t.aim.Entries.search <- sc.Scratch.keys.(slot);
+                  ops.Node_search.num_keys <- num_keys t la - 1;
+                  let r = find ops ~rel0:Key.Gt ~off0:sc.Scratch.la.(slot) in
+                  sc.Scratch.out.(slot) <-
+                    (if r.Node_search.low = r.Node_search.high then
+                       rec_ptr t la (r.Node_search.low + 1)
+                     else -1)
+                end)
+      in
+      t.td <- Some d;
+      d
 
 (* {2 Bottom-up bulk load}
 
@@ -891,124 +636,62 @@ let delete_batch t keys =
    is based on the parent node's leftmost key, later entries on their
    in-node predecessor — all derived from sorted neighbours. *)
 
-let bulk_load t ?(fill = 1.0) entries =
-  if t.root <> null then invalid_arg "Ttree.bulk_load: index is not empty";
+let load_sorted t ~fill entries =
   let n = Array.length entries in
-  (match t.cfg.scheme with
-  | Layout.Direct { key_len } ->
-      Array.iter
-        (fun (k, _) ->
-          if Bytes.length k <> key_len then
-            invalid_arg
-              (Printf.sprintf "Ttree.bulk_load: direct scheme expects %d-byte keys, got %d"
-                 key_len (Bytes.length k)))
-        entries
-  | Layout.Indirect | Layout.Partial _ -> ());
-  for i = 1 to n - 1 do
-    if Key.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
-      invalid_arg "Ttree.bulk_load: keys must be strictly ascending"
-  done;
-  if n > 0 then
-    guarded t (fun () ->
-        let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
-        let cap = t.max_entries in
-        let c = max 1 (max t.min_internal (min cap (int_of_float (fill *. float_of_int cap)))) in
-        let m = (n + c - 1) / c in
-        (* Chunk [i] holds entries [i*c, min ((i+1)*c, n)). *)
-        let rec build clo chi ~base =
-          if clo >= chi then (null, 0)
-          else begin
-            let mid = (clo + chi) / 2 in
-            let start = mid * c in
-            let sz = min c (n - start) in
-            let node = alloc_node t in
-            for j = 0 to sz - 1 do
-              write_entry t node j ~key:(fst entries.(start + j)) ~rid:(snd entries.(start + j))
-            done;
-            set_num_keys t node sz;
-            if is_partial t then begin
-              fix_pk t node 0 ~base;
-              for j = 1 to sz - 1 do
-                fix_pk t node j ~base:None
-              done
-            end;
-            let k0 = Some (fst entries.(start)) in
-            let l, hl = build clo mid ~base:k0 in
-            let r, hr = build (mid + 1) chi ~base:k0 in
-            set_left t node l;
-            set_right t node r;
-            let h = 1 + max hl hr in
-            set_node_height t node h;
-            (node, h)
-          end
-        in
-        let root, _ = build 0 m ~base:None in
-        t.root <- root;
-        t.n_keys <- n)
-
-(* {2 Traversal} *)
-
-(* Lazy in-order cursor from the first key >= [from].  A frame
-   (node, i) means: emit entries [i..), then walk the node's right
-   subtree, then pop. *)
-let seq_from t from =
-  let rec push_spine node stack =
-    if node = null then stack else push_spine (left t node) ((node, 0) :: stack)
+  let cap = t.max_entries in
+  let c = max 1 (max t.min_internal (min cap (int_of_float (fill *. float_of_int cap)))) in
+  let m = (n + c - 1) / c in
+  (* Chunk [i] holds entries [i*c, min ((i+1)*c, n)). *)
+  let rec build clo chi ~base =
+    if clo >= chi then (null, 0)
+    else begin
+      let mid = (clo + chi) / 2 in
+      let start = mid * c in
+      let sz = min c (n - start) in
+      let node = alloc_node t in
+      for j = 0 to sz - 1 do
+        write_entry t node j ~key:(fst entries.(start + j)) ~rid:(snd entries.(start + j))
+      done;
+      set_num_keys t node sz;
+      if is_partial t then begin
+        fix_pk t node 0 ~base;
+        for j = 1 to sz - 1 do
+          fix_pk t node j ~base:None
+        done
+      end;
+      let k0 = Some (fst entries.(start)) in
+      let l, hl = build clo mid ~base:k0 in
+      let r, hr = build (mid + 1) chi ~base:k0 in
+      set_left t node l;
+      set_right t node r;
+      let h = 1 + max hl hr in
+      set_node_height t node h;
+      (node, h)
+    end
   in
-  let rec seek node stack =
-    if node = null then stack
+  let root, _ = build 0 m ~base:None in
+  t.root <- root;
+  t.n_keys <- n
+
+(* {2 Cursor primitives}
+
+   A frame (node, i) means: emit entries [i..), then walk the node's
+   right subtree, then pop. *)
+
+let rec push_spine t node stack =
+  if node = null then stack else push_spine t (left t node) ((node, 0) :: stack)
+
+let rec seek_from t from node stack =
+  if node = null then stack
+  else
+    let n = num_keys t node in
+    let c0, _ = Key.compare_detail from (entry_key t node 0) in
+    let cl, _ = Key.compare_detail from (entry_key t node (n - 1)) in
+    if c0 = Key.Lt then seek_from t from (left t node) ((node, 0) :: stack)
+    else if cl = Key.Gt then seek_from t from (right t node) stack
     else
-      let n = num_keys t node in
-      let c0, _ = Key.compare_detail from (entry_key t node 0) in
-      let cl, _ = Key.compare_detail from (entry_key t node (n - 1)) in
-      if c0 = Key.Lt then seek (left t node) ((node, 0) :: stack)
-      else if cl = Key.Gt then seek (right t node) stack
-      else
-        let pos, _ = locate t node from in
-        (node, pos) :: stack
-  in
-  let rec next stack () =
-    match stack with
-    | [] -> Seq.Nil
-    | (node, i) :: rest ->
-        if i >= num_keys t node then next (push_spine (right t node) rest) ()
-        else
-          let item = (entry_key t node i, rec_ptr t node i) in
-          Seq.Cons (item, next ((node, i + 1) :: rest))
-  in
-  next (seek t.root [])
-
-let iter t f =
-  let rec go node =
-    if node <> null then begin
-      go (left t node);
-      for i = 0 to num_keys t node - 1 do
-        f ~key:(entry_key t node i) ~rid:(rec_ptr t node i)
-      done;
-      go (right t node)
-    end
-  in
-  go t.root
-
-let range t ~lo ~hi f =
-  let rec go node =
-    if node <> null then begin
-      let n = num_keys t node in
-      let first = entry_key t node 0 in
-      let last = entry_key t node (n - 1) in
-      let c_lo_first, _ = Key.compare_detail first lo in
-      let c_hi_last, _ = Key.compare_detail last hi in
-      if c_lo_first <> Key.Lt then go (left t node);
-      for i = 0 to n - 1 do
-        let k = entry_key t node i in
-        let a, _ = Key.compare_detail k lo in
-        let b, _ = Key.compare_detail k hi in
-        if a <> Key.Lt && b <> Key.Gt then f ~key:k ~rid:(rec_ptr t node i)
-      done;
-      if c_hi_last <> Key.Gt then go (right t node)
-    end
-  in
-  go t.root
+      let pos, _ = locate t node from in
+      (node, pos) :: stack
 
 (* {2 Validation} *)
 
@@ -1040,22 +723,8 @@ let validate t =
           (match hi with
           | Some b when Key.compare k b >= 0 -> fail "node %d entry %d above range" node i
           | _ -> ());
-          if is_partial t then begin
-            let g = granularity t and l = l_bytes t in
-            let expect =
-              if i = 0 then
-                match base with
-                | None -> Partial_key.encode_initial g ~l_bytes:l ~key:k
-                | Some b -> Partial_key.encode g ~l_bytes:l ~base:b ~key:k
-              else Partial_key.encode g ~l_bytes:l ~base:keys.(i - 1) ~key:k
-            in
-            let got = Layout.read_pk t.reg (entry_addr t node i) ~granularity:g in
-            if
-              got.Partial_key.pk_off <> expect.Partial_key.pk_off
-              || got.Partial_key.pk_len <> expect.Partial_key.pk_len
-              || not (Bytes.equal got.Partial_key.pk_bits expect.Partial_key.pk_bits)
-            then fail "node %d entry %d: pk mismatch" node i
-          end)
+          if is_partial t then
+            Entries.check_pk t.ec node i ~key:k ~base:(if i = 0 then base else Some keys.(i - 1)))
         keys;
       let k0 = Some keys.(0) in
       let hl = walk (left t node) ~lo ~hi:(Some keys.(0)) ~base:k0 in
@@ -1070,3 +739,66 @@ let validate t =
   ignore (walk t.root ~lo:None ~hi:None ~base:None);
   if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys;
   if !nodes <> t.n_nodes then fail "node count mismatch: walked %d, recorded %d" !nodes t.n_nodes
+
+(* {2 Engine plug-in} *)
+
+module Structure = struct
+  type nonrec t = t
+  type snap = int * int * int
+
+  let name = "Ttree"
+  let region t = t.reg
+  let counters = cnt
+  let scratch t = t.sc
+  let root t = t.root
+  let save = save
+  let restore = restore
+  let insert = insert
+  let lookup = lookup
+  let delete = delete
+
+  let prepare_batch t keys n =
+    let sc = t.sc in
+    sc.Scratch.perm <- Engine.ensure_int sc.Scratch.perm n;
+    sc.Scratch.sign <- Engine.ensure_int sc.Scratch.sign n;
+    if is_partial t then begin
+      sc.Scratch.rel <- Engine.ensure_cmp sc.Scratch.rel n;
+      sc.Scratch.off <- Engine.ensure_int sc.Scratch.off n;
+      sc.Scratch.la <- Engine.ensure_int sc.Scratch.la n;
+      let g = Entries.granularity t.ec in
+      for i = 0 to n - 1 do
+        let rel, off = Partial_key.initial_state g keys.(i) in
+        sc.Scratch.rel.(i) <- rel;
+        sc.Scratch.off.(i) <- off
+      done
+    end
+
+  let descend t n = Tgroup.drive (tdriver t) t.root null 0 n
+
+  let check_load_key t k =
+    match t.cfg.scheme with
+    | Layout.Direct { key_len } ->
+        if Bytes.length k <> key_len then
+          invalid_arg
+            (Printf.sprintf "Ttree.bulk_load: direct scheme expects %d-byte keys, got %d" key_len
+               (Bytes.length k))
+    | Layout.Indirect | Layout.Partial _ -> ()
+
+  let load_sorted = load_sorted
+
+  let cursor_start t = function
+    | None -> push_spine t t.root []
+    | Some from -> seek_from t from t.root []
+
+  let frame_entries = num_keys
+  let frame_entry t node i = (entry_key t node i, rec_ptr t node i)
+  let advance _ node i rest = (node, i + 1) :: rest
+  let exhausted t node rest = push_spine t (right t node) rest
+  let count = count
+  let height = height
+  let node_count = node_count
+  let space_bytes = space_bytes
+  let validate = validate
+end
+
+include Engine.Make (Structure)

@@ -81,3 +81,7 @@ val validate : t -> unit
     disjointness, minimum occupancy of internal nodes, and — for the
     partial scheme — that every stored partial key re-derives from the
     record keys under the pkT base rules. *)
+
+val wrap : t -> tag:string -> Engine.ops
+(** The full access-path record over this tree, assembled by
+    {!module:Engine.Make}. *)

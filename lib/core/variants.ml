@@ -1,0 +1,17 @@
+(* A wider-l ablation point registered as a first-class scheme: the
+   whole cost of adding a variant is this registration. *)
+
+let l4 = Layout.Partial { granularity = Pk_partialkey.Partial_key.Byte; l_bytes = 4 }
+
+let () =
+  Index.Registry.register
+    {
+      Index.Registry.tag = "B/pk-byte-l4";
+      structure = "B";
+      entry_bytes = (fun _ -> Some (Layout.entry_size l4));
+      build =
+        (fun ?node_bytes ~key_len:_ mem records ->
+          Index.make ?node_bytes Index.B_tree l4 mem records);
+    }
+
+let ensure_registered () = ()

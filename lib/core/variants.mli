@@ -1,0 +1,9 @@
+(** Extra registered scheme variants beyond the paper's six.
+
+    Currently ["B/pk-byte-l4"]: a pkB-tree with 4-byte partial keys —
+    the l = 4 point of the paper's l-sweep (A2), runnable through every
+    registry-driven harness. *)
+
+val ensure_registered : unit -> unit
+(** No-op forcing this module's linkage so its registrations are
+    visible to enumerators. *)

@@ -9,6 +9,7 @@ module Machine = Pk_cachesim.Machine
 module Layout = Pk_core.Layout
 module Index = Pk_core.Index
 module Hybrid = Pk_core.Hybrid
+module Variants = Pk_core.Variants
 module Partial_key = Pk_partialkey.Partial_key
 module Workload = Pk_workload.Workload
 module Distribution = Pk_workload.Distribution
@@ -54,6 +55,32 @@ let build_schemes ?(machine = Machine.ultra30) ?tlb ~key_len ~alphabet ~n ~n_war
       Workload.load ds ix;
       { name; ix; env; warm; probe; probe_mask = padded - 1 })
     schemes
+
+(* {2 Registry-driven scheme selection}
+
+   [Hybrid] and [Variants] register their schemes at module
+   initialisation; referencing them here forces their linkage so every
+   registry enumeration below sees the full tag set. *)
+
+let ensure_registry () =
+  Hybrid.ensure_registered ();
+  Variants.ensure_registered ()
+
+let registry_schemes () =
+  ensure_registry ();
+  Index.Registry.all ()
+
+(* Resolve registry tags to (tag, env -> index) builders.  Unknown tags
+   fail up front with the list of valid tags. *)
+let builders_by_tag ?node_bytes ~key_len tags =
+  ensure_registry ();
+  List.map
+    (fun tag ->
+      let info = Index.Registry.get tag in
+      ( tag,
+        fun (env : Workload.env) ->
+          info.Index.Registry.build ?node_bytes ~key_len env.Workload.mem env.Workload.records ))
+    tags
 
 let cache_stats b = Workload.measure_cache b.env b.ix ~warm:b.warm ~probes:b.probe
 
