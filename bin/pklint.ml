@@ -1,0 +1,76 @@
+(* pklint — static invariant analyzer for the partial-key index repo.
+
+   Analyses the typed ASTs (.cmt) the dune build already produces and
+   enforces the hot-path, fault-safety and locking contracts: see
+   DESIGN.md §11 for the rule catalogue, the annotation vocabulary
+   ([@pklint.hot] / [@pklint.cold] / [@pklint.guarded] /
+   [@pklint.allow "rule-id"]) and the baseline workflow.
+
+   Usage: pklint [--json] [--baseline FILE] [--update-baseline]
+                 [--root DIR] [--rules id,id,...] [ROOTS...]
+
+   Default roots: lib bin examples.  Exit status: 0 clean, 1 findings
+   (or stale baseline entries), 2 usage error. *)
+
+module Lint = Pk_lint
+
+let () =
+  let json = ref false in
+  let baseline_file = ref "" in
+  let update = ref false in
+  let root = ref "" in
+  let rules_arg = ref "" in
+  let roots = ref [] in
+  let usage = "pklint [options] [roots...]  (default roots: lib bin examples)" in
+  let spec =
+    [
+      ("--json", Arg.Set json, " emit findings as JSON");
+      ("--baseline", Arg.Set_string baseline_file, "FILE subtract grandfathered findings");
+      ("--update-baseline", Arg.Set update, " rewrite the baseline file with current findings");
+      ("--root", Arg.Set_string root, "DIR chdir before analysing (repo or _build/default)");
+      ( "--rules",
+        Arg.Set_string rules_arg,
+        "IDS comma-separated rule subset (default: all registered rules)" );
+    ]
+  in
+  (try Arg.parse spec (fun r -> roots := r :: !roots) usage
+   with _ -> exit 2);
+  if String.length !root > 0 then Sys.chdir !root;
+  let roots = match List.rev !roots with [] -> [ "lib"; "bin"; "examples" ] | rs -> rs in
+  let rules =
+    if String.length !rules_arg = 0 then Lint.Registry.default_rules
+    else
+      List.map
+        (fun id ->
+          match Lint.Registry.find_rule id with
+          | Some r -> r
+          | None ->
+              Printf.eprintf "pklint: unknown rule %S (known: %s)\n" id
+                (String.concat ", " Lint.Registry.rule_ids);
+              exit 2)
+        (String.split_on_char ',' !rules_arg)
+  in
+  let baseline =
+    if String.length !baseline_file = 0 then [] else Lint.Baseline.load !baseline_file
+  in
+  let o = Lint.Driver.analyse ~rules ~baseline roots in
+  if o.Lint.Driver.units = 0 then begin
+    Printf.eprintf
+      "pklint: no compilation units found under %s — run `dune build` first (or pass --root)\n"
+      (String.concat " " roots);
+    exit 2
+  end;
+  if !update then begin
+    if String.length !baseline_file = 0 then begin
+      Printf.eprintf "pklint: --update-baseline requires --baseline FILE\n";
+      exit 2
+    end;
+    Lint.Baseline.save !baseline_file (o.Lint.Driver.findings @ o.Lint.Driver.baselined);
+    Printf.printf "pklint: baseline %s rewritten (%d entries)\n" !baseline_file
+      (List.length o.Lint.Driver.findings + List.length o.Lint.Driver.baselined)
+  end
+  else begin
+    if !json then Lint.Driver.render_json Format.std_formatter o
+    else Lint.Driver.render_human Format.std_formatter o;
+    if List.length o.Lint.Driver.findings > 0 || List.length o.Lint.Driver.stale > 0 then exit 1
+  end

@@ -55,7 +55,7 @@ let align_up off align = (off + align - 1) land lnot (align - 1)
 
 (* {2 Undo journal} *)
 
-let in_txn t = t.txn <> None
+let in_txn t = Option.is_some t.txn
 
 let begin_txn t =
   if in_txn t then invalid_arg "Arena.begin_txn: transaction already open";

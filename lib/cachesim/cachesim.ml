@@ -93,7 +93,7 @@ let make_tlb tcfg =
   }
 
 let create conf =
-  if conf.levels = [] then invalid_arg "Cachesim.create: no levels";
+  (match conf.levels with [] -> invalid_arg "Cachesim.create: no levels" | _ :: _ -> ());
   let levels_arr = Array.of_list (List.map make_level conf.levels) in
   let min_block =
     Array.fold_left (fun acc l -> min acc l.cfg.block_bytes) max_int levels_arr
@@ -267,7 +267,7 @@ let diff ~before ~after =
   }
 
 let misses snap ~level =
-  let found = Array.to_list snap.per_level |> List.find_opt (fun c -> c.name = level) in
+  let found = Array.to_list snap.per_level |> List.find_opt (fun c -> String.equal c.name level) in
   match found with Some c -> c.misses | None -> raise Not_found
 
 let pp_snapshot ppf snap =

@@ -72,13 +72,13 @@ let by_name s =
   let target = norm s in
   List.find_opt
     (fun m ->
-      norm m.machine_name = target
-      || (target = "ultra30" && m == ultra30)
-      || (target = "ultra60" && m == ultra60)
-      || (target = "pentium3" && m == pentium3)
-      || (target = "piii" && m == pentium3)
-      || (target = "pentium3e" && m == pentium3e)
-      || (target = "piiie" && m == pentium3e))
+      String.equal (norm m.machine_name) target
+      || (String.equal target "ultra30" && m == ultra30)
+      || (String.equal target "ultra60" && m == ultra60)
+      || (String.equal target "pentium3" && m == pentium3)
+      || (String.equal target "piii" && m == pentium3)
+      || (String.equal target "pentium3e" && m == pentium3e)
+      || (String.equal target "piiie" && m == pentium3e))
     all
 
 let to_config ?tlb m : Cachesim.config =

@@ -14,13 +14,20 @@ module KMap = Map.Make (struct
   let compare = Key.compare
 end)
 
+(* Monomorphic equality for the differential checks against the
+   oracle — polymorphic [=] on keys would bypass the instrumented
+   comparators. *)
+let rid_opt_eq = Option.equal Int.equal
+let kv_eq (k1, r1) (k2, r2) = Key.compare k1 k2 = 0 && Int.equal r1 r2
+let kv_list_eq = List.equal kv_eq
+
 type tree = T | B | PkT | PkB | Prefix
 
 let all_trees = [ T; B; PkT; PkB; Prefix ]
 let tree_tag = function T -> "T" | B -> "B" | PkT -> "pkT" | PkB -> "pkB" | Prefix -> "prefix"
 
 let tree_of_tag tag =
-  match List.find_opt (fun t -> tree_tag t = tag) all_trees with
+  match List.find_opt (fun t -> String.equal (tree_tag t) tag) all_trees with
   | Some t -> t
   | None ->
       invalid_arg
@@ -138,12 +145,16 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
     Fault.pause (fun () ->
         let got = ix.Index.lookup key in
         let want = KMap.find_opt key !oracle in
-        if got <> want then
+        if not (rid_opt_eq got want) then
           fail ~op "%s: lookup %s returned %s, oracle says %s" what (Key.to_hex key)
             (match got with None -> "None" | Some r -> string_of_int r)
             (match want with None -> "None" | Some r -> string_of_int r))
   in
-  let attempt f = try Ok (f ()) with Fault.Injected site -> Error site in
+  (* The chaos harness is the designated consumer of injected faults:
+     it records the site and differentially validates the unwind. *)
+  let attempt f =
+    (try Ok (f ()) with Fault.Injected site -> Error site) [@pklint.allow "no-swallow"]
+  in
   (* Bulk-seeded schedules: load a sorted slice of the pool bottom-up
      before the operation stream starts.  The loader runs with faults
      armed; an injected abort must leave the index empty and valid. *)
@@ -251,7 +262,7 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
         Array.iteri
           (fun i got ->
             let want = KMap.find_opt keys.(i) !oracle in
-            if got <> want then
+            if not (rid_opt_eq got want) then
               fail ~op "lookup_batch slot %d (%s) returned %s, oracle says %s" i
                 (Key.to_hex keys.(i))
                 (match got with None -> "None" | Some r -> string_of_int r)
@@ -315,7 +326,7 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
       match attempt (fun () -> ix.Index.lookup key) with
       | Ok got ->
           let want = KMap.find_opt key !oracle in
-          if got <> want then
+          if not (rid_opt_eq got want) then
             fail ~op "lookup %s returned %s, oracle says %s" (Key.to_hex key)
               (match got with None -> "None" | Some r -> string_of_int r)
               (match want with None -> "None" | Some r -> string_of_int r)
@@ -339,7 +350,7 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
           let acc = ref [] in
           ix.Index.range ~lo ~hi (fun ~key ~rid -> acc := (key, rid) :: !acc);
           let got = List.rev !acc in
-          if got <> want then
+          if not (kv_list_eq got want) then
             fail ~op "range [%s, %s]: %d results, oracle has %d" (Key.to_hex lo)
               (Key.to_hex hi) (List.length got) (List.length want))
     end
@@ -355,13 +366,13 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
       let acc = ref [] in
       ix.Index.iter (fun ~key ~rid -> acc := (key, rid) :: !acc);
       let got = List.rev !acc in
-      if got <> want then fail ~op:ops "full iteration diverges from oracle";
+      if not (kv_list_eq got want) then fail ~op:ops "full iteration diverges from oracle";
       let from = pool.(Prng.int rng n_pool) in
       let want_suffix = List.filter (fun (k, _) -> Key.compare k from >= 0) want in
       let got_suffix =
         List.of_seq (Seq.take (List.length want_suffix + 1) (ix.Index.seq_from from))
       in
-      if got_suffix <> want_suffix then
+      if not (kv_list_eq got_suffix want_suffix) then
         fail ~op:ops "seq_from %s diverges from oracle" (Key.to_hex from));
   { ops; applied = !applied; injected = !injected; validations = !validations }
 

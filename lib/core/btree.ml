@@ -331,7 +331,7 @@ let lookup t search =
 
 (* Binary search for [probe]; [lnot pos] (negative) encodes an exact
    match at [pos], a non-negative result is the child slot. *)
-let rec plain_locate t node probe lo hi =
+let[@pklint.hot] rec plain_locate t node probe lo hi =
   if lo >= hi then lo
   else
     let mid = (lo + hi) / 2 in

@@ -55,37 +55,37 @@ let fill_perm perm n =
    The sort is written as top-level recursive functions — no closures,
    no [ref] cells — so a batch lookup performs no heap allocation. *)
 
-let[@inline] cmp_slot (keys : Key.t array) a b =
+let[@inline] [@pklint.hot] cmp_slot (keys : Key.t array) a b =
   let c = Key.compare keys.(a) keys.(b) in
   if c <> 0 then c else a - b
 
-let[@inline] swap (perm : int array) i j =
+let[@inline] [@pklint.hot] swap (perm : int array) i j =
   let tmp = perm.(i) in
   perm.(i) <- perm.(j);
   perm.(j) <- tmp
 
-let rec shift_down keys perm lo j v =
+let[@pklint.hot] rec shift_down keys perm lo j v =
   if j >= lo && cmp_slot keys perm.(j) v > 0 then begin
     perm.(j + 1) <- perm.(j);
     shift_down keys perm lo (j - 1) v
   end
   else perm.(j + 1) <- v
 
-let rec insertion_sort keys perm lo hi i =
+let[@pklint.hot] rec insertion_sort keys perm lo hi i =
   if i < hi then begin
     shift_down keys perm lo (i - 1) perm.(i);
     insertion_sort keys perm lo hi (i + 1)
   end
 
-let rec scan_up keys perm pivot i =
+let[@pklint.hot] rec scan_up keys perm pivot i =
   if cmp_slot keys perm.(i) pivot < 0 then scan_up keys perm pivot (i + 1) else i
 
-let rec scan_down keys perm pivot j =
+let[@pklint.hot] rec scan_down keys perm pivot j =
   if cmp_slot keys perm.(j) pivot > 0 then scan_down keys perm pivot (j - 1) else j
 
 (* Hoare partition over the pivot *value*; terminates because slots are
    distinct, so sentinels (>= pivot up, <= pivot down) always exist. *)
-let rec partition keys perm pivot i j =
+let[@pklint.hot] rec partition keys perm pivot i j =
   let i = scan_up keys perm pivot i in
   let j = scan_down keys perm pivot j in
   if i >= j then j
@@ -94,7 +94,7 @@ let rec partition keys perm pivot i j =
     partition keys perm pivot (i + 1) (j - 1)
   end
 
-let rec qsort keys perm lo hi =
+let[@pklint.hot] rec qsort keys perm lo hi =
   if hi - lo <= 16 then insertion_sort keys perm lo hi (lo + 1)
   else begin
     let mid = lo + ((hi - lo) / 2) in
@@ -107,7 +107,7 @@ let rec qsort keys perm lo hi =
     qsort keys perm (j + 1) hi
   end
 
-let sort_perm keys perm n = qsort keys perm 0 n
+let[@pklint.hot] sort_perm keys perm n = qsort keys perm 0 n
 
 (* {2 Option-layer adapters} *)
 
@@ -221,7 +221,9 @@ module Entries = struct
      [base] is the base key for entry 0 (None = virtual zero key);
      other entries use their predecessor.  The caller has checked the
      scheme is partial. *)
-  let fix_pk c node i ~n ~base =
+  (* Only called from tree split/merge/insert bodies below an
+     established guard — audited escape. *)
+  let[@pklint.guarded] fix_pk c node i ~n ~base =
     if i >= 0 && i < n then begin
       let g = granularity c and l = l_bytes c in
       let key = entry_key c node i in
@@ -254,7 +256,7 @@ module Entries = struct
         got.Partial_key.pk_off expect.Partial_key.pk_off got.Partial_key.pk_len
         expect.Partial_key.pk_len
 
-  let blit_entries c ~src ~src_i ~dst ~dst_i ~n =
+  let[@pklint.guarded] blit_entries c ~src ~src_i ~dst ~dst_i ~n =
     if n > 0 then
       if src = dst then
         Mem.move c.reg ~src_off:(entry_addr c src src_i) ~dst_off:(entry_addr c dst dst_i)
@@ -265,7 +267,7 @@ module Entries = struct
 
   (* Write the payload of entry [i] (record pointer + inline key for
      the direct scheme); partial-key fields are fixed separately. *)
-  let write_entry c node i ~key ~rid =
+  let[@pklint.guarded] write_entry c node i ~key ~rid =
     let a = entry_addr c node i in
     Layout.set_rec_ptr c.reg a rid;
     match c.scheme with
@@ -308,7 +310,7 @@ module Entries = struct
     (Key.flip r, d)
 
   (* Sign of c(probe, entry i), allocation-free (plain schemes only). *)
-  let probe_sign c node probe i =
+  let[@pklint.hot] probe_sign c node probe i =
     match c.scheme with
     | Layout.Direct { key_len } ->
         -Mem.compare_sign c.reg
@@ -372,7 +374,7 @@ module Entries = struct
       | Pk_compare.Need_units ->
           Layout.resolve_pk_units c.reg a0 ~scheme_granularity:(granularity c) ~search ~rel ~off
     in
-    if r = Key.Eq then deref_entry c node search 0 else (r, o)
+    match r with Key.Eq -> deref_entry c node search 0 | Key.Lt | Key.Gt -> (r, o)
 end
 
 (* {2 Group descent over child-partitioned trees}
@@ -404,7 +406,7 @@ module Group = struct
 
   (* [run_from]/[run_child]: pending run of sorted probes that fall
      into the same child ([run_child = -1] = no pending run). *)
-  let rec drive r node lo hi =
+  let[@pklint.hot] rec drive r node lo hi =
     r.visit ();
     let n = r.num_keys node in
     if r.is_leaf node then
@@ -427,9 +429,11 @@ module Group = struct
         scan r node n hi (p + 1) p ci
       end
     end
+  [@@pklint.hot]
 
   and flush r node upto run_from run_child =
     if run_child >= 0 && upto > run_from then drive r (r.child node run_child) run_from upto
+  [@@pklint.hot]
 end
 
 (* {2 Group descent over binary (T-tree) structures}
@@ -453,13 +457,13 @@ module Tgroup = struct
 
   (* Segment boundaries over the sorted batch, reading the per-probe
      signs left by the node pass. *)
-  let rec bound_neg sc p hi =
+  let[@pklint.hot] rec bound_neg sc p hi =
     if p < hi && sc.Scratch.sign.(sc.Scratch.perm.(p)) < 0 then bound_neg sc (p + 1) hi else p
 
-  let rec bound_zero sc p hi =
+  let[@pklint.hot] rec bound_zero sc p hi =
     if p < hi && sc.Scratch.sign.(sc.Scratch.perm.(p)) = 0 then bound_zero sc (p + 1) hi else p
 
-  let rec drive d node la lo hi =
+  let[@pklint.hot] rec drive d node la lo hi =
     if lo < hi then
       if node = null then
         for p = lo to hi - 1 do
@@ -563,9 +567,9 @@ end
 module Make (S : STRUCTURE) = struct
   let guarded t f = guarded ~reg:(S.region t) ~save:(fun () -> S.save t) ~restore:(S.restore t) f
 
-  let lookup_into t keys out =
+  let[@pklint.hot] lookup_into t keys out =
     let n = Array.length keys in
-    if Array.length out < n then invalid_arg (S.name ^ ".lookup_into: result array too small");
+    if Array.length out < n then invalid_arg (S.name ^ ".lookup_into: result array too small") [@pklint.cold];
     if n > 0 then
       if S.root t = null then
         for i = 0 to n - 1 do

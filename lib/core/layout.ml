@@ -22,11 +22,14 @@ let entry_size = function
   | Partial { l_bytes; _ } -> 8 + 4 + l_bytes
 
 let rec_ptr reg a = Mem.read_u64 reg a
-let set_rec_ptr reg a v = Mem.write_u64 reg a v
+(* The three write primitives below are only reached from the
+   trees' insert/delete/bulk-load bodies, each of which runs inside
+   [Engine.guarded] — audited escape, see DESIGN.md Â§11. *)
+let[@pklint.guarded] set_rec_ptr reg a v = Mem.write_u64 reg a v
 
 let read_direct_key reg a ~key_len = Mem.read_bytes reg ~off:(a + 8) ~len:key_len
 
-let write_direct_key reg a key =
+let[@pklint.guarded] write_direct_key reg a key =
   Mem.write_bytes reg ~off:(a + 8) ~src:key ~src_off:0 ~len:(Bytes.length key)
 
 let compare_direct reg a ~key_len probe =
@@ -60,7 +63,7 @@ let read_pk_len reg a = Mem.read_u8 reg (a + pk_len_at)
 let read_pk_first_byte reg a =
   if read_pk_len reg a = 0 then -1 else Mem.read_u8 reg (a + pk_bits_at)
 
-let write_pk reg a ~l_bytes (pk : Partial_key.t) =
+let[@pklint.guarded] write_pk reg a ~l_bytes (pk : Partial_key.t) =
   if pk.pk_off > 0xffff then invalid_arg "Layout.write_pk: pk_off exceeds u16 (key too long)";
   if pk.pk_len > 0xff then invalid_arg "Layout.write_pk: pk_len exceeds u8";
   Mem.write_u16 reg (a + pk_off_at) pk.pk_off;

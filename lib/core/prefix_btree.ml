@@ -260,7 +260,7 @@ let router t =
    prefix through its first byte of difference from a. *)
 let truncated_separator a b =
   let c, d = Key.compare_detail a b in
-  assert (c = Key.Lt);
+  assert (match c with Key.Lt -> true | Key.Eq | Key.Gt -> false);
   Bytes.sub b 0 (min (Bytes.length b) (d + 1))
 
 (* {2 Insert} *)
@@ -561,7 +561,9 @@ let load_sorted t ~fill entries =
   in
   for i = 0 to n - 1 do
     let e = entries.(i) in
-    if !group <> [] && packed_size (List.rev (e :: !group)) > budget then flush_leaf ();
+    if (match !group with [] -> false | _ :: _ -> true)
+       && packed_size (List.rev (e :: !group)) > budget
+    then flush_leaf ();
     group := e :: !group
   done;
   flush_leaf ();
@@ -729,7 +731,8 @@ let validate t =
         leaves_in_order := node :: !leaves_in_order
       end
       else begin
-        if keys = [] && node <> t.root then fail "internal node %d with no separators" node;
+        if (match keys with [] -> true | _ :: _ -> false) && node <> t.root then
+          fail "internal node %d with no separators" node;
         let seps = read_entries t node in
         let bounds =
           (lo :: List.map (fun (s, _) -> Some s) seps)
@@ -756,7 +759,8 @@ let validate t =
       end
     in
     follow (leftmost_leaf t t.root);
-    if List.rev !chain <> List.rev !leaves_in_order then fail "leaf chain broken"
+    if not (List.equal Int.equal (List.rev !chain) (List.rev !leaves_in_order)) then
+      fail "leaf chain broken"
   end
 
 (* {2 Engine assembly} *)

@@ -441,15 +441,14 @@ let rec delete_rec t node key ~base =
     let c0, _ = Key.compare_detail key (entry_key t node 0) in
     let cl, _ = if n = 0 then (Key.Gt, 0) else Key.compare_detail key (entry_key t node (n - 1)) in
     let node =
-      if c0 = Key.Lt then begin
+      match (c0, cl) with
+      | Key.Lt, _ ->
         set_left t node (delete_rec t (left t node) key ~base:(Some (entry_key t node 0)));
         node
-      end
-      else if cl = Key.Gt then begin
+      | _, Key.Gt ->
         set_right t node (delete_rec t (right t node) key ~base:(Some (entry_key t node 0)));
         node
-      end
-      else begin
+      | _ -> begin
         let pos, found = locate t node key in
         if not found then raise Not_present;
         remove_at t node pos;
@@ -558,7 +557,7 @@ let lookup t search =
    in-ancestor search and allocates only comparison pairs. *)
 
 (* Binary search among entries [lo, hi) of [node]; rid or -1. *)
-let rec tresolve t node probe lo hi =
+let[@pklint.hot] rec tresolve t node probe lo hi =
   if lo >= hi then -1
   else
     let mid = (lo + hi) / 2 in
@@ -687,9 +686,10 @@ let rec seek_from t from node stack =
     let n = num_keys t node in
     let c0, _ = Key.compare_detail from (entry_key t node 0) in
     let cl, _ = Key.compare_detail from (entry_key t node (n - 1)) in
-    if c0 = Key.Lt then seek_from t from (left t node) ((node, 0) :: stack)
-    else if cl = Key.Gt then seek_from t from (right t node) stack
-    else
+    match (c0, cl) with
+    | Key.Lt, _ -> seek_from t from (left t node) ((node, 0) :: stack)
+    | _, Key.Gt -> seek_from t from (right t node) stack
+    | _ ->
       let pos, _ = locate t node from in
       (node, pos) :: stack
 

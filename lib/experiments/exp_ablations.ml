@@ -67,7 +67,7 @@ let run_a1 () =
   | Some three ->
       let best =
         Hashtbl.fold
-          (fun (n, _) v acc -> if n = "pkB" then Float.min v acc else acc)
+          (fun (n, _) v acc -> if String.equal n "pkB" then Float.min v acc else acc)
           results Float.infinity
       in
       shape_check "3-block pkB nodes within 20% of the best node size" (three <= best *. 1.20)
@@ -122,7 +122,7 @@ let run_a2 () =
               fmt_f cs.Workload.l2_per_op;
               fmt_f cs.Workload.derefs_per_op;
               fmt_f ~d:0 (List.assoc b.name walls);
-              string_of_int (Layout.entry_size (Layout.Partial { granularity = (if granularity = "bit" then Partial_key.Bit else Partial_key.Byte); l_bytes = int_of_string l }));
+              string_of_int (Layout.entry_size (Layout.Partial { granularity = (if String.equal granularity "bit" then Partial_key.Bit else Partial_key.Byte); l_bytes = int_of_string l }));
             ])
         builts;
       Tables.add_separator t)
@@ -229,7 +229,7 @@ let run_a4 () =
         Tables.add_row t
           [
             b.name;
-            (if String.length b.name > 4 && String.sub b.name (String.length b.name - 3) 3 = "-4B"
+            (if String.length b.name > 4 && String.equal (String.sub b.name (String.length b.name - 3) 3) "-4B"
              then "4" else "28");
             fmt_f cs.Workload.l2_per_op;
             string_of_int (b.ix.Index.height ());
@@ -366,7 +366,7 @@ let run_a7 () =
           Tables.add_row t
             [
               string_of_int key_len;
-              (if name = "hybrid" then ix.Index.tag else name);
+              (if String.equal name "hybrid" then ix.Index.tag else name);
               fmt_f ~d:0 wall;
               fmt_f cs.Workload.l2_per_op;
               fmt_f ~d:1
@@ -664,7 +664,7 @@ let run_a9 () =
                   ("incremental_ms", Json_out.Float incr_ms);
                   ("bulk_ms", Json_out.Float bulk_ms);
                   ("fill", Json_out.Float fill);
-                  ("valid", Json_out.Bool (valid = "ok"));
+                  ("valid", Json_out.Bool (String.equal valid "ok"));
                   ("height_incremental", Json_out.Int (ix_inc.Index.height ()));
                   ("height_bulk", Json_out.Int (ix_bulk.Index.height ()));
                 ] );
@@ -702,11 +702,11 @@ let run_a9 () =
         let incr_ms, bulk_ms, valid = Hashtbl.find builds s in
         shape_check
           (Printf.sprintf "bottom-up bulk load beats incremental build for %s" s)
-          (valid = "ok" && bulk_ms < incr_ms)
+          (String.equal valid "ok" && bulk_ms < incr_ms)
       end)
     [ "pkB"; "B-direct" ];
   shape_check "every bulk-loaded index passes deep validation"
-    (Hashtbl.fold (fun _ (_, _, v) acc -> acc && v = "ok") builds true)
+    (Hashtbl.fold (fun _ (_, _, v) acc -> acc && String.equal v "ok") builds true)
 
 let register () =
   let reg id title paper_ref run = Experiment.register { Experiment.id; title; paper_ref; run } in

@@ -1,0 +1,15 @@
+(** Ablation experiments A1-A9: sensitivity of the partial-key designs
+    to node size, [l], granularity, scheme and workload parameters.
+    Each [run_*] prints its table(s) and records shape checks;
+    [register] adds them all to {!Pk_harness.Experiment}. *)
+
+val run_a1 : unit -> unit
+val run_a2 : unit -> unit
+val run_a3 : unit -> unit
+val run_a4 : unit -> unit
+val run_a5 : unit -> unit
+val run_a6 : unit -> unit
+val run_a7 : unit -> unit
+val run_a8 : unit -> unit
+val run_a9 : unit -> unit
+val register : unit -> unit

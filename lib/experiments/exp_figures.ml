@@ -101,7 +101,7 @@ let run_f9 ~alphabet ~key_sizes () =
     (List.for_all
        (fun k ->
          List.for_all
-           (fun (name, _, _) -> name = "T-indirect" || l2 "T-indirect" k >= l2 name k)
+           (fun (name, _, _) -> String.equal name "T-indirect" || l2 "T-indirect" k >= l2 name k)
            (Index.paper_schemes ~key_len:k ()))
        key_sizes);
   shape_check "pk L2 misses roughly flat in key size (<35% growth)"
@@ -163,7 +163,7 @@ let run_f10a () =
           let cs = cache_stats b in
           let wall = List.assoc b.name walls in
           Hashtbl.replace best (alphabet, b.name) cs.Workload.l2_per_op;
-          let offsets = if String.length b.name >= 8 && String.sub b.name 4 3 = "bit" then "bit" else "byte" in
+          let offsets = if String.length b.name >= 8 && String.equal (String.sub b.name 4 3) "bit" then "bit" else "byte" in
           let l_str =
             match String.rindex_opt b.name '=' with
             | Some j -> String.sub b.name (j + 1) (String.length b.name - j - 1)
@@ -172,7 +172,7 @@ let run_f10a () =
           Tables.add_row t
             [
               entropy_tag alphabet;
-              (if String.length b.name >= 3 && String.sub b.name 0 3 = "pkT" then "pkT" else "pkB");
+              (if String.length b.name >= 3 && String.equal (String.sub b.name 0 3) "pkT" then "pkT" else "pkB");
               l_str;
               offsets;
               fmt_f cs.Workload.l2_per_op;
@@ -192,7 +192,8 @@ let run_f10a () =
       let m_all =
         Hashtbl.fold
           (fun (a', n) v acc ->
-            if a' = a && String.length n >= 3 && String.sub n 0 3 = "pkB" then Float.min v acc
+            if a' = a && String.length n >= 3 && String.equal (String.sub n 0 3) "pkB" then
+              Float.min v acc
             else acc)
           best Float.infinity
       in

@@ -1,0 +1,8 @@
+(** Reproductions of the paper's figures 9 and 10 (L2 misses per
+    lookup vs key length and vs [l]).  [register] adds them to
+    {!Pk_harness.Experiment}. *)
+
+val run_f9 : alphabet:int -> key_sizes:int list -> unit -> unit
+val run_f10a : unit -> unit
+val run_f10b : unit -> unit
+val register : unit -> unit

@@ -1,0 +1,10 @@
+(** Reproduction of the paper's machine-characterisation tables
+    (pointer-chase latencies per cache level).  [register] adds the
+    experiment to {!Pk_harness.Experiment}. *)
+
+val chase : Bench_common.Cachesim.t -> block:int -> set_bytes:int -> accesses:int -> float
+(** Average simulated cycles per dependent access when chasing through
+    a working set of [set_bytes] with stride [block]. *)
+
+val run : unit -> unit
+val register : unit -> unit

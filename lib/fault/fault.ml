@@ -29,7 +29,7 @@ let state_of site =
 
 let refresh_active () =
   active :=
-    Hashtbl.fold (fun _ s acc -> acc || s.sched <> None) table false && not !paused
+    Hashtbl.fold (fun _ s acc -> acc || Option.is_some s.sched) table false && not !paused
 
 let arm site sched =
   (match sched with
@@ -99,7 +99,7 @@ let total_injections () = Hashtbl.fold (fun _ s acc -> acc + s.injected) table 0
 
 let sites () =
   Hashtbl.fold (fun name s acc -> (name, s.hit_count, s.injected) :: acc) table []
-  |> List.sort compare
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
 
 let unwind_enabled () = !unwind
 let set_unwind b = unwind := b

@@ -3,7 +3,7 @@ type t = { id : string; title : string; paper_ref : string; run : unit -> unit }
 let registry : t list ref = ref []
 
 let register e =
-  if List.exists (fun e' -> e'.id = e.id) !registry then
+  if List.exists (fun e' -> String.equal e'.id e.id) !registry then
     invalid_arg ("Experiment.register: duplicate id " ^ e.id);
   registry := !registry @ [ e ]
 
@@ -11,7 +11,7 @@ let all () = !registry
 
 let find id =
   let id = String.lowercase_ascii id in
-  List.find_opt (fun e -> String.lowercase_ascii e.id = id) !registry
+  List.find_opt (fun e -> String.equal (String.lowercase_ascii e.id) id) !registry
 
 let banner e =
   let line = String.make 72 '=' in

@@ -1,0 +1,38 @@
+(* Grandfathered findings.  One finding key per line
+   (rule<TAB>file<TAB>binding); '#' comments and blank lines ignored.
+   A committed baseline lets the lint gate on *new* findings while the
+   grandfathered ones are burned down; every entry must be justified in
+   DESIGN.md §11. *)
+
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let keys = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if String.length line > 0 && line.[0] <> '#' then keys := line :: !keys
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !keys
+  end
+
+let save path findings =
+  let oc = open_out path in
+  output_string oc "# pklint baseline: grandfathered findings (rule<TAB>file<TAB>binding).\n";
+  output_string oc "# Regenerate with `pklint --update-baseline`; justify entries in DESIGN.md.\n";
+  List.iter (fun f -> output_string oc (Finding.key f ^ "\n")) findings;
+  close_out oc
+
+(* Partition into (new, baselined); also report stale baseline keys
+   that no longer match any finding. *)
+let apply keys findings =
+  let fresh, old =
+    List.partition (fun f -> not (List.exists (String.equal (Finding.key f)) keys)) findings
+  in
+  let stale =
+    List.filter (fun k -> not (List.exists (fun f -> String.equal (Finding.key f) k) findings)) keys
+  in
+  (fresh, old, stale)

@@ -1,0 +1,13 @@
+(** Grandfathered findings: one {!Finding.key} per line, ['#'] comments
+    and blank lines ignored.  A committed baseline lets the lint gate
+    on new findings while grandfathered ones are burned down. *)
+
+val load : string -> string list
+(** Keys from a baseline file; [[]] when the file does not exist. *)
+
+val save : string -> Finding.t list -> unit
+
+val apply : string list -> Finding.t list -> Finding.t list * Finding.t list * string list
+(** [apply keys findings] is [(fresh, baselined, stale)]: findings not
+    in the baseline, findings matched by it, and baseline keys that no
+    longer match anything. *)

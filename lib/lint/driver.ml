@@ -1,0 +1,74 @@
+(* Finds cmt artifacts under the dune build tree, loads them, runs the
+   registry, applies the baseline, and renders.  The driver is invoked
+   from the repository root (or _build/default via the @lint alias):
+   roots are source directories like "lib"; cmts live in the
+   .<lib>.objs/byte (libraries) and .<exe>.eobjs/byte (executables)
+   subdirectories dune maintains next to the sources. *)
+
+let build_prefix = "_build/default/"
+
+(* Recursively collect *.cmt files under [dir]. *)
+let rec find_cmts dir acc =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then acc
+  else
+    Array.fold_left
+      (fun acc entry ->
+        let p = Filename.concat dir entry in
+        if Sys.is_directory p then find_cmts p acc
+        else if Filename.check_suffix entry ".cmt" then p :: acc
+        else acc)
+      acc (Sys.readdir dir)
+
+(* Load every distinct implementation unit under [roots] (source-dir
+   names, resolved against _build/default when present). *)
+let load_units roots =
+  let resolve r = if Sys.file_exists (build_prefix ^ r) then build_prefix ^ r else r in
+  let cmt_paths = List.concat_map (fun r -> find_cmts (resolve r) []) roots in
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun p ->
+      match Helpers.load p with
+      | Some cmt when not (Hashtbl.mem seen cmt.Helpers.src) ->
+          Hashtbl.replace seen cmt.Helpers.src ();
+          Some cmt
+      | _ -> None)
+    (List.sort String.compare cmt_paths)
+
+type outcome = {
+  findings : Finding.t list;  (* new findings (not baselined) *)
+  baselined : Finding.t list;
+  stale : string list;  (* baseline keys matching nothing *)
+  units : int;
+}
+
+let analyse ?(rules = Registry.default_rules) ?(baseline = []) roots =
+  let cmts = load_units roots in
+  let all = Registry.run rules cmts in
+  let fresh, old, stale = Baseline.apply baseline all in
+  { findings = fresh; baselined = old; stale; units = List.length cmts }
+
+let render_human ppf o =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) o.findings;
+  List.iter (fun k -> Format.fprintf ppf "stale baseline entry: %s@." k) o.stale;
+  Format.fprintf ppf "pklint: %d unit%s analysed, %d finding%s"
+    o.units
+    (if o.units = 1 then "" else "s")
+    (List.length o.findings)
+    (if List.length o.findings = 1 then "" else "s");
+  if List.length o.baselined > 0 then Format.fprintf ppf " (%d baselined)" (List.length o.baselined);
+  Format.fprintf ppf "@."
+
+let render_json ppf o =
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf "  \"units\": %d,@." o.units;
+  Format.fprintf ppf "  \"findings\": [";
+  List.iteri
+    (fun i f -> Format.fprintf ppf "%s@.    %s" (if i = 0 then "" else ",") (Finding.to_json f))
+    o.findings;
+  if List.length o.findings > 0 then Format.fprintf ppf "@.  ";
+  Format.fprintf ppf "],@.";
+  Format.fprintf ppf "  \"baselined\": %d,@." (List.length o.baselined);
+  Format.fprintf ppf "  \"stale_baseline\": [%s]@."
+    (String.concat ", "
+       (List.map (fun k -> "\"" ^ Finding.json_escape k ^ "\"") o.stale));
+  Format.fprintf ppf "}@."

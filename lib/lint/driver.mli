@@ -1,0 +1,18 @@
+(** Cmt discovery under the dune build tree, rule execution, baseline
+    application and rendering. *)
+
+val load_units : string list -> Helpers.cmt list
+(** Load every distinct implementation unit under the given source
+    roots (resolved against [_build/default] when present). *)
+
+type outcome = {
+  findings : Finding.t list;  (** New findings (not baselined). *)
+  baselined : Finding.t list;
+  stale : string list;  (** Baseline keys matching nothing. *)
+  units : int;
+}
+
+val analyse : ?rules:Rule.t list -> ?baseline:string list -> string list -> outcome
+
+val render_human : Format.formatter -> outcome -> unit
+val render_json : Format.formatter -> outcome -> unit

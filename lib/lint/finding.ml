@@ -1,0 +1,49 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  name : string;  (* enclosing binding, dotted module path *)
+  message : string;
+}
+
+let v ~rule ~file ~loc ~name message =
+  let pos = loc.Location.loc_start in
+  { rule; file; line = pos.Lexing.pos_lnum; col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol; name; message }
+
+(* Stable identity for baselining: no line/column, so findings survive
+   unrelated edits to the same file. *)
+let key f = Printf.sprintf "%s\t%s\t%s" f.rule f.file f.name
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf f =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s: %s" f.file f.line f.col f.rule f.name f.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"name":"%s","message":"%s"}|}
+    (json_escape f.rule) (json_escape f.file) f.line f.col (json_escape f.name)
+    (json_escape f.message)

@@ -1,0 +1,21 @@
+(** A single pklint diagnostic. *)
+
+type t = {
+  rule : string;  (** Rule id, e.g. ["no-poly-compare"]. *)
+  file : string;  (** Source path as recorded in the cmt. *)
+  line : int;
+  col : int;
+  name : string;  (** Enclosing binding, dotted module path. *)
+  message : string;
+}
+
+val v : rule:string -> file:string -> loc:Location.t -> name:string -> string -> t
+
+val key : t -> string
+(** Stable identity used by the baseline: rule, file and binding name
+    only — findings survive unrelated edits to the same file. *)
+
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val json_escape : string -> string
+val to_json : t -> string

@@ -1,0 +1,222 @@
+(* Shared machinery for the pklint rules: cmt loading, [Path]
+   normalisation, the [@pklint.*] attribute vocabulary, and the
+   structure-level binding walk every rule starts from. *)
+
+open Typedtree
+
+(* {2 Loaded compilation units} *)
+
+type cmt = {
+  src : string;  (* source path as recorded by the compiler, e.g. "lib/core/btree.ml" *)
+  modname : string;  (* normalised unit name, e.g. "Btree" *)
+  str : structure;
+  exports : string list option;
+      (* Dotted value names visible through the unit's interface
+         ([None] when the module has no .mli: everything exported).
+         A trailing ".*" entry marks a functor whose members cannot be
+         enumerated — every binding below it counts as exported. *)
+}
+
+(* Dune mangles wrapped-library units as "Pk_core__Btree"; strip the
+   alias prefix so paths compare by their source-visible names. *)
+let norm_component c =
+  let n = String.length c in
+  let rec find i = if i + 1 >= n then None else if c.[i] = '_' && c.[i + 1] = '_' then Some i else find (i + 1) in
+  match find 0 with Some i when i + 2 < n -> String.sub c (i + 2) (n - i - 2) | _ -> c
+
+let norm_dotted name = String.concat "." (List.map norm_component (String.split_on_char '.' name))
+let path_name p = norm_dotted (Path.name p)
+
+let last_component name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+(* [ends_with ~suffix name]: dotted-path suffix match — "Mem.write_u8"
+   matches "Pk_mem.Mem.write_u8" but not "Somem.write_u8". *)
+let ends_with ~suffix name =
+  let ls = String.length suffix and ln = String.length name in
+  ln >= ls
+  && String.equal (String.sub name (ln - ls) ls) suffix
+  && (ln = ls || name.[ln - ls - 1] = '.')
+
+(* {2 Attribute vocabulary} *)
+
+let attr_name (a : Parsetree.attribute) = a.Parsetree.attr_name.Location.txt
+
+let has_attr name attrs = List.exists (fun a -> String.equal (attr_name a) name) attrs
+
+let string_payload (a : Parsetree.attribute) =
+  match a.Parsetree.attr_payload with
+  | Parsetree.PStr
+      [
+        {
+          Parsetree.pstr_desc =
+            Parsetree.Pstr_eval
+              ({ Parsetree.pexp_desc = Parsetree.Pexp_constant (Parsetree.Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* Rule ids suppressed by [@pklint.allow "rule-id"] attributes. *)
+let allows attrs =
+  List.filter_map
+    (fun a -> if String.equal (attr_name a) "pklint.allow" then string_payload a else None)
+    attrs
+
+let allowed rule l = List.exists (String.equal rule) l
+
+let is_hot attrs = has_attr "pklint.hot" attrs
+let is_cold attrs = has_attr "pklint.cold" attrs
+let is_guarded attrs = has_attr "pklint.guarded" attrs
+
+(* {2 Structure-level binding walk}
+
+   Visits every [let] at structure level, descending into plain
+   sub-modules and functor bodies.  [path] excludes the unit name;
+   [allows] accumulates [@pklint.allow] from enclosing modules and the
+   binding itself. *)
+
+type binding = {
+  path : string list;  (* enclosing module path within the unit, outermost first *)
+  name : string;
+  vb : value_binding;
+  inherited_allows : string list;
+}
+
+let binding_name vb =
+  match vb.vb_pat.pat_desc with Tpat_var (id, _) -> Ident.name id | _ -> "_"
+
+let rec walk_module_expr f path inherited me =
+  match me.mod_desc with
+  | Tmod_structure str -> walk_structure f path inherited str
+  | Tmod_constraint (me, _, _, _) -> walk_module_expr f path inherited me
+  | Tmod_functor (_, me) -> walk_module_expr f path inherited me
+  | Tmod_ident _ | Tmod_apply _ | Tmod_apply_unit _ | Tmod_unpack _ -> ()
+
+and walk_structure f path inherited str =
+  List.iter
+    (fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+          List.iter
+            (fun vb ->
+              f
+                {
+                  path;
+                  name = binding_name vb;
+                  vb;
+                  inherited_allows = inherited @ allows vb.vb_attributes;
+                })
+            vbs
+      | Tstr_module mb -> walk_module_binding f path inherited mb
+      | Tstr_recmodule mbs -> List.iter (walk_module_binding f path inherited) mbs
+      | _ -> ())
+    str.str_items
+
+and walk_module_binding f path inherited mb =
+  let name = match mb.mb_id with Some id -> Ident.name id | None -> "_" in
+  walk_module_expr f (path @ [ name ]) (inherited @ allows mb.mb_attributes) mb.mb_expr
+
+let iter_bindings str f = walk_structure f [] [] str
+
+let qualified cmt b = String.concat "." ((cmt.modname :: b.path) @ [ b.name ])
+
+(* {2 Type inspection} *)
+
+let rec strip_poly ty = match Types.get_desc ty with Types.Tpoly (t, _) -> strip_poly t | _ -> ty
+
+let first_arrow_arg ty =
+  match Types.get_desc (strip_poly ty) with Types.Tarrow (_, a, _, _) -> Some (strip_poly a) | _ -> None
+
+(* Types at which polymorphic comparison is harmless for this
+   codebase: immediates, plus the scalar boxes the compiler compares
+   with specialised primitives and that cannot carry key bytes
+   (floats, fixed-width ints). *)
+let safe_witness_paths =
+  [
+    Predef.path_int;
+    Predef.path_bool;
+    Predef.path_char;
+    Predef.path_unit;
+    Predef.path_float;
+    Predef.path_int32;
+    Predef.path_int64;
+    Predef.path_nativeint;
+  ]
+
+let safe_witness_aliases =
+  [ "Float.t"; "Int.t"; "Bool.t"; "Char.t"; "Unit.t"; "Int32.t"; "Int64.t"; "Nativeint.t" ]
+
+let is_immediate_type ty =
+  match Types.get_desc (strip_poly ty) with
+  | Types.Tconstr (p, [], _) ->
+      List.exists (Path.same p) safe_witness_paths
+      ||
+      let n = norm_dotted (Path.name p) in
+      List.exists (fun a -> ends_with ~suffix:a n) safe_witness_aliases
+  | _ -> false
+
+(* [Printtyp] can raise on types detached from their environment; the
+   analyser itself never runs with faults armed, so the catch-all is
+   safe. *)
+let type_to_string ty =
+  (try Format.asprintf "%a" Printtyp.type_expr ty with _ -> "<type>") [@pklint.allow "no-swallow"]
+
+(* {2 Cmt loading} *)
+
+(* Unreadable or version-skewed artifacts degrade to "no interface
+   information" rather than aborting the analysis. *)
+let exports_of_cmi cmi_path =
+  try
+    let cmi = Cmi_format.read_cmi cmi_path in
+    let rec sig_names prefix items =
+      List.concat_map
+        (fun (item : Types.signature_item) ->
+          match item with
+          | Types.Sig_value (id, _, _) -> [ prefix ^ Ident.name id ]
+          | Types.Sig_module (id, _, md, _, _) -> (
+              let p = prefix ^ Ident.name id ^ "." in
+              match md.Types.md_type with
+              | Types.Mty_signature s -> sig_names p s
+              | Types.Mty_functor _ -> [ p ^ "*" ]
+              | Types.Mty_ident _ | Types.Mty_alias _ -> [ p ^ "*" ])
+          | _ -> [])
+        items
+    in
+    Some (sig_names "" cmi.Cmi_format.cmi_sign)
+  with _ -> None [@pklint.allow "no-swallow"]
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | info -> (
+      match (info.Cmt_format.cmt_annots, info.Cmt_format.cmt_sourcefile) with
+      | Cmt_format.Implementation str, Some src when Filename.check_suffix src ".ml" ->
+          let modname = norm_component info.Cmt_format.cmt_modname in
+          let cmti = Filename.remove_extension path ^ ".cmti" in
+          let exports =
+            if Sys.file_exists cmti then exports_of_cmi (Filename.remove_extension path ^ ".cmi")
+            else None
+          in
+          Some { src; modname; str; exports }
+      | _ -> None)
+  | exception _ -> None [@pklint.allow "no-swallow"]
+
+(* Is the dotted [name] (unit-local, e.g. "Entries.fix_pk") visible
+   through [exports]? *)
+let exported exports name =
+  match exports with
+  | None -> true
+  | Some names ->
+      List.exists
+        (fun e ->
+          String.equal e name
+          ||
+          (Filename.check_suffix e ".*"
+          &&
+          let p = String.sub e 0 (String.length e - 1) in
+          String.length name > String.length p
+          && String.equal (String.sub name 0 (String.length p)) p))
+        names

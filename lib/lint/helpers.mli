@@ -1,0 +1,79 @@
+(** Shared machinery for the pklint rules: cmt loading, [Path]
+    normalisation, the [@pklint.*] attribute vocabulary, and the
+    structure-level binding walk every rule starts from. *)
+
+(** A loaded implementation unit. *)
+type cmt = {
+  src : string;  (** Source path as recorded by the compiler. *)
+  modname : string;  (** Normalised unit name, e.g. ["Btree"]. *)
+  str : Typedtree.structure;
+  exports : string list option;
+      (** Dotted value names visible through the unit's interface
+          ([None] when the module has no .mli: everything exported).
+          A trailing [".*"] entry marks a module whose members cannot
+          be enumerated — every binding below it counts as exported. *)
+}
+
+val norm_component : string -> string
+(** Strip dune's wrapped-library alias prefix: ["Pk_core__Btree"] is
+    ["Btree"]. *)
+
+val norm_dotted : string -> string
+val path_name : Path.t -> string
+val last_component : string -> string
+
+val ends_with : suffix:string -> string -> bool
+(** Dotted-path suffix match: ["Mem.write_u8"] matches
+    ["Pk_mem.Mem.write_u8"] but not ["Somem.write_u8"]. *)
+
+(** {2 Attribute vocabulary} *)
+
+val attr_name : Parsetree.attribute -> string
+val has_attr : string -> Parsetree.attributes -> bool
+
+val allows : Parsetree.attributes -> string list
+(** Rule ids suppressed by [[@pklint.allow "rule-id"]] attributes. *)
+
+val allowed : string -> string list -> bool
+val is_hot : Parsetree.attributes -> bool
+val is_cold : Parsetree.attributes -> bool
+val is_guarded : Parsetree.attributes -> bool
+
+(** {2 Structure-level binding walk} *)
+
+(** A [let] binding at structure level, possibly inside sub-modules or
+    functor bodies. *)
+type binding = {
+  path : string list;  (** Enclosing module path within the unit. *)
+  name : string;
+  vb : Typedtree.value_binding;
+  inherited_allows : string list;
+      (** [@pklint.allow] ids from enclosing modules and the binding. *)
+}
+
+val iter_bindings : Typedtree.structure -> (binding -> unit) -> unit
+
+val qualified : cmt -> binding -> string
+(** Unit-qualified dotted name, e.g. ["Engine.Entries.fix_pk"]. *)
+
+(** {2 Type inspection} *)
+
+val strip_poly : Types.type_expr -> Types.type_expr
+val first_arrow_arg : Types.type_expr -> Types.type_expr option
+
+val is_immediate_type : Types.type_expr -> bool
+(** Types at which polymorphic comparison is harmless: immediates plus
+    the scalar boxes ([float], fixed-width ints) that the compiler
+    compares with specialised primitives and that cannot carry key
+    bytes. *)
+
+val type_to_string : Types.type_expr -> string
+
+(** {2 Cmt loading} *)
+
+val load : string -> cmt option
+(** Read a .cmt; [None] for interfaces, packs and unreadable files.
+    Exports come from the sibling .cmi when a .cmti exists. *)
+
+val exported : string list option -> string -> bool
+(** Is the unit-local dotted name visible through the exports list? *)

@@ -1,0 +1,31 @@
+(* The shipped rule set with its default source scopes.  Scopes are
+   source-path prefixes within the repository: the hot-path and
+   fault-safety contracts are repository-wide, the mutation-guard
+   contract concerns the index structures in lib/core (lib/mem and
+   lib/arena *are* the primitive layer it protects against). *)
+
+let default_rules =
+  [
+    Rule_poly_compare.rule ~scope:Rule.everywhere;
+    Rule_zero_alloc.rule ~scope:Rule.everywhere;
+    Rule_guarded_mutation.rule ~scope:(Rule.under [ "lib/core/" ]);
+    Rule_no_swallow.rule ~scope:Rule.everywhere;
+    Rule_lock_order.rule ~scope:Rule.everywhere;
+  ]
+
+let find_rule id = List.find_opt (fun r -> String.equal r.Rule.id id) default_rules
+
+let rule_ids = List.map (fun r -> r.Rule.id) default_rules
+
+(* Run [rules] over the loaded units; every rule sees only the units
+   its scope admits. *)
+let run rules (cmts : Helpers.cmt list) =
+  let findings =
+    List.concat_map
+      (fun (r : Rule.t) ->
+        let c = r.Rule.make () in
+        List.iter (fun cmt -> if r.Rule.scope cmt.Helpers.src then c.Rule.on_cmt cmt) cmts;
+        c.Rule.finish ())
+      rules
+  in
+  List.sort Finding.compare findings

@@ -1,0 +1,9 @@
+(** The shipped rule set with its default source scopes. *)
+
+val default_rules : Rule.t list
+val find_rule : string -> Rule.t option
+val rule_ids : string list
+
+val run : Rule.t list -> Helpers.cmt list -> Finding.t list
+(** Run [rules] over the loaded units (each rule sees only the units
+    its scope admits); findings sorted by file/line. *)

@@ -1,0 +1,34 @@
+(* A pklint rule: per-cmt rules report as each unit is analysed;
+   whole-program rules (the guarded-mutation call-graph check)
+   accumulate summaries and report in [finish]. *)
+
+type checker = { on_cmt : Helpers.cmt -> unit; finish : unit -> Finding.t list }
+
+type t = {
+  id : string;
+  doc : string;
+  scope : string -> bool;  (* applied to the cmt's source path *)
+  make : unit -> checker;
+}
+
+(* Source-path prefix filter, e.g. [under ["lib/"; "bin/"]]. *)
+let under dirs src =
+  List.exists
+    (fun d -> String.length src >= String.length d && String.equal (String.sub src 0 (String.length d)) d)
+    dirs
+
+let everywhere (_ : string) = true
+
+let local ~id ~doc ~scope check =
+  {
+    id;
+    doc;
+    scope;
+    make =
+      (fun () ->
+        let acc = ref [] in
+        {
+          on_cmt = (fun c -> acc := List.rev_append (check c) !acc);
+          finish = (fun () -> List.rev !acc);
+        });
+  }

@@ -1,0 +1,20 @@
+(** A pklint rule.  Per-cmt rules report as each unit is analysed;
+    whole-program rules (the guarded-mutation call-graph check)
+    accumulate summaries and report in [finish]. *)
+
+type checker = { on_cmt : Helpers.cmt -> unit; finish : unit -> Finding.t list }
+
+type t = {
+  id : string;
+  doc : string;
+  scope : string -> bool;  (** Applied to the cmt's source path. *)
+  make : unit -> checker;
+}
+
+val under : string list -> string -> bool
+(** Source-path prefix filter, e.g. [under ["lib/"; "bin/"]]. *)
+
+val everywhere : string -> bool
+
+val local : id:string -> doc:string -> scope:(string -> bool) -> (Helpers.cmt -> Finding.t list) -> t
+(** Build a rule from a per-unit check with no cross-unit state. *)

@@ -1,0 +1,4 @@
+(** Writes to arena/node state must run under the engine unwind scope.  See DESIGN.md §11. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

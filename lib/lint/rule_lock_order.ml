@@ -1,0 +1,127 @@
+(* lock-order: acquisition sites of {!Pk_lockmgr.Lock_manager.acquire}
+   must respect the declared lattice over lockable classes —
+   [Key < End_of_index] (the +infinity sentinel is above every key) —
+   so that two transactions interleaving index operations cannot close
+   a waits-for cycle the manager would then have to break by aborting
+   one of them.
+
+   The analysis is a per-function abstract walk: every lockable-typed
+   argument of a call to an [acquire*] function is an event, classified
+   by its constructor ([Key _] -> K, [End_of_index] -> E, anything
+   opaque -> unknown, which conservatively may be E).  Sequential
+   composition threads a "may already hold an E-or-unknown lock" flag;
+   match/if/try branches are alternatives (flag saved, re-merged as the
+   disjunction).  A K event while the flag is set is a potential
+   inversion.  Closure bodies are walked with a fresh flag (they run at
+   some other time); recursion across loop iterations is not modelled
+   — limits spelled out in DESIGN.md §11. *)
+
+open Typedtree
+
+let id = "lock-order"
+
+type cls = K | E | U
+
+let is_lockable_type ty =
+  match Types.get_desc (Helpers.strip_poly ty) with
+  | Types.Tconstr (p, _, _) -> String.equal (Helpers.last_component (Helpers.path_name p)) "lockable"
+  | _ -> false
+
+let classify (e : expression) =
+  match e.exp_desc with
+  | Texp_construct (_, cd, _) -> (
+      match cd.Types.cstr_name with "Key" -> K | "End_of_index" -> E | _ -> U)
+  | _ -> U
+
+let is_acquire_fn (e : expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+      let last = Helpers.last_component (Helpers.path_name p) in
+      String.length last >= 7 && String.equal (String.sub last 0 7) "acquire"
+  | _ -> false
+
+(* Lockable events inside one argument of an acquire call, in
+   syntactic order: the argument itself, tuple components, and list
+   literals of either. *)
+let rec events_of_arg (e : expression) =
+  if is_lockable_type e.exp_type then [ (e.exp_loc, classify e) ]
+  else
+    match e.exp_desc with
+    | Texp_tuple comps -> List.concat_map events_of_arg comps
+    | Texp_construct (_, cd, args) when String.equal cd.Types.cstr_name "::" ->
+        List.concat_map events_of_arg args
+    | _ -> []
+
+let check (cmt : Helpers.cmt) =
+  let findings = ref [] in
+  Helpers.iter_bindings cmt.Helpers.str (fun b ->
+      if not (Helpers.allowed id b.Helpers.inherited_allows) then begin
+        let name = Helpers.qualified cmt b in
+        let seen_e = ref false in
+        let flag loc =
+          findings :=
+            Finding.v ~rule:id ~file:cmt.Helpers.src ~loc ~name
+              "Key-class lock acquired after an End_of_index-class (or statically unknown) \
+               acquisition; the declared lattice orders Key before End_of_index — reorder the \
+               acquisitions or annotate [@pklint.allow \"lock-order\"] with a justification"
+            :: !findings
+        in
+        let rec walk it (e : expression) =
+          if Helpers.allowed id (Helpers.allows e.exp_attributes) then ()
+          else
+            match e.exp_desc with
+            | Texp_apply (f, args) when is_acquire_fn f ->
+                List.iter (fun (_, a) -> Option.iter (walk it) a) args;
+                List.iter
+                  (fun (_, a) ->
+                    match a with
+                    | None -> ()
+                    | Some a ->
+                        List.iter
+                          (fun (loc, c) ->
+                            match c with
+                            | K -> if !seen_e then flag loc
+                            | E | U -> seen_e := true)
+                          (events_of_arg a))
+                  args
+            | Texp_ifthenelse (c, t, f) ->
+                walk it c;
+                branches it [ Some t; f ]
+            | Texp_match (scr, cases, _) ->
+                walk it scr;
+                branches it (List.map (fun c -> Some c.c_rhs) cases)
+            | Texp_try (body, cases) ->
+                walk it body;
+                branches it (List.map (fun c -> Some c.c_rhs) cases)
+            | Texp_function { cases; _ } ->
+                (* The closure runs at some other time: fresh flag. *)
+                let saved = !seen_e in
+                List.iter
+                  (fun c ->
+                    seen_e := false;
+                    walk it c.c_rhs)
+                  cases;
+                seen_e := saved
+            | _ -> Tast_iterator.default_iterator.expr it e
+        and branches it alts =
+          let entry = !seen_e in
+          let out = ref entry in
+          List.iter
+            (fun a ->
+              match a with
+              | None -> ()
+              | Some a ->
+                  seen_e := entry;
+                  walk it a;
+                  out := !out || !seen_e)
+            alts;
+          seen_e := !out
+        in
+        let it = { Tast_iterator.default_iterator with expr = walk } in
+        it.expr it b.Helpers.vb.vb_expr
+      end);
+  List.rev !findings
+
+let rule ~scope =
+  Rule.local ~id ~doc:"lock acquisition order must respect the Key < End_of_index lattice" ~scope
+    check

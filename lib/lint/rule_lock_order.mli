@@ -1,0 +1,4 @@
+(** Lock acquisitions must respect the declared Key-before-End_of_index lattice.  See DESIGN.md §11. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

@@ -1,0 +1,118 @@
+(* no-swallow: a catch-all [try ... with _ -> ...] (or
+   [match ... with exception _ -> ...]) eats {!Pk_fault.Fault.Injected}
+   — the chaos/fault harness then believes an armed schedule fired and
+   unwound when the handler actually absorbed it, silently voiding the
+   crash-atomicity tests.  Handlers must match specific exceptions, or
+   re-raise on the catch-all arm. *)
+
+open Typedtree
+
+let id = "no-swallow"
+
+let rec pat_catches_all : type k. k general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_any -> true
+  | Tpat_var _ -> true
+  | Tpat_alias (p, _, _) -> pat_catches_all p
+  | Tpat_or (a, b, _) -> pat_catches_all a || pat_catches_all b
+  | Tpat_exception p -> pat_catches_all p
+  | _ -> false
+
+let rec pat_mentions_injected : type k. k general_pattern -> bool =
+ fun p ->
+  match p.pat_desc with
+  | Tpat_construct (_, cd, _, _) -> String.equal cd.Types.cstr_name "Injected"
+  | Tpat_alias (p, _, _) -> pat_mentions_injected p
+  | Tpat_or (a, b, _) -> pat_mentions_injected a || pat_mentions_injected b
+  | Tpat_exception p -> pat_mentions_injected p
+  | _ -> false
+
+(* Does the handler body re-raise?  Any application of a raise
+   primitive counts: the idiom under test is [with e -> cleanup; raise e]. *)
+let reraises (e : expression) =
+  let found = ref false in
+  let expr it (e : expression) =
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+        let n = Helpers.path_name p in
+        if
+          String.equal n "Stdlib.raise"
+          || String.equal n "Stdlib.raise_notrace"
+          || String.equal n "Printexc.raise_with_backtrace"
+        then found := true
+    | _ -> ());
+    Tast_iterator.default_iterator.expr it e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+let check (cmt : Helpers.cmt) =
+  let findings = ref [] in
+  Helpers.iter_bindings cmt.Helpers.str (fun b ->
+      if not (Helpers.allowed id b.Helpers.inherited_allows) then
+        let name = Helpers.qualified cmt b in
+        let flag loc what =
+          findings :=
+            Finding.v ~rule:id ~file:cmt.Helpers.src ~loc ~name
+              (what
+             ^ " would swallow injected faults (Fault.Injected); match specific exceptions or \
+                re-raise")
+            :: !findings
+        in
+        (* A suppression may sit on the handler arm's body as well as
+           on the whole [try] expression. *)
+        let case_allowed c = Helpers.allowed id (Helpers.allows c.c_rhs.exp_attributes) in
+        let case_swallows c =
+          (not (case_allowed c)) && pat_catches_all c.c_lhs && not (reraises c.c_rhs)
+        in
+        let exn_case_swallows c =
+          (* Only exception arms of a match matter. *)
+          let rec has_exn : type k. k general_pattern -> bool =
+           fun p ->
+            match p.pat_desc with
+            | Tpat_exception _ -> true
+            | Tpat_or (a, b, _) -> has_exn a || has_exn b
+            | Tpat_alias (p, _, _) -> has_exn p
+            | _ -> false
+          in
+          (not (case_allowed c))
+          && has_exn c.c_lhs && pat_catches_all c.c_lhs
+          && not (reraises c.c_rhs)
+        in
+        let expr it (e : expression) =
+          if
+            Helpers.allowed id (Helpers.allows e.exp_attributes)
+            || Helpers.is_cold e.exp_attributes
+          then ()
+          else begin
+            (match e.exp_desc with
+            | Texp_try (_, cases) ->
+                List.iter
+                  (fun c ->
+                    if case_swallows c then flag c.c_lhs.pat_loc "catch-all [try ... with] handler"
+                    else if
+                      pat_mentions_injected c.c_lhs
+                      && (not (reraises c.c_rhs))
+                      && not (case_allowed c)
+                    then
+                      flag c.c_lhs.pat_loc "handler matching Fault.Injected without re-raising")
+                  cases
+            | Texp_match (_, cases, _) ->
+                List.iter
+                  (fun c ->
+                    if exn_case_swallows c then
+                      flag c.c_lhs.pat_loc "catch-all [match ... with exception] handler")
+                  cases
+            | _ -> ());
+            Tast_iterator.default_iterator.expr it e
+          end
+        in
+        let it = { Tast_iterator.default_iterator with expr } in
+        it.expr it b.Helpers.vb.vb_expr);
+  List.rev !findings
+
+let rule ~scope =
+  Rule.local ~id ~doc:"reject catch-all exception handlers that would eat injected faults" ~scope
+    check

@@ -1,0 +1,4 @@
+(** Reject catch-all exception handlers that would eat injected faults.  See DESIGN.md §11. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

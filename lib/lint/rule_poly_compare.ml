@@ -1,0 +1,90 @@
+(* no-poly-compare: polymorphic structural comparison at a
+   non-immediate type dereferences whole values — on [Key.t]/record
+   data that is exactly the full-key access the partial-key counters
+   must account for (paper §3, §5.2), and it bypasses the [mem.read]
+   fault point and the cache simulator's charge.  Only comparisons
+   whose witness type is statically immediate (int/bool/char/unit) are
+   allowed; everything else must go through the instrumented
+   comparators ([Key.compare], [Mem.compare_sign], ...) or a
+   monomorphic stdlib one ([String.equal], [Bytes.compare], ...). *)
+
+open Typedtree
+
+let id = "no-poly-compare"
+
+(* Functions whose first arrow argument witnesses the compared type. *)
+let flagged =
+  [
+    "Stdlib.=";
+    "Stdlib.<>";
+    "Stdlib.<";
+    "Stdlib.>";
+    "Stdlib.<=";
+    "Stdlib.>=";
+    "Stdlib.compare";
+    "Stdlib.min";
+    "Stdlib.max";
+    "Hashtbl.hash";
+    "Hashtbl.seeded_hash";
+    "List.mem";
+    "List.assoc";
+    "List.assoc_opt";
+    "List.mem_assoc";
+    "Array.mem";
+  ]
+
+let is_flagged p = List.exists (String.equal (Helpers.path_name p)) flagged
+
+let check (cmt : Helpers.cmt) =
+  let findings = ref [] in
+  Helpers.iter_bindings cmt.Helpers.str (fun b ->
+      if not (Helpers.allowed id b.Helpers.inherited_allows) then
+        let name = Helpers.qualified cmt b in
+        let report pname loc witness =
+          let immediate =
+            match witness with Some ty -> Helpers.is_immediate_type ty | None -> false
+          in
+          if not immediate then
+            let tystr =
+              match witness with Some ty -> Helpers.type_to_string ty | None -> "<unknown>"
+            in
+            findings :=
+              Finding.v ~rule:id ~file:cmt.Helpers.src ~loc ~name
+                (Printf.sprintf
+                   "polymorphic %s at non-immediate type %s dereferences full values behind \
+                    the partial-key counters; use an instrumented or monomorphic comparator"
+                   pname tystr)
+              :: !findings
+        in
+        let expr (it : Tast_iterator.iterator) (e : expression) =
+          if
+            Helpers.has_attr "pklint.cold" e.exp_attributes
+            || Helpers.allowed id (Helpers.allows e.exp_attributes)
+          then ()
+          else
+            match e.exp_desc with
+            | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as f), args) when is_flagged p
+              ->
+                (* The applied occurrence's own [exp_type] is sometimes
+                   recorded as an uninstantiated variable; the first
+                   positional argument's type is the reliable witness. *)
+                let witness =
+                  match
+                    List.find_map
+                      (function Asttypes.Nolabel, Some a -> Some a | _ -> None)
+                      args
+                  with
+                  | Some a -> Some (Helpers.strip_poly a.exp_type)
+                  | None -> Helpers.first_arrow_arg f.exp_type
+                in
+                report (Helpers.path_name p) f.exp_loc witness;
+                List.iter (fun (_, a) -> match a with Some a -> it.expr it a | None -> ()) args
+            | Texp_ident (p, _, _) when is_flagged p ->
+                report (Helpers.path_name p) e.exp_loc (Helpers.first_arrow_arg e.exp_type)
+            | _ -> Tast_iterator.default_iterator.expr it e
+        in
+        let it = { Tast_iterator.default_iterator with expr } in
+        it.expr it b.Helpers.vb.vb_expr);
+  List.rev !findings
+
+let rule ~scope = Rule.local ~id ~doc:"ban polymorphic compare/hash at non-immediate types" ~scope check

@@ -1,0 +1,4 @@
+(** Ban polymorphic compare/hash at non-immediate types.  See DESIGN.md §11. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

@@ -1,0 +1,126 @@
+(* zero-alloc-hot: a function marked [@pklint.hot] is on the batched
+   lookup path whose steady state must not touch the OCaml heap (the
+   contract test_batch asserts dynamically via [Gc.minor_words], but
+   only on the schemes and inputs it runs).  The rule rejects every
+   syntactically allocating expression in the marked function's body —
+   closures, tuples, boxed constructors, records, arrays, lazy values,
+   partial applications, and calls to known allocating stdlib
+   functions — unless the expression (or an enclosing one) is marked
+   [@pklint.cold], the explicit escape for error paths. *)
+
+open Typedtree
+
+let id = "zero-alloc-hot"
+
+(* Stdlib entry points that allocate their result. *)
+let allocating_calls =
+  [
+    "Stdlib.^";
+    "Stdlib.@";
+    "Stdlib.ref";
+    "Stdlib.!";
+    "Bytes.create";
+    "Bytes.make";
+    "Bytes.sub";
+    "Bytes.copy";
+    "Bytes.cat";
+    "Bytes.of_string";
+    "Bytes.to_string";
+    "Bytes.sub_string";
+    "String.sub";
+    "String.concat";
+    "String.make";
+    "String.init";
+    "Array.make";
+    "Array.init";
+    "Array.copy";
+    "Array.append";
+    "Array.sub";
+    "Array.of_list";
+    "Array.to_list";
+    "List.map";
+    "List.mapi";
+    "List.init";
+    "List.append";
+    "List.rev";
+    "List.concat";
+    "List.filter";
+    "Printf.sprintf";
+    "Printf.ksprintf";
+    "Format.asprintf";
+  ]
+
+let is_arrow ty =
+  match Types.get_desc (Helpers.strip_poly ty) with Types.Tarrow _ -> true | _ -> false
+
+let check (cmt : Helpers.cmt) =
+  let findings = ref [] in
+  Helpers.iter_bindings cmt.Helpers.str (fun b ->
+      if
+        Helpers.is_hot b.Helpers.vb.vb_attributes
+        && not (Helpers.allowed id b.Helpers.inherited_allows)
+      then begin
+        let name = Helpers.qualified cmt b in
+        let flag loc what =
+          findings :=
+            Finding.v ~rule:id ~file:cmt.Helpers.src ~loc ~name
+              (Printf.sprintf
+                 "%s in [@pklint.hot] function; the batched lookup path must not allocate — \
+                  restructure, or mark the expression [@pklint.cold] if it is an error path"
+                 what)
+            :: !findings
+        in
+        let scan it (e : expression) =
+          if
+            Helpers.is_cold e.exp_attributes
+            || Helpers.allowed id (Helpers.allows e.exp_attributes)
+          then ()
+          else begin
+            (match e.exp_desc with
+            | Texp_function _ -> flag e.exp_loc "closure allocation"
+            | Texp_tuple _ -> flag e.exp_loc "tuple allocation"
+            | Texp_record _ -> flag e.exp_loc "record allocation"
+            | Texp_array (_ :: _) -> flag e.exp_loc "array allocation"
+            | Texp_construct (_, cd, _ :: _) ->
+                flag e.exp_loc
+                  (Printf.sprintf "boxed constructor allocation (%s)" cd.Types.cstr_name)
+            | Texp_variant (_, Some _) -> flag e.exp_loc "polymorphic-variant allocation"
+            | Texp_lazy _ -> flag e.exp_loc "lazy-value allocation"
+            | Texp_object _ -> flag e.exp_loc "object allocation"
+            | Texp_pack _ -> flag e.exp_loc "first-class-module allocation"
+            | Texp_letop _ -> flag e.exp_loc "binding-operator allocation"
+            | Texp_apply (f, _) -> (
+                if is_arrow e.exp_type then flag e.exp_loc "partial application (closure)";
+                match f.exp_desc with
+                | Texp_ident (p, _, _) ->
+                    (* Suffix match: the same call is [Array.make] under
+                       dune's alias expansion and [Stdlib.Array.make]
+                       through the toplevel [Stdlib] re-export. *)
+                    let pname = Helpers.path_name p in
+                    if
+                      List.exists (fun a -> Helpers.ends_with ~suffix:a pname) allocating_calls
+                    then flag e.exp_loc (Printf.sprintf "allocating call (%s)" pname)
+                | _ -> ())
+            | _ -> ());
+            (* One finding per allocation site is enough: do not descend
+               into an already-flagged closure body. *)
+            match e.exp_desc with
+            | Texp_function _ -> ()
+            | _ -> Tast_iterator.default_iterator.expr it e
+          end
+        in
+        let it = { Tast_iterator.default_iterator with expr = scan } in
+        (* The outermost [fun]/[function] spine is the definition's own
+           currying, evaluated once at definition time — peel it and
+           scan only the body the hot calls execute. *)
+        let rec peel (e : expression) =
+          match e.exp_desc with
+          | Texp_function { cases; _ } -> List.iter (fun c -> peel_case c) cases
+          | _ -> it.expr it e
+        and peel_case c = peel c.c_rhs in
+        peel b.Helpers.vb.vb_expr
+      end);
+  List.rev !findings
+
+let rule ~scope =
+  Rule.local ~id ~doc:"[@pklint.hot] functions must not contain allocating expressions" ~scope check

@@ -1,0 +1,4 @@
+(** [@pklint.hot] functions must not contain allocating expressions.  See DESIGN.md §11. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

@@ -15,9 +15,14 @@ let pp_mode ppf m =
 
 (* Lattice: IS < IX < SIX < X; IS < S < SIX < X; IX and S join at
    SIX. *)
+let mode_eq a b =
+  match (a, b) with
+  | IS, IS | IX, IX | S, S | SIX, SIX | X, X -> true
+  | _ -> false
+
 let leq a b =
   match (a, b) with
-  | x, y when x = y -> true
+  | IS, IS | IX, IX | S, S | SIX, SIX | X, X -> true
   | IS, (IX | S | SIX | X) -> true
   | IX, (SIX | X) -> true
   | S, (SIX | X) -> true
@@ -98,7 +103,7 @@ let acquire t txn lk mode =
   let s = state_of t lk in
   let already = Hashtbl.find_opt txn.held_locks lk in
   let needed = match already with Some m -> sup m mode | None -> mode in
-  if already = Some needed then begin
+  if (match already with Some m -> mode_eq m needed | None -> false) then begin
     txn.waiting_on <- None;
     Granted
   end
@@ -135,7 +140,7 @@ let release_all t txn =
       | None -> ()
       | Some s ->
           s.granted <- List.filter (fun (h, _) -> h != txn) s.granted;
-          if s.granted = [] then Hashtbl.remove t.table lk)
+          (match s.granted with [] -> Hashtbl.remove t.table lk | _ :: _ -> ()))
     txn.held_locks;
   Hashtbl.reset txn.held_locks;
   txn.waiting_on <- None;

@@ -52,8 +52,11 @@ let lookup t txn key =
 let insert t txn key ~rid =
   let next = at_or_after t key in
   (* When the key is already present [next] is the key itself; the X
-     lock then simply guards the duplicate check. *)
-  match acquire_all t txn [ (next, L.X); (L.Key key, L.X) ] with
+     lock then simply guards the duplicate check.  The key lock is
+     taken before the next-key lock so insert and delete acquire in
+     the same order — the reverse order deadlocks against a
+     concurrent delete of a neighbouring key. *)
+  match acquire_all t txn [ (L.Key key, L.X); (next, L.X) ] with
   | `Ok () -> `Ok (t.ix.Index.insert key ~rid)
   | (`Blocked _ | `Deadlock) as e -> e
 

@@ -19,7 +19,7 @@ let create ?cache () = { sim = cache; trace_on = false; next_base = 0; regions =
 
 let cache t = t.sim
 let set_cache t c = t.sim <- c
-let tracing t = t.trace_on && t.sim <> None
+let tracing t = t.trace_on && Option.is_some t.sim
 let set_tracing t b = t.trace_on <- b
 
 let with_tracing t b f =
@@ -142,7 +142,7 @@ let compare_detail r ~off ~len probe ~key_off ~key_len =
 (* Top-level recursion (not an inner [let rec]) so no closure is
    allocated: [compare_sign] is the batched descent's hot path and must
    not touch the OCaml heap. *)
-let rec sign_scan r off len probe key_off key_len common i =
+let[@pklint.hot] rec sign_scan r off (len : int) probe key_off (key_len : int) common i =
   if i >= common then begin
     if common > 0 then charge r off common;
     if len = key_len then 0 else if len < key_len then -1 else 1
@@ -156,7 +156,7 @@ let rec sign_scan r off len probe key_off key_len common i =
     end
     else sign_scan r off len probe key_off key_len common (i + 1)
 
-let compare_sign r ~off ~len probe ~key_off ~key_len =
+let[@pklint.hot] compare_sign r ~off ~len probe ~key_off ~key_len =
   Fault.point "mem.read";
   sign_scan r off len probe key_off key_len (min len key_len) 0
 

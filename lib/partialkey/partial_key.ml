@@ -20,7 +20,7 @@ let clamp_nonneg n = if n < 0 then 0 else n
 
 let encode g ~l_bytes ~base ~key =
   let c, d = diff g key base in
-  if c = Key.Eq then invalid_arg "Partial_key.encode: key equals base";
+  (match c with Key.Eq -> invalid_arg "Partial_key.encode: key equals base" | Key.Lt | Key.Gt -> ());
   let l = l_units g ~l_bytes in
   match g with
   | Bit ->

@@ -60,7 +60,7 @@ let compare_key t addr probe =
   in
   (Key.cmp_of_int c, d)
 
-let compare_sign t addr probe =
+let[@pklint.hot] compare_sign t addr probe =
   let len = key_len t addr in
   Mem.compare_sign t.reg ~off:(addr + header_bytes) ~len probe ~key_off:0
     ~key_len:(Bytes.length probe)
