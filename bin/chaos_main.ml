@@ -45,4 +45,9 @@ let () =
         o.Chaos.ops o.Chaos.applied o.Chaos.injected o.Chaos.validations
   | exception Failure msg ->
       prerr_endline msg;
+      (* The schedule's descent trail was already dumped by the harness;
+         attach the metrics snapshot so the counterexample arrives with
+         its counters. *)
+      prerr_endline "chaos: metrics at failure:";
+      prerr_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);
       exit 1

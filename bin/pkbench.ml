@@ -67,8 +67,16 @@ let schemes_arg =
 
 let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "After the run, print the observability registry (Prometheus text exposition: \
+           per-index deref/visit counters and per-op deref histograms) and write METRICS.json.")
+
 let run_cmd =
-  let run keys lookups scale batch fill schemes ids =
+  let run keys lookups scale batch fill schemes metrics ids =
     Option.iter (fun v -> Unix.putenv "PK_KEYS" (string_of_int v)) keys;
     Option.iter (fun v -> Unix.putenv "PK_LOOKUPS" (string_of_int v)) lookups;
     Option.iter (fun v -> Unix.putenv "PK_SCALE" (string_of_float v)) scale;
@@ -79,11 +87,18 @@ let run_cmd =
        undo-journal byte copies out of the hot path. *)
     Pk_fault.Fault.set_unwind false;
     register_all ();
-    Pk_harness.Experiment.run_ids ids
+    Pk_harness.Experiment.run_ids ids;
+    if metrics then begin
+      print_newline ();
+      print_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);
+      Pk_harness.Metrics_out.write_metrics Pk_obs.Obs.Registry.default
+    end
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run experiments (all tables/figures of the paper plus ablations)")
-    Term.(const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ schemes_arg $ ids_arg)
+    Term.(
+      const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ schemes_arg
+      $ metrics_arg $ ids_arg)
 
 let () =
   let doc = "benchmarks for the pkT/pkB partial-key index reproduction (SIGMOD 2001)" in

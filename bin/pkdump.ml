@@ -85,6 +85,40 @@ let run structure scheme keys key_len entropy machine node_blocks lookups valida
     (cs.Workload.sim_ns_per_op /. 1000.0);
   if validate then Printf.printf "validate        ok\n"
 
+(* {2 trace subcommand} — build a small index, flip its ring buffer on
+   and pretty-print the descent of each probe. *)
+
+module Obs = Pk_obs.Obs
+
+let run_trace structure scheme keys key_len entropy node_bytes probes capacity =
+  let structure =
+    match String.lowercase_ascii structure with
+    | "b" | "btree" | "b-tree" -> Index.B_tree
+    | "t" | "ttree" | "t-tree" -> Index.T_tree
+    | s -> failwith ("unknown structure " ^ s)
+  in
+  let scheme =
+    match parse_scheme scheme ~key_len with Ok s -> s | Error (`Msg m) -> failwith m
+  in
+  let alphabet = Keygen.alphabet_for_entropy entropy in
+  let env = Workload.make_env () in
+  let ds = Workload.make_dataset env ~key_len ~alphabet ~n:keys () in
+  let ix = Index.make ~node_bytes structure scheme env.Workload.mem env.Workload.records in
+  Workload.load ds ix;
+  Printf.printf "index  %s: %d keys, height %d, %d nodes; ring capacity %d\n" ix.Index.tag keys
+    (ix.Index.height ()) (ix.Index.node_count ()) capacity;
+  Obs.Trace.enable ~capacity ix.Index.trace;
+  let ps = Workload.probes ds ~seed:5 ~n:probes () in
+  Array.iter
+    (fun k ->
+      let rid = ix.Index.lookup k in
+      Printf.printf "\nlookup %s -> %s\n" (Pk_keys.Key.to_hex k)
+        (match rid with Some r -> "rid " ^ string_of_int r | None -> "absent");
+      let events, dropped = Obs.Trace.drain ix.Index.trace in
+      if dropped > 0 then Printf.printf "  ... %d events dropped (ring lapped)\n" dropped;
+      List.iter (fun e -> Printf.printf "  %s\n" (Obs.Trace.event_to_string e)) events)
+    ps
+
 let () =
   let structure =
     Arg.(value & opt string "b" & info [ "structure"; "s" ] ~docv:"b|t" ~doc:"Tree structure.")
@@ -113,8 +147,30 @@ let () =
       const run $ structure $ scheme $ keys $ key_len $ entropy $ machine $ node_blocks $ lookups
       $ validate)
   in
+  let trace_cmd =
+    let trace_keys =
+      Arg.(value & opt int 1_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Indexed keys.")
+    in
+    let node_bytes =
+      Arg.(value & opt int 192 & info [ "node-bytes" ] ~docv:"B" ~doc:"Node size in bytes.")
+    in
+    let probes =
+      Arg.(value & opt int 3 & info [ "probes" ] ~docv:"N" ~doc:"Lookups to trace.")
+    in
+    let capacity =
+      Arg.(value & opt int 1024 & info [ "capacity" ] ~docv:"N" ~doc:"Trace ring capacity (rounded up to a power of two).")
+    in
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "build a small index, enable its descent trace ring and pretty-print each probe's \
+            events (visits, partial-key outcomes, dereferences, routes)")
+      Term.(
+        const run_trace $ structure $ scheme $ trace_keys $ key_len $ entropy $ node_bytes $ probes
+        $ capacity)
+  in
   let info =
     Cmd.info "pkdump" ~version:"1.0.0"
       ~doc:"build one partial-key (or baseline) index and report structure and cache behaviour"
   in
-  exit (Cmd.eval (Cmd.v info term))
+  exit (Cmd.eval (Cmd.group ~default:term info [ trace_cmd ]))

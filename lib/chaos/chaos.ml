@@ -7,6 +7,7 @@ module Record_store = Pk_records.Record_store
 module Index = Pk_core.Index
 module Layout = Pk_core.Layout
 module Partial_key = Pk_partialkey.Partial_key
+module Obs = Pk_obs.Obs
 
 module KMap = Map.Make (struct
   type t = Key.t
@@ -112,6 +113,9 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
   let mem = Mem.create () in
   let records = Record_store.create mem in
   let ix, key_len = build_index rng tree mem records in
+  (* Trace every schedule: a failing counterexample arrives with the
+     final descents that led to it (ring keeps the most recent 256). *)
+  Obs.Trace.enable ~capacity:256 ix.Index.trace;
   let seed_alpha = [| 2; 12; 64; 220; 256 |].(Prng.int rng 5) in
   let alphabet = Option.value alphabet ~default:seed_alpha in
   let n_pool = 32 + Prng.int rng 33 in
@@ -128,6 +132,15 @@ let run_schedule ?(faults = []) ?alphabet ~tree ~seed ~ops () =
   let fail ~op fmt =
     Printf.ksprintf
       (fun msg ->
+        (* Dump the descent trail leading up to the failure; the ring
+           holds the most recent window, writers were never stopped. *)
+        let events, dropped = Obs.Trace.drain ix.Index.trace in
+        let keep = 40 in
+        let n = List.length events in
+        let tail = List.filteri (fun i _ -> i >= n - keep) events in
+        let elided = dropped + (n - List.length tail) in
+        if elided > 0 then Printf.eprintf "[chaos trace] ... %d earlier events elided\n" elided;
+        List.iter (fun e -> Printf.eprintf "[chaos trace] %s\n" (Obs.Trace.event_to_string e)) tail;
         failwith
           (Printf.sprintf "[chaos seed=%d tree=%s op=%d] %s (replay: seed %d)" seed
              (tree_tag tree) op msg seed))

@@ -8,6 +8,7 @@ module Counters = Engine.Counters
 module Scratch = Engine.Scratch
 module Entries = Engine.Entries
 module Group = Engine.Group
+module Obs = Pk_obs.Obs
 
 type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
 
@@ -81,7 +82,10 @@ let cnt t = t.ec.Entries.cnt
 let deref_count t = (cnt t).Counters.derefs
 let node_visits t = (cnt t).Counters.visits
 let reset_counters t = Counters.reset (cnt t)
-let visit t = (cnt t).Counters.visits <- (cnt t).Counters.visits + 1
+let visit t node = Counters.visit (cnt t) node
+
+let[@pklint.hot] route_ev t node ci =
+  Obs.Trace.emit (cnt t).Counters.trace Obs.Trace.k_route node ci
 
 (* {2 Node accessors} *)
 
@@ -236,7 +240,8 @@ let restore t (root, h, nn, nk) =
   t.n_nodes <- nn;
   t.n_keys <- nk
 
-let guarded t f = Engine.guarded ~reg:t.reg ~save:(fun () -> save t) ~restore:(restore t) f
+let guarded t f =
+  Engine.guarded ~reg:t.reg ~cnt:(cnt t) ~save:(fun () -> save t) ~restore:(restore t) f
 
 let insert t key ~rid =
   (match t.cfg.scheme with
@@ -282,15 +287,17 @@ let lookup_partial t search =
   let ops = batch_ops t in
   t.aim.Entries.search <- search;
   let rec go node rel off =
-    visit t;
+    visit t node;
     t.aim.Entries.node <- node;
     ops.Node_search.num_keys <- num_keys t node;
     let r = find ops ~rel0:rel ~off0:off in
     if r.Node_search.low = r.Node_search.high then Some (rec_ptr t node r.Node_search.low)
     else if is_leaf t node then None
-    else
+    else begin
       let rel' = if r.Node_search.low = -1 then rel else Key.Gt in
+      route_ev t node r.Node_search.high;
       go (child t node r.Node_search.high) rel' r.Node_search.off_low
+    end
   in
   if t.root = null then None else go t.root rel0 off0
 
@@ -306,10 +313,15 @@ let lookup_plain t search =
       | Key.Gt -> node_search node (mid + 1) hi
   in
   let rec go node =
-    visit t;
+    visit t node;
     match node_search node 0 (num_keys t node) with
     | `Found rid -> Some rid
-    | `Child i -> if is_leaf t node then None else go (child t node i)
+    | `Child i ->
+        if is_leaf t node then None
+        else begin
+          route_ev t node i;
+          go (child t node i)
+        end
   in
   if t.root = null then None else go t.root
 
@@ -351,7 +363,7 @@ let router t =
           is_leaf = is_leaf t;
           num_keys = num_keys t;
           child = child t;
-          visit = (fun () -> visit t);
+          visit = visit t;
           route;
           leaf_probe;
         }

@@ -23,6 +23,7 @@ module Record_store = Pk_records.Record_store
 module Partial_key = Pk_partialkey.Partial_key
 module Pk_compare = Pk_partialkey.Pk_compare
 module Node_search = Pk_partialkey.Node_search
+module Obs = Pk_obs.Obs
 
 let null = Pk_arena.Arena.null
 
@@ -124,13 +125,60 @@ let check_rids keys ~rids =
 (* {2 Counters} *)
 
 module Counters = struct
-  type t = { mutable derefs : int; mutable visits : int }
+  type t = {
+    mutable derefs : int;
+    mutable visits : int;
+    mutable unwinds : int;
+    mutable m_derefs : Obs.Counter.t;
+    mutable m_visits : Obs.Counter.t;
+    mutable m_unwinds : Obs.Counter.t;
+    trace : Obs.Trace.t;
+  }
 
-  let create () = { derefs = 0; visits = 0 }
+  let create () =
+    {
+      derefs = 0;
+      visits = 0;
+      unwinds = 0;
+      m_derefs = Obs.Counter.nop ();
+      m_visits = Obs.Counter.nop ();
+      m_unwinds = Obs.Counter.nop ();
+      trace = Obs.Trace.create ();
+    }
 
+  (* Resetting also withdraws this tree's contribution from the shared
+     registry series, so a series total always equals the sum of the
+     live per-tree counts — [pkbench --metrics] checks exactly that. *)
   let reset c =
+    Obs.Counter.add c.m_derefs (-c.derefs);
+    Obs.Counter.add c.m_visits (-c.visits);
+    Obs.Counter.add c.m_unwinds (-c.unwinds);
     c.derefs <- 0;
-    c.visits <- 0
+    c.visits <- 0;
+    c.unwinds <- 0
+
+  (* Resolve the per-index registry series once, at scheme-build time;
+     the hot paths below update through the returned handles only. *)
+  let attach c ~tag =
+    let reg = Obs.Registry.default in
+    c.m_derefs <- Obs.Counter.register reg ("pk_index_derefs_total{index=\"" ^ tag ^ "\"}");
+    c.m_visits <- Obs.Counter.register reg ("pk_index_visits_total{index=\"" ^ tag ^ "\"}");
+    c.m_unwinds <- Obs.Counter.register reg ("pk_index_unwinds_total{index=\"" ^ tag ^ "\"}")
+
+  let[@pklint.hot] deref c node entry =
+    c.derefs <- c.derefs + 1;
+    Obs.Counter.incr c.m_derefs;
+    Obs.Trace.emit c.trace Obs.Trace.k_deref node entry
+
+  let[@pklint.hot] visit c node =
+    c.visits <- c.visits + 1;
+    Obs.Counter.incr c.m_visits;
+    Obs.Trace.emit c.trace Obs.Trace.k_visit node 0
+
+  let unwind c =
+    c.unwinds <- c.unwinds + 1;
+    Obs.Counter.incr c.m_unwinds;
+    Obs.Trace.emit c.trace Obs.Trace.k_unwind 0 0
 end
 
 (* {2 Per-tree batch scratch}
@@ -164,12 +212,13 @@ end
    failure).  The caller observes either the completed operation or the
    exact pre-operation tree. *)
 
-let guarded ~reg ~save ~restore f =
+let guarded ~reg ~cnt ~save ~restore f =
   if not (Fault.unwind_enabled ()) then f ()
   else begin
     let s = save () in
     try Mem.guard reg f
     with e ->
+      Counters.unwind cnt;
       restore s;
       raise e
   end
@@ -300,7 +349,7 @@ module Entries = struct
   (* Full comparison of the search key against entry [i]'s record key:
      (c(search, key_i), d) in the scheme's granularity units. *)
   let deref_entry c node search i =
-    c.cnt.Counters.derefs <- c.cnt.Counters.derefs + 1;
+    Counters.deref c.cnt node i;
     let rid = rec_ptr c node i in
     let r, d =
       match granularity c with
@@ -317,7 +366,7 @@ module Entries = struct
            ~off:(entry_addr c node i + 8)
            ~len:key_len probe ~key_off:0 ~key_len:(Bytes.length probe)
     | Layout.Indirect ->
-        c.cnt.Counters.derefs <- c.cnt.Counters.derefs + 1;
+        Counters.deref c.cnt node i;
         -Record_store.compare_sign c.records (rec_ptr c node i) probe
     | Layout.Partial _ -> assert false
 
@@ -328,7 +377,7 @@ module Entries = struct
         let r, _ = Layout.compare_direct c.reg (entry_addr c node i) ~key_len probe in
         Key.flip r
     | Layout.Indirect ->
-        c.cnt.Counters.derefs <- c.cnt.Counters.derefs + 1;
+        Counters.deref c.cnt node i;
         let r, _ = Record_store.compare_key c.records (rec_ptr c node i) probe in
         Key.flip r
     | Layout.Partial _ -> assert false
@@ -374,7 +423,16 @@ module Entries = struct
       | Pk_compare.Need_units ->
           Layout.resolve_pk_units c.reg a0 ~scheme_granularity:(granularity c) ~search ~rel ~off
     in
-    match r with Key.Eq -> deref_entry c node search 0 | Key.Lt | Key.Gt -> (r, o)
+    match r with
+    | Key.Eq ->
+        Obs.Trace.emit c.cnt.Counters.trace Obs.Trace.k_pk_eq node 0;
+        deref_entry c node search 0
+    | Key.Lt ->
+        Obs.Trace.emit c.cnt.Counters.trace Obs.Trace.k_pk_lt node o;
+        (r, o)
+    | Key.Gt ->
+        Obs.Trace.emit c.cnt.Counters.trace Obs.Trace.k_pk_gt node o;
+        (r, o)
 end
 
 (* {2 Group descent over child-partitioned trees}
@@ -395,7 +453,7 @@ module Group = struct
     is_leaf : int -> bool;
     num_keys : int -> int;
     child : int -> int -> int;  (* node -> child index -> child node *)
-    visit : unit -> unit;
+    visit : int -> unit;  (* visited node *)
     route : int -> int -> int -> int;
         (* [route node n slot]: child index for the probe, or -1 when
            the probe resolved at this node (the hook wrote [sc.out]). *)
@@ -407,7 +465,7 @@ module Group = struct
   (* [run_from]/[run_child]: pending run of sorted probes that fall
      into the same child ([run_child = -1] = no pending run). *)
   let[@pklint.hot] rec drive r node lo hi =
-    r.visit ();
+    r.visit node;
     let n = r.num_keys node in
     if r.is_leaf node then
       for p = lo to hi - 1 do
@@ -450,7 +508,7 @@ module Tgroup = struct
     sc : Scratch.t;
     left : int -> int;
     right : int -> int;
-    visit : unit -> unit;
+    visit : int -> unit;  (* visited node *)
     classify : int -> int -> unit;  (* node -> slot: sign + state updates *)
     final : int -> int -> unit;  (* last-Gt ancestor (or null) -> slot *)
   }
@@ -470,7 +528,7 @@ module Tgroup = struct
           d.final la d.sc.Scratch.perm.(p)
         done
       else begin
-        d.visit ();
+        d.visit node;
         for p = lo to hi - 1 do
           d.classify node d.sc.Scratch.perm.(p)
         done;
@@ -503,6 +561,7 @@ type ops = {
   deref_count : unit -> int;
   node_visits : unit -> int;
   reset_counters : unit -> unit;
+  trace : Obs.Trace.t;
   validate : unit -> unit;
 }
 
@@ -565,7 +624,10 @@ end
 (* {2 The engine proper} *)
 
 module Make (S : STRUCTURE) = struct
-  let guarded t f = guarded ~reg:(S.region t) ~save:(fun () -> S.save t) ~restore:(S.restore t) f
+  let guarded t f =
+    guarded ~reg:(S.region t) ~cnt:(S.counters t)
+      ~save:(fun () -> S.save t)
+      ~restore:(S.restore t) f
 
   let[@pklint.hot] lookup_into t keys out =
     let n = Array.length keys in
@@ -681,6 +743,7 @@ module Make (S : STRUCTURE) = struct
     go (seq_from t lo)
 
   let wrap t ~tag =
+    Counters.attach (S.counters t) ~tag;
     {
       tag;
       insert = (fun key ~rid -> S.insert t key ~rid);
@@ -701,6 +764,7 @@ module Make (S : STRUCTURE) = struct
       deref_count = (fun () -> (S.counters t).Counters.derefs);
       node_visits = (fun () -> (S.counters t).Counters.visits);
       reset_counters = (fun () -> Counters.reset (S.counters t));
+      trace = (S.counters t).Counters.trace;
       validate = (fun () -> S.validate t);
     }
 end

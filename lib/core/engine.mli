@@ -14,6 +14,7 @@ module Record_store = Pk_records.Record_store
 module Partial_key = Pk_partialkey.Partial_key
 module Pk_compare = Pk_partialkey.Pk_compare
 module Node_search = Pk_partialkey.Node_search
+module Obs = Pk_obs.Obs
 
 val null : int
 
@@ -34,12 +35,42 @@ val lookup_batch_of_into : (Key.t array -> int array -> unit) -> Key.t array -> 
 val check_rids : Key.t array -> rids:int array -> unit
 (** Raise [Invalid_argument] unless [keys] and [rids] have equal length. *)
 
-(** Per-tree dereference / node-visit counters. *)
+(** Per-tree dereference / node-visit / unwind counters, doubled into
+    the process-wide {!Obs.Registry.default} through preallocated
+    handles and optionally traced into the tree's ring buffer. *)
 module Counters : sig
-  type t = { mutable derefs : int; mutable visits : int }
+  type t = {
+    mutable derefs : int;
+    mutable visits : int;
+    mutable unwinds : int;
+    mutable m_derefs : Obs.Counter.t;
+    mutable m_visits : Obs.Counter.t;
+    mutable m_unwinds : Obs.Counter.t;
+    trace : Obs.Trace.t;
+  }
 
   val create : unit -> t
+  (** Handles start as {!Obs.Counter.nop}; the trace ring starts
+      disabled and storage-free. *)
+
   val reset : t -> unit
+  (** Zero the local counts and withdraw them from the attached
+      registry series, so series totals track live per-tree counts. *)
+
+  val attach : t -> tag:string -> unit
+  (** Register (idempotently) the per-index series
+      [pk_index_{derefs,visits,unwinds}_total{index="tag"}] in
+      {!Obs.Registry.default} and aim the handles at them.  Called by
+      {!Make.wrap}; same-tag trees share (and sum into) one series. *)
+
+  val deref : t -> int -> int -> unit
+  (** [deref c node entry]: count one record-key dereference. *)
+
+  val visit : t -> int -> unit
+  (** [visit c node]: count one node visit. *)
+
+  val unwind : t -> unit
+  (** Count one fault-unwind scope (nested guards count once each). *)
 end
 
 (** Reusable per-probe batch state owned by each tree.  [keys]/[out]
@@ -60,10 +91,16 @@ module Scratch : sig
   val create : unit -> t
 end
 
-val guarded : reg:Mem.region -> save:(unit -> 'a) -> restore:('a -> unit) -> (unit -> 'b) -> 'b
+val guarded :
+  reg:Mem.region ->
+  cnt:Counters.t ->
+  save:(unit -> 'a) ->
+  restore:('a -> unit) ->
+  (unit -> 'b) ->
+  'b
 (** Run [f] under the arena undo journal with a scalar-header snapshot,
-    restoring both on any exception.  A no-op wrapper when unwinding is
-    disabled. *)
+    restoring both on any exception (counted as one unwind against
+    [cnt]).  A no-op wrapper when unwinding is disabled. *)
 
 (** Scheme-dependent entry helpers shared by the fixed-size-entry trees
     (B-tree, T-tree): address arithmetic, key access, partial-key
@@ -148,7 +185,7 @@ module Group : sig
     is_leaf : int -> bool;
     num_keys : int -> int;
     child : int -> int -> int;
-    visit : unit -> unit;
+    visit : int -> unit;
     route : int -> int -> int -> int;
         (** [route node n slot]: child index, or -1 when the probe
             resolved at this node (hook wrote [sc.out]). *)
@@ -168,7 +205,7 @@ module Tgroup : sig
     sc : Scratch.t;
     left : int -> int;
     right : int -> int;
-    visit : unit -> unit;
+    visit : int -> unit;
     classify : int -> int -> unit;
         (** [classify node slot]: leave the probe's sign against entry 0
             in [sc.sign] (plus any per-probe state updates). *)
@@ -203,6 +240,7 @@ type ops = {
   deref_count : unit -> int;
   node_visits : unit -> int;
   reset_counters : unit -> unit;
+  trace : Obs.Trace.t;
   validate : unit -> unit;
 }
 

@@ -22,6 +22,7 @@ type t = Engine.ops = {
   deref_count : unit -> int;
   node_visits : unit -> int;
   reset_counters : unit -> unit;
+  trace : Pk_obs.Obs.Trace.t;
   validate : unit -> unit;
 }
 
@@ -82,7 +83,9 @@ module Registry = struct
       order := info.tag :: !order
     end
 
-  let tags () = List.rev !order
+  (* Sorted, not registration order: linkage forcing makes the latter
+     depend on which modules happen to be pulled in. *)
+  let tags () = List.sort_uniq String.compare !order
   let find tag = Hashtbl.find_opt table tag
   let all () = List.filter_map find (tags ())
 

@@ -36,6 +36,9 @@ type t = Engine.ops = {
   deref_count : unit -> int;
   node_visits : unit -> int;
   reset_counters : unit -> unit;
+  trace : Pk_obs.Obs.Trace.t;
+      (** The index's descent trace ring — disabled (and storage-free)
+          until {!Pk_obs.Obs.Trace.enable} flips it on. *)
   validate : unit -> unit;
 }
 
@@ -86,7 +89,8 @@ module Registry : sig
   (** First registration of a tag wins; later ones are ignored. *)
 
   val tags : unit -> string list
-  (** All registered tags, in registration order. *)
+  (** All registered tags, sorted and duplicate-free (registration
+      order would depend on linkage forcing). *)
 
   val find : string -> info option
 
@@ -95,7 +99,7 @@ module Registry : sig
       tags when the tag is unknown. *)
 
   val all : unit -> info list
-  (** All registered schemes, in registration order. *)
+  (** All registered schemes, in {!val:tags} order. *)
 
   val build :
     ?node_bytes:int ->

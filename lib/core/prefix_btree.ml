@@ -5,6 +5,7 @@ module Record_store = Engine.Record_store
 module Counters = Engine.Counters
 module Scratch = Engine.Scratch
 module Group = Engine.Group
+module Obs = Engine.Obs
 
 type config = { node_bytes : int }
 
@@ -60,7 +61,7 @@ let space_bytes t = Mem.live_bytes t.reg
 let deref_count t = t.cnt.Counters.derefs
 let node_visits t = t.cnt.Counters.visits
 let reset_counters t = Counters.reset t.cnt
-let visit t = t.cnt.Counters.visits <- t.cnt.Counters.visits + 1
+let visit t node = Counters.visit t.cnt node
 
 (* {2 Raw node accessors} *)
 
@@ -219,10 +220,14 @@ let leaf_find t node search =
 
 let lookup t search =
   let rec go node =
-    visit t;
+    visit t node;
     if is_leaf t node then
       match leaf_find t node search with -1 -> None | rid -> Some rid
-    else go (child_at t node (child_index t node search))
+    else begin
+      let ci = child_index t node search in
+      Obs.Trace.emit t.cnt.Counters.trace Obs.Trace.k_route node ci;
+      go (child_at t node ci)
+    end
   in
   if t.root = null then None else go t.root
 
@@ -244,7 +249,7 @@ let router t =
           is_leaf = is_leaf t;
           num_keys = num_keys t;
           child = child_at t;
-          visit = (fun () -> visit t);
+          visit = visit t;
           route = (fun node _n slot -> child_index t node sc.Scratch.keys.(slot));
           leaf_probe =
             (fun node _n slot ->
@@ -335,7 +340,8 @@ let restore t (root, h, nn, nk) =
   t.n_nodes <- nn;
   t.n_keys <- nk
 
-let guarded t f = Engine.guarded ~reg:t.reg ~save:(fun () -> save t) ~restore:(restore t) f
+let guarded t f =
+  Engine.guarded ~reg:t.reg ~cnt:t.cnt ~save:(fun () -> save t) ~restore:(restore t) f
 
 let insert t key ~rid =
   if rec_overhead + Bytes.length key > max_entry_bytes t then

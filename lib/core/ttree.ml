@@ -73,7 +73,7 @@ let cnt t = t.ec.Entries.cnt
 let deref_count t = (cnt t).Counters.derefs
 let node_visits t = (cnt t).Counters.visits
 let reset_counters t = Counters.reset (cnt t)
-let visit t = (cnt t).Counters.visits <- (cnt t).Counters.visits + 1
+let visit t node = Counters.visit (cnt t) node
 
 (* {2 Node accessors} *)
 
@@ -362,7 +362,8 @@ let restore t (root, nn, nk) =
    undo journal, restore both on any escaping exception.  [Duplicate] /
    [Not_present] are raised before any mutation and handled inside the
    guarded thunk, so they commit a no-op. *)
-let guarded t f = Engine.guarded ~reg:t.reg ~save:(fun () -> save t) ~restore:(restore t) f
+let guarded t f =
+  Engine.guarded ~reg:t.reg ~cnt:(cnt t) ~save:(fun () -> save t) ~restore:(restore t) f
 
 let rec insert_rec t node key rid ~base =
   if node = null then new_leaf t ~key ~rid ~base
@@ -505,7 +506,7 @@ let lookup_partial t search =
         else None
       end
     else begin
-      visit t;
+      visit t node;
       let c, o = Entries.head_pk_cmp t.ec node search ~rel ~off in
       match c with
       | Key.Eq -> Some (rec_ptr t node 0)
@@ -529,7 +530,7 @@ let lookup_plain t search =
   let rec descend node la =
     if node = null then if la = null then None else in_node la 1 (num_keys t la)
     else begin
-      visit t;
+      visit t node;
       match Entries.probe_cmp t.ec node search 0 with
       | Key.Eq -> Some (rec_ptr t node 0)
       | Key.Lt -> descend (left t node) la
@@ -572,7 +573,7 @@ let tdriver t =
   | None ->
       let sc = t.sc in
       let common classify final =
-        { Tgroup.sc; left = left t; right = right t; visit = (fun () -> visit t); classify; final }
+        { Tgroup.sc; left = left t; right = right t; visit = visit t; classify; final }
       in
       let d =
         match t.cfg.scheme with

@@ -1,0 +1,35 @@
+module Obs = Pk_obs.Obs
+
+let hist_value (h : Obs.Snapshot.hist) =
+  Json_out.Obj
+    [
+      ("name", Json_out.String h.Obs.Snapshot.hname);
+      ("count", Json_out.Int h.Obs.Snapshot.hcount);
+      ("sum", Json_out.Int h.Obs.Snapshot.hsum);
+      ( "buckets",
+        Json_out.List
+          (List.map
+             (fun (k, c) ->
+               Json_out.Obj
+                 [ ("le", Json_out.Int (Obs.Histogram.bucket_hi k)); ("count", Json_out.Int c) ])
+             h.Obs.Snapshot.hbuckets) );
+    ]
+
+let snapshot_value (s : Obs.Snapshot.t) =
+  Json_out.Obj
+    [
+      ( "counters",
+        Json_out.Obj (List.map (fun (nm, v) -> (nm, Json_out.Int v)) s.Obs.Snapshot.counters) );
+      ("histograms", Json_out.List (List.map hist_value s.Obs.Snapshot.hists));
+    ]
+
+let registry_value reg = snapshot_value (Obs.Snapshot.take reg)
+
+let metrics_file = "METRICS.json"
+
+let write_metrics reg =
+  let oc = open_out metrics_file in
+  output_string oc (Json_out.to_string (registry_value reg));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n%!" metrics_file

@@ -1,0 +1,19 @@
+(** JSON export of an observability-registry snapshot via
+    {!module:Json_out} — the machine-readable sibling of
+    {!Pk_obs.Obs.prometheus}. *)
+
+val snapshot_value : Pk_obs.Obs.Snapshot.t -> Json_out.value
+(** [{"counters": {name: value, ...},
+      "histograms": [{"name", "count", "sum",
+                      "buckets": [{"le": bucket_hi, "count"}...]}...]}],
+    both sections sorted by series name, zero-count buckets omitted. *)
+
+val registry_value : Pk_obs.Obs.Registry.t -> Json_out.value
+(** {!snapshot_value} of a fresh {!Pk_obs.Obs.Snapshot.take}. *)
+
+val metrics_file : string
+(** ["METRICS.json"]. *)
+
+val write_metrics : Pk_obs.Obs.Registry.t -> unit
+(** Write {!registry_value} to {!metrics_file} in the current
+    directory, replacing any previous file, and print the path. *)

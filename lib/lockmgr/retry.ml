@@ -1,6 +1,7 @@
 module Prng = Pk_util.Prng
 module L = Lock_manager
 module LI = Locking_index
+module Obs = Pk_obs.Obs
 
 type policy = {
   max_attempts : int;
@@ -30,13 +31,24 @@ type t = {
   rng : Prng.t;
   sleep : float -> unit;
   mutable st : stats;
+  m_restarts : Obs.Counter.t;
 }
 
 let create ?(policy = default_policy) ?(seed = 0) ?(sleep = fun _ -> ()) li =
   if policy.max_attempts < 1 then invalid_arg "Retry.create: max_attempts < 1";
   if not (policy.jitter >= 0.0 && policy.jitter <= 1.0) then
     invalid_arg "Retry.create: jitter outside [0, 1]";
-  { li; pol = policy; rng = Prng.create (Int64.of_int seed); sleep; st = zero_stats }
+  let tag = (LI.index li).Pk_core.Index.tag in
+  {
+    li;
+    pol = policy;
+    rng = Prng.create (Int64.of_int seed);
+    sleep;
+    st = zero_stats;
+    m_restarts =
+      Obs.Counter.register Obs.Registry.default
+        ("pk_lock_restarts_total{index=\"" ^ tag ^ "\"}");
+  }
 
 let index t = t.li
 let policy t = t.pol
@@ -75,6 +87,8 @@ let run t ?(on_retry = fun ~attempt:_ -> ()) f =
           let pause = backoff_for t attempt in
           t.st <-
             { t.st with retries = t.st.retries + 1; backoff_total = t.st.backoff_total +. pause };
+          Obs.Counter.incr t.m_restarts;
+          Obs.Trace.emit (LI.index t.li).Pk_core.Index.trace Obs.Trace.k_restart attempt 0;
           t.sleep pause;
           on_retry ~attempt;
           go (attempt + 1)

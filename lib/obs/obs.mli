@@ -1,0 +1,172 @@
+(** Zero-allocation-on-hot-path observability: a metrics registry of
+    named counters and fixed-bucket log-scale histograms, plus an
+    optional per-index ring buffer of structured descent trace events.
+
+    The paper's whole argument is counted quantities — key dereferences
+    per search, node visits, comparisons resolved by partial keys alone
+    (§5, Figures 9–10) — so every descent must be explainable without
+    instrumenting ad hoc.  The discipline throughout is {e handles}:
+    name → storage resolution happens once, at scheme-build time
+    ({!Counter.register} / {!Histogram.register}); the hot paths update
+    through the returned handle with plain loads and stores — no name
+    lookups, no closures, no heap allocation ([@pklint.hot]-clean, and
+    asserted dynamically via [Gc.minor_words] in [test_obs]). *)
+
+(** A named-metric registry.  Registration is idempotent per name: the
+    second registration of a name returns a handle to the same storage,
+    so multiple indexes built with the same tag share (and sum into)
+    one series, Prometheus-style. *)
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val default : t
+  (** The process-wide registry every index and driver reports into. *)
+
+  val reset_values : t -> unit
+  (** Zero every counter cell and histogram (names and handles stay
+      valid) — test isolation, not a hot-path operation. *)
+end
+
+(** Monotonic (modulo int wraparound) named counters.  The handle is an
+    index into the registry's flat cell array: updating is two array
+    accesses, nothing else. *)
+module Counter : sig
+  type t
+
+  val register : Registry.t -> string -> t
+  (** [register reg name] returns the handle for [name], creating the
+      cell on first registration.  The name is the full series
+      including any labels, e.g. ["pk_index_derefs_total{index=\"pkB\"}"]. *)
+
+  val nop : unit -> t
+  (** A handle into a private scrap cell — the default wired into
+      counters that have not been attached to a registry yet.  Updates
+      are cheap and invisible. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  (** Values wrap silently on native-int overflow (OCaml semantics);
+      exporters report whatever the cell holds. *)
+
+  val value : t -> int
+  val name : t -> string
+end
+
+(** Fixed-bucket base-2 log-scale histograms for latencies and
+    per-operation work counts.  Bucket 0 holds observations <= 0;
+    bucket [k] (1..62) holds values in [[2^(k-1), 2^k)]; [max_int]
+    lands in bucket 62.  The bucket array is preallocated at
+    registration, so {!observe} is an arithmetic loop plus two array
+    stores. *)
+module Histogram : sig
+  type t
+
+  val n_buckets : int
+  (** 63: buckets 0..62. *)
+
+  val bucket_of : int -> int
+  (** Allocation-free bucket index for a value. *)
+
+  val bucket_lo : int -> int
+  (** Inclusive lower bound of bucket [k] ([bucket_lo 0 = min_int]). *)
+
+  val bucket_hi : int -> int
+  (** Inclusive upper bound of bucket [k] ([bucket_hi 62 = max_int]). *)
+
+  val register : Registry.t -> string -> t
+  val observe : t -> int -> unit
+
+  val count : t -> int
+  val sum : t -> int
+  (** [sum] wraps on overflow like counters do. *)
+
+  val bucket_count : t -> int -> int
+  val name : t -> string
+end
+
+(** Optional per-index descent tracing: a fixed-size ring buffer of
+    structured (kind, a, b) events written by the hot paths when — and
+    only when — the ring is enabled.  Writers never block or stop:
+    draining reads the surviving window (the ring keeps the most recent
+    [capacity] events) and moves the reader cursor; anything the writer
+    lapped is reported as a dropped count. *)
+module Trace : sig
+  type t
+
+  type kind =
+    | Visit  (** node visit: [a] = node address *)
+    | Pk_eq  (** partial-key comparison resolved equal: [a] = node *)
+    | Pk_lt  (** partial-key outcome less-than: [a] = node, [b] = offset *)
+    | Pk_gt  (** partial-key outcome greater-than: [a] = node, [b] = offset *)
+    | Deref  (** record-key dereference: [a] = node, [b] = entry index *)
+    | Route  (** descent routed to a child: [a] = node, [b] = child index *)
+    | Restart  (** lock-contention restart: [a] = attempt number *)
+    | Unwind  (** fault unwind restored the pre-operation tree *)
+
+  type event = { seq : int; kind : kind; a : int; b : int }
+  (** [seq] is the global event number (monotone from 0 per ring). *)
+
+  val create : unit -> t
+  (** Disabled and storage-free until {!enable}. *)
+
+  val enable : ?capacity:int -> t -> unit
+  (** Allocate the ring (capacity rounded up to a power of two, default
+      1024) and start recording.  Re-enabling keeps an existing ring of
+      sufficient capacity and its contents. *)
+
+  val disable : t -> unit
+  val enabled : t -> bool
+  val capacity : t -> int
+
+  val written : t -> int
+  (** Total events ever emitted into an enabled ring. *)
+
+  (** {2 Hot-path emission} — int kind codes, full applications only. *)
+
+  val k_visit : int
+  val k_pk_eq : int
+  val k_pk_lt : int
+  val k_pk_gt : int
+  val k_deref : int
+  val k_route : int
+  val k_restart : int
+  val k_unwind : int
+
+  val emit : t -> int -> int -> int -> unit
+  (** [emit tr kind_code a b]: one branch when disabled; three array
+      stores and a cursor bump when enabled.  Never allocates. *)
+
+  val emit_sign : t -> int -> int -> unit
+  (** [emit_sign tr node sign] records the partial-key outcome
+      [Pk_lt]/[Pk_eq]/[Pk_gt] for [sign] negative/zero/positive. *)
+
+  val drain : t -> event list * int
+  (** Events since the last drain, oldest first, bounded by the ring
+      capacity, plus the number of older events the writer overwrote
+      before they were read.  Does not disturb the writer. *)
+
+  val event_to_string : event -> string
+  val pp_event : Format.formatter -> event -> unit
+end
+
+(** Point-in-time view of a registry, sorted by series name. *)
+module Snapshot : sig
+  type hist = {
+    hname : string;
+    hcount : int;
+    hsum : int;
+    hbuckets : (int * int) list;  (** (bucket index, count), non-zero only. *)
+  }
+
+  type t = { counters : (string * int) list; hists : hist list }
+
+  val take : Registry.t -> t
+end
+
+val prometheus : Registry.t -> string
+(** Prometheus text exposition of the whole registry: [# TYPE] lines,
+    counters verbatim, histograms as cumulative [_bucket{le=...}] /
+    [_sum] / [_count] series (labels embedded in the registered name
+    are preserved). *)

@@ -6,8 +6,22 @@ module Cachesim = Pk_cachesim.Cachesim
 module Machine = Pk_cachesim.Machine
 module Record_store = Pk_records.Record_store
 module Index = Pk_core.Index
+module Obs = Pk_obs.Obs
 
 type env = { mem : Mem.t; cache : Cachesim.t; records : Record_store.t }
+
+(* Per-index workload series (idempotent registration; the measure
+   functions below resolve their handles once per call, outside the
+   measured loops). *)
+let obs_lookups ix =
+  Obs.Counter.register Obs.Registry.default ("pk_lookups_total{index=\"" ^ ix.Index.tag ^ "\"}")
+
+let obs_deref_hist ix =
+  Obs.Histogram.register Obs.Registry.default ("pk_lookup_derefs{index=\"" ^ ix.Index.tag ^ "\"}")
+
+let obs_latency_hist ix =
+  Obs.Histogram.register Obs.Registry.default
+    ("pk_lookup_latency_ns{index=\"" ^ ix.Index.tag ^ "\"}")
 
 let make_env ?(machine = Machine.ultra30) ?tlb () =
   let cache = Cachesim.create (Machine.to_config ?tlb machine) in
@@ -59,8 +73,15 @@ let measure_cache env ix ~warm ~probes =
   Cachesim.flush env.cache;
   Array.iter (fun k -> ignore (ix.Index.lookup k)) warm;
   ix.Index.reset_counters ();
+  let lookups = obs_lookups ix and dh = obs_deref_hist ix in
   let before = Cachesim.snapshot env.cache in
-  Array.iter (fun k -> ignore (ix.Index.lookup k)) probes;
+  Array.iter
+    (fun k ->
+      let d0 = ix.Index.deref_count () in
+      ignore (ix.Index.lookup k);
+      Obs.Counter.incr lookups;
+      Obs.Histogram.observe dh (ix.Index.deref_count () - d0))
+    probes;
   let after = Cachesim.snapshot env.cache in
   Mem.set_tracing env.mem false;
   let d = Cachesim.diff ~before ~after in
@@ -89,11 +110,15 @@ let measure_cache_batched env ix ~batch ?(contended = false) ~warm ~probes () =
   Cachesim.flush env.cache;
   Array.iter (fun k -> ignore (ix.Index.lookup k)) warm;
   ix.Index.reset_counters ();
+  let lookups = obs_lookups ix and dh = obs_deref_hist ix in
   let before = Cachesim.snapshot env.cache in
   Array.iter
     (fun b ->
       if contended then Cachesim.flush env.cache;
-      ix.Index.lookup_into b out)
+      let d0 = ix.Index.deref_count () in
+      ix.Index.lookup_into b out;
+      Obs.Counter.add lookups (Array.length b);
+      Obs.Histogram.observe dh (ix.Index.deref_count () - d0))
     batches;
   let after = Cachesim.snapshot env.cache in
   Mem.set_tracing env.mem false;
@@ -125,8 +150,11 @@ let wall_ns_per_op ?(repeats = 5) env ix ~probes =
   (* One untimed pass to warm the real caches and the allocator. *)
   ignore (timed ());
   let acc = Pk_util.Stats_acc.create () in
+  let lh = obs_latency_hist ix in
   for _ = 1 to repeats do
-    Pk_util.Stats_acc.add acc (timed ())
+    let ns = timed () in
+    Obs.Histogram.observe lh (int_of_float ns);
+    Pk_util.Stats_acc.add acc ns
   done;
   ignore !sink;
   Pk_util.Stats_acc.percentile acc 50.0
@@ -150,8 +178,11 @@ let wall_ns_per_op_batched ?(repeats = 5) env ix ~batch ~probes () =
   in
   ignore (timed ());
   let acc = Pk_util.Stats_acc.create () in
+  let lh = obs_latency_hist ix in
   for _ = 1 to repeats do
-    Pk_util.Stats_acc.add acc (timed ())
+    let ns = timed () in
+    Obs.Histogram.observe lh (int_of_float ns);
+    Pk_util.Stats_acc.add acc ns
   done;
   ignore !sink;
   Pk_util.Stats_acc.percentile acc 50.0
