@@ -1,9 +1,19 @@
 (* Command-line chaos runner: seeded random op schedules against every
    index configuration, cross-checked against a Map oracle, optionally
-   with fault injection.  Exits non-zero on the first divergence,
-   printing the replay seed.  CI runs a short fixed-seed pass. *)
+   with fault injection.  Schedules run one by one so a divergence
+   never hides the rest of the matrix: every failure is reported with
+   its replay seed, and the exit status is non-zero if ANY schedule
+   failed.  CI runs a short fixed-seed classic pass and a 1000-schedule
+   kill-and-recover pass ([-kind recover], or PK_CHAOS_KIND=recover). *)
 
 module Chaos = Pk_chaos.Chaos
+
+type schedule_kind = Classic | Recover
+
+let kind_of_string = function
+  | "classic" -> Classic
+  | "recover" -> Recover
+  | s -> invalid_arg (Printf.sprintf "unknown schedule kind %S; valid kinds: classic, recover" s)
 
 let () =
   let seeds = ref 50 in
@@ -12,6 +22,9 @@ let () =
   let faults = ref true in
   let alphabet = ref 0 in
   let trees = ref "" in
+  let kind =
+    ref (match Sys.getenv_opt "PK_CHAOS_KIND" with Some k -> k | None -> "classic")
+  in
   let spec =
     [
       ("-seeds", Arg.Set_int seeds, "N  number of seeds per tree (default 50)");
@@ -21,33 +34,91 @@ let () =
       ("-alphabet", Arg.Set_int alphabet, "N  fix the per-byte alphabet (default seed-derived)");
       ( "-trees",
         Arg.Set_string trees,
-        "LIST  comma-separated subset of T,B,pkT,pkB,prefix (default all)" );
+        "LIST  comma-separated subset of T,B,pkT,pkB,prefix (default all; classic kind), or \
+         of the registry tags (recover kind)" );
+      ( "-kind",
+        Arg.Set_string kind,
+        "KIND  classic | recover (default $PK_CHAOS_KIND or classic)" );
     ]
   in
   Arg.parse spec
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "chaos_main [options]: differential chaos testing of the index structures";
-  let trees =
-    if !trees = "" then Chaos.all_trees
-    else
-      try List.map Chaos.tree_of_tag (String.split_on_char ',' !trees)
-      with Invalid_argument msg ->
-        Printf.eprintf "chaos_main: %s\n" msg;
-        exit 2
+  let kind =
+    try kind_of_string !kind
+    with Invalid_argument msg ->
+      Printf.eprintf "chaos_main: %s\n" msg;
+      exit 2
   in
   let seed_list = List.init !seeds (fun i -> !base + i) in
   let plan = if !faults then fun ~seed -> Chaos.default_fault_plan ~seed else fun ~seed:_ -> [] in
   let alphabet = if !alphabet = 0 then None else Some !alphabet in
-  match Chaos.run_suite ~faults:plan ?alphabet ~trees ~seeds:seed_list ~ops:!ops () with
-  | o ->
-      Printf.printf "chaos: %d schedules, %d ops, %d applied, %d injected, %d validations — all consistent\n"
-        (List.length seed_list * List.length trees)
-        o.Chaos.ops o.Chaos.applied o.Chaos.injected o.Chaos.validations
-  | exception Failure msg ->
-      prerr_endline msg;
-      (* The schedule's descent trail was already dumped by the harness;
-         attach the metrics snapshot so the counterexample arrives with
-         its counters. *)
-      prerr_endline "chaos: metrics at failure:";
-      prerr_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);
-      exit 1
+  (* Run schedule by schedule, collecting every failure: a single bad
+     seed must fail the run without silencing later schedules. *)
+  let failures = ref 0 in
+  let total = ref Chaos.zero in
+  let schedules = ref 0 in
+  let run_one label f =
+    incr schedules;
+    match f () with
+    | o -> total := Chaos.add !total o
+    | exception Failure msg ->
+        incr failures;
+        Printf.eprintf "chaos FAILURE (%s): %s\n%!" label msg
+  in
+  (match kind with
+  | Classic ->
+      let trees =
+        if !trees = "" then Chaos.all_trees
+        else
+          try List.map Chaos.tree_of_tag (String.split_on_char ',' !trees)
+          with Invalid_argument msg ->
+            Printf.eprintf "chaos_main: %s\n" msg;
+            exit 2
+      in
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun tree ->
+              run_one
+                (Printf.sprintf "tree=%s seed=%d" (Chaos.tree_tag tree) seed)
+                (fun () ->
+                  Chaos.run_schedule ~faults:(plan ~seed) ?alphabet ~tree ~seed ~ops:!ops ()))
+            trees)
+        seed_list
+  | Recover ->
+      let tags =
+        if !trees = "" then Chaos.recover_tags ()
+        else begin
+          let known = Chaos.recover_tags () in
+          let asked = String.split_on_char ',' !trees in
+          List.iter
+            (fun t ->
+              if not (List.mem t known) then begin
+                Printf.eprintf "chaos_main: unknown scheme tag %S; valid tags: %s\n" t
+                  (String.concat ", " known);
+                exit 2
+              end)
+            asked;
+          asked
+        end
+      in
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun tag ->
+              run_one
+                (Printf.sprintf "tag=%s seed=%d" tag seed)
+                (fun () -> Chaos.run_recover_schedule ~faults:(plan ~seed) ~tag ~seed ~ops:!ops ()))
+            tags)
+        seed_list);
+  let o = !total in
+  Printf.printf
+    "chaos[%s]: %d schedules, %d ops, %d applied, %d injected, %d validations, %d failures\n"
+    (match kind with Classic -> "classic" | Recover -> "recover")
+    !schedules o.Chaos.ops o.Chaos.applied o.Chaos.injected o.Chaos.validations !failures;
+  if !failures > 0 then begin
+    Printf.eprintf "chaos: %d of %d schedules failed; metrics at exit:\n" !failures !schedules;
+    prerr_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);
+    exit 1
+  end

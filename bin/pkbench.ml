@@ -100,7 +100,144 @@ let run_cmd =
       const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ schemes_arg
       $ metrics_arg $ ids_arg)
 
+(* {2 snapshot subcommand} — durability + snapshot-read workload:
+   journaled bulk load, a pinned epoch probed at full speed while a
+   writer thread streams batched inserts, then a kill-and-recover of
+   the final journal. *)
+
+module Journal = Pk_journal.Journal
+module Index = Pk_core.Index
+module Key = Pk_keys.Key
+module Keygen = Pk_keys.Keygen
+module Prng = Pk_util.Prng
+module Record_store = Pk_records.Record_store
+module Tables = Pk_util.Tables
+
+let snapshot_cmd =
+  let run tag keys key_len batches batch_size seconds journal_out metrics =
+    Pk_core.Hybrid.ensure_registered ();
+    Pk_core.Variants.ensure_registered ();
+    Pk_fault.Fault.set_unwind false;
+    let mem = Pk_mem.Mem.create () in
+    let records = Record_store.create mem in
+    let ix = Index.Registry.build ~key_len tag mem records in
+    let journal = Journal.create () in
+    let jx = Index.journaled journal records ix in
+    let rng = Prng.create 1L in
+    let pool = Keygen.uniform ~rng ~key_len ~alphabet:16 (keys + (batches * batch_size)) in
+    let seed = Array.sub pool 0 keys in
+    Array.sort Key.compare seed;
+    let t0 = Unix.gettimeofday () in
+    let entries =
+      Array.map (fun k -> (k, Record_store.insert records ~key:k ~payload:Bytes.empty)) seed
+    in
+    jx.Index.of_sorted ~fill:1.0 entries;
+    let load_s = Unix.gettimeofday () -. t0 in
+    Printf.printf "index           %s\n" ix.Index.tag;
+    Printf.printf "bulk load       %s keys in %.2fs (journaled)\n" (Tables.fmt_int keys) load_s;
+    (* Pin the epoch, then race a writer thread against snapshot reads. *)
+    let snap = ix.Index.snapshot () in
+    let frozen_count = snap.Index.count () in
+    let writer_done = Atomic.make false in
+    let writer =
+      Thread.create
+        (fun () ->
+          for b = 0 to batches - 1 do
+            let fresh = Array.sub pool (keys + (b * batch_size)) batch_size in
+            let rids =
+              Array.map
+                (fun k -> Record_store.insert records ~key:k ~payload:Bytes.empty)
+                fresh
+            in
+            ignore (jx.Index.insert_batch fresh ~rids);
+            Thread.yield ()
+          done;
+          Atomic.set writer_done true)
+        ()
+    in
+    let m = 1024 in
+    let probes = Array.init m (fun i -> seed.(i * 31 mod keys)) in
+    let out = Array.make m (-1) in
+    let sweeps = ref 0 in
+    let t1 = Unix.gettimeofday () in
+    let deadline = t1 +. seconds in
+    while (not (Atomic.get writer_done)) || Unix.gettimeofday () < deadline do
+      snap.Index.lookup_into probes out;
+      incr sweeps;
+      Thread.yield ()
+    done;
+    let read_s = Unix.gettimeofday () -. t1 in
+    Thread.join writer;
+    let n_reads = !sweeps * m in
+    Printf.printf "snapshot reads  %s lookups in %.2fs (%s/s) against the pinned epoch\n"
+      (Tables.fmt_int n_reads) read_s
+      (Tables.fmt_int (int_of_float (float_of_int n_reads /. read_s)));
+    Printf.printf "writer          %s keys in %d batches behind the snapshot\n"
+      (Tables.fmt_int (batches * batch_size))
+      batches;
+    if snap.Index.count () <> frozen_count then failwith "snapshot diverged";
+    Printf.printf "epoch           pinned at %s keys; live index now %s keys\n"
+      (Tables.fmt_int frozen_count)
+      (Tables.fmt_int (ix.Index.count ()));
+    snap.Index.release ();
+    Printf.printf "journal         %s, %s records, %d commits\n"
+      (Tables.fmt_bytes (Journal.byte_size journal))
+      (Tables.fmt_int (Journal.record_count journal))
+      (Journal.commit_count journal);
+    Option.iter
+      (fun path ->
+        Journal.save journal path;
+        Printf.printf "journal saved   %s (inspect with: pkdump journal %s)\n" path path)
+      journal_out;
+    (* Kill-and-recover from the journal bytes alone. *)
+    let t2 = Unix.gettimeofday () in
+    let frozen = Journal.of_bytes (Journal.to_bytes journal) in
+    let _mem2, _records2, recovered, st = Index.recover ~key_len ~tag frozen in
+    let rec_s = Unix.gettimeofday () -. t2 in
+    Printf.printf
+      "recovery        %s keys in %.2fs: %d batches, %d ops (%d bulk + %d tail), %d \
+       uncommitted skipped\n"
+      (Tables.fmt_int (recovered.Index.count ()))
+      rec_s st.Pk_core.Engine.rec_batches st.Pk_core.Engine.rec_ops
+      st.Pk_core.Engine.rec_bulk st.Pk_core.Engine.rec_tail st.Pk_core.Engine.rec_skipped;
+    if recovered.Index.count () <> ix.Index.count () then failwith "recovery diverged";
+    if metrics then begin
+      print_newline ();
+      print_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);
+      Pk_harness.Metrics_out.write_metrics Pk_obs.Obs.Registry.default
+    end
+  in
+  let tag_arg =
+    Arg.(value & opt string "pkB" & info [ "tag" ] ~docv:"TAG" ~doc:"Registry scheme tag (see list-schemes).")
+  in
+  let keys_arg =
+    Arg.(value & opt int 200_000 & info [ "keys"; "k" ] ~docv:"N" ~doc:"Bulk-loaded keys.")
+  in
+  let key_len_arg =
+    Arg.(value & opt int 12 & info [ "key-len" ] ~docv:"B" ~doc:"Key length in bytes.")
+  in
+  let batches_arg =
+    Arg.(value & opt int 64 & info [ "batches" ] ~docv:"N" ~doc:"Writer-thread insert batches.")
+  in
+  let batch_size_arg =
+    Arg.(value & opt int 512 & info [ "batch" ] ~docv:"N" ~doc:"Keys per writer batch.")
+  in
+  let seconds_arg =
+    Arg.(value & opt float 1.0 & info [ "seconds" ] ~docv:"S" ~doc:"Minimum snapshot-read measurement window.")
+  in
+  let journal_out_arg =
+    Arg.(value & opt (some string) None & info [ "journal-out" ] ~docv:"FILE" ~doc:"Save the journal for pkdump inspection.")
+  in
+  Cmd.v
+    (Cmd.info "snapshot"
+       ~doc:
+         "journaled load, snapshot reads against a writer thread, then kill-and-recover from \
+          the journal")
+    Term.(
+      const run $ tag_arg $ keys_arg $ key_len_arg $ batches_arg $ batch_size_arg
+      $ seconds_arg $ journal_out_arg $ metrics_arg)
+
 let () =
   let doc = "benchmarks for the pkT/pkB partial-key index reproduction (SIGMOD 2001)" in
   let info = Cmd.info "pkbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; list_schemes_cmd; run_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ list_cmd; list_schemes_cmd; run_cmd; snapshot_cmd ]))

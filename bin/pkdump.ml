@@ -119,6 +119,45 @@ let run_trace structure scheme keys key_len entropy node_bytes probes capacity =
       List.iter (fun e -> Printf.printf "  %s\n" (Obs.Trace.event_to_string e)) events)
     ps
 
+(* {2 journal subcommand} — raw view of a write-ahead operation
+   journal: per-record framing plus the committed/uncommitted split
+   recovery would apply. *)
+
+module Journal = Pk_journal.Journal
+
+let run_journal path limit =
+  let j = Journal.load path in
+  let committed = Journal.committed_batches j in
+  let in_committed b = List.mem b committed in
+  Printf.printf "journal  %s: %s, %d records, %d commits, last batch %d\n" path
+    (Tables.fmt_bytes (Journal.byte_size j))
+    (Journal.record_count j) (Journal.commit_count j) (Journal.last_batch j);
+  let uncommitted = ref 0 in
+  Journal.iter_records j (fun ~off:_ ~batch op ->
+      match op with
+      | Some _ when not (in_committed batch) -> incr uncommitted
+      | _ -> ());
+  Printf.printf "         committed batches: %s; %d uncommitted records (discarded on replay)\n"
+    (String.concat "," (List.map string_of_int committed))
+    !uncommitted;
+  let shown = ref 0 in
+  Journal.iter_records j (fun ~off ~batch op ->
+      if !shown < limit then begin
+        incr shown;
+        let mark = if in_committed batch then ' ' else '!' in
+        match op with
+        | None -> Printf.printf "%08x  batch %-5d commit\n" off batch
+        | Some (Journal.Insert { key; payload }) ->
+            Printf.printf "%08x %cbatch %-5d insert %s  payload %db\n" off mark batch
+              (Pk_keys.Key.to_hex key) (Bytes.length payload)
+        | Some (Journal.Delete { key }) ->
+            Printf.printf "%08x %cbatch %-5d delete %s\n" off mark batch
+              (Pk_keys.Key.to_hex key)
+      end);
+  if Journal.record_count j + Journal.commit_count j > limit then
+    Printf.printf "         ... %d more records (raise --limit)\n"
+      (Journal.record_count j + Journal.commit_count j - limit)
+
 let () =
   let structure =
     Arg.(value & opt string "b" & info [ "structure"; "s" ] ~docv:"b|t" ~doc:"Tree structure.")
@@ -169,8 +208,22 @@ let () =
         const run_trace $ structure $ scheme $ trace_keys $ key_len $ entropy $ node_bytes $ probes
         $ capacity)
   in
+  let journal_cmd =
+    let path =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Journal file (pkbench snapshot --journal-out).")
+    in
+    let limit =
+      Arg.(value & opt int 64 & info [ "limit" ] ~docv:"N" ~doc:"Records to print (default 64).")
+    in
+    Cmd.v
+      (Cmd.info "journal"
+         ~doc:
+           "print a write-ahead operation journal record by record, marking uncommitted \
+            records recovery would discard")
+      Term.(const run_journal $ path $ limit)
+  in
   let info =
     Cmd.info "pkdump" ~version:"1.0.0"
       ~doc:"build one partial-key (or baseline) index and report structure and cache behaviour"
   in
-  exit (Cmd.eval (Cmd.group ~default:term info [ trace_cmd ]))
+  exit (Cmd.eval (Cmd.group ~default:term info [ trace_cmd; journal_cmd ]))

@@ -9,6 +9,17 @@ type journal = {
   mutable pending_frees : (int * int) list; (* applied on commit, dropped on abort *)
 }
 
+(* Copy-on-write shadow: pre-images of every 256-byte page overwritten
+   since the shadow was attached.  A fixed two-level page table (row
+   published before page, page before the arena overwrite) means a
+   snapshot reader in another systhread always sees either "page absent,
+   arena bytes still old" or "page present" — never torn state. *)
+type shadow = {
+  mutable rows : Bytes.t array array; (* [||] row = nothing captured there *)
+  mutable cow_bytes : int;
+  mutable live : bool;
+}
+
 type t = {
   arena_name : string;
   mutable data : Bytes.t;
@@ -17,6 +28,7 @@ type t = {
   free_lists : (int, int list ref) Hashtbl.t; (* size -> offsets *)
   free_set : (int, int) Hashtbl.t; (* offset -> size, for double-free detection *)
   mutable txn : journal option;
+  mutable shadows : shadow list;
 }
 
 let null = 0
@@ -33,6 +45,7 @@ let create ?(initial_capacity = 64 * 1024) ~name () =
     free_lists = Hashtbl.create 16;
     free_set = Hashtbl.create 16;
     txn = None;
+    shadows = [];
   }
 
 let name t = t.arena_name
@@ -52,6 +65,106 @@ let grow_to t want =
   end
 
 let align_up off align = (off + align - 1) land lnot (align - 1)
+
+(* {2 Shadow pages — copy-on-write snapshot support}
+
+   Offsets are split [row:13][page:10][byte:8]: 256-byte pages, 1024
+   pages per row, 8192 rows — 2 GiB of addressable arena, far above any
+   configuration in this repository.  Pages are captured lazily, at
+   most once per shadow, immediately before the first overwrite. *)
+
+let page_bits = 8
+let page_size = 1 lsl page_bits
+let page_mask = page_size - 1
+let l2_bits = 10
+let l2_size = 1 lsl l2_bits
+let l2_mask = l2_size - 1
+let l1_size = 8192
+
+let no_row : Bytes.t array = [||]
+
+let shadow_attach t =
+  let s = { rows = Array.make l1_size no_row; cow_bytes = 0; live = true } in
+  t.shadows <- s :: t.shadows;
+  s
+
+let shadow_detach t s =
+  s.live <- false;
+  s.cow_bytes <- 0;
+  (* Dropping the table makes any read through a released shadow fail
+     fast (index out of bounds) instead of returning post-release
+     bytes. *)
+  s.rows <- [||];
+  t.shadows <- List.filter (fun s' -> s' != s) t.shadows
+
+let shadow_live s = s.live
+let shadow_cow_bytes s = s.cow_bytes
+let shadowed t = match t.shadows with [] -> false | _ :: _ -> true
+
+let capture_page t s page =
+  let r = page lsr l2_bits in
+  if r >= l1_size then invalid_arg "Arena: offset too large for snapshot shadowing";
+  let row =
+    let row = s.rows.(r) in
+    if Array.length row > 0 then row
+    else begin
+      let row = Array.make l2_size Bytes.empty in
+      (* Publish the (empty) row before any page lands in it. *)
+      s.rows.(r) <- row;
+      row
+    end
+  in
+  let j = page land l2_mask in
+  if Bytes.length row.(j) = 0 then begin
+    let pg = Bytes.make page_size '\000' in
+    let base = page lsl page_bits in
+    let n = Stdlib.min page_size (Bytes.length t.data - base) in
+    if n > 0 then Bytes.blit t.data base pg 0 n;
+    (* Page becomes visible before the caller overwrites the arena. *)
+    row.(j) <- pg;
+    s.cow_bytes <- s.cow_bytes + page_size
+  end
+
+let capture_range t off len =
+  let first = off lsr page_bits and last = (off + len - 1) lsr page_bits in
+  List.iter
+    (fun s ->
+      for p = first to last do
+        capture_page t s p
+      done)
+    t.shadows
+
+(* Called before every in-place mutation: one load and branch when no
+   snapshot is pinned. *)
+let[@inline] capture t off len =
+  match t.shadows with [] -> () | _ :: _ -> if len > 0 then capture_range t off len
+
+let[@inline] shadow_page s page =
+  let row = Array.get s.rows (page lsr l2_bits) in
+  if Array.length row = 0 then Bytes.empty else Array.unsafe_get row (page land l2_mask)
+
+let shadow_get_u8 t s off =
+  let pg = shadow_page s (off lsr page_bits) in
+  if Bytes.length pg = 0 then Char.code (Bytes.get t.data off)
+  else Char.code (Bytes.unsafe_get pg (off land page_mask))
+
+(* Multi-byte shadow reads compose byte-wise: a value can straddle a
+   captured and an uncaptured page.  Native-int wraparound in the u64
+   composition matches [get_u64]'s [Int64.to_int] truncation. *)
+let shadow_get_u16 t s off = shadow_get_u8 t s off lor (shadow_get_u8 t s (off + 1) lsl 8)
+
+let shadow_get_u32 t s off =
+  shadow_get_u16 t s off lor (shadow_get_u16 t s (off + 2) lsl 16)
+
+let shadow_get_u64 t s off =
+  shadow_get_u32 t s off lor (shadow_get_u32 t s (off + 4) lsl 32)
+
+let shadow_blit_to_bytes t s ~src_off ~dst ~dst_off ~len =
+  if len < 0 || dst_off < 0 || dst_off + len > Bytes.length dst then
+    invalid_arg "Arena.shadow_blit_to_bytes";
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set dst (dst_off + i) (Char.unsafe_chr (shadow_get_u8 t s (src_off + i)))
+  done
 
 (* {2 Undo journal} *)
 
@@ -98,7 +211,9 @@ let abort_txn t =
          allocation is recycled. *)
       List.iter
         (function
-          | U_bytes (off, saved) -> Bytes.blit saved 0 t.data off (Bytes.length saved)
+          | U_bytes (off, saved) ->
+              capture t off (Bytes.length saved);
+              Bytes.blit saved 0 t.data off (Bytes.length saved)
           | U_alloc (off, size) -> push_free t off size)
         j.undos
 
@@ -126,6 +241,7 @@ let alloc t ?(align = 8) size =
 
 let fill t ~off ~len c =
   log_bytes t off len;
+  capture t off len;
   Bytes.fill t.data off len c
 
 let free t off size =
@@ -149,28 +265,33 @@ let get_u8 t off = Char.code (Bytes.get t.data off)
 
 let set_u8 t off v =
   log_bytes t off 1;
+  capture t off 1;
   Bytes.set t.data off (Char.chr (v land 0xff))
 
 let get_u16 t off = Bytes.get_uint16_le t.data off
 
 let set_u16 t off v =
   log_bytes t off 2;
+  capture t off 2;
   Bytes.set_uint16_le t.data off (v land 0xffff)
 
 let get_u32 t off = Int32.to_int (Bytes.get_int32_le t.data off) land 0xffffffff
 
 let set_u32 t off v =
   log_bytes t off 4;
+  capture t off 4;
   Bytes.set_int32_le t.data off (Int32.of_int v)
 
 let get_u64 t off = Int64.to_int (Bytes.get_int64_le t.data off)
 
 let set_u64 t off v =
   log_bytes t off 8;
+  capture t off 8;
   Bytes.set_int64_le t.data off (Int64.of_int v)
 
 let blit_from_bytes t ~src ~src_off ~dst_off ~len =
   log_bytes t dst_off len;
+  capture t dst_off len;
   Bytes.blit src src_off t.data dst_off len
 
 let blit_to_bytes t ~src_off ~dst ~dst_off ~len =
@@ -178,6 +299,7 @@ let blit_to_bytes t ~src_off ~dst ~dst_off ~len =
 
 let blit_within t ~src_off ~dst_off ~len =
   log_bytes t dst_off len;
+  capture t dst_off len;
   Bytes.blit t.data src_off t.data dst_off len
 
 let compare_with_bytes t ~off b ~b_off ~len =

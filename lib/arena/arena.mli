@@ -55,6 +55,47 @@ val commit_txn : t -> unit
 val abort_txn : t -> unit
 val in_txn : t -> bool
 
+(** {1 Shadow pages} — copy-on-write snapshot support.
+
+    An attached shadow preserves the arena's content as of the moment of
+    attachment: before any in-place mutation (stores, fills, blits,
+    frees, undo-journal rollbacks) the affected 256-byte pages are
+    copied into every attached shadow that does not hold them yet.
+    Reading through a shadow yields the pre-attachment bytes for
+    captured pages and the live bytes otherwise — which are identical
+    for never-overwritten pages.
+
+    Single-writer discipline: mutations (and hence captures) must come
+    from one thread, but shadow reads may proceed concurrently from
+    other systhreads — page-table rows are published before pages, and
+    pages before the overwrite, so a reader never observes torn state. *)
+
+type shadow
+
+val shadow_attach : t -> shadow
+(** Pin the arena's current content.  O(1); costs are paid lazily by
+    subsequent writes (one 256-byte copy per first-touched page). *)
+
+val shadow_detach : t -> shadow -> unit
+(** Release the shadow and drop all captured pages.  Reads through a
+    detached shadow raise.  Idempotent. *)
+
+val shadow_live : shadow -> bool
+val shadow_cow_bytes : shadow -> int
+(** Bytes of captured pre-image pages currently held (0 after detach). *)
+
+val shadowed : t -> bool
+(** Whether any shadow is attached. *)
+
+val shadow_get_u8 : t -> shadow -> int -> int
+val shadow_get_u16 : t -> shadow -> int -> int
+val shadow_get_u32 : t -> shadow -> int -> int
+val shadow_get_u64 : t -> shadow -> int -> int
+(** Little-endian reads as of attachment time.  Allocation-free. *)
+
+val shadow_blit_to_bytes :
+  t -> shadow -> src_off:int -> dst:bytes -> dst_off:int -> len:int -> unit
+
 val used_bytes : t -> int
 (** High-water mark of bytes ever bump-allocated (excludes capacity
     slack, includes currently-free-listed regions). *)

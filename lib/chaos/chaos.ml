@@ -397,3 +397,228 @@ let run_suite ?(faults = fun ~seed:_ -> []) ?alphabet ?(trees = all_trees) ~seed
           add acc (run_schedule ~faults:(faults ~seed) ?alphabet ~tree ~seed ~ops ()))
         acc trees)
     zero seeds
+
+(* {2 Kill-and-recover schedules}
+
+   The mutation stream runs through the write-ahead journal wrapper
+   with faults armed; an injected fault aborts an operation mid-batch
+   and, with probability 1/2, "kills the process" on the spot (any
+   schedule also dies at stream end).  The in-memory tree is then
+   dropped entirely, the journal bytes are re-read as a restarted
+   process would read them, and {!Index.recover} rebuilds the scheme —
+   which must match the committed-prefix oracle exactly: same keys in
+   order, every recovered rid resolving to the committed key and
+   payload bytes.  Record ids are not durable, so the oracle tracks
+   (key, payload), never rids, across the crash. *)
+
+module Journal = Pk_journal.Journal
+
+let recover_tags () =
+  Pk_core.Hybrid.ensure_registered ();
+  Pk_core.Variants.ensure_registered ();
+  Index.Registry.tags ()
+
+let run_recover_schedule ?(faults = []) ~tag ~seed ~ops () =
+  Fault.reset ~seed ();
+  List.iter (fun (site, sched) -> Fault.arm site sched) faults;
+  Fun.protect ~finally:(fun () -> Fault.reset ()) @@ fun () ->
+  let rng = Prng.create (Int64.of_int (seed lxor 0x7ec0)) in
+  let mem = Mem.create () in
+  let records = Record_store.create mem in
+  let node_bytes = [| 192; 256 |].(Prng.int rng 2) in
+  let key_len = 8 + Prng.int rng 9 in
+  let ix = Fault.pause (fun () -> Index.Registry.build ~node_bytes ~key_len tag mem records) in
+  let journal = Journal.create () in
+  let jx = Index.journaled journal records ix in
+  let alphabet = [| 12; 64; 220; 256 |].(Prng.int rng 4) in
+  let n_pool = 32 + Prng.int rng 33 in
+  let pool = Keygen.uniform ~rng ~key_len ~alphabet n_pool in
+  let payload () =
+    let n = Prng.int rng 13 in
+    Bytes.init n (fun _ -> Char.chr (Prng.int rng 256))
+  in
+  (* key -> (live rid, payload bytes); committed state only. *)
+  let oracle = ref KMap.empty in
+  let applied = ref 0 and injected = ref 0 and validations = ref 0 in
+  let op = ref 0 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        failwith
+          (Printf.sprintf "[chaos-recover seed=%d tag=%s op=%d] %s (replay: seed %d)" seed tag
+             !op msg seed))
+      fmt
+  in
+  let attempt f =
+    (try Ok (f ()) with Fault.Injected site -> Error site) [@pklint.allow "no-swallow"]
+  in
+  let crashed = ref false in
+  let maybe_crash () = if Prng.int rng 2 = 0 then crashed := true in
+  (* A quarter of schedules seed through the journaled bulk loader. *)
+  if Prng.int rng 4 = 0 then begin
+    let m = 8 + Prng.int rng (n_pool - 8) in
+    let seed_keys = Array.sub pool 0 m in
+    Array.sort Key.compare seed_keys;
+    let triples =
+      Array.map
+        (fun k ->
+          let p = payload () in
+          (k, p, Fault.pause (fun () -> Record_store.insert records ~key:k ~payload:p)))
+        seed_keys
+    in
+    let entries = Array.map (fun (k, _, rid) -> (k, rid)) triples in
+    let fill = 0.5 +. Prng.float rng 0.5 in
+    match attempt (fun () -> jx.Index.of_sorted ~fill entries) with
+    | Ok () ->
+        Array.iter (fun (k, p, rid) -> oracle := KMap.add k (rid, p) !oracle) triples;
+        applied := !applied + m
+    | Error _ ->
+        incr injected;
+        Fault.pause (fun () ->
+            Array.iter (fun (_, _, rid) -> Record_store.delete records rid) triples);
+        maybe_crash ()
+  end;
+  while (not !crashed) && !op < ops do
+    incr op;
+    let key = pool.(Prng.int rng n_pool) in
+    let r = Prng.int rng 10 in
+    if r < 4 then begin
+      (* single insert *)
+      let p = payload () in
+      let rid = Fault.pause (fun () -> Record_store.insert records ~key ~payload:p) in
+      match attempt (fun () -> jx.Index.insert key ~rid) with
+      | Ok true ->
+          oracle := KMap.add key (rid, p) !oracle;
+          incr applied
+      | Ok false -> Fault.pause (fun () -> Record_store.delete records rid)
+      | Error _ ->
+          incr injected;
+          Fault.pause (fun () -> Record_store.delete records rid);
+          maybe_crash ()
+    end
+    else if r < 6 then begin
+      (* batch insert: a mid-batch kill leaves the whole batch
+         uncommitted in the journal *)
+      let m = 2 + Prng.int rng 7 in
+      let keys = Array.init m (fun _ -> pool.(Prng.int rng n_pool)) in
+      let pays = Array.init m (fun _ -> payload ()) in
+      let rids =
+        Array.mapi
+          (fun i k ->
+            Fault.pause (fun () -> Record_store.insert records ~key:k ~payload:pays.(i)))
+          keys
+      in
+      match attempt (fun () -> jx.Index.insert_batch keys ~rids) with
+      | Ok res ->
+          Array.iteri
+            (fun i ok ->
+              if ok then begin
+                oracle := KMap.add keys.(i) (rids.(i), pays.(i)) !oracle;
+                incr applied
+              end
+              else Fault.pause (fun () -> Record_store.delete records rids.(i)))
+            res
+      | Error _ ->
+          incr injected;
+          Fault.pause (fun () -> Array.iter (Record_store.delete records) rids);
+          maybe_crash ()
+    end
+    else if r < 8 then begin
+      (* single delete *)
+      match attempt (fun () -> jx.Index.delete key) with
+      | Ok true ->
+          (match KMap.find_opt key !oracle with
+          | Some (rid, _) -> Fault.pause (fun () -> Record_store.delete records rid)
+          | None -> fail "delete returned true for a key the oracle says is absent");
+          oracle := KMap.remove key !oracle;
+          incr applied
+      | Ok false ->
+          if KMap.mem key !oracle then
+            fail "delete returned false for a key the oracle says is present"
+      | Error _ ->
+          incr injected;
+          maybe_crash ()
+    end
+    else if r < 9 then begin
+      (* batch delete *)
+      let m = 2 + Prng.int rng 7 in
+      let keys = Array.init m (fun _ -> pool.(Prng.int rng n_pool)) in
+      match attempt (fun () -> jx.Index.delete_batch keys) with
+      | Ok res ->
+          Array.iteri
+            (fun i ok ->
+              if ok then begin
+                (match KMap.find_opt keys.(i) !oracle with
+                | Some (rid, _) -> Fault.pause (fun () -> Record_store.delete records rid)
+                | None -> fail "delete_batch returned true for an absent key");
+                oracle := KMap.remove keys.(i) !oracle;
+                incr applied
+              end)
+            res
+      | Error _ ->
+          incr injected;
+          maybe_crash ()
+    end
+    else
+      (* lookup sanity, injection paused *)
+      Fault.pause (fun () ->
+          let got = Option.is_some (jx.Index.lookup key) and want = KMap.mem key !oracle in
+          if got <> want then fail "pre-crash lookup diverges from oracle")
+  done;
+  (* The crash: the in-memory tree is dropped; only the journal bytes
+     survive, re-read exactly as a restarted process would read them. *)
+  let rix, records2, stats =
+    Fault.pause (fun () ->
+        let reread = Journal.of_bytes (Journal.to_bytes journal) in
+        if Journal.byte_size reread <> Journal.byte_size journal then
+          fail "journal changed size across serialization: %d -> %d"
+            (Journal.byte_size journal) (Journal.byte_size reread);
+        let _mem2, records2, rix, stats = Index.recover ~node_bytes ~key_len ~tag reread in
+        (rix, records2, stats))
+  in
+  incr validations (* [recover] deep-validated the rebuilt tree *);
+  (* Model check against the committed-prefix oracle: exact key set in
+     order, every recovered rid resolving to the committed key and
+     payload bytes, spot lookups over the whole pool. *)
+  Fault.pause (fun () ->
+      let want = KMap.bindings !oracle in
+      if rix.Index.count () <> List.length want then
+        fail "recovered count %d, oracle has %d (stats: %d batches, %d ops, %d bulk, %d tail)"
+          (rix.Index.count ()) (List.length want) stats.Pk_core.Engine.rec_batches
+          stats.Pk_core.Engine.rec_ops stats.Pk_core.Engine.rec_bulk
+          stats.Pk_core.Engine.rec_tail;
+      if Record_store.count records2 <> List.length want then
+        fail "recovered record store holds %d records, oracle has %d"
+          (Record_store.count records2) (List.length want);
+      let acc = ref [] in
+      rix.Index.iter (fun ~key ~rid -> acc := (key, rid) :: !acc);
+      let got = List.rev !acc in
+      List.iter2
+        (fun (gk, grid) (wk, (_, wpay)) ->
+          if Key.compare gk wk <> 0 then
+            fail "recovered key order diverges from oracle at %s (want %s)" (Key.to_hex gk)
+              (Key.to_hex wk);
+          let rkey = Record_store.read_key records2 grid in
+          if Key.compare rkey gk <> 0 then
+            fail "recovered rid %d resolves to key %s, expected %s" grid (Key.to_hex rkey)
+              (Key.to_hex gk);
+          let rpay = Record_store.read_payload records2 grid in
+          if not (Bytes.equal rpay wpay) then
+            fail "recovered payload for %s diverges from the committed bytes" (Key.to_hex gk))
+        got want;
+      Array.iter
+        (fun k ->
+          let got = Option.is_some (rix.Index.lookup k) and want = KMap.mem k !oracle in
+          if got <> want then fail "post-recovery lookup %s diverges from oracle" (Key.to_hex k))
+        pool);
+  incr validations;
+  { ops = !op; applied = !applied; injected = !injected; validations = !validations }
+
+let run_recover_suite ?(faults = fun ~seed:_ -> []) ?tags ~seeds ~ops () =
+  let tags = match tags with Some ts -> ts | None -> recover_tags () in
+  List.fold_left
+    (fun acc seed ->
+      List.fold_left
+        (fun acc tag -> add acc (run_recover_schedule ~faults:(faults ~seed) ~tag ~seed ~ops ()))
+        acc tags)
+    zero seeds

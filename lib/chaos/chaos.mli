@@ -45,6 +45,9 @@ type outcome = {
   validations : int;  (** deep-validator runs (all passed) *)
 }
 
+val zero : outcome
+val add : outcome -> outcome -> outcome
+
 val run_schedule :
   ?faults:fault_plan -> ?alphabet:int -> tree:tree -> seed:int -> ops:int -> unit -> outcome
 (** Run one schedule.  Arms [faults] (default none) after a
@@ -71,3 +74,34 @@ val run_suite :
 (** Run [ops]-operation schedules for every (tree, seed) pair and sum
     the outcomes.  [faults] builds each schedule's plan from its seed
     (default: no faults — pure differential mode). *)
+
+(** {1 Kill-and-recover schedules} *)
+
+val recover_tags : unit -> string list
+(** Every registered scheme tag ({!Pk_core.Index.Registry}), with the
+    extension modules' linkage forced first. *)
+
+val run_recover_schedule :
+  ?faults:fault_plan -> tag:string -> seed:int -> ops:int -> unit -> outcome
+(** One kill-and-recover schedule against the registered scheme [tag]:
+    drive a journaled mutation stream (singles, batches, a seed-chosen
+    fraction bulk-loaded) with faults armed; an injected fault aborts
+    the operation mid-batch and kills the process on the spot with
+    probability 1/2 (every schedule also dies at stream end).  The
+    in-memory tree is then dropped, the journal bytes re-read, and
+    {!Pk_core.Index.recover} rebuilds the scheme — checked against the
+    committed-prefix oracle: exact key set in order, every recovered
+    rid resolving to the committed key and payload bytes, spot lookups
+    over the whole key pool.  [injected] counts aborted operations;
+    [validations] counts the recovery deep-validation plus the model
+    sweep. *)
+
+val run_recover_suite :
+  ?faults:(seed:int -> fault_plan) ->
+  ?tags:string list ->
+  seeds:int list ->
+  ops:int ->
+  unit ->
+  outcome
+(** Kill-and-recover schedules for every (tag, seed) pair — [tags]
+    defaults to {!recover_tags} (every registered scheme). *)

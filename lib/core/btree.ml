@@ -820,6 +820,24 @@ module Structure = struct
     else push_spine t (child t node (i + 1)) ((node, i + 1) :: rest)
 
   let exhausted _ _ rest = rest
+  let records t = t.records
+
+  (* Header clone over the snapshot-view regions: pinned scalar state,
+     fresh caches/scratch so nothing reaches back into the live tree. *)
+  let snapshot_view t ~reg ~records =
+    {
+      t with
+      reg;
+      records;
+      ec =
+        Entries.make ~name:"Btree" ~reg ~records ~scheme:t.cfg.scheme ~entries_at
+          (Counters.create ());
+      sc = Scratch.create ();
+      aim = Entries.make_aim ();
+      bops = None;
+      router = None;
+    }
+
   let count = count
   let height = height
   let node_count = node_count

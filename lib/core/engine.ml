@@ -539,6 +539,19 @@ module Tgroup = struct
       end
 end
 
+(* {2 Durability and snapshot metrics}
+
+   Registered eagerly so the series exist (at zero) in every exporter
+   dump, whether or not a snapshot was ever pinned or a recovery run. *)
+
+let m_snapshot_pins = Obs.Counter.register Obs.Registry.default "pk_snapshot_pins_total"
+let m_snapshot_live = Obs.Counter.register Obs.Registry.default "pk_snapshot_epochs_live"
+
+let m_recovery_replays =
+  Obs.Counter.register Obs.Registry.default "pk_recovery_replays_total"
+
+let m_recovery_ops = Obs.Histogram.register Obs.Registry.default "pk_recovery_replayed_ops"
+
 (* {2 The uniform access-path record} *)
 
 type ops = {
@@ -563,7 +576,140 @@ type ops = {
   reset_counters : unit -> unit;
   trace : Obs.Trace.t;
   validate : unit -> unit;
+  snapshot : unit -> ops;
+  release : unit -> unit;
 }
+
+(* {2 Write-ahead journaling}
+
+   [journaled j ~payload_of o] interposes the operation journal on
+   every mutator of [o]: the logical records (and the batch's commit
+   marker, after the mutation succeeded) are appended {e before} /
+   {e after} the in-memory work, so a crash — modelled as an exception
+   escaping the mutator — leaves an uncommitted suffix that replay
+   discards, exactly matching the state the arena undo journal restored
+   in memory.  Read paths, statistics and snapshots pass through
+   untouched. *)
+
+let journaled j ~payload_of o =
+  let module J = Pk_journal.Journal in
+  let log_insert batch key rid = J.log_insert j ~batch ~key ~payload:(payload_of rid) in
+  {
+    o with
+    insert =
+      (fun key ~rid ->
+        let batch = J.begin_batch j in
+        log_insert batch key rid;
+        let ok = o.insert key ~rid in
+        J.commit j ~batch;
+        ok);
+    delete =
+      (fun key ->
+        let batch = J.begin_batch j in
+        J.log_delete j ~batch ~key;
+        let ok = o.delete key in
+        J.commit j ~batch;
+        ok);
+    insert_batch =
+      (fun keys ~rids ->
+        check_rids keys ~rids;
+        let batch = J.begin_batch j in
+        Array.iteri (fun i key -> log_insert batch key rids.(i)) keys;
+        let res = o.insert_batch keys ~rids in
+        J.commit j ~batch;
+        res);
+    delete_batch =
+      (fun keys ->
+        let batch = J.begin_batch j in
+        Array.iter (fun key -> J.log_delete j ~batch ~key) keys;
+        let res = o.delete_batch keys in
+        J.commit j ~batch;
+        res);
+    of_sorted =
+      (fun ~fill entries ->
+        let batch = J.begin_batch j in
+        Array.iter (fun (key, rid) -> log_insert batch key rid) entries;
+        o.of_sorted ~fill entries;
+        J.commit j ~batch);
+  }
+
+(* {2 Recovery}
+
+   Rebuild an index from a journal's committed prefix.  All committed
+   batches but the last are folded into a sorted logical state — insert
+   of a present key is a no-op, delete of an absent key is a no-op,
+   matching live index semantics — and loaded in one [of_sorted] pass;
+   the final batch is replayed incrementally through the normal
+   single-key path, exercising both restore modes every time.  Record
+   ids are re-assigned by [store_insert]: recovered rids are fresh, only
+   the (key, payload) content is durable. *)
+
+type recovery_stats = {
+  rec_batches : int;  (** committed batches replayed *)
+  rec_ops : int;  (** committed operation records replayed *)
+  rec_bulk : int;  (** keys restored through the [of_sorted] prefix *)
+  rec_tail : int;  (** tail operations replayed incrementally *)
+  rec_skipped : int;  (** uncommitted operation records discarded *)
+}
+
+module Bytes_map = Map.Make (Bytes)
+
+let recover ~journal ~build ~store_insert ~store_delete =
+  let module J = Pk_journal.Journal in
+  let fresh = build () in
+  let committed = J.committed_ops journal in
+  let n_ops = List.length committed in
+  let last = List.fold_left (fun acc (b, _) -> Stdlib.max acc b) 0 committed in
+  let prefix, tail = List.partition (fun (b, _) -> b <> last) committed in
+  let state =
+    List.fold_left
+      (fun m (_, op) ->
+        match op with
+        | J.Insert { key; payload } ->
+            if Bytes_map.mem key m then m else Bytes_map.add key payload m
+        | J.Delete { key } -> Bytes_map.remove key m)
+      Bytes_map.empty prefix
+  in
+  let bulk = Bytes_map.cardinal state in
+  if bulk > 0 then begin
+    let entries = Array.make bulk (Bytes.empty, 0) in
+    let i = ref 0 in
+    Bytes_map.iter
+      (fun key payload ->
+        entries.(!i) <- (key, store_insert ~key ~payload);
+        incr i)
+      state;
+    fresh.of_sorted ~fill:1.0 entries
+  end;
+  List.iter
+    (fun (_, op) ->
+      match op with
+      | J.Insert { key; payload } -> (
+          match fresh.lookup key with
+          | Some _ -> ()
+          | None ->
+              let rid = store_insert ~key ~payload in
+              if not (fresh.insert key ~rid) then store_delete rid)
+      | J.Delete { key } -> (
+          match fresh.lookup key with
+          | Some rid ->
+              ignore (fresh.delete key : bool);
+              store_delete rid
+          | None -> ()))
+    tail;
+  fresh.validate ();
+  Obs.Counter.incr m_recovery_replays;
+  Obs.Histogram.observe m_recovery_ops n_ops;
+  let stats =
+    {
+      rec_batches = List.length (J.committed_batches journal);
+      rec_ops = n_ops;
+      rec_bulk = bulk;
+      rec_tail = List.length tail;
+      rec_skipped = J.record_count journal - n_ops;
+    }
+  in
+  (fresh, stats)
 
 (* {2 The per-structure primitive set} *)
 
@@ -611,6 +757,14 @@ module type STRUCTURE = sig
   val frame_entry : t -> int -> int -> Key.t * int
   val advance : t -> int -> int -> (int * int) list -> (int * int) list
   val exhausted : t -> int -> (int * int) list -> (int * int) list
+
+  (** Snapshots: [records] exposes the record store the tree resolves
+      rids through; [snapshot_view] clones the header record onto view
+      regions (pinned root/height/counts, caches reset) — the clone
+      runs the normal read paths against the pinned epoch. *)
+
+  val records : t -> Record_store.t
+  val snapshot_view : t -> reg:Mem.region -> records:Record_store.t -> t
 
   (** Statistics and validation. *)
 
@@ -742,6 +896,55 @@ module Make (S : STRUCTURE) = struct
     in
     go (seq_from t lo)
 
+  (* Read-only wrap over a snapshot-view clone: the read paths are the
+     ordinary engine entry points (group descent included) aimed at the
+     view regions; every mutator raises.  [release] drops the COW pages
+     exactly once. *)
+  let read_only_view vt ~tag ~on_release =
+    Counters.attach (S.counters vt) ~tag;
+    let released = ref false in
+    let read_only name = invalid_arg (tag ^ "." ^ name ^ ": snapshot views are read-only") in
+    {
+      tag;
+      insert = (fun _ ~rid:_ -> read_only "insert");
+      lookup = S.lookup vt;
+      delete = (fun _ -> read_only "delete");
+      lookup_into = lookup_into vt;
+      lookup_batch = lookup_batch vt;
+      insert_batch = (fun _ ~rids:_ -> read_only "insert_batch");
+      delete_batch = (fun _ -> read_only "delete_batch");
+      of_sorted = (fun ~fill:_ _ -> read_only "of_sorted");
+      iter = iter vt;
+      range = (fun ~lo ~hi f -> range vt ~lo ~hi f);
+      seq_from = seq_from vt;
+      count = (fun () -> S.count vt);
+      height = (fun () -> S.height vt);
+      node_count = (fun () -> S.node_count vt);
+      space_bytes = (fun () -> S.space_bytes vt);
+      deref_count = (fun () -> (S.counters vt).Counters.derefs);
+      node_visits = (fun () -> (S.counters vt).Counters.visits);
+      reset_counters = (fun () -> Counters.reset (S.counters vt));
+      trace = (S.counters vt).Counters.trace;
+      validate = (fun () -> S.validate vt);
+      snapshot = (fun () -> invalid_arg (tag ^ ".snapshot: cannot snapshot a snapshot view"));
+      release =
+        (fun () ->
+          if !released then invalid_arg (tag ^ ".release: snapshot already released");
+          released := true;
+          on_release ());
+    }
+
+  let snapshot t ~tag () =
+    let reg = Mem.snapshot_view (S.region t) in
+    let records = Record_store.snapshot_view (S.records t) in
+    let vt = S.snapshot_view t ~reg ~records in
+    Obs.Counter.incr m_snapshot_pins;
+    Obs.Counter.add m_snapshot_live 1;
+    read_only_view vt ~tag:(tag ^ "@snap") ~on_release:(fun () ->
+        Mem.release_view reg;
+        Record_store.release_view records;
+        Obs.Counter.add m_snapshot_live (-1))
+
   let wrap t ~tag =
     Counters.attach (S.counters t) ~tag;
     {
@@ -766,5 +969,7 @@ module Make (S : STRUCTURE) = struct
       reset_counters = (fun () -> Counters.reset (S.counters t));
       trace = (S.counters t).Counters.trace;
       validate = (fun () -> S.validate t);
+      snapshot = snapshot t ~tag;
+      release = (fun () -> invalid_arg (tag ^ ".release: not a snapshot view"));
     }
 end

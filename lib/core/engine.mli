@@ -242,7 +242,50 @@ type ops = {
   reset_counters : unit -> unit;
   trace : Obs.Trace.t;
   validate : unit -> unit;
+  snapshot : unit -> ops;
+      (** Pin a copy-on-write epoch: the returned record serves the
+          normal read paths (group descent included) against the index's
+          state at the instant of the call, allocation-free on the hot
+          path, while a single writer keeps mutating the live index.
+          Mutators of the returned record raise; pinning a snapshot of
+          a snapshot raises. *)
+  release : unit -> unit;
+      (** Release a pinned epoch's COW pages (exactly once; a second
+          call raises).  On the live index this raises. *)
 }
+
+(** {2 Write-ahead journaling and recovery} *)
+
+val journaled : Pk_journal.Journal.t -> payload_of:(int -> bytes) -> ops -> ops
+(** Interpose the operation journal on every mutator: logical records
+    are appended before the in-memory mutation and the batch's commit
+    marker after it succeeds, so an exception escaping mid-batch leaves
+    an uncommitted suffix that replay discards.  [payload_of rid] reads
+    the payload bytes the rid resolves to (the record must already be in
+    the store when the mutator is called).  Reads, statistics and
+    snapshots pass through. *)
+
+type recovery_stats = {
+  rec_batches : int;  (** committed batches replayed *)
+  rec_ops : int;  (** committed operation records replayed *)
+  rec_bulk : int;  (** keys restored through the [of_sorted] prefix *)
+  rec_tail : int;  (** tail operations replayed incrementally *)
+  rec_skipped : int;  (** uncommitted operation records discarded *)
+}
+
+val recover :
+  journal:Pk_journal.Journal.t ->
+  build:(unit -> ops) ->
+  store_insert:(key:Key.t -> payload:bytes -> int) ->
+  store_delete:(int -> unit) ->
+  ops * recovery_stats
+(** Rebuild a fresh index from the journal's committed prefix: all
+    committed batches but the last are folded into a sorted logical
+    state and restored in one [of_sorted] pass; the last batch replays
+    incrementally through the single-key path.  Record ids are
+    re-assigned via [store_insert].  The recovered index is deep-
+    validated before being returned; [pk_recovery_replays_total] /
+    [pk_recovery_replayed_ops] are updated. *)
 
 (** The per-structure primitive set a tree supplies to the engine. *)
 module type STRUCTURE = sig
@@ -280,6 +323,12 @@ module type STRUCTURE = sig
   val frame_entry : t -> int -> int -> Key.t * int
   val advance : t -> int -> int -> (int * int) list -> (int * int) list
   val exhausted : t -> int -> (int * int) list -> (int * int) list
+
+  val records : t -> Record_store.t
+  val snapshot_view : t -> reg:Mem.region -> records:Record_store.t -> t
+  (** Clone the tree header onto snapshot-view regions: same scalar
+      state (root, height, counts), fresh caches/scratch, reads resolve
+      through [reg]/[records]. *)
 
   val count : t -> int
   val height : t -> int

@@ -24,6 +24,8 @@ type t = Engine.ops = {
   reset_counters : unit -> unit;
   trace : Pk_obs.Obs.Trace.t;
   validate : unit -> unit;
+  snapshot : unit -> t;
+  release : unit -> unit;
 }
 
 type structure = T_tree | B_tree
@@ -38,6 +40,11 @@ let make ?(node_bytes = 192) ?(naive_search = false) structure scheme mem record
 
 let make_prefix_btree ?(node_bytes = 192) mem records =
   Prefix_btree.wrap (Prefix_btree.create mem records { Prefix_btree.node_bytes }) ~tag:"B+/prefix"
+
+let journaled journal records ix =
+  Engine.journaled journal
+    ~payload_of:(fun rid -> Pk_records.Record_store.read_payload records rid)
+    ix
 
 (* {2 The six paper schemes (Figure 9), single-sourced} *)
 
@@ -125,3 +132,16 @@ let () =
       build =
         (fun ?node_bytes ~key_len:_ mem records -> make_prefix_btree ?node_bytes mem records);
     }
+
+(* Crash recovery by registry tag: fresh memory system + record store,
+   committed-prefix replay, deep validation — see {!Engine.recover}. *)
+let recover ?node_bytes ~key_len ~tag journal =
+  let mem = Pk_mem.Mem.create () in
+  let records = Pk_records.Record_store.create mem in
+  let ix, stats =
+    Engine.recover ~journal
+      ~build:(fun () -> Registry.build ?node_bytes ~key_len tag mem records)
+      ~store_insert:(fun ~key ~payload -> Pk_records.Record_store.insert records ~key ~payload)
+      ~store_delete:(fun rid -> Pk_records.Record_store.delete records rid)
+  in
+  (mem, records, ix, stats)

@@ -40,6 +40,15 @@ type t = Engine.ops = {
       (** The index's descent trace ring — disabled (and storage-free)
           until {!Pk_obs.Obs.Trace.enable} flips it on. *)
   validate : unit -> unit;
+  snapshot : unit -> t;
+      (** Pin a copy-on-write epoch: the returned record serves the
+          normal read paths against the index's state at the instant of
+          the call — allocation-free on the hot path — while a single
+          writer keeps mutating the live index.  Mutators of the
+          returned record raise, as does snapshotting a snapshot. *)
+  release : unit -> unit;
+      (** Release a pinned epoch's COW pages (exactly once); raises on
+          the live index. *)
 }
 
 type structure = T_tree | B_tree
@@ -62,6 +71,12 @@ val make_prefix_btree : ?node_bytes:int -> Pk_mem.Mem.t -> Pk_records.Record_sto
 (** A prefix B+-tree ({!module:Prefix_btree}) behind the same
     interface — the §2 key-compression alternative, used by ablation
     A8. *)
+
+val journaled : Pk_journal.Journal.t -> Pk_records.Record_store.t -> t -> t
+(** {!Engine.journaled} with payloads resolved through the given record
+    store: every mutator write-ahead-logs its logical records (key and
+    payload bytes, batch id) and appends the commit marker once the
+    in-memory mutation succeeded. *)
 
 val paper_schemes : key_len:int -> ?l_bytes:int -> unit -> (string * structure * Layout.scheme) list
 (** The six schemes of Figure 9, in the paper's naming:
@@ -111,3 +126,16 @@ module Registry : sig
   (** Build by tag.  Raises [Invalid_argument] listing the valid tags
       when the tag is unknown. *)
 end
+
+val recover :
+  ?node_bytes:int ->
+  key_len:int ->
+  tag:string ->
+  Pk_journal.Journal.t ->
+  Pk_mem.Mem.t * Pk_records.Record_store.t * t * Engine.recovery_stats
+(** Crash recovery by tag: build a fresh memory system, record store
+    and registered scheme, then replay the journal's committed prefix
+    through {!Engine.recover} (bulk [of_sorted] for all committed
+    batches but the last, incremental replay of the tail, deep
+    validation).  Record ids are freshly assigned — only key and
+    payload bytes are durable across a crash. *)

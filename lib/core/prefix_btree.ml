@@ -807,6 +807,13 @@ module Structure = struct
     let l = link t node in
     if l = null then rest else (l, 0) :: rest
 
+  let records t = t.records
+
+  (* Header clone over the snapshot-view regions: pinned scalar state,
+     fresh caches/scratch so nothing reaches back into the live tree. *)
+  let snapshot_view t ~reg ~records =
+    { t with reg; records; cnt = Counters.create (); sc = Scratch.create (); router = None }
+
   let count = count
   let height = height
   let node_count = node_count

@@ -795,6 +795,24 @@ module Structure = struct
   let frame_entry t node i = (entry_key t node i, rec_ptr t node i)
   let advance _ node i rest = (node, i + 1) :: rest
   let exhausted t node rest = push_spine t (right t node) rest
+  let records t = t.records
+
+  (* Header clone over the snapshot-view regions: pinned scalar state,
+     fresh caches/scratch so nothing reaches back into the live tree. *)
+  let snapshot_view t ~reg ~records =
+    {
+      t with
+      reg;
+      records;
+      ec =
+        Entries.make ~name:"Ttree" ~reg ~records ~scheme:t.cfg.scheme ~entries_at
+          (Counters.create ());
+      sc = Scratch.create ();
+      aim = Entries.make_aim ();
+      bops = None;
+      td = None;
+    }
+
   let count = count
   let height = height
   let node_count = node_count

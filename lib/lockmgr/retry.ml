@@ -3,15 +3,26 @@ module L = Lock_manager
 module LI = Locking_index
 module Obs = Pk_obs.Obs
 
+type backoff = Equal_jitter | Full_jitter
+
 type policy = {
   max_attempts : int;
   base_backoff : float;
   max_backoff : float;
   jitter : float;
+  backoff : backoff;
 }
 
 let default_policy =
-  { max_attempts = 8; base_backoff = 0.001; max_backoff = 0.1; jitter = 0.5 }
+  {
+    max_attempts = 8;
+    base_backoff = 0.001;
+    max_backoff = 0.1;
+    jitter = 0.5;
+    backoff = Equal_jitter;
+  }
+
+let full_jitter_policy = { default_policy with backoff = Full_jitter }
 
 type stats = {
   attempts : int;
@@ -55,13 +66,21 @@ let policy t = t.pol
 let stats t = t.st
 let reset_stats t = t.st <- zero_stats
 
-(* Exponential backoff for retry number [n] (1-based), scaled by a
-   deterministic jitter factor in [1 - jitter, 1 + jitter]. *)
-let backoff_for t n =
-  let raw = t.pol.base_backoff *. (2.0 ** float_of_int (n - 1)) in
-  let capped = Float.min raw t.pol.max_backoff in
-  let u = Prng.float t.rng 1.0 in
-  capped *. (1.0 +. (t.pol.jitter *. ((2.0 *. u) -. 1.0)))
+(* Backoff for retry number [n] (1-based).  Equal jitter scales the
+   capped exponential by a factor in [1 - jitter, 1 + jitter]; full
+   jitter draws uniformly from [0, capped) — the spread that actually
+   de-synchronises a thundering herd, since two clients on the same
+   retry number rarely land in the same slot. *)
+let draw pol rng ~attempt:n =
+  let raw = pol.base_backoff *. (2.0 ** float_of_int (n - 1)) in
+  let capped = Float.min raw pol.max_backoff in
+  match pol.backoff with
+  | Full_jitter -> Prng.float rng capped
+  | Equal_jitter ->
+      let u = Prng.float rng 1.0 in
+      capped *. (1.0 +. (pol.jitter *. ((2.0 *. u) -. 1.0)))
+
+let backoff_for t n = draw t.pol t.rng ~attempt:n
 
 let run t ?(on_retry = fun ~attempt:_ -> ()) f =
   let rec go attempt =

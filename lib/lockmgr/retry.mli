@@ -9,15 +9,35 @@
     accumulated backoff are counted and exposed alongside the index's
     own statistics. *)
 
+(** How the capped exponential is randomised.  [Equal_jitter] scales
+    each backoff by a factor in [1 - jitter, 1 + jitter] (the schedule
+    keeps its exponential shape, but a herd of clients that failed
+    together stays roughly synchronised).  [Full_jitter] draws each
+    backoff uniformly from [\[0, capped)] — the AWS-style discipline
+    that spreads a thundering herd across the whole window and so
+    resolves contention in strictly fewer retries. *)
+type backoff = Equal_jitter | Full_jitter
+
 type policy = {
   max_attempts : int;  (** total attempts, including the first ([>= 1]) *)
   base_backoff : float;  (** seconds before the first retry *)
   max_backoff : float;  (** cap for the exponential schedule *)
-  jitter : float;  (** relative jitter in [\[0, 1\]]: each backoff is scaled by [1 ± jitter] *)
+  jitter : float;
+      (** relative jitter in [\[0, 1\]] ([Equal_jitter] only; ignored
+          under [Full_jitter]) *)
+  backoff : backoff;
 }
 
 val default_policy : policy
-(** 8 attempts, 1 ms base, 100 ms cap, 0.5 jitter. *)
+(** 8 attempts, 1 ms base, 100 ms cap, 0.5 equal jitter. *)
+
+val full_jitter_policy : policy
+(** {!default_policy} with [backoff = Full_jitter]. *)
+
+val draw : policy -> Pk_util.Prng.t -> attempt:int -> float
+(** The pure backoff draw: the pause before retrying attempt number
+    [attempt] (1-based), advancing [rng].  Exposed so simulations can
+    replay the exact schedule {!run} would use. *)
 
 type stats = {
   attempts : int;  (** operation attempts started *)

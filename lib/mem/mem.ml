@@ -9,7 +9,14 @@ type t = {
   mutable regions : region list;
 }
 
-and region = { owner : t; arena : Arena.t; region_base : int }
+and region = {
+  owner : t;
+  arena : Arena.t;
+  region_base : int;
+  view : Arena.shadow option;
+      (* [Some s]: read-only snapshot view — reads go through the
+         shadow, mutations are rejected. *)
+}
 
 (* 1 TiB per region: arenas can never grow into each other's address
    ranges in the simulated physical space. *)
@@ -29,10 +36,40 @@ let with_tracing t b f =
 
 let new_region t ?initial_capacity ~name () =
   let arena = Arena.create ?initial_capacity ~name () in
-  let r = { owner = t; arena; region_base = t.next_base } in
+  let r = { owner = t; arena; region_base = t.next_base; view = None } in
   t.next_base <- t.next_base + region_stride;
   t.regions <- r :: t.regions;
   r
+
+(* {2 Snapshot views} *)
+
+let snapshot_view r =
+  if Option.is_some r.view then invalid_arg "Mem.snapshot_view: already a snapshot view";
+  { r with view = Some (Arena.shadow_attach r.arena) }
+
+let release_view r =
+  match r.view with
+  | Some s ->
+      if not (Arena.shadow_live s) then
+        invalid_arg "Mem.release_view: view already released";
+      Arena.shadow_detach r.arena s
+  | None -> invalid_arg "Mem.release_view: not a snapshot view"
+
+let is_view r = Option.is_some r.view
+let view_live r = match r.view with Some s -> Arena.shadow_live s | None -> false
+let view_cow_bytes r = match r.view with Some s -> Arena.shadow_cow_bytes s | None -> 0
+
+let[@inline] check_writable r name =
+  match r.view with
+  | None -> ()
+  | Some _ -> invalid_arg ("Mem." ^ name ^ ": snapshot views are read-only")
+
+(* View-aware byte read: the one branch every snapshot read path pays.
+   Top-level and allocation-free — used by the hot comparison scans. *)
+let[@pklint.hot] view_get_u8 r off =
+  match r.view with
+  | None -> Arena.get_u8 r.arena off
+  | Some s -> Arena.shadow_get_u8 r.arena s off
 
 let region_name r = Arena.name r.arena
 let mem r = r.owner
@@ -40,8 +77,13 @@ let base r = r.region_base
 let live_bytes r = Arena.live_bytes r.arena
 let used_bytes r = Arena.used_bytes r.arena
 
-let alloc r ?align size = Arena.alloc r.arena ?align size
-let free r off size = Arena.free r.arena off size
+let alloc r ?align size =
+  check_writable r "alloc";
+  Arena.alloc r.arena ?align size
+
+let free r off size =
+  check_writable r "free";
+  Arena.free r.arena off size
 let in_txn r = Arena.in_txn r.arena
 
 let guard r f =
@@ -65,60 +107,79 @@ let[@inline] charge r off len =
 let read_u8 r off =
   Fault.point "mem.read";
   charge r off 1;
-  Arena.get_u8 r.arena off
+  view_get_u8 r off
 
 let write_u8 r off v =
   Fault.point "mem.write";
+  check_writable r "write_u8";
   charge r off 1;
   Arena.set_u8 r.arena off v
 
 let read_u16 r off =
   Fault.point "mem.read";
   charge r off 2;
-  Arena.get_u16 r.arena off
+  match r.view with
+  | None -> Arena.get_u16 r.arena off
+  | Some s -> Arena.shadow_get_u16 r.arena s off
 
 let write_u16 r off v =
   Fault.point "mem.write";
+  check_writable r "write_u16";
   charge r off 2;
   Arena.set_u16 r.arena off v
 
 let read_u32 r off =
   Fault.point "mem.read";
   charge r off 4;
-  Arena.get_u32 r.arena off
+  match r.view with
+  | None -> Arena.get_u32 r.arena off
+  | Some s -> Arena.shadow_get_u32 r.arena s off
 
 let write_u32 r off v =
   Fault.point "mem.write";
+  check_writable r "write_u32";
   charge r off 4;
   Arena.set_u32 r.arena off v
 
 let read_u64 r off =
   Fault.point "mem.read";
   charge r off 8;
-  Arena.get_u64 r.arena off
+  match r.view with
+  | None -> Arena.get_u64 r.arena off
+  | Some s -> Arena.shadow_get_u64 r.arena s off
 
 let write_u64 r off v =
   Fault.point "mem.write";
+  check_writable r "write_u64";
   charge r off 8;
   Arena.set_u64 r.arena off v
 
 let read_bytes r ~off ~len =
   Fault.point "mem.read";
   charge r off len;
-  Arena.sub_bytes r.arena ~off ~len
+  match r.view with
+  | None -> Arena.sub_bytes r.arena ~off ~len
+  | Some s ->
+      let dst = Bytes.create len in
+      Arena.shadow_blit_to_bytes r.arena s ~src_off:off ~dst ~dst_off:0 ~len;
+      dst
 
 let read_into r ~off ~dst ~dst_off ~len =
   Fault.point "mem.read";
   charge r off len;
-  Arena.blit_to_bytes r.arena ~src_off:off ~dst ~dst_off ~len
+  match r.view with
+  | None -> Arena.blit_to_bytes r.arena ~src_off:off ~dst ~dst_off ~len
+  | Some s -> Arena.shadow_blit_to_bytes r.arena s ~src_off:off ~dst ~dst_off ~len
 
 let write_bytes r ~off ~src ~src_off ~len =
   Fault.point "mem.write";
+  check_writable r "write_bytes";
   charge r off len;
   Arena.blit_from_bytes r.arena ~src ~src_off ~dst_off:off ~len
 
 let move r ~src_off ~dst_off ~len =
   Fault.point "mem.write";
+  check_writable r "move";
   charge r src_off len;
   charge r dst_off len;
   Arena.blit_within r.arena ~src_off ~dst_off ~len
@@ -130,7 +191,7 @@ let compare_detail r ~off ~len probe ~key_off ~key_len =
     if i >= common then
       if len = key_len then (0, common) else if len < key_len then (-1, common) else (1, common)
     else
-      let a = Arena.get_u8 r.arena (off + i) in
+      let a = view_get_u8 r (off + i) in
       let b = Char.code (Bytes.get probe (key_off + i)) in
       if a <> b then ((if a < b then -1 else 1), i) else scan (i + 1)
   in
@@ -148,7 +209,7 @@ let[@pklint.hot] rec sign_scan r off (len : int) probe key_off (key_len : int) c
     if len = key_len then 0 else if len < key_len then -1 else 1
   end
   else
-    let a = Arena.get_u8 r.arena (off + i) in
+    let a = view_get_u8 r (off + i) in
     let b = Char.code (Bytes.get probe (key_off + i)) in
     if a <> b then begin
       charge r off (i + 1);

@@ -39,6 +39,31 @@ val new_region : t -> ?initial_capacity:int -> name:string -> unit -> region
 val region_name : region -> string
 val mem : region -> t
 
+(** {1 Snapshot views} — read-only copy-on-write regions.
+
+    [snapshot_view r] pins [r]'s current content by attaching an arena
+    shadow ({!Pk_arena.Arena.shadow_attach}): subsequent writes through
+    any region over the same arena first preserve the overwritten
+    pages, and all reads through the returned view resolve against the
+    pinned content.  The view shares [r]'s base address and cache
+    accounting; mutating accessors ([alloc], [free], [write_*], [move])
+    raise [Invalid_argument] on a view.  Reads stay allocation-free
+    (one extra branch plus a page-table probe per byte examined), and
+    may run from another systhread while a single writer mutates the
+    underlying region. *)
+
+val snapshot_view : region -> region
+val release_view : region -> unit
+(** Drop the view's captured pages.  Reads through a released view
+    raise.  Raises [Invalid_argument] on a non-view region or a view
+    that was already released. *)
+
+val is_view : region -> bool
+val view_live : region -> bool
+val view_cow_bytes : region -> int
+(** Bytes of pre-image pages the view currently holds (0 for non-views
+    and after release) — the COW cost of keeping the epoch alive. *)
+
 val base : region -> int
 (** Physical base address of the region. *)
 

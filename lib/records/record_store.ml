@@ -13,6 +13,12 @@ let create ?(line = 64) mem =
 
 let region t = t.reg
 
+(* Read-only copy-on-write view of the store at the current instant:
+   reads resolve against the pinned epoch, mutations raise (rejected by
+   the underlying view region). *)
+let snapshot_view t = { t with reg = Mem.snapshot_view t.reg }
+let release_view t = Mem.release_view t.reg
+
 let record_size t ~key_len ~payload_len =
   ignore t;
   header_bytes + key_len + payload_len

@@ -18,6 +18,16 @@ val create : ?line:int -> Pk_mem.Mem.t -> t
 
 val region : t -> Pk_mem.Mem.region
 
+val snapshot_view : t -> t
+(** Read-only view of the store pinned at the current instant (a
+    {!Pk_mem.Mem.snapshot_view} over the record region): [read_key] /
+    [read_payload] / comparisons see the epoch's records even after the
+    live store deletes (zeroes) or reuses them; mutators raise. *)
+
+val release_view : t -> unit
+(** Release a view created by {!snapshot_view}; raises on the live
+    store. *)
+
 val insert : t -> key:Pk_keys.Key.t -> payload:bytes -> int
 (** Store a record, returning its address (never {!val:null}). *)
 

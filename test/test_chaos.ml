@@ -68,6 +68,40 @@ let test_replay_determinism () =
   let b = run () in
   Alcotest.(check bool) "identical outcome on replay" true (a = b)
 
+(* {2 Kill-and-recover}
+
+   The recovery headline mirrors the fault acceptance run: >= 1000
+   schedules (112 seeds x every registered scheme tag) that journal a
+   faulty mutation stream, kill the tree mid-batch, and rebuild it from
+   the journal's committed prefix — each recovery deep-validated and
+   swept against the committed oracle. *)
+
+let test_recover_acceptance () =
+  let tags = Chaos.recover_tags () in
+  Alcotest.(check bool) "full scheme registry" true (List.length tags >= 9);
+  let n_seeds = 112 in
+  let o =
+    Chaos.run_recover_suite
+      ~faults:(fun ~seed -> Chaos.default_fault_plan ~seed)
+      ~seeds:(seeds ~base:1 n_seeds) ~ops:80 ()
+  in
+  let schedules = n_seeds * List.length tags in
+  Alcotest.(check bool) "1000+ schedules" true (schedules >= 1000);
+  Alcotest.(check bool) "faults actually injected" true (o.Chaos.injected > 100);
+  Alcotest.(check bool) "most operations applied" true (o.Chaos.applied > o.Chaos.injected);
+  (* every schedule deep-validates its recovery and sweeps the model *)
+  Alcotest.(check bool) "recovery validations" true (o.Chaos.validations >= 2 * schedules)
+
+let test_recover_replay_determinism () =
+  let run () =
+    Chaos.run_recover_schedule
+      ~faults:(Chaos.default_fault_plan ~seed:41)
+      ~tag:"pkB" ~seed:41 ~ops:200 ()
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check bool) "identical outcome on replay" true (a = b)
+
 let () =
   Alcotest.run "pk_chaos"
     [
@@ -78,5 +112,10 @@ let () =
           Alcotest.test_case "prefix under byte entropy" `Quick test_prefix_byte_entropy;
           Alcotest.test_case "chaos-found regressions" `Quick test_chaos_found_regressions;
           Alcotest.test_case "replay determinism" `Quick test_replay_determinism;
+        ] );
+      ( "recover",
+        [
+          Alcotest.test_case "1000-schedule kill-and-recover" `Slow test_recover_acceptance;
+          Alcotest.test_case "replay determinism" `Quick test_recover_replay_determinism;
         ] );
     ]

@@ -554,7 +554,13 @@ let test_retry_backoff_schedule () =
   | _ -> Alcotest.fail "blocker lookup");
   let sleeps = ref [] in
   let policy =
-    { R.max_attempts = 6; base_backoff = 0.001; max_backoff = 0.004; jitter = 0.0 }
+    {
+      R.max_attempts = 6;
+      base_backoff = 0.001;
+      max_backoff = 0.004;
+      jitter = 0.0;
+      backoff = R.Equal_jitter;
+    }
   in
   let r = R.create ~policy ~sleep:(fun d -> sleeps := d :: !sleeps) li in
   (match R.delete r (key "banana") with
@@ -589,6 +595,88 @@ let test_retry_jitter_deterministic () =
        a
        [ 0.001; 0.002; 0.004; 0.008; 0.016; 0.032; 0.064 ]);
   Alcotest.(check bool) "different seed, different jitter" true (a <> c)
+
+(* Full jitter must beat a fixed (deterministic) schedule under
+   contention.  Slotted simulation of a thundering herd: [clients]
+   processes all fail at slot 0 and re-attempt after their policy's
+   backoff (quantised to base_backoff slots).  A slot's sole contender
+   wins and leaves; collisions send everyone back off.  With jitter 0
+   every survivor re-draws the same pause, so the herd collides until
+   the budget runs out; full jitter spreads the herd across the
+   window.  The draws come from {!R.draw} — the exact schedule the
+   runtime wrapper would sleep. *)
+let simulate_herd ~policy ~clients ~seed =
+  let module P = Pk_util.Prng in
+  let slot_of d = 1 + int_of_float (d /. policy.R.base_backoff) in
+  (* next-attempt slot, attempt number, rng; -1 = done *)
+  let next = Array.make clients 0 in
+  let attempt = Array.make clients 1 in
+  let rng = Array.init clients (fun i -> P.create (Int64.of_int ((seed * 977) + i))) in
+  let attempts_total = ref 0 in
+  let gave_up = ref 0 in
+  let active () = Array.exists (fun s -> s >= 0) next in
+  while active () do
+    (* earliest scheduled slot *)
+    let t = Array.fold_left (fun acc s -> if s >= 0 then min acc s else acc) max_int next in
+    let here = ref [] in
+    Array.iteri (fun i s -> if s = t then here := i :: !here) next;
+    attempts_total := !attempts_total + List.length !here;
+    match !here with
+    | [ winner ] -> next.(winner) <- -1
+    | contenders ->
+        List.iter
+          (fun i ->
+            if attempt.(i) >= policy.R.max_attempts then begin
+              incr gave_up;
+              next.(i) <- -1
+            end
+            else begin
+              let pause = R.draw policy rng.(i) ~attempt:attempt.(i) in
+              attempt.(i) <- attempt.(i) + 1;
+              next.(i) <- t + slot_of pause
+            end)
+          contenders
+  done;
+  (!attempts_total, !gave_up)
+
+let test_retry_full_jitter_beats_fixed () =
+  let clients = 8 in
+  let base = { R.default_policy with max_attempts = 10 } in
+  let fixed = { base with R.jitter = 0.0; backoff = R.Equal_jitter } in
+  let full = { base with R.backoff = R.Full_jitter } in
+  (* Fixed backoff: the herd re-collides every round until everyone
+     exhausts the budget. *)
+  List.iter
+    (fun seed ->
+      let fixed_attempts, fixed_gave_up = simulate_herd ~policy:fixed ~clients ~seed in
+      Alcotest.(check int)
+        "fixed backoff burns the whole budget"
+        (clients * fixed.R.max_attempts)
+        fixed_attempts;
+      Alcotest.(check int) "fixed backoff strands the herd" clients fixed_gave_up;
+      let full_attempts, full_gave_up = simulate_herd ~policy:full ~clients ~seed in
+      Alcotest.(check int) "full jitter resolves everyone" 0 full_gave_up;
+      if full_attempts >= fixed_attempts then
+        Alcotest.failf "seed %d: full jitter took %d attempts, fixed %d" seed full_attempts
+          fixed_attempts)
+    [ 1; 2; 3; 4; 5 ];
+  (* And the runtime wrapper draws the same uniform window: every full-
+     jitter sleep lies in [0, capped). *)
+  let li, _records = make_locking_index () in
+  let blocker = LI.begin_txn li in
+  (match LI.lookup li blocker (key "banana") with
+  | `Ok (Some _) -> ()
+  | _ -> Alcotest.fail "blocker lookup");
+  let sleeps = ref [] in
+  let r = R.create ~policy:full ~seed:3 ~sleep:(fun d -> sleeps := d :: !sleeps) li in
+  (match R.delete r (key "banana") with `Gave_up _ -> () | `Ok _ -> Alcotest.fail "got through");
+  LI.commit li blocker;
+  let caps = [ 0.001; 0.002; 0.004; 0.008; 0.016; 0.032; 0.064; 0.1; 0.1 ] in
+  List.iteri
+    (fun i d ->
+      let cap = List.nth caps i in
+      if d < 0.0 || d >= cap then Alcotest.failf "sleep %d: %.6f outside [0, %.3f)" i d cap)
+    (List.rev !sleeps)
 
 let test_retry_counts_deadlocks () =
   let li, _records = make_locking_index () in
@@ -632,6 +720,8 @@ let () =
           Alcotest.test_case "bounded give-up" `Quick test_retry_gives_up;
           Alcotest.test_case "backoff schedule" `Quick test_retry_backoff_schedule;
           Alcotest.test_case "jitter is seeded" `Quick test_retry_jitter_deterministic;
+          Alcotest.test_case "full jitter beats fixed backoff" `Quick
+            test_retry_full_jitter_beats_fixed;
           Alcotest.test_case "deadlocks counted" `Quick test_retry_counts_deadlocks;
         ] );
       ( "next-key-locking",
