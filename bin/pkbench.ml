@@ -65,6 +65,9 @@ let fill_arg =
 let schemes_arg =
   Arg.(value & opt (some string) None & info [ "schemes" ] ~docv:"TAGS" ~doc:"Comma-separated registry scheme tags for a9 (see list-schemes; default: every registered scheme).")
 
+let machine_arg =
+  Arg.(value & opt (some string) None & info [ "machine" ] ~docv:"NAME" ~doc:"Simulated machine preset: ultra30 (default), ultra60, pentium3, pentium3e or modern (3-level hierarchy).  a10 sweeps its own preset list unless this is given.")
+
 let ids_arg = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all).")
 
 let metrics_arg =
@@ -76,13 +79,14 @@ let metrics_arg =
            per-index deref/visit counters and per-op deref histograms) and write METRICS.json.")
 
 let run_cmd =
-  let run keys lookups scale batch fill schemes metrics ids =
+  let run keys lookups scale batch fill schemes machine metrics ids =
     Option.iter (fun v -> Unix.putenv "PK_KEYS" (string_of_int v)) keys;
     Option.iter (fun v -> Unix.putenv "PK_LOOKUPS" (string_of_int v)) lookups;
     Option.iter (fun v -> Unix.putenv "PK_SCALE" (string_of_float v)) scale;
     Option.iter (fun v -> Unix.putenv "PK_BATCH" (string_of_int v)) batch;
     Option.iter (fun v -> Unix.putenv "PK_FILL" (string_of_float v)) fill;
     Option.iter (fun v -> Unix.putenv "PK_SCHEMES" v) schemes;
+    Option.iter (fun v -> Unix.putenv "PK_MACHINE" v) machine;
     (* Wall-clock runs measure the paper's layout story; keep the
        undo-journal byte copies out of the hot path. *)
     Pk_fault.Fault.set_unwind false;
@@ -98,7 +102,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run experiments (all tables/figures of the paper plus ablations)")
     Term.(
       const run $ keys_arg $ lookups_arg $ scale_arg $ batch_arg $ fill_arg $ schemes_arg
-      $ metrics_arg $ ids_arg)
+      $ machine_arg $ metrics_arg $ ids_arg)
 
 (* {2 snapshot subcommand} — durability + snapshot-read workload:
    journaled bulk load, a pinned epoch probed at full speed while a

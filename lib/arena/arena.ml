@@ -239,6 +239,52 @@ let alloc t ?(align = 8) size =
       log_alloc t off size;
       off
 
+(* Reserve a contiguous placement range at the bump frontier.  Always
+   fresh bytes — never a recycled free-list block, whose alignment is
+   whatever its original allocation had.  One [U_alloc] record covers
+   the whole extent, so a txn abort returns it in one piece. *)
+let reserve t ?(align = 8) size =
+  if size <= 0 then invalid_arg "Arena.reserve: size <= 0";
+  if align <= 0 || align land (align - 1) <> 0 then
+    invalid_arg "Arena.reserve: align must be a positive power of two";
+  Fault.point "arena.alloc";
+  let off = align_up t.used align in
+  if off + size > Bytes.length t.data then Fault.point "arena.grow";
+  grow_to t (off + size);
+  t.used <- off + size;
+  log_alloc t off size;
+  off
+
+(* Claim [off, off+size) at a planner-chosen position.  Two cases:
+   inside a live reservation the bytes are already accounted for, so
+   this only validates; at an exactly-matching freed block it reclaims
+   the block (the free-list cousin of [alloc]'s recycling), so a
+   placement plan may land on ground an earlier tree vacated. *)
+let alloc_at t ~off size =
+  if size <= 0 then invalid_arg "Arena.alloc_at: size <= 0";
+  if off = null || off < 8 then invalid_arg "Arena.alloc_at: offset outside arena";
+  if off + size > t.used then
+    invalid_arg "Arena.alloc_at: region beyond the allocation frontier";
+  Fault.point "arena.alloc";
+  (match t.txn with
+  | Some j when List.mem_assoc off j.pending_frees ->
+      invalid_arg "Arena.alloc_at: offset freed in the open transaction"
+  | _ -> ());
+  (match Hashtbl.find_opt t.free_set off with
+  | Some fsz when fsz = size ->
+      (match Hashtbl.find_opt t.free_lists size with
+      | Some cell -> cell := List.filter (fun (o : int) -> o <> off) !cell
+      | None -> ());
+      Hashtbl.remove t.free_set off;
+      t.freed <- t.freed - size;
+      log_alloc t off size
+  | Some fsz ->
+      invalid_arg
+        (Printf.sprintf "Arena.alloc_at: offset %d freed with size %d, requested %d" off fsz
+           size)
+  | None -> ());
+  off
+
 let fill t ~off ~len c =
   log_bytes t off len;
   capture t off len;

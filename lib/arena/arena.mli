@@ -35,6 +35,25 @@ val alloc : t -> ?align:int -> int -> int
     ["arena.alloc"] on entry, ["arena.grow"] when the backing buffer
     would have to grow. *)
 
+val reserve : t -> ?align:int -> int -> int
+(** [reserve t ~align size] bump-allocates a contiguous placement range
+    of [size] zeroed bytes at an [align]-multiple offset (default 8;
+    must be a power of two).  Unlike {!alloc} it never recycles a
+    freed block — a reservation's alignment guarantee is the point —
+    and the whole extent is one undo-journal record, so an aborted
+    transaction reclaims it atomically.  Carve individual placements
+    out of it with {!alloc_at}.  Same fault points as {!alloc}. *)
+
+val alloc_at : t -> off:int -> int -> int
+(** [alloc_at t ~off size] claims the region [off, off+size), which
+    must lie below the allocation frontier: either inside a live
+    reservation (pure validation — the reservation already accounts
+    for the bytes) or exactly covering a freed block of the same size,
+    which is taken off the free list and becomes live again.  Returns
+    [off].  Raises [Invalid_argument] on offsets at/past the frontier,
+    on a size mismatch with a freed block, and on blocks freed within
+    the open transaction.  Fault point: ["arena.alloc"]. *)
+
 val free : t -> int -> int -> unit
 (** [free t off size] returns a region to the arena's free list for its
     size class.  The region is zeroed eagerly so stale bytes cannot

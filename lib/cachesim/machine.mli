@@ -11,7 +11,10 @@ type t = {
   cpu_cycle_ns : float;       (** CPU cycle time (Table 2 column 1). *)
   l1 : Cachesim.level_config;
   l2 : Cachesim.level_config;
-  dram_ns : float;            (** Latency when the access misses L2. *)
+  l3 : Cachesim.level_config option;
+      (** Third cache level; [None] on the Table-2 machines. *)
+  dram_ns : float;            (** Latency when the access misses the
+                                  last cache level. *)
 }
 
 val ultra30 : t
@@ -19,15 +22,22 @@ val ultra60 : t
 val pentium3 : t
 val pentium3e : t
 
+val modern : t
+(** A representative 2020s server core (three cache levels, 24 MiB
+    shared L3, ~80 ns DRAM).  Not part of Table 2 or {!val:all} — the
+    node-placement ablation (A10) uses it to ask whether hierarchical
+    blocking still pays on current hardware. *)
+
 val all : t list
-(** The four presets in Table 2 order. *)
+(** The four presets in Table 2 order ({!val:modern} is reachable only
+    through {!val:by_name}). *)
 
 val by_name : string -> t option
-(** Case-insensitive lookup, e.g. ["ultra30"]. *)
+(** Case-insensitive lookup, e.g. ["ultra30"] or ["modern"]. *)
 
 val to_config : ?tlb:Cachesim.tlb_config -> t -> Cachesim.config
-(** Build a simulator configuration: [\[l1; l2\]] plus DRAM latency and
-    an optional TLB. *)
+(** Build a simulator configuration: [\[l1; l2\]] (plus [l3] when
+    present) with DRAM latency and an optional TLB. *)
 
 val default_tlb : Cachesim.tlb_config
 (** 64 entries, 8 KiB pages, 80 ns miss penalty — a typical late-90s
@@ -36,3 +46,7 @@ val default_tlb : Cachesim.tlb_config
 val superpage_tlb : Cachesim.tlb_config
 (** Same TLB with 4 MiB superpages (§5.1's "effectively share one or
     two TLB entries"). *)
+
+val hugepage_tlb : Cachesim.tlb_config
+(** A modern 2 MiB-hugepage data TLB (1024 entries, 25 ns walk) to
+    pair with {!val:modern}. *)

@@ -10,9 +10,15 @@ module Entries = Engine.Entries
 module Group = Engine.Group
 module Obs = Pk_obs.Obs
 
-type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
+type config = {
+  scheme : Layout.scheme;
+  node_bytes : int;
+  naive_search : bool;
+  layout : Layout.policy; (* where bulk loads place nodes; inserts always bump-alloc *)
+}
 
-let default_config scheme = { scheme; node_bytes = 192; naive_search = false }
+let default_config scheme =
+  { scheme; node_bytes = 192; naive_search = false; layout = Layout.Flat }
 
 type t = {
   reg : Mem.region;
@@ -97,12 +103,20 @@ let set_child t node i v = Mem.write_u64 t.reg (node + t.child_base + (8 * i)) v
 let capacity t node = if is_leaf t node then t.leaf_max else t.internal_max
 let min_keys t node = (capacity t node - 1) / 2
 
-let alloc_node t ~leaf =
-  let node = Mem.alloc t.reg ~align:64 t.cfg.node_bytes in
+let init_node t node ~leaf =
   Mem.write_u16 t.reg node 0;
   Mem.write_u8 t.reg (node + 2) (if leaf then 1 else 0);
   t.n_nodes <- t.n_nodes + 1;
   node
+
+let alloc_node t ~leaf = init_node t (Mem.alloc t.reg ~align:64 t.cfg.node_bytes) ~leaf
+
+(* Bulk-load allocation: at the plan's target offset when one exists
+   (blocked layouts), plain bump allocation otherwise. *)
+let alloc_node_at t plan ~level ~index ~leaf =
+  match Layout.Placement.offset plan ~level ~index with
+  | None -> alloc_node t ~leaf
+  | Some off -> init_node t (Mem.alloc_at t.reg ~off t.cfg.node_bytes) ~leaf
 
 let free_node t node =
   Mem.free t.reg node t.cfg.node_bytes;
@@ -613,10 +627,65 @@ let delete t key =
    preceding the node's subtree in sorted order — exactly the §4.2
    base rules, with no per-key root-to-leaf insertion. *)
 
-let load_sorted t ~fill entries =
+(* Node count and entry distribution for one level holding [s] items:
+   aim at [fill * capacity] entries per node, never exceed capacity,
+   and lower the count again only while every node stays at or above
+   the B-tree minimum.  Node [i] gets [q + (if i < r then 1 else 0)]
+   entries.  Shared by [load_sorted] and [load_shape], which must
+   agree exactly. *)
+let split_level ~cap ~minn ~fill s =
+  let target =
+    let tgt = int_of_float (fill *. float_of_int cap) in
+    max (max 1 minn) (min cap tgt)
+  in
+  let k = ref (if s <= target then 1 else (s + target) / (target + 1)) in
+  while s / !k > cap do
+    incr k
+  done;
+  while !k > 1 && (s - (!k - 1)) / !k < minn && s / (!k - 1) <= cap do
+    decr k
+  done;
+  let k = !k in
+  let total = s - (k - 1) in
+  (k, total / k, total mod k)
+
+(* Predict the level structure [load_sorted] will build: same split
+   arithmetic, no bytes touched.  Levels come out leaves-first and are
+   reversed into the planner's root-first orientation; internal node
+   [i]'s children are the contiguous run its [sz + 1] child slots
+   consume. *)
+let load_shape t ~fill entries =
+  let rec go s ~leaf acc =
+    let cap = if leaf then t.leaf_max else t.internal_max in
+    let minn = (cap - 1) / 2 in
+    let k, q, r = split_level ~cap ~minn ~fill s in
+    let ranges =
+      if leaf then Array.make k (0, 0)
+      else begin
+        let kid = ref 0 in
+        Array.init k (fun i ->
+            let sz = q + if i < r then 1 else 0 in
+            let lo = !kid in
+            kid := !kid + sz + 1;
+            (lo, !kid))
+      end
+    in
+    let acc = ranges :: acc in
+    if k = 1 then acc else go (k - 1) ~leaf:false acc
+  in
+  {
+    Layout.shape_node_bytes = t.cfg.node_bytes;
+    shape_levels = Array.of_list (go (Array.length entries) ~leaf:true []);
+  }
+
+let load_sorted t ~fill ~plan entries =
   let n = Array.length entries in
   let key i = fst entries.(i) in
   let rid i = snd entries.(i) in
+  (* Root-first planner level of the nodes built at build height
+     [levels] (1 = leaves).  Meaningless under the flat plan, whose
+     [offset] ignores it. *)
+  let nlv = Layout.Placement.level_count plan in
   (* [items]: global entry indices placed at this level; [kids]:
      nodes of the level below; [kid_lo]: global index of each
      child subtree's minimum (for entry-0 base derivation). *)
@@ -625,30 +694,14 @@ let load_sorted t ~fill entries =
     let leaf = Array.length kids = 0 in
     let cap = if leaf then t.leaf_max else t.internal_max in
     let minn = (cap - 1) / 2 in
-    let target =
-      let tgt = int_of_float (fill *. float_of_int cap) in
-      max (max 1 minn) (min cap tgt)
-    in
-    (* Node count: aim at [target] entries per node, never exceed
-       capacity, and lower the count again only while every node
-       stays at or above the B-tree minimum. *)
-    let k = ref (if s <= target then 1 else (s + target) / (target + 1)) in
-    while s / !k > cap do
-      incr k
-    done;
-    while !k > 1 && (s - (!k - 1)) / !k < minn && s / (!k - 1) <= cap do
-      decr k
-    done;
-    let k = !k in
-    let total = s - (k - 1) in
-    let q = total / k and r = total mod k in
+    let k, q, r = split_level ~cap ~minn ~fill s in
     let nodes = Array.make k null in
     let los = Array.make k 0 in
     let next_items = Array.make (max 0 (k - 1)) 0 in
     let pos = ref 0 and kid = ref 0 in
     for i = 0 to k - 1 do
       let sz = q + if i < r then 1 else 0 in
-      let node = alloc_node t ~leaf in
+      let node = alloc_node_at t plan ~level:(nlv - levels) ~index:i ~leaf in
       nodes.(i) <- node;
       for j = 0 to sz - 1 do
         let g = items.(!pos + j) in
@@ -806,6 +859,8 @@ module Structure = struct
                (Bytes.length k))
     | Layout.Indirect | Layout.Partial _ -> ()
 
+  let layout_policy t = t.cfg.layout
+  let load_shape = load_shape
   let load_sorted = load_sorted
 
   let cursor_start t = function

@@ -31,10 +31,13 @@ type config = {
       (** Partial scheme only: use the naive linear in-node search of
           §3.3 (dereference on every unresolved compare) instead of
           FINDNODE — ablation A3. *)
+  layout : Layout.policy;
+      (** Node placement of bulk loads ([of_sorted]); incremental
+          inserts always bump-allocate. *)
 }
 
 val default_config : Layout.scheme -> config
-(** 192-byte nodes, FINDNODE search. *)
+(** 192-byte nodes, FINDNODE search, flat layout. *)
 
 val create : Pk_mem.Mem.t -> Pk_records.Record_store.t -> config -> t
 (** Raises [Invalid_argument] if the node size cannot hold at least two

@@ -564,6 +564,7 @@ type ops = {
   insert_batch : Key.t array -> rids:int array -> bool array;
   delete_batch : Key.t array -> bool array;
   of_sorted : fill:float -> (Key.t * int) array -> unit;
+  layout : unit -> Layout.Placement.t option;
   iter : (key:Key.t -> rid:int -> unit) -> unit;
   range : lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit;
   seq_from : Key.t -> (Key.t * int) Seq.t;
@@ -741,11 +742,18 @@ module type STRUCTURE = sig
   val prepare_batch : t -> Key.t array -> int -> unit
   val descend : t -> int -> unit
 
-  (** Bulk load: per-key admission check, then the level-building body
-      (run under the engine's unwind scope with [fill] clamped). *)
+  (** Bulk load: per-key admission check, the node-placement policy and
+      the shape pass feeding the planner, then the level-building body
+      (run under the engine's unwind scope with [fill] clamped and the
+      placement plan — {!Layout.Placement.flat} under a [Flat] policy,
+      target offsets per (root-first level, index) otherwise).
+      [load_shape] must predict exactly the levels [load_sorted] builds
+      for the same [fill] and entries. *)
 
   val check_load_key : t -> Key.t -> unit
-  val load_sorted : t -> fill:float -> (Key.t * int) array -> unit
+  val layout_policy : t -> Layout.policy
+  val load_shape : t -> fill:float -> (Key.t * int) array -> Layout.shape
+  val load_sorted : t -> fill:float -> plan:Layout.Placement.t -> (Key.t * int) array -> unit
 
   (** Spine-stack cursor: frames are (node, next entry index).
       [cursor_start] positions at the first key (None) or the first key
@@ -842,7 +850,13 @@ module Make (S : STRUCTURE) = struct
     end;
     res
 
-  let bulk_load t ?(fill = 1.0) entries =
+  (* Bulk load with node placement: under a [Blocked] policy, run the
+     structure's shape pass, plan target offsets, reserve the extent in
+     one aligned range and hand the rebased plan to [load_sorted] —
+     all inside the unwind scope, so an injected fault rolls the
+     reservation back with everything else.  Returns the plan so
+     [wrap] can expose it ([ops.layout]) for inspection. *)
+  let bulk_load_plan t ?(fill = 1.0) entries =
     if S.root t <> null then invalid_arg (S.name ^ ".bulk_load: index is not empty");
     let n = Array.length entries in
     for i = 0 to n - 1 do
@@ -850,10 +864,26 @@ module Make (S : STRUCTURE) = struct
       if i > 0 && Key.compare (fst entries.(i - 1)) (fst entries.(i)) >= 0 then
         invalid_arg (S.name ^ ".bulk_load: keys must be strictly ascending")
     done;
-    if n > 0 then
-      guarded t (fun () ->
-          let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
-          S.load_sorted t ~fill entries)
+    if n = 0 then None
+    else
+      Some
+        (guarded t (fun () ->
+             let fill = if fill < 0.5 then 0.5 else if fill > 1.0 then 1.0 else fill in
+             let plan =
+               match S.layout_policy t with
+               | Layout.Flat -> Layout.Placement.flat
+               | policy ->
+                   let rel = Layout.Placement.plan policy (S.load_shape t ~fill entries) in
+                   let base =
+                     Mem.reserve (S.region t) ~align:(Layout.Placement.base_align rel)
+                       (Layout.Placement.extent rel)
+                   in
+                   Layout.Placement.rebase rel ~base
+             in
+             S.load_sorted t ~fill ~plan entries;
+             plan))
+
+  let bulk_load t ?fill entries = ignore (bulk_load_plan t ?fill entries : _ option)
 
   (* Lazy in-order cursor over the structure's spine stack.  The
      sequence reads the live tree: behaviour under concurrent
@@ -926,6 +956,7 @@ module Make (S : STRUCTURE) = struct
       reset_counters = (fun () -> Counters.reset (S.counters vt));
       trace = (S.counters vt).Counters.trace;
       validate = (fun () -> S.validate vt);
+      layout = (fun () -> None);
       snapshot = (fun () -> invalid_arg (tag ^ ".snapshot: cannot snapshot a snapshot view"));
       release =
         (fun () ->
@@ -947,6 +978,7 @@ module Make (S : STRUCTURE) = struct
 
   let wrap t ~tag =
     Counters.attach (S.counters t) ~tag;
+    let last_plan = ref None in
     {
       tag;
       insert = (fun key ~rid -> S.insert t key ~rid);
@@ -956,7 +988,7 @@ module Make (S : STRUCTURE) = struct
       lookup_batch = lookup_batch t;
       insert_batch = (fun keys ~rids -> insert_batch t keys ~rids);
       delete_batch = delete_batch t;
-      of_sorted = (fun ~fill entries -> bulk_load t ~fill entries);
+      of_sorted = (fun ~fill entries -> last_plan := bulk_load_plan t ~fill entries);
       iter = iter t;
       range = (fun ~lo ~hi f -> range t ~lo ~hi f);
       seq_from = seq_from t;
@@ -969,6 +1001,7 @@ module Make (S : STRUCTURE) = struct
       reset_counters = (fun () -> Counters.reset (S.counters t));
       trace = (S.counters t).Counters.trace;
       validate = (fun () -> S.validate t);
+      layout = (fun () -> !last_plan);
       snapshot = snapshot t ~tag;
       release = (fun () -> invalid_arg (tag ^ ".release: not a snapshot view"));
     }

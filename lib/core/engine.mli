@@ -230,6 +230,10 @@ type ops = {
   insert_batch : Key.t array -> rids:int array -> bool array;
   delete_batch : Key.t array -> bool array;
   of_sorted : fill:float -> (Key.t * int) array -> unit;
+  layout : unit -> Layout.Placement.t option;
+      (** Placement plan of the most recent [of_sorted] on this record
+          ([None] before any bulk load, and on snapshot views).  The
+          flat plan is reported as {!Layout.Placement.flat}. *)
   iter : (key:Key.t -> rid:int -> unit) -> unit;
   range : lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit;
   seq_from : Key.t -> (Key.t * int) Seq.t;
@@ -313,7 +317,17 @@ module type STRUCTURE = sig
       the scratch record). *)
 
   val check_load_key : t -> Key.t -> unit
-  val load_sorted : t -> fill:float -> (Key.t * int) array -> unit
+
+  val layout_policy : t -> Layout.policy
+  (** Node-placement policy bulk loads build under. *)
+
+  val load_shape : t -> fill:float -> (Key.t * int) array -> Layout.shape
+  (** Pure pre-pass predicting exactly the levels [load_sorted] will
+      build for the same [fill] and entries (root level first). *)
+
+  val load_sorted : t -> fill:float -> plan:Layout.Placement.t -> (Key.t * int) array -> unit
+  (** Build bottom-up, allocating each node at the plan's target offset
+      (plain 64-byte-aligned allocation under the flat plan). *)
 
   val cursor_start : t -> Key.t option -> (int * int) list
   (** Spine stack positioned at the first key ([None]) or the first key
@@ -344,6 +358,10 @@ module Make (S : STRUCTURE) : sig
   val insert_batch : S.t -> Key.t array -> rids:int array -> bool array
   val delete_batch : S.t -> Key.t array -> bool array
   val bulk_load : S.t -> ?fill:float -> (Key.t * int) array -> unit
+
+  (** [bulk_load] returning the placement plan it built under ([None]
+      for an empty entry array). *)
+  val bulk_load_plan : S.t -> ?fill:float -> (Key.t * int) array -> Layout.Placement.t option
   val seq_from : S.t -> Key.t -> (Key.t * int) Seq.t
   val iter : S.t -> (key:Key.t -> rid:int -> unit) -> unit
   val range : S.t -> lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit

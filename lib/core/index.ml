@@ -11,6 +11,7 @@ type t = Engine.ops = {
   insert_batch : Pk_keys.Key.t array -> rids:int array -> bool array;
   delete_batch : Pk_keys.Key.t array -> bool array;
   of_sorted : fill:float -> (Pk_keys.Key.t * int) array -> unit;
+  layout : unit -> Layout.Placement.t option;
   iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
   range :
     lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
@@ -32,14 +33,25 @@ type structure = T_tree | B_tree
 
 let structure_tag = function T_tree -> "T" | B_tree -> "B"
 
-let make ?(node_bytes = 192) ?(naive_search = false) structure scheme mem records =
-  let tag = structure_tag structure ^ "/" ^ Layout.scheme_tag scheme in
-  match structure with
-  | B_tree -> Btree.wrap (Btree.create mem records { Btree.scheme; node_bytes; naive_search }) ~tag
-  | T_tree -> Ttree.wrap (Ttree.create mem records { Ttree.scheme; node_bytes; naive_search }) ~tag
+(* Non-flat placements get their own tag suffix so metric series and
+   deref tables stay distinct per placement policy. *)
+let tag_with_layout tag = function
+  | Layout.Flat -> tag
+  | policy -> tag ^ "+" ^ Layout.policy_tag policy
 
-let make_prefix_btree ?(node_bytes = 192) mem records =
-  Prefix_btree.wrap (Prefix_btree.create mem records { Prefix_btree.node_bytes }) ~tag:"B+/prefix"
+let make ?(node_bytes = 192) ?(naive_search = false) ?(layout = Layout.Flat) structure scheme
+    mem records =
+  let tag = tag_with_layout (structure_tag structure ^ "/" ^ Layout.scheme_tag scheme) layout in
+  match structure with
+  | B_tree ->
+      Btree.wrap (Btree.create mem records { Btree.scheme; node_bytes; naive_search; layout }) ~tag
+  | T_tree ->
+      Ttree.wrap (Ttree.create mem records { Ttree.scheme; node_bytes; naive_search; layout }) ~tag
+
+let make_prefix_btree ?(node_bytes = 192) ?(layout = Layout.Flat) mem records =
+  Prefix_btree.wrap
+    (Prefix_btree.create mem records { Prefix_btree.node_bytes; layout })
+    ~tag:(tag_with_layout "B+/prefix" layout)
 
 let journaled journal records ix =
   Engine.journaled journal

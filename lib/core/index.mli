@@ -24,6 +24,10 @@ type t = Engine.ops = {
       (** Bottom-up bulk load of an empty index from strictly ascending
           (key, rid) pairs at the given fill factor (clamped to
           [0.5, 1.0]). *)
+  layout : unit -> Layout.Placement.t option;
+      (** The node-placement plan materialised by the last non-empty
+          [of_sorted], if any ([None] before a bulk load and on
+          snapshot views). *)
   iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
   range :
     lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
@@ -58,6 +62,7 @@ val structure_tag : structure -> string
 val make :
   ?node_bytes:int ->
   ?naive_search:bool ->
+  ?layout:Layout.policy ->
   structure ->
   Layout.scheme ->
   Pk_mem.Mem.t ->
@@ -65,9 +70,12 @@ val make :
   t
 (** Build an index of the given shape and key-storage scheme over the
     given memory system and record heap.  [node_bytes] defaults to 192
-    (three 64-byte L2 blocks, §5.2). *)
+    (three 64-byte L2 blocks, §5.2); [layout] (default {!Layout.Flat})
+    chooses where bulk loads place nodes, and a non-flat policy tags
+    the index with a ["+blocked"]-style suffix. *)
 
-val make_prefix_btree : ?node_bytes:int -> Pk_mem.Mem.t -> Pk_records.Record_store.t -> t
+val make_prefix_btree :
+  ?node_bytes:int -> ?layout:Layout.policy -> Pk_mem.Mem.t -> Pk_records.Record_store.t -> t
 (** A prefix B+-tree ({!module:Prefix_btree}) behind the same
     interface — the §2 key-compression alternative, used by ablation
     A8. *)

@@ -82,3 +82,250 @@ let resolve_pk_units reg a ~scheme_granularity ~search ~rel ~off =
     if width = 0 then Bytes.empty else Mem.read_bytes reg ~off:(a + pk_bits_at) ~len:width
   in
   Pk_compare.resolve_by_units scheme_granularity ~search ~rel ~off ~pk_len ~pk_bits
+
+(* {1 Node-placement policies} — where bulk-built tree nodes land in
+   the arena, FAST-style: cache-line blocks nested in page blocks
+   nested in hugepage blocks, so descent locality is structural rather
+   than an accident of bump-allocation order. *)
+
+type policy =
+  | Flat
+  | Blocked of { line_bytes : int; page_bytes : int; huge_bytes : int }
+
+let blocked_default = Blocked { line_bytes = 64; page_bytes = 8192; huge_bytes = 2 * 1024 * 1024 }
+let policy_tag = function Flat -> "flat" | Blocked _ -> "blocked"
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let validate_policy = function
+  | Flat -> ()
+  | Blocked { line_bytes; page_bytes; huge_bytes } ->
+      if not (is_pow2 line_bytes && is_pow2 page_bytes && is_pow2 huge_bytes) then
+        invalid_arg "Layout: blocked policy sizes must be powers of two";
+      if not (line_bytes <= page_bytes && page_bytes <= huge_bytes) then
+        invalid_arg "Layout: blocked policy needs line <= page <= huge"
+
+(* Tree shape as the planner sees it: per-level child ranges, root
+   level first.  [shape_levels.(l).(i) = (lo, hi)] is node [i]'s
+   contiguous (exclusive) child range into level [l + 1]; childless
+   nodes carry an empty range.  Each non-bottom level's ranges must
+   tile the next level exactly — that contiguity is what lets the
+   planner treat a sibling run as one block. *)
+type shape = { shape_node_bytes : int; shape_levels : (int * int) array array }
+
+let pow2_at_least n =
+  let v = ref 1 in
+  while !v < n do
+    v := !v lsl 1
+  done;
+  !v
+
+let validate_shape { shape_node_bytes; shape_levels } =
+  if shape_node_bytes <= 0 then invalid_arg "Layout: shape node_bytes <= 0";
+  let h = Array.length shape_levels in
+  if h = 0 || Array.length shape_levels.(0) <> 1 then
+    invalid_arg "Layout: shape must have a single root";
+  for l = 0 to h - 1 do
+    let next = if l = h - 1 then 0 else Array.length shape_levels.(l + 1) in
+    let pos = ref 0 in
+    Array.iter
+      (fun (lo, hi) ->
+        if hi < lo then invalid_arg "Layout: shape child range inverted";
+        if hi > lo then begin
+          if lo <> !pos then invalid_arg "Layout: shape child ranges must tile the next level";
+          pos := hi
+        end)
+      shape_levels.(l);
+    if !pos <> next then invalid_arg "Layout: shape child ranges must cover the next level"
+  done
+
+module Placement = struct
+  type blocked = {
+    node_bytes : int;
+    line_bytes : int;
+    page_bytes : int;
+    huge_bytes : int;
+    offsets : int array array;  (* root level first; arena offsets after [rebase] *)
+    extent : int;
+    padding : int;
+  }
+
+  type t = P_flat | P_blocked of blocked
+
+  let flat = P_flat
+  let is_flat = function P_flat -> true | P_blocked _ -> false
+
+  (* Plan node targets for [shape] under a blocked [policy], as offsets
+     relative to a reservation of [extent] bytes:
+
+     - levels are partitioned bottom-up into maximal contiguous bands
+       such that a band-top node plus all its within-band descendants
+       (its "family") fits in one page block;
+     - families are laid out parent-first (BFS) in one contiguous run,
+       aligned so a line-sized family never straddles a cache-line
+       boundary and a larger one never straddles a page boundary;
+     - families are emitted in depth-first subtree order, so a whole
+       subtree occupies a contiguous (hugepage-sized, once rebased to
+       an aligned base) span of the reservation.
+
+     Bottom-up banding is what pairs a leaf run with its parent: a
+     top-down greedy split can strand the leaf level alone right below
+     a band boundary, which is exactly the hot page we want shared. *)
+  let plan policy shape =
+    match policy with
+    | Flat -> P_flat
+    | Blocked { line_bytes; page_bytes; huge_bytes } ->
+        validate_policy policy;
+        validate_shape shape;
+        let nb = shape.shape_node_bytes in
+        let levels = shape.shape_levels in
+        let h = Array.length levels in
+        (* Bands, top-first: band_lo.(b) .. band_hi.(b) inclusive. *)
+        let bands = ref [] in
+        let hi = ref (h - 1) in
+        while !hi >= 0 do
+          let lo = ref !hi in
+          let fam = ref (Array.make (Array.length levels.(!hi)) 1) in
+          let keep = ref true in
+          while !keep && !lo > 0 do
+            let up = !lo - 1 in
+            let f = !fam in
+            let pf =
+              Array.map
+                (fun (clo, chi) ->
+                  let s = ref 1 in
+                  for j = clo to chi - 1 do
+                    s := !s + f.(j)
+                  done;
+                  !s)
+                levels.(up)
+            in
+            let worst = Array.fold_left (fun a b -> if a < b then b else a) 1 pf in
+            if worst * nb <= page_bytes then begin
+              lo := up;
+              fam := pf
+            end
+            else keep := false
+          done;
+          bands := (!lo, !hi) :: !bands;
+          hi := !lo - 1
+        done;
+        let bands = Array.of_list !bands in
+        let band_hi_of = Array.make h 0 in
+        Array.iter
+          (fun (blo, bhi) ->
+            for l = blo to bhi do
+              band_hi_of.(l) <- bhi
+            done)
+          bands;
+        let offsets = Array.map (fun lvl -> Array.make (Array.length lvl) (-1)) levels in
+        let cursor = ref 0 in
+        let padding = ref 0 in
+        let place_block size =
+          (* Families pack contiguously: banding already keeps each
+             family inside ~one page worth of consecutive bytes, and
+             DFS order keeps subtrees inside consecutive hugepages.
+             Padding every family to a page boundary would be tighter
+             still for the TLB, but it puts every family head at the
+             same few phases mod page_bytes — hot upper-level lines
+             then pile into a sliver of the cache sets and conflict
+             misses swamp the TLB win (page-coloring problem), even at
+             10-way associativity.  Only sub-line blocks are kept from
+             straddling a line; node sizes are line multiples in
+             practice, so this costs nothing. *)
+          if size <= line_bytes then begin
+            let room = line_bytes - (!cursor land (line_bytes - 1)) in
+            if room < size then begin
+              padding := !padding + room;
+              cursor := !cursor + room
+            end
+          end;
+          let off = !cursor in
+          cursor := !cursor + size;
+          off
+        in
+        let rec place_family blo i =
+          let bhi = band_hi_of.(blo) in
+          let depth = bhi - blo + 1 in
+          let ranges = Array.make depth (0, 0) in
+          ranges.(0) <- (i, i + 1);
+          for l = blo to bhi - 1 do
+            let rlo, rhi = ranges.(l - blo) in
+            ranges.(l - blo + 1) <-
+              (if rlo >= rhi then (0, 0)
+               else (fst levels.(l).(rlo), snd levels.(l).(rhi - 1)))
+          done;
+          let count = Array.fold_left (fun a (lo, hi) -> a + hi - lo) 0 ranges in
+          let off = ref (place_block (count * nb)) in
+          for l = blo to bhi do
+            let rlo, rhi = ranges.(l - blo) in
+            for j = rlo to rhi - 1 do
+              offsets.(l).(j) <- !off;
+              off := !off + nb
+            done
+          done;
+          if bhi < h - 1 then begin
+            let rlo, rhi = ranges.(depth - 1) in
+            for j = rlo to rhi - 1 do
+              let clo, chi = levels.(bhi).(j) in
+              for c = clo to chi - 1 do
+                place_family (bhi + 1) c
+              done
+            done
+          end
+        in
+        place_family 0 0;
+        P_blocked
+          {
+            node_bytes = nb;
+            line_bytes;
+            page_bytes;
+            huge_bytes;
+            offsets;
+            extent = !cursor;
+            padding = !padding;
+          }
+
+  let extent = function P_flat -> 0 | P_blocked b -> b.extent
+  let padding = function P_flat -> 0 | P_blocked b -> b.padding
+
+  (* Base alignment preserving the planner's no-straddle math once the
+     relative plan is rebased: any power of two >= the extent keeps a
+     small plan inside one block of every larger kind, and huge
+     alignment is enough for big plans (line and page divide huge).
+     Capping at [huge_bytes] keeps small test trees from burning
+     multi-megabyte alignment holes. *)
+  let base_align = function
+    | P_flat -> 8
+    | P_blocked b ->
+        let a = pow2_at_least (min b.extent b.huge_bytes) in
+        min b.huge_bytes (max b.line_bytes a)
+
+  let rebase t ~base =
+    match t with
+    | P_flat -> P_flat
+    | P_blocked b ->
+        if base land (base_align t - 1) <> 0 then
+          invalid_arg "Layout.Placement.rebase: misaligned base";
+        P_blocked { b with offsets = Array.map (Array.map (fun o -> o + base)) b.offsets }
+
+  (* [offset ~level ~index] is [None] under the flat plan (bump-alloc as
+     before); under a blocked plan an out-of-range coordinate means the
+     builder's shape pass and its build disagree — raise rather than
+     fall back, so drift is loud. *)
+  let offset t ~level ~index =
+    match t with
+    | P_flat -> None
+    | P_blocked b ->
+        if level < 0 || level >= Array.length b.offsets then
+          invalid_arg "Layout.Placement.offset: level outside the planned shape";
+        Some b.offsets.(level).(index)
+
+  let level_count = function P_flat -> 0 | P_blocked b -> Array.length b.offsets
+  let nodes_at t ~level = match t with P_flat -> 0 | P_blocked b -> Array.length b.offsets.(level)
+  let node_bytes = function P_flat -> 0 | P_blocked b -> b.node_bytes
+
+  let block_sizes = function
+    | P_flat -> None
+    | P_blocked b -> Some (b.line_bytes, b.page_bytes, b.huge_bytes)
+end

@@ -63,3 +63,82 @@ val resolve_pk_units :
   Pk_keys.Key.cmp * int
 (** {!val:Pk_partialkey.Pk_compare.resolve_by_units} reading the stored
     bits straight from the entry (charging them). *)
+
+(** {1 Node-placement policies}
+
+    Bulk loads ([of_sorted]) can lay tree nodes out FAST-style —
+    cache-line blocks nested in page blocks nested in hugepage blocks —
+    instead of inheriting bump-allocation order.  The policy only moves
+    node {e addresses}; the tree algorithm, key bytes and deref counts
+    are untouched. *)
+
+type policy =
+  | Flat  (** Bump-allocation order — today's behaviour. *)
+  | Blocked of { line_bytes : int; page_bytes : int; huge_bytes : int }
+      (** Hierarchical blocking.  Sizes must be powers of two with
+          [line <= page <= huge]. *)
+
+val blocked_default : policy
+(** [Blocked] with 64 B lines, 8 KiB pages, 2 MiB hugepages. *)
+
+val policy_tag : policy -> string
+(** ["flat" | "blocked"], for index tags and reports. *)
+
+val validate_policy : policy -> unit
+(** @raise Invalid_argument on non-power-of-two or non-nested sizes. *)
+
+(** The tree shape a bulk load is about to build, root level first:
+    [shape_levels.(l).(i) = (lo, hi)] is node [i]'s contiguous
+    (exclusive) child range into level [l + 1]; childless nodes carry
+    an empty range.  Non-bottom ranges must tile the next level. *)
+type shape = { shape_node_bytes : int; shape_levels : (int * int) array array }
+
+val validate_shape : shape -> unit
+
+(** A placement plan: one target arena offset per (level, index), or
+    the trivial flat plan.  Produced relative to 0 by {!Placement.plan},
+    made absolute by {!Placement.rebase} over a reservation. *)
+module Placement : sig
+  type t
+
+  val flat : t
+  (** No planned offsets — builders fall back to plain allocation. *)
+
+  val is_flat : t -> bool
+
+  val plan : policy -> shape -> t
+  (** Assign each node a relative offset: levels are banded bottom-up so
+      a parent and its within-band descendants ("family") share a page
+      block (a line block when they fit one), families are emitted in
+      depth-first subtree order for hugepage locality, and blocks never
+      straddle their boundary.  [plan Flat _ = flat]. *)
+
+  val extent : t -> int
+  (** Bytes to reserve (0 for flat), padding included. *)
+
+  val padding : t -> int
+  (** Alignment bytes the plan skips inside the reservation. *)
+
+  val base_align : t -> int
+  (** Required alignment of the reservation base — the smallest power
+      of two preserving the no-straddle guarantees, capped at the
+      hugepage size. *)
+
+  val rebase : t -> base:int -> t
+  (** Shift all offsets by an allocated base.
+      @raise Invalid_argument if [base] is not {!base_align}-aligned. *)
+
+  val offset : t -> level:int -> index:int -> int option
+  (** Target offset of node [index] at root-first [level]; [None] under
+      the flat plan.  Out-of-range coordinates under a blocked plan
+      raise — the builder and its shape pass disagree. *)
+
+  val level_count : t -> int
+  (** Planned levels (0 for flat). *)
+
+  val nodes_at : t -> level:int -> int
+  val node_bytes : t -> int
+
+  val block_sizes : t -> (int * int * int) option
+  (** [(line, page, huge)] for blocked plans. *)
+end

@@ -7,14 +7,18 @@ module Scratch = Engine.Scratch
 module Group = Engine.Group
 module Obs = Engine.Obs
 
-type config = { node_bytes : int }
+type config = {
+  node_bytes : int;
+  layout : Layout.policy; (* where bulk loads place nodes; inserts always bump-alloc *)
+}
 
-let default_config : config = { node_bytes = 192 }
+let default_config : config = { node_bytes = 192; layout = Layout.Flat }
 
 type t = {
   reg : Mem.region;
   records : Record_store.t;
   node_bytes : int;
+  layout : Layout.policy;
   mutable root : int;
   mutable tree_height : int;
   mutable n_nodes : int;
@@ -45,6 +49,7 @@ let create mem records (cfg : config) =
     reg = Mem.new_region mem ~initial_capacity:(1 lsl 20) ~name:"prefix-btree" ();
     records;
     node_bytes = cfg.node_bytes;
+    layout = cfg.layout;
     root = null;
     tree_height = 0;
     n_nodes = 0;
@@ -88,8 +93,7 @@ let entry_key t node i =
   let s = read_suffix t node i in
   Bytes.cat p s
 
-let alloc_node t ~leaf =
-  let node = Mem.alloc t.reg ~align:64 t.node_bytes in
+let init_node t node ~leaf =
   Mem.write_u16 t.reg node 0;
   Mem.write_u8 t.reg (node + 2) (if leaf then 1 else 0);
   Mem.write_u16 t.reg (node + 4) 0;
@@ -97,6 +101,15 @@ let alloc_node t ~leaf =
   set_link t node null;
   t.n_nodes <- t.n_nodes + 1;
   node
+
+let alloc_node t ~leaf = init_node t (Mem.alloc t.reg ~align:64 t.node_bytes) ~leaf
+
+(* Bulk-load allocation: at the plan's target offset when one exists
+   (blocked layouts), plain bump allocation otherwise. *)
+let alloc_node_at t plan ~level ~index ~leaf =
+  match Layout.Placement.offset plan ~level ~index with
+  | None -> alloc_node t ~leaf
+  | Some off -> init_node t (Mem.alloc_at t.reg ~off t.node_bytes) ~leaf
 
 let free_node t node =
   Mem.free t.reg node t.node_bytes;
@@ -544,36 +557,135 @@ let check_load_key t k =
       (Printf.sprintf "Prefix_btree.bulk_load: %d-byte key cannot fit a %d-byte node"
          (Bytes.length k) t.node_bytes)
 
-let load_sorted t ~fill entries =
+(* Pure planning passes — group sizes derived from key bytes alone, so
+   [load_shape] can predict exactly what [load_sorted] materialises
+   (both call these; they cannot drift apart). *)
+
+(* Leaf level: greedy byte packing.  [packed_size] is monotone in the
+   entry list (adding an entry can only shrink the shared prefix), so
+   the greedy cut is safe. *)
+let plan_leaf_sizes ~budget entries =
   let n = Array.length entries in
-  let budget = int_of_float (fill *. float_of_int t.node_bytes) in
-  (* Leaf level: greedy byte packing.  [packed_size] is monotone
-     in the entry list (adding an entry can only shrink the
-     shared prefix), so the greedy cut is safe. *)
-  let leaves = ref [] in
-  (* (node, first key, last key), newest first *)
+  let sizes = ref [] in
   let group = ref [] in
   (* current group, reversed *)
-  let flush_leaf () =
-    match List.rev !group with
-    | [] -> ()
-    | es ->
-        let node = alloc_node t ~leaf:true in
-        write_node t node ~leaf:true ~link_v:null es;
-        let first = fst (List.hd es) in
-        let last = fst (List.nth es (List.length es - 1)) in
-        leaves := (node, first, last) :: !leaves;
-        group := []
-  in
+  let count = ref 0 in
   for i = 0 to n - 1 do
     let e = entries.(i) in
-    if (match !group with [] -> false | _ :: _ -> true)
-       && packed_size (List.rev (e :: !group)) > budget
-    then flush_leaf ();
-    group := e :: !group
+    if !count > 0 && packed_size (List.rev (e :: !group)) > budget then begin
+      sizes := !count :: !sizes;
+      group := [];
+      count := 0
+    end;
+    group := e :: !group;
+    incr count
   done;
-  flush_leaf ();
-  let level = Array.of_list (List.rev !leaves) in
+  if !count > 0 then sizes := !count :: !sizes;
+  List.rev !sizes
+
+(* Internal level over children summarised as (first, last) key pairs:
+   each group takes >= 2 children (so every internal node carries at
+   least one separator) and grows greedily to the budget; a trailing
+   single child is never stranded — a large last group sheds one child
+   to pair with it, otherwise the group absorbs it. *)
+let plan_group_sizes ~budget fl =
+  let len = Array.length fl in
+  let sep i =
+    (* Separates child [i] from child [i + 1]. *)
+    truncated_separator (snd fl.(i)) (fst fl.(i + 1))
+  in
+  let sep_entries s c = List.init (c - 1) (fun j -> (sep (s + j), 0)) in
+  let sizes = ref [] in
+  let i = ref 0 in
+  while !i < len do
+    let s = !i in
+    let c = ref 2 in
+    let growing = ref true in
+    while !growing do
+      let rem = len - (s + !c) in
+      if rem = 0 then growing := false
+      else if rem = 1 then begin
+        if !c >= 3 then decr c else incr c;
+        growing := false
+      end
+      else if packed_size (sep_entries s (!c + 1)) > budget then growing := false
+      else incr c
+    done;
+    sizes := !c :: !sizes;
+    i := s + !c
+  done;
+  List.rev !sizes
+
+(* Predict the level structure [load_sorted] will build: leaf cuts,
+   then internal groupings over (first, last) summaries, root level
+   first.  Group [i] of an internal level owns the contiguous child
+   run its size dictates. *)
+let load_shape t ~fill entries =
+  let budget = int_of_float (fill *. float_of_int t.node_bytes) in
+  let fl_leaves =
+    let pos = ref 0 in
+    Array.of_list
+      (List.map
+         (fun sz ->
+           let first = fst entries.(!pos) and last = fst entries.(!pos + sz - 1) in
+           pos := !pos + sz;
+           (first, last))
+         (plan_leaf_sizes ~budget entries))
+  in
+  let rec go fl acc =
+    if Array.length fl = 1 then acc
+    else begin
+      let sizes = plan_group_sizes ~budget fl in
+      let ranges =
+        let s = ref 0 in
+        Array.of_list
+          (List.map
+             (fun c ->
+               let lo = !s in
+               s := !s + c;
+               (lo, !s))
+             sizes)
+      in
+      let fl' =
+        let s = ref 0 in
+        Array.of_list
+          (List.map
+             (fun c ->
+               let first = fst fl.(!s) and last = snd fl.(!s + c - 1) in
+               s := !s + c;
+               (first, last))
+             sizes)
+      in
+      go fl' (ranges :: acc)
+    end
+  in
+  {
+    Layout.shape_node_bytes = t.node_bytes;
+    shape_levels = Array.of_list (go fl_leaves [ Array.make (Array.length fl_leaves) (0, 0) ]);
+  }
+
+let load_sorted t ~fill ~plan entries =
+  let n = Array.length entries in
+  let budget = int_of_float (fill *. float_of_int t.node_bytes) in
+  (* Root-first planner level of the nodes built at [height] above the
+     leaves; meaningless under the flat plan, whose [offset] ignores
+     it. *)
+  let nlv = Layout.Placement.level_count plan in
+  (* Leaf level: materialise the planned cuts. *)
+  let level =
+    let pos = ref 0 and li = ref 0 in
+    Array.of_list
+      (List.map
+         (fun sz ->
+           let es = Array.to_list (Array.sub entries !pos sz) in
+           let node = alloc_node_at t plan ~level:(nlv - 1) ~index:!li ~leaf:true in
+           write_node t node ~leaf:true ~link_v:null es;
+           let first = fst entries.(!pos) and last = fst entries.(!pos + sz - 1) in
+           pos := !pos + sz;
+           incr li;
+           (node, first, last))
+         (plan_leaf_sizes ~budget entries))
+  in
   (* Chain the leaves. *)
   Array.iteri
     (fun i (node, _, _) ->
@@ -583,7 +695,7 @@ let load_sorted t ~fill entries =
       in
       set_link t node next)
     level;
-  (* Internal levels. *)
+  (* Internal levels: materialise the planned groupings. *)
   let rec build level height =
     if Array.length level = 1 then begin
       let root, _, _ = level.(0) in
@@ -591,7 +703,6 @@ let load_sorted t ~fill entries =
       t.tree_height <- height
     end
     else begin
-      let len = Array.length level in
       let sep i =
         (* Separates level.(i) from level.(i + 1). *)
         let _, _, last_l = level.(i) in
@@ -604,35 +715,20 @@ let load_sorted t ~fill entries =
             let nd, _, _ = level.(s + j + 1) in
             (sep (s + j), nd))
       in
-      (* Each group takes >= 2 children (so every internal node
-         carries at least one separator) and grows greedily to
-         the budget; a trailing single child is never stranded —
-         a large last group sheds one child to pair with it,
-         otherwise the group absorbs it. *)
+      let sizes = plan_group_sizes ~budget (Array.map (fun (_, f, l) -> (f, l)) level) in
       let next_level = ref [] in
-      let i = ref 0 in
-      while !i < len do
-        let s = !i in
-        let c = ref 2 in
-        let growing = ref true in
-        while !growing do
-          let rem = len - (s + !c) in
-          if rem = 0 then growing := false
-          else if rem = 1 then begin
-            if !c >= 3 then decr c else incr c;
-            growing := false
-          end
-          else if packed_size (entries_of s (!c + 1)) > budget then growing := false
-          else incr c
-        done;
-        let es = entries_of s !c in
-        let node = alloc_node t ~leaf:false in
-        let first_child, first_key, _ = level.(s) in
-        write_node t node ~leaf:false ~link_v:first_child es;
-        let _, _, last_key = level.(s + !c - 1) in
-        next_level := (node, first_key, last_key) :: !next_level;
-        i := s + !c
-      done;
+      let s = ref 0 and idx = ref 0 in
+      List.iter
+        (fun c ->
+          let es = entries_of !s c in
+          let node = alloc_node_at t plan ~level:(nlv - 1 - height) ~index:!idx ~leaf:false in
+          let first_child, first_key, _ = level.(!s) in
+          write_node t node ~leaf:false ~link_v:first_child es;
+          let _, _, last_key = level.(!s + c - 1) in
+          next_level := (node, first_key, last_key) :: !next_level;
+          s := !s + c;
+          incr idx)
+        sizes;
       build (Array.of_list (List.rev !next_level)) (height + 1)
     end
   in
@@ -788,6 +884,8 @@ module Structure = struct
   let prepare_batch t _keys n = t.sc.Scratch.perm <- Engine.ensure_int t.sc.Scratch.perm n
   let descend t n = Group.drive (router t) t.root 0 n
   let check_load_key = check_load_key
+  let layout_policy t = t.layout
+  let load_shape = load_shape
   let load_sorted = load_sorted
 
   let cursor_start t from =

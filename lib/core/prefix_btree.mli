@@ -25,9 +25,15 @@
 
 type t
 
-type config = { node_bytes : int }
+type config = {
+  node_bytes : int;
+  layout : Layout.policy;
+      (** Node placement of bulk loads ([of_sorted]); incremental
+          inserts always bump-allocate. *)
+}
 
 val default_config : config
+(** 192-byte nodes, flat layout. *)
 
 val create : Pk_mem.Mem.t -> Pk_records.Record_store.t -> config -> t
 

@@ -9,9 +9,15 @@ module Scratch = Engine.Scratch
 module Entries = Engine.Entries
 module Tgroup = Engine.Tgroup
 
-type config = { scheme : Layout.scheme; node_bytes : int; naive_search : bool }
+type config = {
+  scheme : Layout.scheme;
+  node_bytes : int;
+  naive_search : bool;
+  layout : Layout.policy; (* where bulk loads place nodes; inserts always bump-alloc *)
+}
 
-let default_config scheme = { scheme; node_bytes = 192; naive_search = false }
+let default_config scheme =
+  { scheme; node_bytes = 192; naive_search = false; layout = Layout.Flat }
 
 type t = {
   reg : Mem.region;
@@ -88,14 +94,22 @@ let set_right t node v = Mem.write_u64 t.reg (node + 16) v
 let height t = node_height t t.root
 let is_leaf t node = left t node = null && right t node = null
 
-let alloc_node t =
-  let node = Mem.alloc t.reg ~align:64 t.cfg.node_bytes in
+let init_node t node =
   Mem.write_u16 t.reg node 0;
   set_node_height t node 1;
   set_left t node null;
   set_right t node null;
   t.n_nodes <- t.n_nodes + 1;
   node
+
+let alloc_node t = init_node t (Mem.alloc t.reg ~align:64 t.cfg.node_bytes)
+
+(* Bulk-load allocation: at the plan's target offset when one exists
+   (blocked layouts), plain bump allocation otherwise. *)
+let alloc_node_at t plan ~level ~index =
+  match Layout.Placement.offset plan ~level ~index with
+  | None -> alloc_node t
+  | Some off -> init_node t (Mem.alloc_at t.reg ~off t.cfg.node_bytes)
 
 let free_node t node =
   Mem.free t.reg node t.cfg.node_bytes;
@@ -636,19 +650,59 @@ let tdriver t =
    is based on the parent node's leftmost key, later entries on their
    in-node predecessor — all derived from sorted neighbours. *)
 
-let load_sorted t ~fill entries =
-  let n = Array.length entries in
+(* Chunk size and count shared by [load_sorted] and [load_shape]. *)
+let chunking t ~fill n =
   let cap = t.max_entries in
   let c = max 1 (max t.min_internal (min cap (int_of_float (fill *. float_of_int cap)))) in
-  let m = (n + c - 1) / c in
+  (c, (n + c - 1) / c)
+
+(* A recursion depth bound far above any balanced midpoint BST this
+   arena can hold (depth <= log2 m + 1). *)
+let max_depth = 64
+
+(* Predict the BST level structure [load_sorted] will build.  A
+   pre-order walk of the midpoint recursion visits each depth's nodes
+   left to right, which is exactly the planner's per-level (BFS)
+   enumeration: reserving child indices at the parent's visit and
+   appending the node's own range at its visit keeps both sides in the
+   same order. *)
+let load_shape t ~fill entries =
+  let _, m = chunking t ~fill (Array.length entries) in
+  let acc = Array.make max_depth [] in
+  let next_idx = Array.make max_depth 0 in
+  let deepest = ref 0 in
+  let rec walk clo chi d =
+    if clo < chi then begin
+      if !deepest < d then deepest := d;
+      let mid = (clo + chi) / 2 in
+      let nl = if clo < mid then 1 else 0 and nr = if mid + 1 < chi then 1 else 0 in
+      let base = next_idx.(d + 1) in
+      next_idx.(d + 1) <- base + nl + nr;
+      acc.(d) <- (base, base + nl + nr) :: acc.(d);
+      walk clo mid (d + 1);
+      walk (mid + 1) chi (d + 1)
+    end
+  in
+  walk 0 m 0;
+  {
+    Layout.shape_node_bytes = t.cfg.node_bytes;
+    shape_levels = Array.init (!deepest + 1) (fun d -> Array.of_list (List.rev acc.(d)));
+  }
+
+let load_sorted t ~fill ~plan entries =
+  let n = Array.length entries in
+  let c, m = chunking t ~fill n in
+  (* Per-depth child-index counters mirroring [load_shape]'s walk, so
+     node (depth, idx) lands on the same planner coordinate. *)
+  let next_idx = Array.make max_depth 0 in
   (* Chunk [i] holds entries [i*c, min ((i+1)*c, n)). *)
-  let rec build clo chi ~base =
+  let rec build clo chi ~base ~d ~idx =
     if clo >= chi then (null, 0)
     else begin
       let mid = (clo + chi) / 2 in
       let start = mid * c in
       let sz = min c (n - start) in
-      let node = alloc_node t in
+      let node = alloc_node_at t plan ~level:d ~index:idx in
       for j = 0 to sz - 1 do
         write_entry t node j ~key:(fst entries.(start + j)) ~rid:(snd entries.(start + j))
       done;
@@ -660,8 +714,11 @@ let load_sorted t ~fill entries =
         done
       end;
       let k0 = Some (fst entries.(start)) in
-      let l, hl = build clo mid ~base:k0 in
-      let r, hr = build (mid + 1) chi ~base:k0 in
+      let nl = if clo < mid then 1 else 0 and nr = if mid + 1 < chi then 1 else 0 in
+      let cbase = next_idx.(d + 1) in
+      next_idx.(d + 1) <- cbase + nl + nr;
+      let l, hl = build clo mid ~base:k0 ~d:(d + 1) ~idx:cbase in
+      let r, hr = build (mid + 1) chi ~base:k0 ~d:(d + 1) ~idx:(cbase + nl) in
       set_left t node l;
       set_right t node r;
       let h = 1 + max hl hr in
@@ -669,7 +726,7 @@ let load_sorted t ~fill entries =
       (node, h)
     end
   in
-  let root, _ = build 0 m ~base:None in
+  let root, _ = build 0 m ~base:None ~d:0 ~idx:0 in
   t.root <- root;
   t.n_keys <- n
 
@@ -785,6 +842,8 @@ module Structure = struct
                (Bytes.length k))
     | Layout.Indirect | Layout.Partial _ -> ()
 
+  let layout_policy t = t.cfg.layout
+  let load_shape = load_shape
   let load_sorted = load_sorted
 
   let cursor_start t = function

@@ -22,9 +22,13 @@ type config = {
   scheme : Layout.scheme;
   node_bytes : int;
   naive_search : bool;  (** Partial only: naive in-node linear search (A3). *)
+  layout : Layout.policy;
+      (** Node placement of bulk loads ([of_sorted]); incremental
+          inserts always bump-allocate. *)
 }
 
 val default_config : Layout.scheme -> config
+(** 192-byte nodes, FINDNODE search, flat layout. *)
 
 val create : Pk_mem.Mem.t -> Pk_records.Record_store.t -> config -> t
 

@@ -14,4 +14,39 @@ let () =
           Index.make ?node_bytes Index.B_tree l4 mem records);
     }
 
+(* Cache/TLB-conscious bulk-load placement (hierarchical blocking à la
+   FAST): the paper schemes' pk variants plus the prefix B+-tree, with
+   nodes laid out by {!Layout.blocked_default} instead of bump order.
+   Identical search paths and deref counts — only addresses differ. *)
+let pk2 = Layout.Partial { granularity = Pk_partialkey.Partial_key.Byte; l_bytes = 2 }
+
+let () =
+  List.iter Index.Registry.register
+    [
+      {
+        Index.Registry.tag = "pkB-blocked";
+        structure = "B";
+        entry_bytes = (fun _ -> Some (Layout.entry_size pk2));
+        build =
+          (fun ?node_bytes ~key_len:_ mem records ->
+            Index.make ?node_bytes ~layout:Layout.blocked_default Index.B_tree pk2 mem records);
+      };
+      {
+        Index.Registry.tag = "pkT-blocked";
+        structure = "T";
+        entry_bytes = (fun _ -> Some (Layout.entry_size pk2));
+        build =
+          (fun ?node_bytes ~key_len:_ mem records ->
+            Index.make ?node_bytes ~layout:Layout.blocked_default Index.T_tree pk2 mem records);
+      };
+      {
+        Index.Registry.tag = "B+/prefix-blocked";
+        structure = "B+";
+        entry_bytes = (fun _ -> None);
+        build =
+          (fun ?node_bytes ~key_len:_ mem records ->
+            Index.make_prefix_btree ?node_bytes ~layout:Layout.blocked_default mem records);
+      };
+    ]
+
 let ensure_registered () = ()

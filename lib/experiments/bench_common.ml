@@ -22,6 +22,19 @@ let high_entropy = Keygen.paper_high (* alphabet 220 -> 7.8 bits/byte *)
 
 let entropy_tag alphabet = Printf.sprintf "%.1f b/B" (Keygen.entropy_of_alphabet alphabet)
 
+(* PK_MACHINE selects the simulated machine preset by name (e.g.
+   "ultra60", "modern"); unknown names abort up front. *)
+let machine_of_env () =
+  match Sys.getenv_opt "PK_MACHINE" with
+  | None | Some "" -> None
+  | Some name -> (
+      match Machine.by_name name with
+      | Some m -> Some m
+      | None ->
+          invalid_arg
+            (Printf.sprintf
+               "unknown machine %S; valid: ultra30, ultra60, pentium3, pentium3e, modern" name))
+
 (* A built scheme ready for measurement. *)
 type built = {
   name : string;
@@ -38,8 +51,12 @@ let pow2_ceil n =
 
 (* Build one dataset and load each requested scheme into its own index
    over the shared record heap. *)
-let build_schemes ?(machine = Machine.ultra30) ?tlb ~key_len ~alphabet ~n ~n_warm ~n_probe
-    schemes =
+let build_schemes ?machine ?tlb ~key_len ~alphabet ~n ~n_warm ~n_probe schemes =
+  let machine =
+    match machine with
+    | Some m -> m
+    | None -> Option.value (machine_of_env ()) ~default:Machine.ultra30
+  in
   let env = Workload.make_env ~machine ?tlb () in
   let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
   let warm = Workload.probes ds ~seed:11 ~n:n_warm () in

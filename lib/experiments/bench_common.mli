@@ -42,6 +42,12 @@ type built = {
 
 val pow2_ceil : int -> int
 
+val machine_of_env : unit -> Machine.t option
+(** The machine preset named by [$PK_MACHINE] (pkbench's [--machine]),
+    if set.  Raises [Invalid_argument] listing the valid names when the
+    variable names no preset.  [None] when unset — callers fall back to
+    their own default (usually the paper's Ultra 30). *)
+
 val build_schemes :
   ?machine:Machine.t ->
   ?tlb:Cachesim.tlb_config ->

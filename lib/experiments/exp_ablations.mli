@@ -12,4 +12,5 @@ val run_a6 : unit -> unit
 val run_a7 : unit -> unit
 val run_a8 : unit -> unit
 val run_a9 : unit -> unit
+val run_a10 : unit -> unit
 val register : unit -> unit

@@ -81,6 +81,14 @@ let alloc r ?align size =
   check_writable r "alloc";
   Arena.alloc r.arena ?align size
 
+let reserve r ?align size =
+  check_writable r "reserve";
+  Arena.reserve r.arena ?align size
+
+let alloc_at r ~off size =
+  check_writable r "alloc_at";
+  Arena.alloc_at r.arena ~off size
+
 let free r off size =
   check_writable r "free";
   Arena.free r.arena off size

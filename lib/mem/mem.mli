@@ -76,6 +76,17 @@ val used_bytes : region -> int
     metadata work; the initialising writes that follow are charged). *)
 
 val alloc : region -> ?align:int -> int -> int
+
+val reserve : region -> ?align:int -> int -> int
+(** Placement reservation at the bump frontier; see
+    {!val:Pk_arena.Arena.reserve}.  Because region bases are aligned far
+    beyond any hugepage size, an [align]-multiple arena offset is an
+    [align]-multiple simulated physical address too. *)
+
+val alloc_at : region -> off:int -> int -> int
+(** Claim a planner-chosen range inside a reservation (or an exactly
+    matching freed block); see {!val:Pk_arena.Arena.alloc_at}. *)
+
 val free : region -> int -> int -> unit
 
 val guard : region -> (unit -> 'a) -> 'a

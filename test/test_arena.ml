@@ -63,6 +63,68 @@ let test_free_reuse () =
   let o3 = Arena.alloc a 24 in
   Alcotest.(check bool) "different size not reused" true (o3 <> o1)
 
+(* Placement-hinted allocation: a reservation stays honest across
+   region growth, and [alloc_at] carves it without double-charging. *)
+let test_reserve_alignment_across_growth () =
+  let a = make () in
+  ignore (Arena.alloc a 24);
+  (* The 128-byte initial capacity forces a growth inside [reserve]. *)
+  let base = Arena.reserve a ~align:4096 100_000 in
+  Alcotest.(check int) "4096-aligned" 0 (base mod 4096);
+  Arena.set_u8 a (base + 99_999) 0xCD;
+  Alcotest.(check int) "usable to the last byte" 0xCD (Arena.get_u8 a (base + 99_999));
+  let live = Arena.live_bytes a in
+  let o1 = Arena.alloc_at a ~off:base 192 in
+  let o2 = Arena.alloc_at a ~off:(base + 192) 192 in
+  Alcotest.(check int) "alloc_at returns the offset" base o1;
+  Alcotest.(check int) "second carve" (base + 192) o2;
+  Alcotest.(check int) "carving a reservation charges nothing" live (Arena.live_bytes a);
+  Alcotest.check_raises "beyond the frontier"
+    (Invalid_argument "Arena.alloc_at: region beyond the allocation frontier") (fun () ->
+      ignore (Arena.alloc_at a ~off:(Arena.used_bytes a) 192))
+
+let test_alloc_at_vs_freed_regions () =
+  let a = make () in
+  let o1 = Arena.alloc a 192 in
+  let o2 = Arena.alloc a 192 in
+  Arena.set_u64 a o1 77;
+  Arena.free a o1 192;
+  (* Reclaiming an exactly-matching freed block takes it off the free
+     list, so a later same-size alloc must not hand it out again. *)
+  let r = Arena.alloc_at a ~off:o1 192 in
+  Alcotest.(check int) "freed block reclaimed in place" o1 r;
+  Alcotest.(check int) "reclaimed block zeroed" 0 (Arena.get_u64 a r);
+  let o3 = Arena.alloc a 192 in
+  Alcotest.(check bool) "free list no longer offers it" true (o3 <> o1);
+  (* Size-mismatched reclaim would corrupt the free accounting. *)
+  Arena.free a o2 192;
+  Alcotest.check_raises "size mismatch"
+    (Invalid_argument
+       (Printf.sprintf "Arena.alloc_at: offset %d freed with size 192, requested 64" o2))
+    (fun () -> ignore (Arena.alloc_at a ~off:o2 64))
+
+let test_reserve_txn_abort () =
+  let a = make () in
+  Arena.begin_txn a;
+  let base = Arena.reserve a ~align:64 4096 in
+  ignore (Arena.alloc_at a ~off:base 192);
+  Arena.set_u64 a base 123456;
+  Arena.abort_txn a;
+  (* The alignment gap below [base] is burned, as with any aligned
+     alloc; the reservation itself must come back in full. *)
+  Alcotest.(check int) "abort returns the whole reservation" base (Arena.live_bytes a);
+  let back = Arena.alloc a 4096 in
+  Alcotest.(check int) "returned via the free list in one piece" base back;
+  (* A freed-in-txn block must not be reclaimable by alloc_at until
+     the free actually lands at commit. *)
+  let o = Arena.alloc a 192 in
+  Arena.begin_txn a;
+  Arena.free a o 192;
+  Alcotest.check_raises "pending free blocks reclaim"
+    (Invalid_argument "Arena.alloc_at: offset freed in the open transaction") (fun () ->
+      ignore (Arena.alloc_at a ~off:o 192));
+  Arena.commit_txn a
+
 let test_live_bytes_accounting () =
   let a = make () in
   let base = Arena.live_bytes a in
@@ -198,6 +260,10 @@ let () =
           Alcotest.test_case "typed accessors" `Quick test_typed_accessors;
           Alcotest.test_case "u8/u16 masking" `Quick test_u8_u16_masking;
           Alcotest.test_case "free-list reuse" `Quick test_free_reuse;
+          Alcotest.test_case "reserve alignment across growth" `Quick
+            test_reserve_alignment_across_growth;
+          Alcotest.test_case "alloc_at vs freed regions" `Quick test_alloc_at_vs_freed_regions;
+          Alcotest.test_case "reserve under txn abort" `Quick test_reserve_txn_abort;
           Alcotest.test_case "live-byte accounting" `Quick test_live_bytes_accounting;
           Alcotest.test_case "blits and compare" `Quick test_blits_and_compare;
           Alcotest.test_case "overlapping blit" `Quick test_blit_within_overlap;

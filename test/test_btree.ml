@@ -12,7 +12,7 @@ module Partial_key = Pk_partialkey.Partial_key
 
 let make_btree ?(node_bytes = 192) scheme =
   let mem, records = Support.make_env () in
-  let b = Btree.create mem records { Btree.scheme; node_bytes; naive_search = false } in
+  let b = Btree.create mem records { Btree.scheme; node_bytes; naive_search = false; layout = Layout.Flat } in
   (b, records)
 
 let insert_all b records keys =
@@ -85,7 +85,7 @@ let test_node_too_small () =
     (try
        ignore
          (Btree.create mem records
-            { Btree.scheme = Layout.Direct { key_len = 100 }; node_bytes = 192; naive_search = false });
+            { Btree.scheme = Layout.Direct { key_len = 100 }; node_bytes = 192; naive_search = false; layout = Layout.Flat });
        false
      with Invalid_argument _ -> true)
 

@@ -167,7 +167,46 @@ let test_machine_lookup () =
   Alcotest.(check bool) "ultra30" true (Machine.by_name "ultra30" = Some Machine.ultra30);
   Alcotest.(check bool) "Sun ULTRA 60" true (Machine.by_name "Sun ULTRA 60" = Some Machine.ultra60);
   Alcotest.(check bool) "piiie" true (Machine.by_name "piiie" = Some Machine.pentium3e);
+  Alcotest.(check bool) "modern" true (Machine.by_name "modern" = Some Machine.modern);
   Alcotest.(check bool) "unknown" true (Machine.by_name "cray" = None)
+
+(* The modern preset: three cache levels in the simulator config, not
+   part of the Table-2 [all] list, and a hugepage TLB that covers a
+   multi-megabyte working set the 8 KiB TLB cannot. *)
+let test_modern_preset () =
+  Alcotest.(check bool) "not in Table 2" true (not (List.mem Machine.modern Machine.all));
+  let cfg = Machine.to_config ~tlb:Machine.hugepage_tlb Machine.modern in
+  Alcotest.(check int) "three levels" 3 (List.length cfg.Cachesim.levels);
+  (match Machine.modern.Machine.l3 with
+  | Some l3 ->
+      Alcotest.(check bool)
+        "L3 is the last level" true
+        (List.nth cfg.Cachesim.levels 2 == l3)
+  | None -> Alcotest.fail "modern preset has no L3");
+  let sim = Cachesim.create cfg in
+  Cachesim.touch sim ~addr:0 ~len:1;
+  Cachesim.touch sim ~addr:0 ~len:1;
+  let snap = Cachesim.snapshot sim in
+  Alcotest.(check (float 1e-6))
+    "cold DRAM + TLB walk, then warm L1"
+    (Machine.modern.Machine.dram_ns
+    +. Machine.hugepage_tlb.Cachesim.miss_ns
+    +. Machine.modern.Machine.l1.Cachesim.latency_ns)
+    snap.Cachesim.sim_ns;
+  (* 8 MiB working set: ~1k distinct 8 KiB pages thrash a 64-entry TLB
+     but fit four 2 MiB hugepage entries. *)
+  let walk tlb =
+    let sim = Cachesim.create (Machine.to_config ~tlb Machine.modern) in
+    for i = 0 to 4095 do
+      Cachesim.touch sim ~addr:(i * 40_009 mod (8 * 1024 * 1024)) ~len:1
+    done;
+    (Cachesim.snapshot sim).Cachesim.tlb_misses
+  in
+  let small = walk Machine.default_tlb and huge = walk Machine.hugepage_tlb in
+  Alcotest.(check bool)
+    (Printf.sprintf "hugepages: %d < %d" huge small)
+    true
+    (huge * 10 < small)
 
 let test_geometry_validation () =
   let bad : Cachesim.config =
@@ -215,6 +254,7 @@ let () =
           Alcotest.test_case "superpages" `Quick test_superpages_reduce_tlb_misses;
           Alcotest.test_case "machine presets" `Quick test_machine_presets;
           Alcotest.test_case "machine lookup" `Quick test_machine_lookup;
+          Alcotest.test_case "modern preset" `Quick test_modern_preset;
           Alcotest.test_case "geometry validation" `Quick test_geometry_validation;
           Support.seeded_qtest ~count:50 "fitting working set never misses warm"
             prop_fitting_working_set;

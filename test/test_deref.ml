@@ -42,6 +42,7 @@ let measure tag =
 let expected =
   [
     ("B+/prefix", 0);
+    ("B+/prefix-blocked", 0);
     ("B-direct", 0);
     ("B-indirect", 3257);
     ("B/pk-byte-l4", 401);
@@ -49,7 +50,9 @@ let expected =
     ("T-indirect", 3369);
     ("hybrid", 503);
     ("pkB", 503);
+    ("pkB-blocked", 503);
     ("pkT", 539);
+    ("pkT-blocked", 539);
   ]
 
 let test_expected_table_covers_registry () =

@@ -77,7 +77,7 @@ let test_prefix_compression_saves_space () =
   let p = Prefix_btree.create mem records Prefix_btree.default_config in
   let d =
     Pk_core.Btree.create mem records
-      { Pk_core.Btree.scheme = Pk_core.Layout.Direct { key_len = 30 }; node_bytes = 192; naive_search = false }
+      { Pk_core.Btree.scheme = Pk_core.Layout.Direct { key_len = 30 }; node_bytes = 192; naive_search = false; layout = Pk_core.Layout.Flat }
   in
   let keys = Array.init 3000 (fun i -> Bytes.of_string (Printf.sprintf "warehouse/zone-7/item-%08d" i)) in
   Alcotest.(check int) "key length" 30 (Bytes.length keys.(0));

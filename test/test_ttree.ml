@@ -11,7 +11,7 @@ module Partial_key = Pk_partialkey.Partial_key
 
 let make_ttree ?(node_bytes = 192) scheme =
   let mem, records = Support.make_env () in
-  let t = Ttree.create mem records { Ttree.scheme; node_bytes; naive_search = false } in
+  let t = Ttree.create mem records { Ttree.scheme; node_bytes; naive_search = false; layout = Layout.Flat } in
   (t, records)
 
 let insert_all t records keys =
