@@ -8,12 +8,15 @@
 
 module Chaos = Pk_chaos.Chaos
 
-type schedule_kind = Classic | Recover
+type schedule_kind = Classic | Recover | Parallel
 
 let kind_of_string = function
   | "classic" -> Classic
   | "recover" -> Recover
-  | s -> invalid_arg (Printf.sprintf "unknown schedule kind %S; valid kinds: classic, recover" s)
+  | "parallel" -> Parallel
+  | s ->
+      invalid_arg
+        (Printf.sprintf "unknown schedule kind %S; valid kinds: classic, recover, parallel" s)
 
 let () =
   let seeds = ref 50 in
@@ -25,6 +28,8 @@ let () =
   let kind =
     ref (match Sys.getenv_opt "PK_CHAOS_KIND" with Some k -> k | None -> "classic")
   in
+  let readers = ref 2 in
+  let shards = ref 4 in
   let spec =
     [
       ("-seeds", Arg.Set_int seeds, "N  number of seeds per tree (default 50)");
@@ -38,7 +43,9 @@ let () =
          of the registry tags (recover kind)" );
       ( "-kind",
         Arg.Set_string kind,
-        "KIND  classic | recover (default $PK_CHAOS_KIND or classic)" );
+        "KIND  classic | recover | parallel (default $PK_CHAOS_KIND or classic)" );
+      ("-readers", Arg.Set_int readers, "N  reader domains per parallel schedule (default 2)");
+      ("-shards", Arg.Set_int shards, "N  shards per parallel schedule (default 4)");
     ]
   in
   Arg.parse spec
@@ -58,6 +65,7 @@ let () =
   let failures = ref 0 in
   let total = ref Chaos.zero in
   let schedules = ref 0 in
+  let restarts = ref 0 in
   let run_one label f =
     incr schedules;
     match f () with
@@ -111,12 +119,27 @@ let () =
                 (Printf.sprintf "tag=%s seed=%d" tag seed)
                 (fun () -> Chaos.run_recover_schedule ~faults:(plan ~seed) ~tag ~seed ~ops:!ops ()))
             tags)
+        seed_list
+  | Parallel ->
+      List.iter
+        (fun seed ->
+          run_one
+            (Printf.sprintf "parallel seed=%d" seed)
+            (fun () ->
+              let o, r =
+                Chaos.run_parallel_schedule ~readers:!readers ~shards:!shards ~seed ~ops:!ops ()
+              in
+              restarts := !restarts + r;
+              o))
         seed_list);
   let o = !total in
   Printf.printf
-    "chaos[%s]: %d schedules, %d ops, %d applied, %d injected, %d validations, %d failures\n"
-    (match kind with Classic -> "classic" | Recover -> "recover")
-    !schedules o.Chaos.ops o.Chaos.applied o.Chaos.injected o.Chaos.validations !failures;
+    "chaos[%s]: %d schedules, %d ops, %d applied, %d injected, %d validations, %d failures%s\n"
+    (match kind with Classic -> "classic" | Recover -> "recover" | Parallel -> "parallel")
+    !schedules o.Chaos.ops o.Chaos.applied o.Chaos.injected o.Chaos.validations !failures
+    (match kind with
+    | Parallel -> Printf.sprintf ", %d reader restarts" !restarts
+    | Classic | Recover -> "");
   if !failures > 0 then begin
     Printf.eprintf "chaos: %d of %d schedules failed; metrics at exit:\n" !failures !schedules;
     prerr_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);

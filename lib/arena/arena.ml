@@ -242,11 +242,25 @@ let alloc t ?(align = 8) size =
 (* Reserve a contiguous placement range at the bump frontier.  Always
    fresh bytes — never a recycled free-list block, whose alignment is
    whatever its original allocation had.  One [U_alloc] record covers
-   the whole extent, so a txn abort returns it in one piece. *)
-let reserve t ?(align = 8) size =
+   the whole extent, so a txn abort returns it in one piece.
+
+   [?huge] makes the reservation hugepage-aware: the base is aligned to
+   the huge-block size (regardless of how small the extent is) and the
+   size is rounded up to a whole number of huge blocks, so no later
+   allocation shares a huge block — and therefore a TLB entry — with
+   the reserved extent. *)
+let reserve t ?(align = 8) ?huge size =
   if size <= 0 then invalid_arg "Arena.reserve: size <= 0";
   if align <= 0 || align land (align - 1) <> 0 then
     invalid_arg "Arena.reserve: align must be a positive power of two";
+  let align, size =
+    match huge with
+    | None -> (align, size)
+    | Some h ->
+        if h <= 0 || h land (h - 1) <> 0 then
+          invalid_arg "Arena.reserve: huge must be a positive power of two";
+        (Stdlib.max align h, align_up size h)
+  in
   Fault.point "arena.alloc";
   let off = align_up t.used align in
   if off + size > Bytes.length t.data then Fault.point "arena.grow";

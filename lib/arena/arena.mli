@@ -35,14 +35,20 @@ val alloc : t -> ?align:int -> int -> int
     ["arena.alloc"] on entry, ["arena.grow"] when the backing buffer
     would have to grow. *)
 
-val reserve : t -> ?align:int -> int -> int
+val reserve : t -> ?align:int -> ?huge:int -> int -> int
 (** [reserve t ~align size] bump-allocates a contiguous placement range
     of [size] zeroed bytes at an [align]-multiple offset (default 8;
     must be a power of two).  Unlike {!alloc} it never recycles a
     freed block — a reservation's alignment guarantee is the point —
     and the whole extent is one undo-journal record, so an aborted
     transaction reclaims it atomically.  Carve individual placements
-    out of it with {!alloc_at}.  Same fault points as {!alloc}. *)
+    out of it with {!alloc_at}.  Same fault points as {!alloc}.
+
+    [?huge] (a power of two, the layout policy's huge-block size) makes
+    the reservation hugepage-aware: the base is aligned to [huge] even
+    when the extent is smaller, and the size is rounded up to a whole
+    number of huge blocks, so nothing allocated later shares a huge
+    block — and therefore a TLB entry — with the reserved extent. *)
 
 val alloc_at : t -> off:int -> int -> int
 (** [alloc_at t ~off size] claims the region [off, off+size), which

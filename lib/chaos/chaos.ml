@@ -416,6 +416,7 @@ module Journal = Pk_journal.Journal
 let recover_tags () =
   Pk_core.Hybrid.ensure_registered ();
   Pk_core.Variants.ensure_registered ();
+  Pk_shard.Shard.ensure_registered ();
   Index.Registry.tags ()
 
 let run_recover_schedule ?(faults = []) ~tag ~seed ~ops () =
@@ -622,3 +623,187 @@ let run_recover_suite ?(faults = fun ~seed:_ -> []) ?tags ~seeds ~ops () =
         (fun acc tag -> add acc (run_recover_schedule ~faults:(faults ~seed) ~tag ~seed ~ops ()))
         acc tags)
     zero seeds
+
+(* {2 Parallel schedules}
+
+   One writer domain churns a disjoint key population through the
+   sharded aggregate ops (mutex-per-shard) while reader domains issue
+   optimistic validated reads ({!Shard.Engine.read}).  Every read of a
+   frozen key must return its exact oracle rid at every instant;
+   every read of a churn key must return [None] or a rid the writer
+   had already logged for that key before making it visible — any
+   other value means a torn read escaped validation.  Faults stay
+   disarmed: the fault machinery is not domain-safe, and this
+   schedule hunts protocol bugs, not unwind bugs. *)
+
+module Shard = Pk_shard.Shard
+
+let parallel_bases = [| "pkB"; "B-indirect"; "pkT" |]
+
+let run_parallel_schedule ?(readers = 2) ?(shards = 4) ~seed ~ops () =
+  Fault.reset ();
+  let rng = Prng.create (Int64.of_int (seed lxor 0x9a11)) in
+  let mem = Mem.create () in
+  let records = Record_store.create mem in
+  let key_len = 8 + Prng.int rng 9 in
+  let base = parallel_bases.(Prng.int rng (Array.length parallel_bases)) in
+  let eng =
+    Shard.Engine.create ~tag:"chaos/parallel"
+      ~partition:(Shard.Partition.hash shards)
+      (fun _ -> Index.Registry.build ~key_len base mem records)
+  in
+  let ix = Shard.Engine.ops eng in
+  let fail fmt = Printf.ksprintf (fun s -> failwith (Printf.sprintf "[par seed %d] %s" seed s)) fmt in
+  let alphabet = [| 12; 64; 220 |].(Prng.int rng 3) in
+  let n_frozen = 128 + Prng.int rng 129 in
+  let n_churn = 32 + Prng.int rng 33 in
+  let pool = Keygen.uniform ~rng ~key_len ~alphabet (n_frozen + n_churn) in
+  let frozen = Array.sub pool 0 n_frozen in
+  let churn = Array.sub pool n_frozen n_churn in
+  Array.sort Key.compare frozen;
+  let payload () = Bytes.init (Prng.int rng 13) (fun _ -> Char.chr (Prng.int rng 256)) in
+  let entries =
+    Array.map (fun k -> (k, Record_store.insert records ~key:k ~payload:(payload ()))) frozen
+  in
+  ix.Index.of_sorted ~fill:(0.6 +. Prng.float rng 0.4) entries;
+  let oracle = Hashtbl.create n_frozen in
+  Array.iter (fun (k, rid) -> Hashtbl.replace oracle k rid) entries;
+  (* rids the writer has ever logged per churn key, published before
+     the insert that makes them visible; readers validate against it
+     after the join. *)
+  let logged : (Key.t, int list) Hashtbl.t = Hashtbl.create n_churn in
+  let log_rid k rid = Hashtbl.replace logged k (rid :: (Option.value ~default:[] (Hashtbl.find_opt logged k))) in
+  let stop = Atomic.make false in
+  let spawn_reader r =
+    Domain.spawn (fun () ->
+        let rrng = Prng.create (Int64.of_int ((seed * 31) + r)) in
+        let rd = Shard.Engine.reader ~seed:((seed * 31) + r) eng in
+        let bad = ref [] in
+        let observed = ref [] in
+        let reads = ref 0 in
+        (* A floor of reads past the stop flag keeps the schedule
+           meaningful on a single hardware thread, where the writer
+           can finish before a reader domain is first scheduled. *)
+        while (not (Atomic.get stop)) || !reads < 64 do
+          incr reads;
+          if Prng.int rrng 4 < 3 then begin
+            let k = frozen.(Prng.int rrng n_frozen) in
+            let want = Hashtbl.find oracle k in
+            match Shard.Engine.read rd k with
+            | Some rid when Int.equal rid want -> ()
+            | got ->
+                bad :=
+                  Printf.sprintf "frozen %s: got %s, want %d" (Key.to_hex k)
+                    (match got with Some r -> string_of_int r | None -> "None")
+                    want
+                  :: !bad
+          end
+          else begin
+            let k = churn.(Prng.int rrng n_churn) in
+            match Shard.Engine.read rd k with
+            | None -> ()
+            | Some rid -> observed := (k, rid) :: !observed
+          end
+        done;
+        let restarts = Shard.Engine.restarts rd in
+        Shard.Engine.release_reader rd;
+        (!reads, restarts, !bad, !observed))
+  in
+  let domains = List.init readers spawn_reader in
+  (* The writer: single churn-key inserts/deletes, plus periodic
+     cross-shard batches exercising the multi-lock path. *)
+  let present : (Key.t, int) Hashtbl.t = Hashtbl.create n_churn in
+  let applied = ref 0 in
+  for round = 1 to ops do
+    if round mod 16 = 0 then begin
+      let n = 4 + Prng.int rng 5 in
+      let keys = Array.init n (fun _ -> churn.(Prng.int rng n_churn)) in
+      if Prng.bool rng then begin
+        let rids =
+          Array.map
+            (fun k ->
+              let rid =
+                Shard.Engine.record_write eng (fun () ->
+                    Record_store.insert records ~key:k ~payload:(payload ()))
+              in
+              log_rid k rid;
+              rid)
+            keys
+        in
+        let res = ix.Index.insert_batch keys ~rids in
+        Array.iteri (fun i ok -> if ok then (Hashtbl.replace present keys.(i) rids.(i); incr applied)) res
+      end
+      else begin
+        let res = ix.Index.delete_batch keys in
+        Array.iteri (fun i ok -> if ok then (Hashtbl.remove present keys.(i); incr applied)) res
+      end
+    end
+    else begin
+      let k = churn.(Prng.int rng n_churn) in
+      match Hashtbl.find_opt present k with
+      | Some _ ->
+          if ix.Index.delete k then (Hashtbl.remove present k; incr applied)
+          else fail "live delete of present churn key %s failed" (Key.to_hex k)
+      | None ->
+          let rid =
+            Shard.Engine.record_write eng (fun () ->
+                Record_store.insert records ~key:k ~payload:(payload ()))
+          in
+          log_rid k rid;
+          if ix.Index.insert k ~rid then (Hashtbl.replace present k rid; incr applied)
+          else fail "live insert of absent churn key %s failed" (Key.to_hex k)
+    end
+  done;
+  Atomic.set stop true;
+  let results = List.map Domain.join domains in
+  let validations = ref 0 in
+  let total_reads = ref 0 and total_restarts = ref 0 in
+  List.iter
+    (fun (reads, restarts, bad, observed) ->
+      total_reads := !total_reads + reads;
+      total_restarts := !total_restarts + restarts;
+      (match bad with
+      | [] -> ()
+      | e :: _ -> fail "%d invalid frozen reads, first: %s" (List.length bad) e);
+      List.iter
+        (fun (k, rid) ->
+          incr validations;
+          let ok = List.exists (Int.equal rid) (Option.value ~default:[] (Hashtbl.find_opt logged k)) in
+          if not ok then fail "churn read %s returned unlogged rid %d (torn read?)" (Key.to_hex k) rid)
+        observed;
+      if reads = 0 then fail "a reader domain made no progress")
+    results;
+  (* Post-join sweep: the quiescent aggregate must match the model
+     exactly — frozen population untouched, churn keys as last
+     committed. *)
+  Array.iter
+    (fun (k, rid) ->
+      incr validations;
+      if not (rid_opt_eq (ix.Index.lookup k) (Some rid)) then
+        fail "post-join frozen lookup %s diverges" (Key.to_hex k))
+    entries;
+  Array.iter
+    (fun k ->
+      incr validations;
+      if not (rid_opt_eq (ix.Index.lookup k) (Hashtbl.find_opt present k)) then
+        fail "post-join churn lookup %s diverges" (Key.to_hex k))
+    churn;
+  let model =
+    List.sort
+      (fun (k1, _) (k2, _) -> Key.compare k1 k2)
+      (Array.to_list entries @ Hashtbl.fold (fun k rid acc -> (k, rid) :: acc) present [])
+  in
+  let got = ref [] in
+  ix.Index.iter (fun ~key ~rid -> got := (key, rid) :: !got);
+  if not (kv_list_eq (List.rev !got) model) then fail "post-join iteration diverges from model";
+  ix.Index.validate ();
+  incr validations;
+  ( { ops = ops + !total_reads; applied = !applied; injected = 0; validations = !validations },
+    !total_restarts )
+
+let run_parallel_suite ?readers ?shards ~seeds ~ops () =
+  List.fold_left
+    (fun (acc, restarts) seed ->
+      let o, r = run_parallel_schedule ?readers ?shards ~seed ~ops () in
+      (add acc o, restarts + r))
+    (zero, 0) seeds

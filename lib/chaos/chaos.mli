@@ -105,3 +105,28 @@ val run_recover_suite :
   outcome
 (** Kill-and-recover schedules for every (tag, seed) pair — [tags]
     defaults to {!recover_tags} (every registered scheme). *)
+
+(** {1 Parallel schedules} — writer domain vs reader domains *)
+
+val run_parallel_schedule :
+  ?readers:int -> ?shards:int -> seed:int -> ops:int -> unit -> outcome * int
+(** One multicore schedule: a hash-sharded engine
+    ({!Pk_shard.Shard.Engine}, seed-chosen base scheme) is bulk-loaded
+    with a frozen key population, then a writer (this domain) churns a
+    disjoint churn population through the aggregate ops — singles plus
+    periodic cross-shard batches — while [readers] (default 2) domains
+    issue optimistic validated reads.  Every validated read is
+    cross-checked against the model oracle: frozen keys must return
+    their exact rid at every instant; churn keys must return [None] or
+    a rid the writer logged for that key before publishing it.  After
+    the join, a quiescent sweep (point lookups, full iteration, deep
+    validation) must match the final model exactly.  Faults stay
+    disarmed (the injection machinery is not domain-safe).  Returns
+    the outcome ([ops] = writer rounds + total reads; [injected] = 0)
+    and the total number of reader restarts — the
+    [pk_lock_restarts_total] traffic this schedule generated. *)
+
+val run_parallel_suite :
+  ?readers:int -> ?shards:int -> seeds:int list -> ops:int -> unit -> outcome * int
+(** One parallel schedule per seed; outcomes and restart counts
+    summed. *)

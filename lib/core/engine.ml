@@ -577,6 +577,9 @@ type ops = {
   reset_counters : unit -> unit;
   trace : Obs.Trace.t;
   validate : unit -> unit;
+  version : unit -> int;
+  validated : int -> bool;
+  guard : 'a. (unit -> 'a) -> 'a;
   snapshot : unit -> ops;
   release : unit -> unit;
 }
@@ -874,8 +877,14 @@ module Make (S : STRUCTURE) = struct
                | Layout.Flat -> Layout.Placement.flat
                | policy ->
                    let rel = Layout.Placement.plan policy (S.load_shape t ~fill entries) in
+                   (* Hugepage-aware reservation: a blocked policy's
+                      huge-block size aligns the base and pads the
+                      extent so the tree owns whole huge blocks. *)
+                   let huge =
+                     Option.map (fun (_, _, h) -> h) (Layout.Placement.block_sizes rel)
+                   in
                    let base =
-                     Mem.reserve (S.region t) ~align:(Layout.Placement.base_align rel)
+                     Mem.reserve (S.region t) ~align:(Layout.Placement.base_align rel) ?huge
                        (Layout.Placement.extent rel)
                    in
                    Layout.Placement.rebase rel ~base
@@ -929,8 +938,10 @@ module Make (S : STRUCTURE) = struct
   (* Read-only wrap over a snapshot-view clone: the read paths are the
      ordinary engine entry points (group descent included) aimed at the
      view regions; every mutator raises.  [release] drops the COW pages
-     exactly once. *)
-  let read_only_view vt ~tag ~on_release =
+     exactly once.  [pinned] is the live index's version word at pin
+     time, so [validated v] answers "were these reads taken at version
+     [v]?" — trivially so for the pin version, never otherwise. *)
+  let read_only_view vt ~tag ~pinned ~on_release =
     Counters.attach (S.counters vt) ~tag;
     let released = ref false in
     let read_only name = invalid_arg (tag ^ "." ^ name ^ ": snapshot views are read-only") in
@@ -956,6 +967,9 @@ module Make (S : STRUCTURE) = struct
       reset_counters = (fun () -> Counters.reset (S.counters vt));
       trace = (S.counters vt).Counters.trace;
       validate = (fun () -> S.validate vt);
+      version = (fun () -> pinned);
+      validated = (fun v -> v = pinned);
+      guard = (fun f -> f ());
       layout = (fun () -> None);
       snapshot = (fun () -> invalid_arg (tag ^ ".snapshot: cannot snapshot a snapshot view"));
       release =
@@ -965,13 +979,13 @@ module Make (S : STRUCTURE) = struct
           on_release ());
     }
 
-  let snapshot t ~tag () =
+  let snapshot t ~tag ~ver () =
     let reg = Mem.snapshot_view (S.region t) in
     let records = Record_store.snapshot_view (S.records t) in
     let vt = S.snapshot_view t ~reg ~records in
     Obs.Counter.incr m_snapshot_pins;
     Obs.Counter.add m_snapshot_live 1;
-    read_only_view vt ~tag:(tag ^ "@snap") ~on_release:(fun () ->
+    read_only_view vt ~tag:(tag ^ "@snap") ~pinned:(Atomic.get ver) ~on_release:(fun () ->
         Mem.release_view reg;
         Record_store.release_view records;
         Obs.Counter.add m_snapshot_live (-1))
@@ -979,16 +993,27 @@ module Make (S : STRUCTURE) = struct
   let wrap t ~tag =
     Counters.attach (S.counters t) ~tag;
     let last_plan = ref None in
+    (* Seqlock-style publication word for cross-domain readers: odd
+       while a mutator is in flight, bumped again on completion.  A
+       mutator that unwinds still republishes an (advanced) even value,
+       so readers racing an aborted mutation conservatively restart. *)
+    let ver = Atomic.make 0 in
+    let mutating f =
+      Atomic.incr ver;
+      Fun.protect ~finally:(fun () -> Atomic.incr ver) f
+    in
     {
       tag;
-      insert = (fun key ~rid -> S.insert t key ~rid);
+      insert = (fun key ~rid -> mutating (fun () -> S.insert t key ~rid));
       lookup = S.lookup t;
-      delete = S.delete t;
+      delete = (fun key -> mutating (fun () -> S.delete t key));
       lookup_into = lookup_into t;
       lookup_batch = lookup_batch t;
-      insert_batch = (fun keys ~rids -> insert_batch t keys ~rids);
-      delete_batch = delete_batch t;
-      of_sorted = (fun ~fill entries -> last_plan := bulk_load_plan t ~fill entries);
+      insert_batch = (fun keys ~rids -> mutating (fun () -> insert_batch t keys ~rids));
+      delete_batch = (fun keys -> mutating (fun () -> delete_batch t keys));
+      of_sorted =
+        (fun ~fill entries ->
+          mutating (fun () -> last_plan := bulk_load_plan t ~fill entries));
       iter = iter t;
       range = (fun ~lo ~hi f -> range t ~lo ~hi f);
       seq_from = seq_from t;
@@ -1001,8 +1026,11 @@ module Make (S : STRUCTURE) = struct
       reset_counters = (fun () -> Counters.reset (S.counters t));
       trace = (S.counters t).Counters.trace;
       validate = (fun () -> S.validate t);
+      version = (fun () -> Atomic.get ver);
+      validated = (fun v -> v land 1 = 0 && Atomic.get ver = v);
+      guard = (fun f -> guarded t f);
       layout = (fun () -> !last_plan);
-      snapshot = snapshot t ~tag;
+      snapshot = snapshot t ~tag ~ver;
       release = (fun () -> invalid_arg (tag ^ ".release: not a snapshot view"));
     }
 end

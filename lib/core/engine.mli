@@ -246,13 +246,33 @@ type ops = {
   reset_counters : unit -> unit;
   trace : Obs.Trace.t;
   validate : unit -> unit;
+  version : unit -> int;
+      (** Seqlock-style publication word: odd while a mutator is in
+          flight, bumped again when it completes (normally or by fault
+          unwind).  Mutations are assumed single-writer per index; the
+          word is an [Atomic.t], so cross-domain readers may poll it
+          without synchronisation. *)
+  validated : int -> bool;
+      (** [validated v] — the read-side validation hook: true iff [v]
+          is an even (stable) version and the index is still at [v], so
+          reads taken entirely at version [v] observed a committed
+          state.  On a snapshot view, true exactly for the pin-time
+          version. *)
+  guard : 'a. (unit -> 'a) -> 'a;
+      (** Run a computation under this index's fault-unwind scope
+          (arena undo journal + header snapshot) — the building block
+          for {e cross-index} atomicity: nesting several indexes'
+          guards makes a compound mutation all-or-nothing across all of
+          them.  A no-op wrapper when unwinding is disabled and on
+          read-only views. *)
   snapshot : unit -> ops;
       (** Pin a copy-on-write epoch: the returned record serves the
           normal read paths (group descent included) against the index's
           state at the instant of the call, allocation-free on the hot
           path, while a single writer keeps mutating the live index.
           Mutators of the returned record raise; pinning a snapshot of
-          a snapshot raises. *)
+          a snapshot raises.  Pinning must be serialised with mutators
+          (e.g. under the shard writer lock). *)
   release : unit -> unit;
       (** Release a pinned epoch's COW pages (exactly once; a second
           call raises).  On the live index this raises. *)

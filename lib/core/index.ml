@@ -25,6 +25,9 @@ type t = Engine.ops = {
   reset_counters : unit -> unit;
   trace : Pk_obs.Obs.Trace.t;
   validate : unit -> unit;
+  version : unit -> int;
+  validated : int -> bool;
+  guard : 'a. (unit -> 'a) -> 'a;
   snapshot : unit -> t;
   release : unit -> unit;
 }

@@ -44,6 +44,15 @@ type t = Engine.ops = {
       (** The index's descent trace ring — disabled (and storage-free)
           until {!Pk_obs.Obs.Trace.enable} flips it on. *)
   validate : unit -> unit;
+  version : unit -> int;
+      (** Seqlock publication word (odd while a mutation is in flight);
+          see {!Engine.ops}. *)
+  validated : int -> bool;
+      (** Read-side validation: [validated v] iff [v] is even and still
+          current; see {!Engine.ops}. *)
+  guard : 'a. (unit -> 'a) -> 'a;
+      (** Run a computation under this index's fault-unwind scope;
+          nest several indexes' guards for cross-index atomicity. *)
   snapshot : unit -> t;
       (** Pin a copy-on-write epoch: the returned record serves the
           normal read paths against the index's state at the instant of

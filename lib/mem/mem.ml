@@ -81,9 +81,9 @@ let alloc r ?align size =
   check_writable r "alloc";
   Arena.alloc r.arena ?align size
 
-let reserve r ?align size =
+let reserve r ?align ?huge size =
   check_writable r "reserve";
-  Arena.reserve r.arena ?align size
+  Arena.reserve r.arena ?align ?huge size
 
 let alloc_at r ~off size =
   check_writable r "alloc_at";

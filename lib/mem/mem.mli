@@ -77,11 +77,13 @@ val used_bytes : region -> int
 
 val alloc : region -> ?align:int -> int -> int
 
-val reserve : region -> ?align:int -> int -> int
+val reserve : region -> ?align:int -> ?huge:int -> int -> int
 (** Placement reservation at the bump frontier; see
     {!val:Pk_arena.Arena.reserve}.  Because region bases are aligned far
     beyond any hugepage size, an [align]-multiple arena offset is an
-    [align]-multiple simulated physical address too. *)
+    [align]-multiple simulated physical address too ([?huge] aligns the
+    base to, and rounds the extent up to, the policy's huge-block
+    size). *)
 
 val alloc_at : region -> off:int -> int -> int
 (** Claim a planner-chosen range inside a reservation (or an exactly

@@ -25,6 +25,11 @@ module Registry = struct
     mutable hists : hist_cell array;
     mutable n_hists : int;
     index : (string, slot) Hashtbl.t;
+    lock : Mutex.t;
+        (* Serialises registration only (the name index and the
+           grow-and-publish of the cell arrays); hot-path updates go
+           through resolved handles and never take it.  Needed once
+           shards register per-domain series concurrently. *)
   }
 
   let create () =
@@ -35,6 +40,7 @@ module Registry = struct
       hists = [||];
       n_hists = 0;
       index = Hashtbl.create 32;
+      lock = Mutex.create ();
     }
 
   let default = create ()
@@ -49,10 +55,24 @@ module Registry = struct
     done
 end
 
+(* Splice an extra label into a series name: a bare metric grows a
+   label set, an existing set grows one more pair at the end.  Used for
+   per-shard series ([?label:("shard", "3")]) so exporters see ordinary
+   labelled names. *)
+let with_label nm = function
+  | None -> nm
+  | Some (k, v) ->
+      let pair = Printf.sprintf "%s=%S" k v in
+      if String.length nm > 0 && nm.[String.length nm - 1] = '}' then
+        Printf.sprintf "%s,%s}" (String.sub nm 0 (String.length nm - 1)) pair
+      else Printf.sprintf "%s{%s}" nm pair
+
 module Counter = struct
   type t = { creg : Registry.t; cidx : int }
 
-  let register (r : Registry.t) nm =
+  let register ?label (r : Registry.t) nm =
+    let nm = with_label nm label in
+    Mutex.protect r.Registry.lock @@ fun () ->
     match Hashtbl.find_opt r.Registry.index nm with
     | Some (S_counter i) -> { creg = r; cidx = i }
     | Some (S_hist _) -> invalid_arg ("Obs.Counter.register: " ^ nm ^ " is a histogram")
@@ -101,7 +121,9 @@ module Histogram = struct
   let bucket_lo k = if k <= 0 then min_int else 1 lsl (k - 1)
   let bucket_hi k = if k <= 0 then 0 else if k >= 62 then max_int else (1 lsl k) - 1
 
-  let register (r : Registry.t) nm =
+  let register ?label (r : Registry.t) nm =
+    let nm = with_label nm label in
+    Mutex.protect r.Registry.lock @@ fun () ->
     match Hashtbl.find_opt r.Registry.index nm with
     | Some (S_hist i) -> r.Registry.hists.(i)
     | Some (S_counter _) -> invalid_arg ("Obs.Histogram.register: " ^ nm ^ " is a counter")

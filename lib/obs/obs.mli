@@ -15,7 +15,15 @@
 (** A named-metric registry.  Registration is idempotent per name: the
     second registration of a name returns a handle to the same storage,
     so multiple indexes built with the same tag share (and sum into)
-    one series, Prometheus-style. *)
+    one series, Prometheus-style.
+
+    Registration is domain-safe (an internal mutex serialises the name
+    index and cell-array growth), so per-shard series may be registered
+    from concurrently running domains.  Handle {e updates} are plain
+    unsynchronised stores: concurrent updates to one series from many
+    domains are memory-safe under the OCaml memory model but may lose
+    increments — give each domain its own series (e.g. a [shard] label)
+    when exact counts matter. *)
 module Registry : sig
   type t
 
@@ -35,10 +43,14 @@ end
 module Counter : sig
   type t
 
-  val register : Registry.t -> string -> t
+  val register : ?label:string * string -> Registry.t -> string -> t
   (** [register reg name] returns the handle for [name], creating the
       cell on first registration.  The name is the full series
-      including any labels, e.g. ["pk_index_derefs_total{index=\"pkB\"}"]. *)
+      including any labels, e.g. ["pk_index_derefs_total{index=\"pkB\"}"].
+      [?label:(k, v)] splices one extra label pair into the name before
+      resolution — ["m{a=\"b\"}"] becomes ["m{a=\"b\",k=\"v\"}"] and a
+      bare ["m"] becomes ["m{k=\"v\"}"] — so per-shard variants of a
+      series register as ordinary labelled names. *)
 
   val nop : unit -> t
   (** A handle into a private scrap cell — the default wired into
@@ -75,7 +87,9 @@ module Histogram : sig
   val bucket_hi : int -> int
   (** Inclusive upper bound of bucket [k] ([bucket_hi 62 = max_int]). *)
 
-  val register : Registry.t -> string -> t
+  val register : ?label:string * string -> Registry.t -> string -> t
+  (** As {!Counter.register}, including the extra-label splice. *)
+
   val observe : t -> int -> unit
 
   val count : t -> int

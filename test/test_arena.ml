@@ -83,6 +83,28 @@ let test_reserve_alignment_across_growth () =
     (Invalid_argument "Arena.alloc_at: region beyond the allocation frontier") (fun () ->
       ignore (Arena.alloc_at a ~off:(Arena.used_bytes a) 192))
 
+(* Hugepage-aware reservation: [?huge] aligns the base to the
+   huge-block size and rounds the extent up to it, so a blocked
+   placement's huge blocks never straddle a (simulated) hugepage
+   boundary. *)
+let test_reserve_hugepage () =
+  let a = make () in
+  ignore (Arena.alloc a 24);
+  let huge = 2 * 1024 * 1024 in
+  let base = Arena.reserve a ~align:8192 ~huge 100_000 in
+  Alcotest.(check int) "huge-aligned base" 0 (base mod huge);
+  (* the extent is rounded up to a whole huge block *)
+  Alcotest.(check int) "extent rounded to the block" (base + huge) (Arena.used_bytes a);
+  Arena.set_u8 a (base + huge - 1) 0x5A;
+  Alcotest.(check int) "usable to the rounded end" 0x5A (Arena.get_u8 a (base + huge - 1));
+  (* a finer [align] never weakens the huge alignment *)
+  let b2 = Arena.reserve a ~align:64 ~huge:4096 5000 in
+  Alcotest.(check int) "page-aligned base" 0 (b2 mod 4096);
+  Alcotest.(check int) "page-rounded extent" (b2 + 8192) (Arena.used_bytes a);
+  Alcotest.check_raises "huge must be a power of two"
+    (Invalid_argument "Arena.reserve: huge must be a positive power of two") (fun () ->
+      ignore (Arena.reserve a ~huge:3000 64))
+
 let test_alloc_at_vs_freed_regions () =
   let a = make () in
   let o1 = Arena.alloc a 192 in
@@ -260,6 +282,7 @@ let () =
           Alcotest.test_case "typed accessors" `Quick test_typed_accessors;
           Alcotest.test_case "u8/u16 masking" `Quick test_u8_u16_masking;
           Alcotest.test_case "free-list reuse" `Quick test_free_reuse;
+          Alcotest.test_case "hugepage-aware reserve" `Quick test_reserve_hugepage;
           Alcotest.test_case "reserve alignment across growth" `Quick
             test_reserve_alignment_across_growth;
           Alcotest.test_case "alloc_at vs freed regions" `Quick test_alloc_at_vs_freed_regions;

@@ -221,6 +221,64 @@ let test_snapshot_and_json_shape () =
   Alcotest.(check bool) "histogram sum" true (contains "lat_ns_sum 303");
   Alcotest.(check bool) "histogram count" true (contains "lat_ns_count 2")
 
+(* Extra-label registration: the [?label] pair must splice into both a
+   bare series name and one that already carries labels, land intact in
+   the Prometheus exposition, and keep find-or-create semantics per
+   distinct label value. *)
+let test_extra_label () =
+  let reg = Obs.Registry.create () in
+  let c0 = Obs.Counter.register ~label:("shard", "3") reg "pk_probes_total" in
+  Alcotest.(check string) "label on a bare name" "pk_probes_total{shard=\"3\"}"
+    (Obs.Counter.name c0);
+  let c1 = Obs.Counter.register ~label:("shard", "0") reg "pk_probes_total{index=\"pkB\"}" in
+  Alcotest.(check string) "label spliced into an existing set"
+    "pk_probes_total{index=\"pkB\",shard=\"0\"}" (Obs.Counter.name c1);
+  (* distinct label values are distinct series; equal ones share *)
+  let c2 = Obs.Counter.register ~label:("shard", "1") reg "pk_probes_total{index=\"pkB\"}" in
+  let c1' = Obs.Counter.register ~label:("shard", "0") reg "pk_probes_total{index=\"pkB\"}" in
+  Obs.Counter.add c1 4;
+  Obs.Counter.add c1' 1;
+  Obs.Counter.add c2 2;
+  Obs.Counter.incr c0;
+  let h = Obs.Histogram.register ~label:("shard", "2") reg "pk_lat_ns{index=\"pkB\"}" in
+  Alcotest.(check string) "histogram label" "pk_lat_ns{index=\"pkB\",shard=\"2\"}"
+    (Obs.Histogram.name h);
+  Obs.Histogram.observe h 9;
+  let prom = Obs.prometheus reg in
+  let contains needle =
+    let n = String.length needle and m = String.length prom in
+    let rec go i = i + n <= m && (String.equal (String.sub prom i n) needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "shard 0 series" true
+    (contains "pk_probes_total{index=\"pkB\",shard=\"0\"} 5");
+  Alcotest.(check bool) "shard 1 series" true
+    (contains "pk_probes_total{index=\"pkB\",shard=\"1\"} 2");
+  Alcotest.(check bool) "bare-name series" true (contains "pk_probes_total{shard=\"3\"} 1");
+  Alcotest.(check bool) "labelled histogram bucket" true
+    (contains "pk_lat_ns_bucket{index=\"pkB\",shard=\"2\",le=\"15\"} 1");
+  (* and the JSON exporter carries the same fully-labelled names *)
+  (match Metrics_out.registry_value reg with
+  | Json_out.Obj [ ("counters", Json_out.Obj cs); ("histograms", Json_out.List hs) ] ->
+      Alcotest.(check bool) "JSON counter name" true
+        (List.exists
+           (fun (n, v) ->
+             String.equal n "pk_probes_total{index=\"pkB\",shard=\"1\"}"
+             && match v with Json_out.Int 2 -> true | _ -> false)
+           cs);
+      Alcotest.(check bool) "JSON histogram name" true
+        (List.exists
+           (function
+             | Json_out.Obj (("name", Json_out.String n) :: _) ->
+                 String.equal n "pk_lat_ns{index=\"pkB\",shard=\"2\"}"
+             | _ -> false)
+           hs)
+  | _ -> Alcotest.fail "unexpected top-level JSON shape");
+  (* mixing kinds under one labelled name still fails loudly *)
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Obs.Histogram.register: pk_probes_total{shard=\"3\"} is a counter")
+    (fun () -> ignore (Obs.Histogram.register ~label:("shard", "3") reg "pk_probes_total"))
+
 (* {2 Registry enumeration (pkbench list-schemes)} *)
 
 let test_registry_tags_sorted () =
@@ -324,6 +382,7 @@ let () =
         [
           Alcotest.test_case "overflow wraps" `Quick test_counter_overflow;
           Alcotest.test_case "idempotent registration shares cells" `Quick test_counter_sharing;
+          Alcotest.test_case "extra label splices into both exporters" `Quick test_extra_label;
         ] );
       ( "trace",
         [
