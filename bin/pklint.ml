@@ -6,7 +6,7 @@
    ([@pklint.hot] / [@pklint.cold] / [@pklint.guarded] /
    [@pklint.allow "rule-id"]) and the baseline workflow.
 
-   Usage: pklint [--json] [--baseline FILE] [--update-baseline]
+   Usage: pklint [--json] [--sarif] [--baseline FILE] [--update-baseline]
                  [--root DIR] [--rules id,id,...] [ROOTS...]
 
    Default roots: lib bin examples.  Exit status: 0 clean, 1 findings
@@ -16,6 +16,7 @@ module Lint = Pk_lint
 
 let () =
   let json = ref false in
+  let sarif = ref false in
   let baseline_file = ref "" in
   let update = ref false in
   let root = ref "" in
@@ -25,6 +26,7 @@ let () =
   let spec =
     [
       ("--json", Arg.Set json, " emit findings as JSON");
+      ("--sarif", Arg.Set sarif, " emit findings as SARIF 2.1.0 (GitHub code scanning)");
       ("--baseline", Arg.Set_string baseline_file, "FILE subtract grandfathered findings");
       ("--update-baseline", Arg.Set update, " rewrite the baseline file with current findings");
       ("--root", Arg.Set_string root, "DIR chdir before analysing (repo or _build/default)");
@@ -70,7 +72,8 @@ let () =
       (List.length o.Lint.Driver.findings + List.length o.Lint.Driver.baselined)
   end
   else begin
-    if !json then Lint.Driver.render_json Format.std_formatter o
+    if !sarif then Lint.Driver.render_sarif Format.std_formatter o
+    else if !json then Lint.Driver.render_json Format.std_formatter o
     else Lint.Driver.render_human Format.std_formatter o;
     if List.length o.Lint.Driver.findings > 0 || List.length o.Lint.Driver.stale > 0 then exit 1
   end

@@ -58,6 +58,46 @@ let render_human ppf o =
   if List.length o.baselined > 0 then Format.fprintf ppf " (%d baselined)" (List.length o.baselined);
   Format.fprintf ppf "@."
 
+(* SARIF 2.1.0, the minimal subset GitHub code scanning ingests: one
+   run, one driver, one rule descriptor per distinct rule id, one
+   result per finding with a physical location.  Columns are
+   1-indexed in SARIF; findings store 0-indexed columns. *)
+let render_sarif ppf o =
+  let e = Finding.json_escape in
+  let rule_ids =
+    List.sort_uniq String.compare (List.map (fun (f : Finding.t) -> f.Finding.rule) o.findings)
+  in
+  let rule_index r =
+    let rec go i = function
+      | [] -> 0
+      | x :: tl -> if String.equal x r then i else go (i + 1) tl
+    in
+    go 0 rule_ids
+  in
+  let rule_json r = Printf.sprintf {|{"id":"%s"}|} (e r) in
+  let result_json (f : Finding.t) =
+    Printf.sprintf
+      {|{"ruleId":"%s","ruleIndex":%d,"level":"error","message":{"text":"%s: %s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+      (e f.Finding.rule) (rule_index f.Finding.rule) (e f.Finding.name) (e f.Finding.message)
+      (e f.Finding.file) f.Finding.line (f.Finding.col + 1)
+  in
+  Format.fprintf ppf "{@.";
+  Format.fprintf ppf
+    "  \"$schema\": \
+     \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",@.";
+  Format.fprintf ppf "  \"version\": \"2.1.0\",@.";
+  Format.fprintf ppf "  \"runs\": [{@.";
+  Format.fprintf ppf "    \"tool\": {\"driver\": {\"name\": \"pklint\", \"rules\": [%s]}},@."
+    (String.concat ", " (List.map rule_json rule_ids));
+  Format.fprintf ppf "    \"results\": [";
+  List.iteri
+    (fun i f -> Format.fprintf ppf "%s@.      %s" (if i = 0 then "" else ",") (result_json f))
+    o.findings;
+  if List.length o.findings > 0 then Format.fprintf ppf "@.    ";
+  Format.fprintf ppf "]@.";
+  Format.fprintf ppf "  }]@.";
+  Format.fprintf ppf "}@."
+
 let render_json ppf o =
   Format.fprintf ppf "{@.";
   Format.fprintf ppf "  \"units\": %d,@." o.units;

@@ -16,3 +16,7 @@ val analyse : ?rules:Rule.t list -> ?baseline:string list -> string list -> outc
 
 val render_human : Format.formatter -> outcome -> unit
 val render_json : Format.formatter -> outcome -> unit
+
+val render_sarif : Format.formatter -> outcome -> unit
+(** SARIF 2.1.0 (the subset GitHub code scanning ingests): one run,
+    one result per new finding, with 1-indexed physical locations. *)

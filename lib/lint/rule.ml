@@ -1,8 +1,8 @@
 (* A pklint rule: per-cmt rules report as each unit is analysed;
-   whole-program rules (the guarded-mutation call-graph check)
-   accumulate summaries and report in [finish]. *)
+   whole-program rules (the call-graph concurrency checks) consume the
+   shared interprocedural graph in [finish]. *)
 
-type checker = { on_cmt : Helpers.cmt -> unit; finish : unit -> Finding.t list }
+type checker = { on_cmt : Helpers.cmt -> unit; finish : Callgraph.t -> Finding.t list }
 
 type t = {
   id : string;
@@ -29,6 +29,14 @@ let local ~id ~doc ~scope check =
         let acc = ref [] in
         {
           on_cmt = (fun c -> acc := List.rev_append (check c) !acc);
-          finish = (fun () -> List.rev !acc);
+          finish = (fun _ -> List.rev !acc);
         });
+  }
+
+let graph ~id ~doc ~scope check =
+  {
+    id;
+    doc;
+    scope;
+    make = (fun () -> { on_cmt = (fun _ -> ()); finish = (fun g -> check ~scope g) });
   }

@@ -1,8 +1,8 @@
 (** A pklint rule.  Per-cmt rules report as each unit is analysed;
-    whole-program rules (the guarded-mutation call-graph check)
-    accumulate summaries and report in [finish]. *)
+    whole-program rules consume the shared interprocedural
+    {!Callgraph.t} in [finish]. *)
 
-type checker = { on_cmt : Helpers.cmt -> unit; finish : unit -> Finding.t list }
+type checker = { on_cmt : Helpers.cmt -> unit; finish : Callgraph.t -> Finding.t list }
 
 type t = {
   id : string;
@@ -18,3 +18,13 @@ val everywhere : string -> bool
 
 val local : id:string -> doc:string -> scope:(string -> bool) -> (Helpers.cmt -> Finding.t list) -> t
 (** Build a rule from a per-unit check with no cross-unit state. *)
+
+val graph :
+  id:string ->
+  doc:string ->
+  scope:(string -> bool) ->
+  (scope:(string -> bool) -> Callgraph.t -> Finding.t list) ->
+  t
+(** Build a rule from a whole-program check over the call graph.  The
+    graph always spans every loaded unit; [scope] tells the check which
+    nodes' source files it may {e report} in. *)

@@ -1,0 +1,89 @@
+(* domain-shared-mutation: a write to possibly-shared mutable state
+   executed on a spawned domain must be dominated by a real mutex (the
+   owning shard's lock, the pin lock, or any other [Mutex.protect]) or
+   come from a primitive audited as benign-racy ([@pklint.guarded] /
+   [@pklint.allow "domain-shared-mutation"]).  This generalises
+   guarded-mutation across domain boundaries: the chaos harness can
+   only sample interleavings, this rule walks every code path a
+   [Domain.spawn] closure can reach through the call graph.
+
+   Mechanics: every [Domain.spawn] closure argument recorded during
+   effect extraction is analysed as a root frame
+   ({!Callgraph.effects_of_expr} with no lock held), then the rule
+   follows call edges that occur with *no* mutex statically held — an
+   edge under [Mutex.protect] (or a locker like
+   [record_write]/[locked_when]) is safe, the callee runs under that
+   lock.  At every reached binding, the unlocked writes collected by
+   extraction (mutable fields, [:=]/[incr], array/bytes/hashtable
+   stores, region write primitives; [Atomic.*] is exempt by design;
+   writes to let-bound fresh allocations are domain-local) are
+   reported unless the binding — or the individual write expression —
+   is excused.  Excusal suppresses the report but not the
+   traversal.
+
+   Approximations (DESIGN.md §16): calls through record fields and
+   functor parameters are invisible; branch-insensitive; a lock held
+   at *some* reference to a callee does not clear the same callee's
+   unlocked references elsewhere. *)
+
+let id = "domain-shared-mutation"
+
+let check ~scope (g : Callgraph.t) =
+  let open Callgraph in
+  let findings = ref [] in
+  let seen = Hashtbl.create 64 in
+  let report src name (w : write) ~origin =
+    let key =
+      Printf.sprintf "%s\t%s\t%d\t%s" src name w.w_loc.Location.loc_start.Lexing.pos_lnum
+        w.w_what
+    in
+    if (not (Hashtbl.mem seen key)) && scope src then begin
+      Hashtbl.add seen key ();
+      findings :=
+        Finding.v ~rule:id ~file:src ~loc:w.w_loc ~name
+          (Printf.sprintf
+             "%s on a spawned domain (reachable from the Domain.spawn in %s) with no mutex \
+              held; take the owning shard lock / pin lock, use an Atomic, or mark the \
+              audited primitive [@pklint.guarded]"
+             w.w_what origin)
+        :: !findings
+    end
+  in
+  let visited = Hashtbl.create 64 in
+  (* [process_closure] analyses a [Domain.spawn] argument in the
+     binding that textually contains it; [visit_node] follows unlocked
+     call edges from spawned code into the rest of the graph. *)
+  let rec process_closure ~origin (owner : node) c =
+    let ceff = effects_of_expr g ~unit_name:owner.unit_name c in
+    let excused = owner.guarded_attr || Helpers.allowed id owner.allows in
+    if not excused then
+      List.iter
+        (fun (w : write) ->
+          if not (Helpers.allowed id w.w_allows) then report owner.src owner.nid w ~origin)
+        ceff.unlocked_writes;
+    List.iter (fun (cid, locked, _) -> if not locked then visit_node ~origin cid) ceff.calls;
+    List.iter (process_closure ~origin owner) ceff.spawns
+  and visit_node ~origin nid =
+    if not (Hashtbl.mem visited nid) then begin
+      Hashtbl.add visited nid ();
+      match find g nid with
+      | None -> ()
+      | Some m ->
+          let excused = m.guarded_attr || Helpers.allowed id m.allows in
+          if not excused then
+            List.iter
+              (fun (w : write) ->
+                if not (Helpers.allowed id w.w_allows) then report m.src m.nid w ~origin)
+              m.eff.unlocked_writes;
+          List.iter (fun (cid, locked, _) -> if not locked then visit_node ~origin cid) m.eff.calls;
+          List.iter (process_closure ~origin m) m.eff.spawns
+    end
+  in
+  List.iter
+    (fun (n : node) -> List.iter (process_closure ~origin:n.nid n) n.eff.spawns)
+    (nodes g);
+  List.rev !findings
+
+let rule ~scope : Rule.t =
+  Rule.graph ~id
+    ~doc:"writes on spawned domains must hold a mutex or be audited benign-racy" ~scope check

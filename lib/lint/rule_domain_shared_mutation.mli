@@ -1,0 +1,5 @@
+(** Writes on spawned domains must hold a mutex or be audited
+    benign-racy ([@pklint.guarded]).  See DESIGN.md §16. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

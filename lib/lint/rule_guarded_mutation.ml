@@ -6,168 +6,40 @@
    entry point that never enters the guard would mutate state the
    journal cannot roll back.
 
-   The rule builds a call graph over the structure-level bindings of
-   the analysed units.  A binding is a *writer* if it calls a region
-   write primitive (Mem.write_*/move/alloc/free) directly or calls a
-   writer that does not itself establish the guard.  A binding
-   *establishes the guard* if it calls [guarded] or [Mem.guard] (the
-   thunk it passes runs journaled).  Findings: exported writers that
-   neither establish the guard nor carry [@pklint.guarded] — the
-   audited escape for mutation primitives that are only invoked below
-   an established guard, and for cold initialisation paths.
+   The writer fixpoint lives in {!Callgraph}: a binding writes
+   ([s_writes_mem]) if it calls a region write primitive
+   (Mem.write_*/move/alloc/free) directly or calls a writer that does
+   not itself establish the guard ([guarded] / [Mem.guard] thunks run
+   journaled).  Findings: exported writers that neither establish the
+   guard nor carry [@pklint.guarded] — the audited escape for mutation
+   primitives that are only invoked below an established guard, and
+   for cold initialisation paths.
 
-   Approximations (documented in DESIGN.md §11): calls through
+   Approximations (documented in DESIGN.md §11/§16): calls through
    record fields, functor parameters and first-class functions are
    invisible; a guard-establishing function's stray writes outside its
    own thunk are not distinguished. *)
 
-open Typedtree
-
 let id = "guarded-mutation"
 
-let write_prims =
-  [
-    "Mem.write_u8";
-    "Mem.write_u16";
-    "Mem.write_u32";
-    "Mem.write_u64";
-    "Mem.write_bytes";
-    "Mem.move";
-    "Mem.alloc";
-    "Mem.free";
-    "Arena.set_u8";
-    "Arena.set_u16";
-    "Arena.set_u32";
-    "Arena.set_u64";
-    "Arena.blit_from_bytes";
-    "Arena.blit_within";
-    "Arena.alloc";
-    "Arena.free";
-  ]
-
-let guard_names = [ "guarded"; "Mem.guard"; "Engine.guarded" ]
-
-type node = {
-  nid : string;  (* "Btree.alloc_node" *)
-  local : string;  (* unit-local dotted name, "alloc_node" or "Entries.fix_pk" *)
-  unit_name : string;
-  src : string;
-  loc : Location.t;
-  refs : string list;
-  direct_write : bool;
-  guard : bool;
-  excused : bool;  (* [@pklint.guarded] or [@pklint.allow "guarded-mutation"] *)
-  exported : bool;
-}
-
-let collect (cmt : Helpers.cmt) =
-  let nodes = ref [] in
-  Helpers.iter_bindings cmt.Helpers.str (fun b ->
-      let refs = ref [] in
-      let expr it (e : expression) =
-        (match e.exp_desc with
-        | Texp_ident (p, _, _) -> refs := Helpers.path_name p :: !refs
-        | _ -> ());
-        Tast_iterator.default_iterator.expr it e
-      in
-      let it = { Tast_iterator.default_iterator with expr } in
-      it.expr it b.Helpers.vb.vb_expr;
-      let refs = !refs in
-      let matches names r = List.exists (fun w -> Helpers.ends_with ~suffix:w r) names in
-      let local = String.concat "." (b.Helpers.path @ [ b.Helpers.name ]) in
-      nodes :=
-        {
-          nid = Helpers.qualified cmt b;
-          local;
-          unit_name = cmt.Helpers.modname;
-          src = cmt.Helpers.src;
-          loc = b.Helpers.vb.vb_loc;
-          refs;
-          direct_write = List.exists (matches write_prims) refs;
-          guard = List.exists (matches guard_names) refs;
-          excused =
-            Helpers.is_guarded b.Helpers.vb.vb_attributes
-            || Helpers.allowed id b.Helpers.inherited_allows;
-          exported = Helpers.exported cmt.Helpers.exports local;
-        }
-        :: !nodes);
-  List.rev !nodes
-
-let finish nodes =
-  let tbl = Hashtbl.create 256 in
-  List.iter (fun n -> Hashtbl.replace tbl n.nid n) nodes;
-  (* Resolve a reference to candidate callee node ids.  Qualified
-     references match any node by dotted suffix; bare names match only
-     within the same unit. *)
-  (* A qualified reference may carry the wrapping library module
-     ("Pk_core.Layout.write_pk") while node ids are unit-qualified
-     ("Layout.write_pk") — match by dotted suffix in either
-     direction. *)
-  let resolve n r =
-    if String.contains r '.' then
-      List.filter_map
-        (fun m ->
-          if Helpers.ends_with ~suffix:r m.nid || Helpers.ends_with ~suffix:m.nid r then
-            Some m.nid
-          else None)
-        nodes
-    else
-      List.filter_map
-        (fun m ->
-          if String.equal m.unit_name n.unit_name && String.equal (Helpers.last_component m.local) r
-          then Some m.nid
-          else None)
-        nodes
-  in
-  let edges = Hashtbl.create 256 in
-  List.iter
-    (fun n ->
-      let cs = List.concat_map (resolve n) n.refs in
-      Hashtbl.replace edges n.nid (List.sort_uniq String.compare cs))
-    nodes;
-  (* Writer fixpoint: writerhood propagates caller-ward, stopping at
-     guard-establishing callees (their bodies run journaled). *)
-  let writer = Hashtbl.create 256 in
-  List.iter (fun n -> if n.direct_write then Hashtbl.replace writer n.nid ()) nodes;
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    List.iter
-      (fun n ->
-        if not (Hashtbl.mem writer n.nid) then
-          let callee_writes c =
-            match Hashtbl.find_opt tbl c with
-            | Some m -> Hashtbl.mem writer c && not m.guard
-            | None -> false
-          in
-          let cs = match Hashtbl.find_opt edges n.nid with Some l -> l | None -> [] in
-          if List.exists callee_writes cs then begin
-            Hashtbl.replace writer n.nid ();
-            changed := true
-          end)
-      nodes
-  done;
+let check ~scope (g : Callgraph.t) =
+  let open Callgraph in
   List.filter_map
-    (fun n ->
-      if Hashtbl.mem writer n.nid && n.exported && (not n.guard) && not n.excused then
+    (fun (n : node) ->
+      let excused = n.guarded_attr || Helpers.allowed id n.allows in
+      if
+        scope n.src && n.exported
+        && (summary g n.nid).s_writes_mem
+        && (not n.eff.guard) && not excused
+      then
         Some
           (Finding.v ~rule:id ~file:n.src ~loc:n.loc ~name:n.nid
              "exported function mutates arena/node state without entering the unwind scope; \
               wrap the mutation in [guarded], or annotate [@pklint.guarded] after auditing \
               that every caller runs it below an established guard")
       else None)
-    nodes
+    (nodes g)
 
 let rule ~scope : Rule.t =
-  {
-    Rule.id;
-    doc = "writes to arena/node state must run under the engine unwind scope";
-    scope;
-    make =
-      (fun () ->
-        let acc = ref [] in
-        {
-          Rule.on_cmt = (fun c -> acc := List.rev_append (collect c) !acc);
-          finish = (fun () -> finish (List.rev !acc));
-        });
-  }
+  Rule.graph ~id
+    ~doc:"writes to arena/node state must run under the engine unwind scope" ~scope check

@@ -1,0 +1,174 @@
+(* lock-lattice: the sharded engine's deadlock-freedom argument is a
+   total acquisition order — shard mutexes in ascending index order,
+   then the pin lock, then the arena guard (DESIGN.md §15/§16).  This
+   rule walks every body with the stack of statically-held classes and
+   flags acquisitions that go *down* the lattice:
+
+   - taking a shard mutex while holding the pin lock or the arena
+     guard (or the pin lock while holding the guard);
+   - taking a shard mutex with a *smaller* constant index than one
+     already held (ascending-order violation), or re-taking the same
+     constant index / the pin lock (self-deadlock under OCaml's
+     non-reentrant [Mutex]);
+
+   and follows calls through summaries: a callee whose transitive
+   [s_acquires] contains a class below something currently held is
+   reported at the call site.  Shard acquisitions with statically
+   unknown indices ([Shard None], the [locked_when] ascending
+   recursion) are exempt from the shard-vs-shard comparison — the
+   recursion itself guarantees ascending order — and [Other] mutexes
+   (e.g. the Obs registry lock) sit outside the lattice entirely.
+   Stored closures start with an empty held stack; locker thunks
+   ([Mutex.protect], [record_write], [locked_when]) and iterator
+   closures run in place. *)
+
+open Typedtree
+
+let id = "lock-lattice"
+
+let check ~scope (g : Callgraph.t) =
+  let open Callgraph in
+  let findings = ref [] in
+  List.iter
+    (fun (n : node) ->
+      if scope n.src && not (Helpers.allowed id n.allows) then begin
+        let flag loc msg = findings := Finding.v ~rule:id ~file:n.src ~loc ~name:n.nid msg :: !findings in
+        let held = ref [] in
+        let check_acquire ?via loc c =
+          let suffix =
+            match via with
+            | Some callee -> Printf.sprintf " (via call to %s)" callee
+            | None -> ""
+          in
+          match c with
+          | Other -> ()
+          | _ ->
+              List.iter
+                (fun h ->
+                  match h with
+                  | Other -> ()
+                  | _ ->
+                      if class_equal c h then begin
+                        match c with
+                        | Shard (Some i) ->
+                            flag loc
+                              (Printf.sprintf
+                                 "re-acquiring shard(%d)'s mutex while already holding it%s — \
+                                  OCaml mutexes are not reentrant"
+                                 i suffix)
+                        | Pin ->
+                            flag loc
+                              (Printf.sprintf
+                                 "re-acquiring the pin lock while already holding it%s — OCaml \
+                                  mutexes are not reentrant"
+                                 suffix)
+                        | _ -> ()
+                      end
+                      else if rank c < rank h then
+                        flag loc
+                          (Printf.sprintf
+                             "acquiring %s while holding %s inverts the shard(asc)→pin→arena \
+                              lattice%s"
+                             (class_name c) (class_name h) suffix)
+                      else begin
+                        match (c, h) with
+                        | Shard (Some i), Shard (Some j) when i < j ->
+                            flag loc
+                              (Printf.sprintf
+                                 "acquiring shard(%d)'s mutex while holding shard(%d)'s — shard \
+                                  mutexes must be taken in ascending index order%s"
+                                 i j suffix)
+                        | _ -> ()
+                      end)
+                !held
+        in
+        let rec walk (e : expression) =
+          if Helpers.allowed id (Helpers.allows e.exp_attributes) then ()
+          else
+            match e.exp_desc with
+            | Texp_ident _ | Texp_constant _ -> ()
+            | Texp_let (_, vbs, body) ->
+                List.iter
+                  (fun vb ->
+                    match vb.vb_expr.exp_desc with
+                    | Texp_function _ -> fresh (fun () -> walk_cases vb.vb_expr)
+                    | _ -> walk vb.vb_expr)
+                  vbs;
+                walk body
+            | Texp_function _ -> fresh (fun () -> walk_cases e)
+            | Texp_apply (f0, args0) -> apply e f0 args0
+            | _ -> Tast_iterator.default_iterator.expr walk_it e
+        and walk_it = { Tast_iterator.default_iterator with expr = (fun _ e -> walk e) }
+        and fresh f =
+          let saved = !held in
+          held := [];
+          f ();
+          held := saved
+        and walk_cases (fn : expression) =
+          match fn.exp_desc with
+          | Texp_function { cases; _ } ->
+              List.iter
+                (fun c ->
+                  Option.iter walk c.c_guard;
+                  walk_cases c.c_rhs)
+                cases
+          | _ -> walk fn
+        and walk_in_place (fn : expression) =
+          match fn.exp_desc with
+          | Texp_function { cases; _ } ->
+              List.iter
+                (fun c ->
+                  Option.iter walk c.c_guard;
+                  walk_in_place c.c_rhs)
+                cases
+          | _ -> walk fn
+        and apply e f0 args0 =
+          let f, args = flatten_apply f0 args0 in
+          let lockers = locker_classes g ~unit_name:n.unit_name f args in
+          if not (List.is_empty lockers) then begin
+            List.iter (check_acquire e.exp_loc) lockers;
+            let is_protect =
+              match head_name f with
+              | Some name ->
+                  Helpers.ends_with ~suffix:"Mutex.protect" name
+                  || Helpers.ends_with ~suffix:"Mutex.lock" name
+              | None -> false
+            in
+            let thunks, plain =
+              match args with m :: rest when is_protect -> (rest, [ m ]) | rest -> (rest, [])
+            in
+            List.iter (fun (_, a) -> Option.iter walk a) plain;
+            let saved = !held in
+            held := lockers @ !held;
+            List.iter (fun (_, a) -> Option.iter walk_in_place a) thunks;
+            held := saved
+          end
+          else begin
+            (match f.exp_desc with
+            | Texp_ident (p, _, _) when not (List.is_empty !held) ->
+                let name = Helpers.path_name p in
+                List.iter
+                  (fun (m : node) ->
+                    List.iter
+                      (fun a -> check_acquire ~via:m.local e.exp_loc a)
+                      (summary g m.nid).s_acquires)
+                  (resolve g ~unit_name:n.unit_name name)
+            | _ -> ());
+            (match f.exp_desc with Texp_ident _ -> () | _ -> walk f);
+            match head_name f with
+            | Some name when is_iterator_name name ->
+                List.iter (fun (_, a) -> Option.iter walk_in_place a) args
+            | _ -> List.iter (fun (_, a) -> Option.iter walk a) args
+          end
+        in
+        (match spine_body n.vb.vb_expr with
+        | Some body -> walk body
+        | None -> walk_cases n.vb.vb_expr);
+        ignore !held
+      end)
+    (nodes g);
+  List.rev !findings
+
+let rule ~scope : Rule.t =
+  Rule.graph ~id ~doc:"lock acquisitions must follow the shard(asc)→pin→arena lattice" ~scope
+    check

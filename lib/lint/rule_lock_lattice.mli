@@ -1,0 +1,5 @@
+(** Lock acquisitions must follow the shard(asc index)→pin→arena
+    lattice, cross-call via summaries.  See DESIGN.md §16. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

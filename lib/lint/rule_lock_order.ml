@@ -11,10 +11,13 @@
    opaque -> unknown, which conservatively may be E).  Sequential
    composition threads a "may already hold an E-or-unknown lock" flag;
    match/if/try branches are alternatives (flag saved, re-merged as the
-   disjunction).  A K event while the flag is set is a potential
-   inversion.  Closure bodies are walked with a fresh flag (they run at
-   some other time); recursion across loop iterations is not modelled
-   — limits spelled out in DESIGN.md §11. *)
+   disjunction).  Closure bodies are walked with a fresh flag (they run
+   at some other time).  Cross-call, the {!Callgraph} summaries extend
+   the walk: a call to a function that transitively acquires a
+   Key-class lock ([s_acq_key]) while the flag is set is the same
+   inversion, and a callee that acquires End_of_index ([s_acq_eoi])
+   sets the flag at the call site.  Recursion across loop iterations
+   is not modelled — limits spelled out in DESIGN.md §11/§16. *)
 
 open Typedtree
 
@@ -52,18 +55,26 @@ let rec events_of_arg (e : expression) =
         List.concat_map events_of_arg args
     | _ -> []
 
-let check (cmt : Helpers.cmt) =
+let check ~scope (g : Callgraph.t) =
   let findings = ref [] in
-  Helpers.iter_bindings cmt.Helpers.str (fun b ->
-      if not (Helpers.allowed id b.Helpers.inherited_allows) then begin
-        let name = Helpers.qualified cmt b in
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if scope n.Callgraph.src && not (Helpers.allowed id n.Callgraph.allows) then begin
         let seen_e = ref false in
-        let flag loc =
+        let flag ?via loc =
+          let suffix =
+            match via with
+            | Some callee -> Printf.sprintf " (transitively, via call to %s)" callee
+            | None -> ""
+          in
           findings :=
-            Finding.v ~rule:id ~file:cmt.Helpers.src ~loc ~name
-              "Key-class lock acquired after an End_of_index-class (or statically unknown) \
-               acquisition; the declared lattice orders Key before End_of_index — reorder the \
-               acquisitions or annotate [@pklint.allow \"lock-order\"] with a justification"
+            Finding.v ~rule:id ~file:n.Callgraph.src ~loc ~name:n.Callgraph.nid
+              (Printf.sprintf
+                 "Key-class lock acquired after an End_of_index-class (or statically unknown) \
+                  acquisition%s; the declared lattice orders Key before End_of_index — reorder \
+                  the acquisitions or annotate [@pklint.allow \"lock-order\"] with a \
+                  justification"
+                 suffix)
             :: !findings
         in
         let rec walk it (e : expression) =
@@ -84,6 +95,21 @@ let check (cmt : Helpers.cmt) =
                             | E | U -> seen_e := true)
                           (events_of_arg a))
                   args
+            | Texp_apply (f, args) -> (
+                List.iter (fun (_, a) -> Option.iter (walk it) a) args;
+                (* Cross-call: callee summaries thread the flag through
+                   the call graph. *)
+                match Callgraph.head_name f with
+                | Some name ->
+                    let cands = Callgraph.resolve g ~unit_name:n.Callgraph.unit_name name in
+                    List.iter
+                      (fun (m : Callgraph.node) ->
+                        let s = Callgraph.summary g m.Callgraph.nid in
+                        if s.Callgraph.s_acq_key && !seen_e then
+                          flag ~via:m.Callgraph.local e.exp_loc;
+                        if s.Callgraph.s_acq_eoi then seen_e := true)
+                      cands
+                | None -> walk it f)
             | Texp_ifthenelse (c, t, f) ->
                 walk it c;
                 branches it [ Some t; f ]
@@ -118,10 +144,11 @@ let check (cmt : Helpers.cmt) =
           seen_e := !out
         in
         let it = { Tast_iterator.default_iterator with expr = walk } in
-        it.expr it b.Helpers.vb.vb_expr
-      end);
+        it.expr it n.Callgraph.vb.vb_expr
+      end)
+    (Callgraph.nodes g);
   List.rev !findings
 
 let rule ~scope =
-  Rule.local ~id ~doc:"lock acquisition order must respect the Key < End_of_index lattice" ~scope
+  Rule.graph ~id ~doc:"lock acquisition order must respect the Key < End_of_index lattice" ~scope
     check

@@ -1,0 +1,7 @@
+(** The optimistic readers' seqlock discipline: version fetch → read →
+    [validated] on the same handle, re-pin before retry, mutation
+    inside the write window only through [record_write].  See
+    DESIGN.md §16. *)
+
+val id : string
+val rule : scope:(string -> bool) -> Rule.t

@@ -6,64 +6,28 @@
    closures, tuples, boxed constructors, records, arrays, lazy values,
    partial applications, and calls to known allocating stdlib
    functions — unless the expression (or an enclosing one) is marked
-   [@pklint.cold], the explicit escape for error paths. *)
+   [@pklint.cold], the explicit escape for error paths.
+
+   Interprocedurally, a call to a repository function whose
+   {!Callgraph} summary allocates on every resolution candidate
+   ([s_allocates], computed outside [@pklint.cold] subtrees and
+   raise-argument positions) is itself an allocation site: the hot
+   path must either call allocation-free helpers or mark the call
+   cold. *)
 
 open Typedtree
 
 let id = "zero-alloc-hot"
 
-(* Stdlib entry points that allocate their result. *)
-let allocating_calls =
-  [
-    "Stdlib.^";
-    "Stdlib.@";
-    "Stdlib.ref";
-    "Stdlib.!";
-    "Bytes.create";
-    "Bytes.make";
-    "Bytes.sub";
-    "Bytes.copy";
-    "Bytes.cat";
-    "Bytes.of_string";
-    "Bytes.to_string";
-    "Bytes.sub_string";
-    "String.sub";
-    "String.concat";
-    "String.make";
-    "String.init";
-    "Array.make";
-    "Array.init";
-    "Array.copy";
-    "Array.append";
-    "Array.sub";
-    "Array.of_list";
-    "Array.to_list";
-    "List.map";
-    "List.mapi";
-    "List.init";
-    "List.append";
-    "List.rev";
-    "List.concat";
-    "List.filter";
-    "Printf.sprintf";
-    "Printf.ksprintf";
-    "Format.asprintf";
-  ]
-
-let is_arrow ty =
-  match Types.get_desc (Helpers.strip_poly ty) with Types.Tarrow _ -> true | _ -> false
-
-let check (cmt : Helpers.cmt) =
+let check ~scope (g : Callgraph.t) =
   let findings = ref [] in
-  Helpers.iter_bindings cmt.Helpers.str (fun b ->
-      if
-        Helpers.is_hot b.Helpers.vb.vb_attributes
-        && not (Helpers.allowed id b.Helpers.inherited_allows)
+  List.iter
+    (fun (n : Callgraph.node) ->
+      if scope n.Callgraph.src && n.Callgraph.hot && not (Helpers.allowed id n.Callgraph.allows)
       then begin
-        let name = Helpers.qualified cmt b in
         let flag loc what =
           findings :=
-            Finding.v ~rule:id ~file:cmt.Helpers.src ~loc ~name
+            Finding.v ~rule:id ~file:n.Callgraph.src ~loc ~name:n.Callgraph.nid
               (Printf.sprintf
                  "%s in [@pklint.hot] function; the batched lookup path must not allocate — \
                   restructure, or mark the expression [@pklint.cold] if it is an error path"
@@ -76,30 +40,27 @@ let check (cmt : Helpers.cmt) =
             || Helpers.allowed id (Helpers.allows e.exp_attributes)
           then ()
           else begin
+            (match Callgraph.alloc_kind e with
+            | Some what -> flag e.exp_loc what
+            | None -> ());
             (match e.exp_desc with
-            | Texp_function _ -> flag e.exp_loc "closure allocation"
-            | Texp_tuple _ -> flag e.exp_loc "tuple allocation"
-            | Texp_record _ -> flag e.exp_loc "record allocation"
-            | Texp_array (_ :: _) -> flag e.exp_loc "array allocation"
-            | Texp_construct (_, cd, _ :: _) ->
-                flag e.exp_loc
-                  (Printf.sprintf "boxed constructor allocation (%s)" cd.Types.cstr_name)
-            | Texp_variant (_, Some _) -> flag e.exp_loc "polymorphic-variant allocation"
-            | Texp_lazy _ -> flag e.exp_loc "lazy-value allocation"
-            | Texp_object _ -> flag e.exp_loc "object allocation"
-            | Texp_pack _ -> flag e.exp_loc "first-class-module allocation"
-            | Texp_letop _ -> flag e.exp_loc "binding-operator allocation"
-            | Texp_apply (f, _) -> (
-                if is_arrow e.exp_type then flag e.exp_loc "partial application (closure)";
-                match f.exp_desc with
-                | Texp_ident (p, _, _) ->
-                    (* Suffix match: the same call is [Array.make] under
-                       dune's alias expansion and [Stdlib.Array.make]
-                       through the toplevel [Stdlib] re-export. *)
-                    let pname = Helpers.path_name p in
-                    if
-                      List.exists (fun a -> Helpers.ends_with ~suffix:a pname) allocating_calls
-                    then flag e.exp_loc (Printf.sprintf "allocating call (%s)" pname)
+            | Texp_apply (f0, args0) -> (
+                let f, _ = Callgraph.flatten_apply f0 args0 in
+                match Callgraph.head_name f with
+                | Some name
+                  when not (Callgraph.is_raise_name name) -> (
+                    match Callgraph.resolve g ~unit_name:n.Callgraph.unit_name name with
+                    | [] -> ()
+                    | cands ->
+                        if
+                          List.for_all
+                            (fun (m : Callgraph.node) ->
+                              (Callgraph.summary g m.Callgraph.nid).Callgraph.s_allocates)
+                            cands
+                        then
+                          flag e.exp_loc
+                            (Printf.sprintf "call to allocating function (%s)"
+                               (Helpers.last_component name)))
                 | _ -> ())
             | _ -> ());
             (* One finding per allocation site is enough: do not descend
@@ -115,12 +76,14 @@ let check (cmt : Helpers.cmt) =
            scan only the body the hot calls execute. *)
         let rec peel (e : expression) =
           match e.exp_desc with
-          | Texp_function { cases; _ } -> List.iter (fun c -> peel_case c) cases
+          | Texp_function { cases; _ } -> List.iter (fun c -> peel c.c_rhs) cases
           | _ -> it.expr it e
-        and peel_case c = peel c.c_rhs in
-        peel b.Helpers.vb.vb_expr
-      end);
+        in
+        peel n.Callgraph.vb.vb_expr
+      end)
+    (Callgraph.nodes g);
   List.rev !findings
 
 let rule ~scope =
-  Rule.local ~id ~doc:"[@pklint.hot] functions must not contain allocating expressions" ~scope check
+  Rule.graph ~id ~doc:"[@pklint.hot] functions must not contain allocating expressions" ~scope
+    check

@@ -109,7 +109,10 @@ let guard r f =
 
 let[@inline] charge r off len =
   match r.owner.sim with
-  | Some sim when r.owner.trace_on -> Cachesim.touch sim ~addr:(r.region_base + off) ~len
+  | Some sim when r.owner.trace_on ->
+      (* Cache-simulation bookkeeping runs only under tracing, never in
+         the steady-state hot path (where [charge] is a null check). *)
+      (Cachesim.touch sim ~addr:(r.region_base + off) ~len [@pklint.cold])
   | Some _ | None -> ()
 
 let read_u8 r off =

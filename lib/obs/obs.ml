@@ -97,11 +97,15 @@ module Counter = struct
   let scrap = register (Registry.create ()) "nop"
   let nop () = scrap
 
-  let[@pklint.hot] incr c =
+  (* Audited benign-racy: counter cells are plain ints bumped without
+     synchronisation.  A lost increment under concurrent update skews a
+     statistic, never corrupts index state — metrics are diagnostics,
+     not control flow (DESIGN.md §12). *)
+  let[@pklint.hot] [@pklint.guarded] incr c =
     let r = c.creg in
     r.Registry.cells.(c.cidx) <- r.Registry.cells.(c.cidx) + 1
 
-  let[@pklint.hot] add c n =
+  let[@pklint.hot] [@pklint.guarded] add c n =
     let r = c.creg in
     r.Registry.cells.(c.cidx) <- r.Registry.cells.(c.cidx) + n
 
@@ -210,7 +214,11 @@ module Trace = struct
     | 6 -> Restart
     | _ -> Unwind
 
-  let[@pklint.hot] emit tr k a b =
+  (* Audited benign-racy: the ring is a diagnostic tap.  Concurrent
+     emitters may interleave slots or tear an event; consumers
+     ([drain], the trace dumps) tolerate both, and tracing is disabled
+     in any run whose output feeds an experiment. *)
+  let[@pklint.hot] [@pklint.guarded] emit tr k a b =
     if tr.enabled then begin
       let i = tr.next land tr.mask in
       tr.kinds.(i) <- k;

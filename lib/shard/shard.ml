@@ -36,25 +36,27 @@ module Partition = struct
      nonnegative OCaml int. *)
   let fnv_prime = 0x01000193
 
-  let hash_key key =
-    let h = ref 0x811c9dc5 in
-    for i = 0 to Bytes.length key - 1 do
-      h := ((!h lxor Char.code (Bytes.unsafe_get key i)) * fnv_prime) land 0x3fffffff
-    done;
-    !h
+  let[@pklint.hot] rec fnv_fold key len i h =
+    if i >= len then h
+    else
+      fnv_fold key len (i + 1)
+        (((h lxor Char.code (Bytes.unsafe_get key i)) * fnv_prime) land 0x3fffffff)
 
-  let route t key =
+  let[@pklint.hot] hash_key key = fnv_fold key (Bytes.length key) 0 0x811c9dc5
+
+  (* Binary search for the first split > key: shard [i] holds keys
+     below splits.(i). *)
+  let[@pklint.hot] rec split_search splits key lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if Key.compare key splits.(mid) < 0 then split_search splits key lo mid
+      else split_search splits key (mid + 1) hi
+
+  let[@pklint.hot] route t key =
     match t with
     | Hash n -> hash_key key mod n
-    | Range splits ->
-        (* Binary search for the first split > key: shard [i] holds
-           keys below splits.(i). *)
-        let lo = ref 0 and hi = ref (Array.length splits) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          if Key.compare key splits.(mid) < 0 then hi := mid else lo := mid + 1
-        done;
-        !lo
+    | Range splits -> split_search splits key 0 (Array.length splits)
 
   let describe = function
     | Hash n -> Printf.sprintf "hash(%d)" n
@@ -152,10 +154,12 @@ module Engine = struct
 
   (* {2 Scatter / gather} *)
 
-  let scatter part (sc : scatter) keys =
+  let[@pklint.hot] scatter part (sc : scatter) keys =
     let n = Array.length keys in
     let k = Array.length sc.counts in
-    if Array.length sc.routes < n then sc.routes <- Array.make n 0;
+    (* Buffer (re)sizing happens only when the batch shape changes;
+       the steady state replays the same shape against warm buffers. *)
+    if Array.length sc.routes < n then (sc.routes <- Array.make n 0) [@pklint.cold];
     Array.fill sc.counts 0 k 0;
     for i = 0 to n - 1 do
       let r = Partition.route part keys.(i) in
@@ -164,11 +168,11 @@ module Engine = struct
     done;
     for s = 0 to k - 1 do
       let c = sc.counts.(s) in
-      if Array.length sc.skeys.(s) <> c then begin
-        sc.skeys.(s) <- Array.make c Bytes.empty;
-        sc.slots.(s) <- Array.make c 0;
-        sc.souts.(s) <- Array.make c 0
-      end;
+      if Array.length sc.skeys.(s) <> c then
+        (sc.skeys.(s) <- Array.make c Bytes.empty;
+         sc.slots.(s) <- Array.make c 0;
+         sc.souts.(s) <- Array.make c 0)
+        [@pklint.cold];
       sc.counts.(s) <- 0
     done;
     for i = 0 to n - 1 do
@@ -179,16 +183,16 @@ module Engine = struct
       sc.counts.(r) <- c + 1
     done
 
-  let gather (sc : scatter) s out =
+  let[@pklint.hot] gather (sc : scatter) s out =
     let slots = sc.slots.(s) and outs = sc.souts.(s) in
     for j = 0 to Array.length slots - 1 do
       out.(slots.(j)) <- outs.(j)
     done
 
-  let lookup_into_aux tag part sc (subs : Index.t array) keys out =
+  let[@pklint.hot] lookup_into_aux tag part sc (subs : Index.t array) keys out =
     let n = Array.length keys in
     if Array.length out < n then
-      invalid_arg (tag ^ ".lookup_into: result array too small");
+      (invalid_arg (tag ^ ".lookup_into: result array too small")) [@pklint.cold];
     scatter part sc keys;
     for s = 0 to Array.length subs - 1 do
       if sc.counts.(s) > 0 then begin
@@ -513,6 +517,9 @@ module Engine = struct
     epochs : Index.t option array;
     pins : int array;
     mutable n_restarts : int;
+    mutable torn : bool;
+        (* scratch: the last optimistic attempt raised mid-descent;
+           reset before every retry *)
     m_restarts : Obs.Counter.t;
   }
 
@@ -524,6 +531,7 @@ module Engine = struct
       epochs = Array.make (Array.length eng.shards) None;
       pins = Array.make (Array.length eng.shards) 0;
       n_restarts = 0;
+      torn = false;
       m_restarts =
         Obs.Counter.register Obs.Registry.default
           ("pk_lock_restarts_total{index=\"" ^ eng.stag ^ "\"}");
@@ -554,56 +562,73 @@ module Engine = struct
 
   let restarts rd = rd.n_restarts
 
-  let read rd key =
-    let i = Partition.route rd.eng.part key in
-    let s = rd.eng.shards.(i) in
-    let note_restart attempt =
-      rd.n_restarts <- rd.n_restarts + 1;
-      Obs.Counter.incr rd.m_restarts;
-      Obs.Trace.emit rd.eng.trace Obs.Trace.k_restart attempt 0;
-      backoff rd ~attempt
-    in
-    let rec go attempt =
-      if attempt > rd.policy.Retry.max_attempts then
-        (* Bounded restarts: one read in a short critical section with
-           the shard's writer, leaving a fresh pin behind. *)
-        Mutex.protect s.lock (fun () ->
-            repin_locked rd i;
-            (match rd.epochs.(i) with Some ep -> ep | None -> assert false).Index.lookup key)
-      else begin
-        (match rd.epochs.(i) with None -> repin rd i | Some _ -> ());
-        let ep = match rd.epochs.(i) with Some ep -> ep | None -> assert false in
-        (* A torn read under a racing mutator can surface as an
-           exception from the epoch descent; validation below rejects
-           the attempt either way.  Injected faults must keep
-           propagating for the chaos harness. *)
-        let res =
-          (try Some (ep.Index.lookup key) with
-          | Fault.Injected _ as e -> raise e
-          | _ -> None)
-          [@pklint.allow "no-swallow"]
-        in
-        match res with
-        | Some r when s.ix.Index.validated rd.pins.(i) -> r
+  (* Restart bookkeeping and backoff, off the validated fast path.
+     The restart counter lives in the reader handle, which is owned by
+     the domain that created it (audited: handles are never shared
+     across domains — see [reader]). *)
+  let[@pklint.cold] note_restart rd attempt =
+    (rd.n_restarts <- rd.n_restarts + 1) [@pklint.allow "domain-shared-mutation"];
+    Obs.Counter.incr rd.m_restarts;
+    Obs.Trace.emit rd.eng.trace Obs.Trace.k_restart attempt 0;
+    backoff rd ~attempt
+
+  (* One optimistic attempt against the pinned epoch, retried through
+     [note_restart]/[repin] until validation passes or the attempt
+     budget forces the locked fallback. *)
+  let rec read_attempt rd (s : shard) i key attempt =
+    if attempt > rd.policy.Retry.max_attempts then
+      (* Bounded restarts: one read in a short critical section with
+         the shard's writer, leaving a fresh pin behind. *)
+      (Mutex.protect s.lock (fun () ->
+           repin_locked rd i;
+           (match rd.epochs.(i) with Some ep -> ep | None -> assert false).Index.lookup key))
+      [@pklint.cold]
+    else begin
+      (match rd.epochs.(i) with
+      | None -> (repin rd i) [@pklint.cold] (* first touch of this shard *)
+      | Some _ -> ());
+      let ep = match rd.epochs.(i) with Some ep -> ep | None -> assert false in
+      (* A torn read under a racing mutator can surface as an exception
+         from the epoch descent; validation below rejects the attempt
+         either way ([torn] is reader-handle scratch, domain-confined
+         like [n_restarts]).  Injected faults must keep propagating for
+         the chaos harness. *)
+      let res =
+        (try ep.Index.lookup key with
+        | Fault.Injected _ as e -> raise e
         | _ ->
-            (* Validation failed: the pin is stale or a mutation is in
-               flight.  Count the restart, back off, take a fresh pin
-               (waiting out any in-flight mutator on the shard lock),
-               and retry. *)
-            note_restart attempt;
-            repin rd i;
-            go (attempt + 1)
-      end
-    in
-    go 1
+            (rd.torn <- true) [@pklint.allow "domain-shared-mutation"];
+            None)
+        [@pklint.allow "no-swallow"]
+      in
+      if (not rd.torn) && s.ix.Index.validated rd.pins.(i) then res
+      else
+        (* Validation failed: the pin is stale or a mutation is in
+           flight.  Count the restart, back off, take a fresh pin
+           (waiting out any in-flight mutator on the shard lock), and
+           retry. *)
+        ((rd.torn <- false) [@pklint.allow "domain-shared-mutation"];
+         note_restart rd attempt;
+         repin rd i;
+         read_attempt rd s i key (attempt + 1))
+        [@pklint.cold]
+    end
+
+  let[@pklint.hot] read rd key =
+    let i = Partition.route rd.eng.part key in
+    read_attempt rd rd.eng.shards.(i) i key 1
 
   let release_reader rd =
     for i = 0 to Array.length rd.epochs - 1 do
       match rd.epochs.(i) with
       | None -> ()
       | Some ep ->
-          rd.epochs.(i) <- None;
-          Mutex.protect rd.eng.shards.(i).lock (fun () -> release_sub rd.eng ep)
+          (* Clear the slot and drop the pin in one shard critical
+             section: the slot write then orders with the writer's
+             epoch reclamation rather than racing past it. *)
+          Mutex.protect rd.eng.shards.(i).lock (fun () ->
+              rd.epochs.(i) <- None;
+              release_sub rd.eng ep)
     done
 end
 

@@ -78,7 +78,21 @@ let test_zero_alloc () =
     "let f x = (x, x)";
   check_count "cold escape suppresses" Lint.Rule_zero_alloc.rule ~expect:0
     "let[@pklint.hot] f x = if x < 0 then (invalid_arg (string_of_int x ^ \"!\") [@pklint.cold]) \
-     else x * 2"
+     else x * 2";
+  (* Interprocedural: the callee's summary allocates, so the hot call
+     site is an allocation site. *)
+  check_count "allocating callee flagged at the call" Lint.Rule_zero_alloc.rule ~expect:1
+    "let helper x = [ x ]\nlet[@pklint.hot] f x = helper x";
+  check_count "non-allocating callee clean" Lint.Rule_zero_alloc.rule ~expect:0
+    "let helper x = x + 1\nlet[@pklint.hot] f x = helper x";
+  check_count "cold call site suppresses the callee summary" Lint.Rule_zero_alloc.rule ~expect:0
+    "let helper x = [ x ]\nlet[@pklint.hot] f x = if x < 0 then ignore ((helper x) [@pklint.cold])";
+  (* A callee that only allocates under its own [@pklint.cold] branch
+     is safe to call hot. *)
+  check_count "callee's cold branch does not poison its summary" Lint.Rule_zero_alloc.rule
+    ~expect:0
+    "let helper x = if x < 0 then ignore (([ x ]) [@pklint.cold])\n\
+     let[@pklint.hot] f x = helper x"
 
 (* {2 no-swallow} *)
 
@@ -144,7 +158,155 @@ let test_lock_order () =
     (lock_prelude
    ^ "let[@pklint.allow \"lock-order\"] waived k =\n\
       \  L.acquire_all [ (L.End_of_index, L.X); (L.Key k, L.X) ]\n\
-      let bad k = L.acquire_all [ (L.End_of_index, L.X); (L.Key k, L.X) ]")
+      let bad k = L.acquire_all [ (L.End_of_index, L.X); (L.Key k, L.X) ]");
+  (* Interprocedural, through the shared call-graph summaries: the
+     key-class acquisition hides in a callee... *)
+  check_count "inversion via a key-acquiring callee flagged" Lint.Rule_lock_order.rule ~expect:1
+    (lock_prelude
+   ^ "let take_key k = L.acquire_all [ (L.Key k, L.X) ]\n\
+      let bad k = L.acquire_all [ (L.End_of_index, L.X) ]; take_key k");
+  (* ...or the End_of_index acquisition does. *)
+  check_count "callee's End_of_index taints the caller" Lint.Rule_lock_order.rule ~expect:1
+    (lock_prelude
+   ^ "let take_eoi () = L.acquire_all [ (L.End_of_index, L.X) ]\n\
+      let bad k = take_eoi (); L.acquire_all [ (L.Key k, L.X) ]")
+
+(* {2 domain-shared-mutation} *)
+
+let domain_prelude =
+  "type cell = { mutable v : int }\nlet c = { v = 0 }\nlet m = Mutex.create ()\n"
+
+let test_domain_shared_mutation () =
+  check_count "unlocked write reachable from spawn flagged"
+    Lint.Rule_domain_shared_mutation.rule ~expect:1
+    (domain_prelude
+   ^ "let bump () = c.v <- c.v + 1\nlet run () = ignore (Domain.spawn (fun () -> bump ()))");
+  check_count "write in the spawn closure itself flagged" Lint.Rule_domain_shared_mutation.rule
+    ~expect:1
+    (domain_prelude ^ "let run () = ignore (Domain.spawn (fun () -> c.v <- c.v + 1))");
+  (* Mutation self-test: the same write under the mutex is clean —
+     deleting the [Mutex.protect] is exactly the seeded violation the
+     previous fixture proves the rule catches. *)
+  check_count "mutex-protected write clean" Lint.Rule_domain_shared_mutation.rule ~expect:0
+    (domain_prelude
+   ^ "let bump () = Mutex.protect m (fun () -> c.v <- c.v + 1)\n\
+      let run () = ignore (Domain.spawn (fun () -> bump ()))");
+  check_count "atomic update clean" Lint.Rule_domain_shared_mutation.rule ~expect:0
+    "let a = Atomic.make 0\nlet run () = ignore (Domain.spawn (fun () -> Atomic.incr a))";
+  check_count "domain-local fresh state clean" Lint.Rule_domain_shared_mutation.rule ~expect:0
+    "type cell = { mutable v : int }\n\
+     let run () = ignore (Domain.spawn (fun () -> let c = { v = 0 } in c.v <- 1; c.v))";
+  check_count "audited primitive suppressed" Lint.Rule_domain_shared_mutation.rule ~expect:0
+    (domain_prelude
+   ^ "let[@pklint.guarded] bump () = c.v <- c.v + 1\n\
+      let run () = ignore (Domain.spawn (fun () -> bump ()))");
+  check_count "per-write allow suppressed" Lint.Rule_domain_shared_mutation.rule ~expect:0
+    (domain_prelude
+   ^ "let bump () = (c.v <- c.v + 1) [@pklint.allow \"domain-shared-mutation\"]\n\
+      let run () = ignore (Domain.spawn (fun () -> bump ()))");
+  check_count "not reachable from any spawn: out of scope" Lint.Rule_domain_shared_mutation.rule
+    ~expect:0
+    (domain_prelude ^ "let bump () = c.v <- c.v + 1")
+
+(* {2 seqlock-protocol} *)
+
+let seq_prelude =
+  "type ops = {\n\
+  \  snapshot : unit -> int;\n\
+  \  version : unit -> int;\n\
+  \  lookup : int -> int;\n\
+  \  validated : int -> bool;\n\
+   }\n"
+
+let test_seqlock () =
+  check_count "validated optimistic read clean" Lint.Rule_seqlock.rule ~expect:0
+    (seq_prelude
+   ^ "let read (t : ops) k =\n\
+      \  let v = t.version () in\n\
+      \  let r = t.lookup k in\n\
+      \  if t.validated v then Some r else None");
+  (* Mutation self-test: same read with the validation dropped — the
+     seeded skipped-revalidation violation. *)
+  check_count "read without validation flagged" Lint.Rule_seqlock.rule ~expect:1
+    (seq_prelude ^ "let read (t : ops) k =\n  let _ = t.version () in\n  t.lookup k");
+  check_count "retry without re-pin flagged" Lint.Rule_seqlock.rule ~expect:1
+    (seq_prelude
+   ^ "let rec read (t : ops) k =\n\
+      \  let v = t.version () in\n\
+      \  let r = t.lookup k in\n\
+      \  if t.validated v then r else read t k");
+  check_count "retry after re-pin clean" Lint.Rule_seqlock.rule ~expect:0
+    (seq_prelude
+   ^ "let rec read (t : ops) k =\n\
+      \  let v = t.version () in\n\
+      \  let r = t.lookup k in\n\
+      \  if t.validated v then r else (ignore (t.snapshot ()); read t k)");
+  check_count "validate with neither pin nor version fetch flagged" Lint.Rule_seqlock.rule
+    ~expect:1
+    (seq_prelude ^ "let check (u : ops) = u.validated 0");
+  check_count "write inside an open version-bump window flagged" Lint.Rule_seqlock.rule ~expect:1
+    "module Mem = struct let write_u8 _r _o _v = () end\n\
+     type s = { ver : int Atomic.t }\n\
+     let bump (t : s) r =\n\
+     \  Atomic.incr t.ver;\n\
+     \  Mem.write_u8 r 0 1;\n\
+     \  Atomic.incr t.ver";
+  check_count "write before the bump window clean" Lint.Rule_seqlock.rule ~expect:0
+    "module Mem = struct let write_u8 _r _o _v = () end\n\
+     type s = { ver : int Atomic.t }\n\
+     let bump (t : s) r =\n\
+     \  Mem.write_u8 r 0 1;\n\
+     \  Atomic.incr t.ver;\n\
+     \  Atomic.incr t.ver";
+  check_count "suppressed by allow" Lint.Rule_seqlock.rule ~expect:0
+    (seq_prelude
+   ^ "let[@pklint.allow \"seqlock-protocol\"] read (t : ops) k =\n\
+      \  let _ = t.version () in\n\
+      \  t.lookup k")
+
+(* {2 lock-lattice} *)
+
+let lat_prelude =
+  "type shard = { lock : Mutex.t }\ntype eng = { shards : shard array; pin_lock : Mutex.t }\n"
+
+let test_lock_lattice () =
+  check_count "ascending shards then pin clean" Lint.Rule_lock_lattice.rule ~expect:0
+    (lat_prelude
+   ^ "let good (e : eng) =\n\
+      \  Mutex.protect e.shards.(0).lock (fun () ->\n\
+      \      Mutex.protect e.shards.(1).lock (fun () ->\n\
+      \          Mutex.protect e.pin_lock (fun () -> ())))");
+  (* Mutation self-test: swapping pin and shard acquisition order is
+     the seeded inversion. *)
+  check_count "pin before shard flagged" Lint.Rule_lock_lattice.rule ~expect:1
+    (lat_prelude
+   ^ "let bad (e : eng) =\n\
+      \  Mutex.protect e.pin_lock (fun () -> Mutex.protect e.shards.(1).lock (fun () -> ()))");
+  check_count "descending shard order flagged" Lint.Rule_lock_lattice.rule ~expect:1
+    (lat_prelude
+   ^ "let bad (e : eng) =\n\
+      \  Mutex.protect e.shards.(2).lock (fun () -> Mutex.protect e.shards.(1).lock (fun () -> \
+      ()))");
+  check_count "same shard re-acquired flagged" Lint.Rule_lock_lattice.rule ~expect:1
+    (lat_prelude
+   ^ "let bad (e : eng) =\n\
+      \  Mutex.protect e.shards.(0).lock (fun () -> Mutex.protect e.shards.(0).lock (fun () -> \
+      ()))");
+  check_count "inversion through a callee flagged" Lint.Rule_lock_lattice.rule ~expect:1
+    (lat_prelude
+   ^ "let with_shard (e : eng) f = Mutex.protect e.shards.(0).lock f\n\
+      let bad (e : eng) = Mutex.protect e.pin_lock (fun () -> with_shard e (fun () -> ()))");
+  check_count "stored closure starts with an empty held stack" Lint.Rule_lock_lattice.rule
+    ~expect:0
+    (lat_prelude
+   ^ "let ok (e : eng) =\n\
+      \  Mutex.protect e.pin_lock (fun () ->\n\
+      \      let later () = Mutex.protect e.shards.(0).lock (fun () -> ()) in\n\
+      \      later)");
+  check_count "suppressed by allow" Lint.Rule_lock_lattice.rule ~expect:0
+    (lat_prelude
+   ^ "let[@pklint.allow \"lock-lattice\"] waived (e : eng) =\n\
+      \  Mutex.protect e.pin_lock (fun () -> Mutex.protect e.shards.(1).lock (fun () -> ()))")
 
 (* {2 Baseline and output} *)
 
@@ -184,6 +346,22 @@ let test_json () =
     ];
   Alcotest.(check string) "escaping" "a\\\"b\\\\c\\n" (Lint.Finding.json_escape "a\"b\\c\n")
 
+let test_sarif () =
+  let findings = run_rule Lint.Rule_poly_compare.rule "let f (a : string) b = a = b" in
+  let o = { Lint.Driver.findings; baselined = []; stale = []; units = 1 } in
+  let sarif = Format.asprintf "%a" Lint.Driver.render_sarif o in
+  List.iter
+    (fun needle -> Alcotest.(check bool) ("sarif has " ^ needle) true (contains ~needle sarif))
+    [
+      "\"version\": \"2.1.0\"";
+      "\"name\": \"pklint\"";
+      "\"ruleId\":\"no-poly-compare\"";
+      "\"uri\":\"fixture.ml\"";
+      "\"startLine\":1";
+      "\"startColumn\":";
+      "\"level\":\"error\"";
+    ]
+
 (* The repository itself must lint clean against the committed
    baseline (same gate as `dune build @lint`, minus staleness of the
    build tree: we only run it when the cmts are discoverable). *)
@@ -207,11 +385,15 @@ let () =
           Alcotest.test_case "no-swallow" `Quick test_no_swallow;
           Alcotest.test_case "guarded-mutation" `Quick test_guarded_mutation;
           Alcotest.test_case "lock-order" `Quick test_lock_order;
+          Alcotest.test_case "domain-shared-mutation" `Quick test_domain_shared_mutation;
+          Alcotest.test_case "seqlock-protocol" `Quick test_seqlock;
+          Alcotest.test_case "lock-lattice" `Quick test_lock_lattice;
         ] );
       ( "driver",
         [
           Alcotest.test_case "baseline" `Quick test_baseline;
           Alcotest.test_case "json" `Quick test_json;
+          Alcotest.test_case "sarif" `Quick test_sarif;
           Alcotest.test_case "repo clean" `Quick test_repo_clean;
         ] );
     ]
