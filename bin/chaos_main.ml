@@ -8,15 +8,17 @@
 
 module Chaos = Pk_chaos.Chaos
 
-type schedule_kind = Classic | Recover | Parallel
+type schedule_kind = Classic | Recover | Rebuild | Parallel
 
 let kind_of_string = function
   | "classic" -> Classic
   | "recover" -> Recover
+  | "rebuild" -> Rebuild
   | "parallel" -> Parallel
   | s ->
       invalid_arg
-        (Printf.sprintf "unknown schedule kind %S; valid kinds: classic, recover, parallel" s)
+        (Printf.sprintf "unknown schedule kind %S; valid kinds: classic, recover, rebuild, parallel"
+           s)
 
 let () =
   let seeds = ref 50 in
@@ -43,7 +45,7 @@ let () =
          of the registry tags (recover kind)" );
       ( "-kind",
         Arg.Set_string kind,
-        "KIND  classic | recover | parallel (default $PK_CHAOS_KIND or classic)" );
+        "KIND  classic | recover | rebuild | parallel (default $PK_CHAOS_KIND or classic)" );
       ("-readers", Arg.Set_int readers, "N  reader domains per parallel schedule (default 2)");
       ("-shards", Arg.Set_int shards, "N  shards per parallel schedule (default 4)");
     ]
@@ -94,7 +96,7 @@ let () =
                   Chaos.run_schedule ~faults:(plan ~seed) ?alphabet ~tree ~seed ~ops:!ops ()))
             trees)
         seed_list
-  | Recover ->
+  | (Recover | Rebuild) as k ->
       let tags =
         if !trees = "" then Chaos.recover_tags ()
         else begin
@@ -111,13 +113,18 @@ let () =
           asked
         end
       in
+      let schedule =
+        match k with
+        | Rebuild -> Chaos.run_rebuild_schedule
+        | Classic | Recover | Parallel -> Chaos.run_recover_schedule
+      in
       List.iter
         (fun seed ->
           List.iter
             (fun tag ->
               run_one
                 (Printf.sprintf "tag=%s seed=%d" tag seed)
-                (fun () -> Chaos.run_recover_schedule ~faults:(plan ~seed) ~tag ~seed ~ops:!ops ()))
+                (fun () -> schedule ~faults:(plan ~seed) ~tag ~seed ~ops:!ops ()))
             tags)
         seed_list
   | Parallel ->
@@ -135,11 +142,15 @@ let () =
   let o = !total in
   Printf.printf
     "chaos[%s]: %d schedules, %d ops, %d applied, %d injected, %d validations, %d failures%s\n"
-    (match kind with Classic -> "classic" | Recover -> "recover" | Parallel -> "parallel")
+    (match kind with
+    | Classic -> "classic"
+    | Recover -> "recover"
+    | Rebuild -> "rebuild"
+    | Parallel -> "parallel")
     !schedules o.Chaos.ops o.Chaos.applied o.Chaos.injected o.Chaos.validations !failures
     (match kind with
     | Parallel -> Printf.sprintf ", %d reader restarts" !restarts
-    | Classic | Recover -> "");
+    | Classic | Recover | Rebuild -> "");
   if !failures > 0 then begin
     Printf.eprintf "chaos: %d of %d schedules failed; metrics at exit:\n" !failures !schedules;
     prerr_string (Pk_obs.Obs.prometheus Pk_obs.Obs.Registry.default);

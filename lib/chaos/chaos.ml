@@ -55,6 +55,8 @@ let fault_sites =
     "prefix.split";
     "prefix.split.mid";
     "prefix.merge";
+    "engine.compact";
+    "engine.compact.mid";
   ]
 
 let default_fault_plan ~seed =
@@ -419,7 +421,7 @@ let recover_tags () =
   Pk_shard.Shard.ensure_registered ();
   Index.Registry.tags ()
 
-let run_recover_schedule ?(faults = []) ~tag ~seed ~ops () =
+let recover_core ?(faults = []) ~compact ~tag ~seed ~ops () =
   Fault.reset ~seed ();
   List.iter (fun (site, sched) -> Fault.arm site sched) faults;
   Fun.protect ~finally:(fun () -> Fault.reset ()) @@ fun () ->
@@ -446,8 +448,9 @@ let run_recover_schedule ?(faults = []) ~tag ~seed ~ops () =
     Printf.ksprintf
       (fun msg ->
         failwith
-          (Printf.sprintf "[chaos-recover seed=%d tag=%s op=%d] %s (replay: seed %d)" seed tag
-             !op msg seed))
+          (Printf.sprintf "[chaos-%s seed=%d tag=%s op=%d] %s (replay: seed %d)"
+             (if compact then "rebuild" else "recover")
+             seed tag !op msg seed))
       fmt
   in
   let attempt f =
@@ -560,6 +563,32 @@ let run_recover_schedule ?(faults = []) ~tag ~seed ~ops () =
           incr injected;
           maybe_crash ()
     end
+    else if compact && Prng.int rng 4 = 0 then begin
+      (* In-place compaction through the rebuild pipeline.  It is
+         content-preserving and unlogged (the journal already holds
+         every operation), so whatever happens here — completion,
+         abort, or a kill landing mid-compact — the recovery oracle is
+         unchanged: compaction must be crash-invisible. *)
+      let gap = [| 0.0; 0.1; 0.25 |].(Prng.int rng 3) in
+      match attempt (fun () -> jx.Index.compact ~gap ()) with
+      | Ok () ->
+          incr applied;
+          Fault.pause (fun () ->
+              jx.Index.validate ();
+              if jx.Index.count () <> KMap.cardinal !oracle then
+                fail "count diverges after compact (gap %.2f)" gap);
+          incr validations
+      | Error _ ->
+          incr injected;
+          (* the fault guard must have unwound to the exact
+             pre-compact tree *)
+          Fault.pause (fun () ->
+              jx.Index.validate ();
+              if jx.Index.count () <> KMap.cardinal !oracle then
+                fail "aborted compact did not unwind (gap %.2f)" gap);
+          incr validations;
+          maybe_crash ()
+    end
     else
       (* lookup sanity, injection paused *)
       Fault.pause (fun () ->
@@ -615,12 +644,31 @@ let run_recover_schedule ?(faults = []) ~tag ~seed ~ops () =
   incr validations;
   { ops = !op; applied = !applied; injected = !injected; validations = !validations }
 
+let run_recover_schedule ?faults ~tag ~seed ~ops () =
+  recover_core ?faults ~compact:false ~tag ~seed ~ops ()
+
+(* Same stream, with periodic in-place compactions mixed in — the
+   kill can land mid-compact ("engine.compact" / "engine.compact.mid"
+   are armable sites), and the recovery oracle is byte-for-byte the
+   one [run_recover_schedule] uses: compaction is crash-invisible. *)
+let run_rebuild_schedule ?faults ~tag ~seed ~ops () =
+  recover_core ?faults ~compact:true ~tag ~seed ~ops ()
+
 let run_recover_suite ?(faults = fun ~seed:_ -> []) ?tags ~seeds ~ops () =
   let tags = match tags with Some ts -> ts | None -> recover_tags () in
   List.fold_left
     (fun acc seed ->
       List.fold_left
         (fun acc tag -> add acc (run_recover_schedule ~faults:(faults ~seed) ~tag ~seed ~ops ()))
+        acc tags)
+    zero seeds
+
+let run_rebuild_suite ?(faults = fun ~seed:_ -> []) ?tags ~seeds ~ops () =
+  let tags = match tags with Some ts -> ts | None -> recover_tags () in
+  List.fold_left
+    (fun acc seed ->
+      List.fold_left
+        (fun acc tag -> add acc (run_rebuild_schedule ~faults:(faults ~seed) ~tag ~seed ~ops ()))
         acc tags)
     zero seeds
 

@@ -106,6 +106,27 @@ val run_recover_suite :
 (** Kill-and-recover schedules for every (tag, seed) pair — [tags]
     defaults to {!recover_tags} (every registered scheme). *)
 
+val run_rebuild_schedule :
+  ?faults:fault_plan -> tag:string -> seed:int -> ops:int -> unit -> outcome
+(** {!run_recover_schedule} with periodic in-place compactions
+    ([ops.compact], seed-chosen gap) mixed into the journaled stream.
+    Compaction is content-preserving and unlogged, so the committed-
+    prefix recovery oracle is exactly the recover schedule's — even
+    when the kill lands mid-compact (arm ["engine.compact"] /
+    ["engine.compact.mid"]): compaction must be crash-invisible.  An
+    aborted compact must also unwind to the exact pre-compact tree,
+    which the schedule checks with a deep validation and count sweep
+    before carrying on. *)
+
+val run_rebuild_suite :
+  ?faults:(seed:int -> fault_plan) ->
+  ?tags:string list ->
+  seeds:int list ->
+  ops:int ->
+  unit ->
+  outcome
+(** Rebuild schedules for every (tag, seed) pair. *)
+
 (** {1 Parallel schedules} — writer domain vs reader domains *)
 
 val run_parallel_schedule :

@@ -816,6 +816,22 @@ let validate t =
       fail "height mismatch: leaves at depth %d, height %d" !leaf_depth t.tree_height
   end
 
+(* Free every node and reset the header to the empty-tree state (the
+   compaction teardown).  Arena frees go through the region's undo
+   journal, so an enclosing engine guard rolls a partial clear back. *)
+let clear t =
+  let rec free_subtree node =
+    if not (is_leaf t node) then
+      for i = 0 to num_keys t node do
+        free_subtree (child t node i)
+      done;
+    free_node t node
+  in
+  if t.root <> null then free_subtree t.root;
+  t.root <- null;
+  t.tree_height <- 0;
+  t.n_keys <- 0
+
 (* {2 Engine plug-in} — everything batched, bulk or cursor-shaped is
    derived from these primitives by {!module:Engine.Make}. *)
 
@@ -862,6 +878,7 @@ module Structure = struct
   let layout_policy t = t.cfg.layout
   let load_shape = load_shape
   let load_sorted = load_sorted
+  let clear = clear
 
   let cursor_start t = function
     | None -> push_spine t t.root []

@@ -83,13 +83,18 @@ val insert_batch : t -> Pk_keys.Key.t array -> rids:int array -> bool array
 
 val delete_batch : t -> Pk_keys.Key.t array -> bool array
 
-val bulk_load : t -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
+val bulk_load : t -> ?gap:float -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
 (** [bulk_load t ~fill entries] builds the tree bottom-up from a
     strictly ascending (key, rid) array into an {e empty} index: leaf
     and internal nodes are packed to [fill] (clamped to [0.5, 1.0]) of
     capacity and partial keys are derived directly from sorted
-    neighbours (Theorem 3.1).  Raises [Invalid_argument] on a
-    non-empty index or unsorted input. *)
+    neighbours (Theorem 3.1).  [gap] overrides [fill] when given (see
+    {!Layout.gap_fill}).  Raises [Invalid_argument] on a non-empty
+    index or unsorted input. *)
+
+val compact : t -> ?gap:float -> unit -> Layout.Placement.t option
+(** Rebuild the live tree through the bulk-load pipeline in place
+    (default [gap] 0.1) under one unwind scope; [None] when empty. *)
 
 val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
 (** In ascending key order.  Keys are read from records for non-direct

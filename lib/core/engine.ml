@@ -563,7 +563,8 @@ type ops = {
   lookup_batch : Key.t array -> int option array;
   insert_batch : Key.t array -> rids:int array -> bool array;
   delete_batch : Key.t array -> bool array;
-  of_sorted : fill:float -> (Key.t * int) array -> unit;
+  of_sorted : ?gap:float -> fill:float -> (Key.t * int) array -> unit;
+  compact : ?gap:float -> unit -> unit;
   layout : unit -> Layout.Placement.t option;
   iter : (key:Key.t -> rid:int -> unit) -> unit;
   range : lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit;
@@ -630,11 +631,14 @@ let journaled j ~payload_of o =
         J.commit j ~batch;
         res);
     of_sorted =
-      (fun ~fill entries ->
+      (fun ?gap ~fill entries ->
         let batch = J.begin_batch j in
         Array.iter (fun (key, rid) -> log_insert batch key rid) entries;
-        o.of_sorted ~fill entries;
+        o.of_sorted ?gap ~fill entries;
         J.commit j ~batch);
+    (* [compact] passes through unlogged: it is content-preserving, so
+       the journal's committed prefix already reproduces the compacted
+       tree's keys — a crash mid-compact must be invisible to replay. *)
   }
 
 (* {2 Recovery}
@@ -658,7 +662,7 @@ type recovery_stats = {
 
 module Bytes_map = Map.Make (Bytes)
 
-let recover ~journal ~build ~store_insert ~store_delete =
+let recover ?(gap = 0.1) ~build ~store_insert ~store_delete journal =
   let module J = Pk_journal.Journal in
   let fresh = build () in
   let committed = J.committed_ops journal in
@@ -683,7 +687,10 @@ let recover ~journal ~build ~store_insert ~store_delete =
         entries.(!i) <- (key, store_insert ~key ~payload);
         incr i)
       state;
-    fresh.of_sorted ~fill:1.0 entries
+    (* Gapped, not full: a recovered tree immediately takes new
+       traffic, so its leaves keep the same insert slack a planned
+       rebuild would leave. *)
+    fresh.of_sorted ~gap ~fill:(Layout.gap_fill ~gap) entries
   end;
   List.iter
     (fun (_, op) ->
@@ -757,6 +764,11 @@ module type STRUCTURE = sig
   val layout_policy : t -> Layout.policy
   val load_shape : t -> fill:float -> (Key.t * int) array -> Layout.shape
   val load_sorted : t -> fill:float -> plan:Layout.Placement.t -> (Key.t * int) array -> unit
+
+  val clear : t -> unit
+  (** Free every node and reset the scalar header to the empty-tree
+      state (the compaction teardown).  All writes go through the
+      region, so an enclosing engine guard undoes a partial clear. *)
 
   (** Spine-stack cursor: frames are (node, next entry index).
       [cursor_start] positions at the first key (None) or the first key
@@ -859,7 +871,10 @@ module Make (S : STRUCTURE) = struct
      all inside the unwind scope, so an injected fault rolls the
      reservation back with everything else.  Returns the plan so
      [wrap] can expose it ([ops.layout]) for inspection. *)
-  let bulk_load_plan t ?(fill = 1.0) entries =
+  let bulk_load_plan t ?gap ?(fill = 1.0) entries =
+    (* A gap request overrides the fill factor: gapped loading {e is}
+       loading at the equivalent lower fill. *)
+    let fill = match gap with None -> fill | Some g -> Layout.gap_fill ~gap:g in
     if S.root t <> null then invalid_arg (S.name ^ ".bulk_load: index is not empty");
     let n = Array.length entries in
     for i = 0 to n - 1 do
@@ -892,7 +907,7 @@ module Make (S : STRUCTURE) = struct
              S.load_sorted t ~fill ~plan entries;
              plan))
 
-  let bulk_load t ?fill entries = ignore (bulk_load_plan t ?fill entries : _ option)
+  let bulk_load t ?gap ?fill entries = ignore (bulk_load_plan t ?gap ?fill entries : _ option)
 
   (* Lazy in-order cursor over the structure's spine stack.  The
      sequence reads the live tree: behaviour under concurrent
@@ -935,6 +950,29 @@ module Make (S : STRUCTURE) = struct
     in
     go (seq_from t lo)
 
+  (* Replay a churned tree through the bulk-load pipeline in place:
+     collect the live (key, rid) pairs (ascending, rids preserved),
+     free every node, and rebuild gapped through the placement
+     planner.  One unwind scope covers both the teardown and the
+     rebuild — [Mem.guard] is reentrant, so [bulk_load_plan]'s nested
+     guard joins it — and an injected fault mid-compact restores the
+     pre-compact tree exactly. *)
+  let compact t ?(gap = 0.1) () =
+    let n = S.count t in
+    if n = 0 then None
+    else begin
+      let entries = Array.make n (Bytes.empty, 0) in
+      let i = ref 0 in
+      iter t (fun ~key ~rid ->
+          entries.(!i) <- (key, rid);
+          incr i);
+      guarded t (fun () ->
+          Fault.point "engine.compact";
+          S.clear t;
+          Fault.point "engine.compact.mid";
+          bulk_load_plan t ~gap entries)
+    end
+
   (* Read-only wrap over a snapshot-view clone: the read paths are the
      ordinary engine entry points (group descent included) aimed at the
      view regions; every mutator raises.  [release] drops the COW pages
@@ -954,7 +992,8 @@ module Make (S : STRUCTURE) = struct
       lookup_batch = lookup_batch vt;
       insert_batch = (fun _ ~rids:_ -> read_only "insert_batch");
       delete_batch = (fun _ -> read_only "delete_batch");
-      of_sorted = (fun ~fill:_ _ -> read_only "of_sorted");
+      of_sorted = (fun ?gap:_ ~fill:_ _ -> read_only "of_sorted");
+      compact = (fun ?gap:_ () -> read_only "compact");
       iter = iter vt;
       range = (fun ~lo ~hi f -> range vt ~lo ~hi f);
       seq_from = seq_from vt;
@@ -1012,8 +1051,14 @@ module Make (S : STRUCTURE) = struct
       insert_batch = (fun keys ~rids -> mutating (fun () -> insert_batch t keys ~rids));
       delete_batch = (fun keys -> mutating (fun () -> delete_batch t keys));
       of_sorted =
-        (fun ~fill entries ->
-          mutating (fun () -> last_plan := bulk_load_plan t ~fill entries));
+        (fun ?gap ~fill entries ->
+          mutating (fun () -> last_plan := bulk_load_plan t ?gap ~fill entries));
+      compact =
+        (fun ?gap () ->
+          mutating (fun () ->
+              match compact t ?gap () with
+              | None -> ()
+              | Some _ as plan -> last_plan := plan));
       iter = iter t;
       range = (fun ~lo ~hi f -> range t ~lo ~hi f);
       seq_from = seq_from t;

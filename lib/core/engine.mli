@@ -229,11 +229,22 @@ type ops = {
   lookup_batch : Key.t array -> int option array;
   insert_batch : Key.t array -> rids:int array -> bool array;
   delete_batch : Key.t array -> bool array;
-  of_sorted : fill:float -> (Key.t * int) array -> unit;
+  of_sorted : ?gap:float -> fill:float -> (Key.t * int) array -> unit;
+      (** Bulk load; [gap] (the per-leaf slack fraction, see
+          {!Layout.gap_fill}) overrides [fill] when given. *)
+  compact : ?gap:float -> unit -> unit;
+      (** Replay the live tree through the bulk-load pipeline in place:
+          collect the (key, rid) pairs, free every node, and rebuild
+          gapped (default [gap] 0.1) through the placement planner.
+          Content-preserving (rids included) and crash-invisible: an
+          unwind mid-compact restores the pre-compact tree, and the
+          journaled wrapper logs nothing for it.  Raises on read-only
+          views. *)
   layout : unit -> Layout.Placement.t option;
-      (** Placement plan of the most recent [of_sorted] on this record
-          ([None] before any bulk load, and on snapshot views).  The
-          flat plan is reported as {!Layout.Placement.flat}. *)
+      (** Placement plan of the most recent [of_sorted] or non-empty
+          [compact] on this record ([None] before any bulk load, and on
+          snapshot views).  The flat plan is reported as
+          {!Layout.Placement.flat}. *)
   iter : (key:Key.t -> rid:int -> unit) -> unit;
   range : lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit;
   seq_from : Key.t -> (Key.t * int) Seq.t;
@@ -298,18 +309,21 @@ type recovery_stats = {
 }
 
 val recover :
-  journal:Pk_journal.Journal.t ->
+  ?gap:float ->
   build:(unit -> ops) ->
   store_insert:(key:Key.t -> payload:bytes -> int) ->
   store_delete:(int -> unit) ->
+  Pk_journal.Journal.t ->
   ops * recovery_stats
 (** Rebuild a fresh index from the journal's committed prefix: all
     committed batches but the last are folded into a sorted logical
-    state and restored in one [of_sorted] pass; the last batch replays
-    incrementally through the single-key path.  Record ids are
-    re-assigned via [store_insert].  The recovered index is deep-
-    validated before being returned; [pk_recovery_replays_total] /
-    [pk_recovery_replayed_ops] are updated. *)
+    state and restored in one gapped [of_sorted] pass ([gap] defaults
+    to 0.1, so the recovered tree keeps insert slack for the traffic
+    that follows); the last batch replays incrementally through the
+    single-key path.  Record ids are re-assigned via [store_insert].
+    The recovered index is deep-validated before being returned;
+    [pk_recovery_replays_total] / [pk_recovery_replayed_ops] are
+    updated. *)
 
 (** The per-structure primitive set a tree supplies to the engine. *)
 module type STRUCTURE = sig
@@ -349,6 +363,11 @@ module type STRUCTURE = sig
   (** Build bottom-up, allocating each node at the plan's target offset
       (plain 64-byte-aligned allocation under the flat plan). *)
 
+  val clear : t -> unit
+  (** Free every node and reset the scalar header to the empty-tree
+      state (the compaction teardown).  All writes go through the
+      region, so an enclosing engine guard undoes a partial clear. *)
+
   val cursor_start : t -> Key.t option -> (int * int) list
   (** Spine stack positioned at the first key ([None]) or the first key
       >= the probe; frames are (node, next entry index). *)
@@ -377,11 +396,19 @@ module Make (S : STRUCTURE) : sig
   val lookup_batch : S.t -> Key.t array -> int option array
   val insert_batch : S.t -> Key.t array -> rids:int array -> bool array
   val delete_batch : S.t -> Key.t array -> bool array
-  val bulk_load : S.t -> ?fill:float -> (Key.t * int) array -> unit
+  val bulk_load : S.t -> ?gap:float -> ?fill:float -> (Key.t * int) array -> unit
 
   (** [bulk_load] returning the placement plan it built under ([None]
-      for an empty entry array). *)
-  val bulk_load_plan : S.t -> ?fill:float -> (Key.t * int) array -> Layout.Placement.t option
+      for an empty entry array).  [gap] overrides [fill] when given
+      (see {!Layout.gap_fill}). *)
+  val bulk_load_plan :
+    S.t -> ?gap:float -> ?fill:float -> (Key.t * int) array -> Layout.Placement.t option
+
+  val compact : S.t -> ?gap:float -> unit -> Layout.Placement.t option
+  (** Rebuild the live tree through the bulk-load pipeline in place
+      (default [gap] 0.1) under one unwind scope; [None] when the tree
+      is empty. *)
+
   val seq_from : S.t -> Key.t -> (Key.t * int) Seq.t
   val iter : S.t -> (key:Key.t -> rid:int -> unit) -> unit
   val range : S.t -> lo:Key.t -> hi:Key.t -> (key:Key.t -> rid:int -> unit) -> unit

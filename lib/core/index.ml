@@ -10,7 +10,8 @@ type t = Engine.ops = {
   lookup_batch : Pk_keys.Key.t array -> int option array;
   insert_batch : Pk_keys.Key.t array -> rids:int array -> bool array;
   delete_batch : Pk_keys.Key.t array -> bool array;
-  of_sorted : fill:float -> (Pk_keys.Key.t * int) array -> unit;
+  of_sorted : ?gap:float -> fill:float -> (Pk_keys.Key.t * int) array -> unit;
+  compact : ?gap:float -> unit -> unit;
   layout : unit -> Layout.Placement.t option;
   iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
   range :
@@ -150,13 +151,14 @@ let () =
 
 (* Crash recovery by registry tag: fresh memory system + record store,
    committed-prefix replay, deep validation — see {!Engine.recover}. *)
-let recover ?node_bytes ~key_len ~tag journal =
+let recover ?node_bytes ?gap ~key_len ~tag journal =
   let mem = Pk_mem.Mem.create () in
   let records = Pk_records.Record_store.create mem in
   let ix, stats =
-    Engine.recover ~journal
+    Engine.recover ?gap
       ~build:(fun () -> Registry.build ?node_bytes ~key_len tag mem records)
       ~store_insert:(fun ~key ~payload -> Pk_records.Record_store.insert records ~key ~payload)
       ~store_delete:(fun rid -> Pk_records.Record_store.delete records rid)
+      journal
   in
   (mem, records, ix, stats)

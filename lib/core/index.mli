@@ -20,14 +20,23 @@ type t = Engine.ops = {
       (** Batch insert; equal to singles in batch order, batch-atomic
           under fault unwinding. *)
   delete_batch : Pk_keys.Key.t array -> bool array;
-  of_sorted : fill:float -> (Pk_keys.Key.t * int) array -> unit;
+  of_sorted : ?gap:float -> fill:float -> (Pk_keys.Key.t * int) array -> unit;
       (** Bottom-up bulk load of an empty index from strictly ascending
           (key, rid) pairs at the given fill factor (clamped to
-          [0.5, 1.0]). *)
+          [0.5, 1.0]).  [gap] — the per-leaf slack fraction left free
+          for future in-place inserts, see {!Layout.gap_fill} —
+          overrides [fill] when given. *)
+  compact : ?gap:float -> unit -> unit;
+      (** Replay the live tree through the bulk-load pipeline in place:
+          collect the (key, rid) pairs, free every node, rebuild gapped
+          (default [gap] 0.1) through the placement planner.  Content-
+          preserving (rids included), crash-invisible under journaling,
+          all-or-nothing under fault unwinding.  Raises on snapshot
+          views. *)
   layout : unit -> Layout.Placement.t option;
       (** The node-placement plan materialised by the last non-empty
-          [of_sorted], if any ([None] before a bulk load and on
-          snapshot views). *)
+          [of_sorted] or [compact], if any ([None] before a bulk load
+          and on snapshot views). *)
   iter : (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
   range :
     lo:Pk_keys.Key.t -> hi:Pk_keys.Key.t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit;
@@ -146,13 +155,15 @@ end
 
 val recover :
   ?node_bytes:int ->
+  ?gap:float ->
   key_len:int ->
   tag:string ->
   Pk_journal.Journal.t ->
   Pk_mem.Mem.t * Pk_records.Record_store.t * t * Engine.recovery_stats
 (** Crash recovery by tag: build a fresh memory system, record store
     and registered scheme, then replay the journal's committed prefix
-    through {!Engine.recover} (bulk [of_sorted] for all committed
-    batches but the last, incremental replay of the tail, deep
-    validation).  Record ids are freshly assigned — only key and
-    payload bytes are durable across a crash. *)
+    through {!Engine.recover} (gapped bulk [of_sorted] for all
+    committed batches but the last — [gap] defaults to 0.1, leaving
+    insert slack for post-recovery traffic — incremental replay of the
+    tail, deep validation).  Record ids are freshly assigned — only key
+    and payload bytes are durable across a crash. *)

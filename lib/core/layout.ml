@@ -105,6 +105,15 @@ let validate_policy = function
       if not (line_bytes <= page_bytes && page_bytes <= huge_bytes) then
         invalid_arg "Layout: blocked policy needs line <= page <= huge"
 
+(* Gapped bulk loads (BS-tree style): [gap] is the per-leaf slack
+   fraction left free for future in-place inserts.  The trees' load
+   passes and the placement planner already parameterise on [fill], so
+   a gap maps directly onto the fill factor they honour; clamping to
+   [0, 0.5] keeps the result inside the fill range bulk loads accept. *)
+let gap_fill ~gap =
+  let gap = if gap < 0.0 then 0.0 else if gap > 0.5 then 0.5 else gap in
+  1.0 -. gap
+
 (* Tree shape as the planner sees it: per-level child ranges, root
    level first.  [shape_levels.(l).(i) = (lo, hi)] is node [i]'s
    contiguous (exclusive) child range into level [l + 1]; childless

@@ -87,6 +87,12 @@ val policy_tag : policy -> string
 val validate_policy : policy -> unit
 (** @raise Invalid_argument on non-power-of-two or non-nested sizes. *)
 
+val gap_fill : gap:float -> float
+(** Fill factor equivalent to leaving a [gap] fraction of each leaf
+    free for future in-place inserts (BS-tree style gapped loading):
+    [1.0 -. gap] with [gap] clamped to [0, 0.5], so the result stays
+    inside the [0.5, 1.0] range bulk loads accept. *)
+
 (** The tree shape a bulk load is about to build, root level first:
     [shape_levels.(l).(i) = (lo, hi)] is node [i]'s contiguous
     (exclusive) child range into level [l + 1]; childless nodes carry

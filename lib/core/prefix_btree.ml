@@ -865,6 +865,27 @@ let validate t =
       fail "leaf chain broken"
   end
 
+(* Free every node and reset the header to the empty-tree state (the
+   compaction teardown).  An internal node's children are its [link]
+   (leftmost) plus one per directory entry; a leaf's [link] is the
+   next-leaf pointer, freed by its own parent.  Arena frees go through
+   the region's undo journal, so an enclosing engine guard rolls a
+   partial clear back. *)
+let clear t =
+  let rec free_subtree node =
+    if not (is_leaf t node) then begin
+      free_subtree (link t node);
+      for i = 0 to num_keys t node - 1 do
+        free_subtree (rec_child t node i)
+      done
+    end;
+    free_node t node
+  in
+  if t.root <> null then free_subtree t.root;
+  t.root <- null;
+  t.tree_height <- 0;
+  t.n_keys <- 0
+
 (* {2 Engine assembly} *)
 
 module Structure = struct
@@ -887,6 +908,7 @@ module Structure = struct
   let layout_policy t = t.layout
   let load_shape = load_shape
   let load_sorted = load_sorted
+  let clear = clear
 
   let cursor_start t from =
     if t.root = null then []

@@ -55,11 +55,16 @@ val lookup_batch : t -> Pk_keys.Key.t array -> int option array
 val insert_batch : t -> Pk_keys.Key.t array -> rids:int array -> bool array
 val delete_batch : t -> Pk_keys.Key.t array -> bool array
 
-val bulk_load : t -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
+val bulk_load : t -> ?gap:float -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
 (** Bottom-up build from strictly ascending (key, rid) pairs into an
     empty index: leaves are packed greedily to [fill] (clamped to
     [0.5, 1.0]) of the node byte budget and chained; internal levels
-    promote one truncated separator between adjacent children. *)
+    promote one truncated separator between adjacent children.  [gap]
+    overrides [fill] when given (see {!Layout.gap_fill}). *)
+
+val compact : t -> ?gap:float -> unit -> Layout.Placement.t option
+(** Rebuild the live tree through the bulk-load pipeline in place
+    (default [gap] 0.1) under one unwind scope; [None] when empty. *)
 
 val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
 val range :

@@ -798,6 +798,21 @@ let validate t =
   if !total <> t.n_keys then fail "key count mismatch: walked %d, recorded %d" !total t.n_keys;
   if !nodes <> t.n_nodes then fail "node count mismatch: walked %d, recorded %d" !nodes t.n_nodes
 
+(* Free every node and reset the header to the empty-tree state (the
+   compaction teardown).  Arena frees go through the region's undo
+   journal, so an enclosing engine guard rolls a partial clear back. *)
+let clear t =
+  let rec free_subtree node =
+    if node <> null then begin
+      free_subtree (left t node);
+      free_subtree (right t node);
+      free_node t node
+    end
+  in
+  free_subtree t.root;
+  t.root <- null;
+  t.n_keys <- 0
+
 (* {2 Engine plug-in} *)
 
 module Structure = struct
@@ -845,6 +860,7 @@ module Structure = struct
   let layout_policy t = t.cfg.layout
   let load_shape = load_shape
   let load_sorted = load_sorted
+  let clear = clear
 
   let cursor_start t = function
     | None -> push_spine t t.root []

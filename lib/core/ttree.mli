@@ -53,13 +53,18 @@ val lookup_batch : t -> Pk_keys.Key.t array -> int option array
 val insert_batch : t -> Pk_keys.Key.t array -> rids:int array -> bool array
 val delete_batch : t -> Pk_keys.Key.t array -> bool array
 
-val bulk_load : t -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
+val bulk_load : t -> ?gap:float -> ?fill:float -> (Pk_keys.Key.t * int) array -> unit
 (** Bottom-up build from strictly ascending (key, rid) pairs into an
     empty index: keys are chunked to [fill] (clamped to [0.5, 1.0]) of
     node capacity and the chunks arranged as a midpoint-balanced BST
     (the rightmost — possibly short — chunk always lands as a leaf or
-    half-leaf, so Lehman–Carey occupancy holds).  Partial keys follow
+    half-leaf, so Lehman–Carey occupancy holds).  [gap] overrides
+    [fill] when given (see {!Layout.gap_fill}).  Partial keys follow
     the §4.1 base rules. *)
+
+val compact : t -> ?gap:float -> unit -> Layout.Placement.t option
+(** Rebuild the live tree through the bulk-load pipeline in place
+    (default [gap] 0.1) under one unwind scope; [None] when empty. *)
 
 val iter : t -> (key:Pk_keys.Key.t -> rid:int -> unit) -> unit
 val range :

@@ -1066,6 +1066,244 @@ let run_a11 () =
   shape_check "every probe resolved on every shard"
     (Array.for_all (fun o -> Array.for_all (fun r -> r >= 0) o) out)
 
+(* A12: the rebuild-at-scale pipeline — parallel compressed-key sort
+   into gapped leaves.  Three phases:
+
+   1. Sort scaling on 1M+ unsorted entries.  As in A11 the host may
+      expose one hardware core, so wall clock over spawned domains
+      cannot show scaling; instead each per-domain run's sort is timed
+      solo and the D-domain figure is the critical path: max over runs
+      (one run per domain) plus the sequential k-way merge, measured
+      as the full-call time minus the summed run times.  Exact for the
+      pipeline's share-nothing runs, independent of host core count.
+   2. What the gap buys: post-gapped-bulk-load insert throughput vs
+      the same inserts into a steady-state incrementally grown tree
+      (the acceptance bar is within 2x), with a gap-0 contrast row.
+   3. Round-trip: rebuild(index) must answer byte-equal lookups for
+      every registered scheme tag, sharded and blocked included. *)
+module Rebuild = Pk_rebuild.Rebuild
+
+let run_a12 () =
+  let n = Experiment.scaled_keys 1_000_000 in
+  let key_len = 16 and alphabet = high_entropy in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  ensure_registry ();
+  Shard.ensure_registered ();
+  let env = Workload.make_env () in
+  let ds = Workload.make_dataset env ~key_len ~alphabet ~n () in
+  let store = env.Workload.records in
+  let sorted = Workload.sorted_pairs ds in
+  let entries = Array.copy sorted in
+  let rng = Pk_util.Prng.create 712L in
+  (* Fisher–Yates over the pairs: the sort stage gets unsorted input. *)
+  for i = Array.length entries - 1 downto 1 do
+    let j = Pk_util.Prng.int rng (i + 1) in
+    let t = entries.(i) in
+    entries.(i) <- entries.(j);
+    entries.(j) <- t
+  done;
+  Printf.printf "keys=%d, key size=%d B, entropy=%s, scheme=pkB\n\n" n key_len
+    (entropy_tag alphabet);
+  let now = Unix.gettimeofday in
+  (* {3 Phase 1: sort scaling, critical-path aggregation}
+
+     [spawn:false] runs the exact library code path — same run
+     decomposition, same merge — in one domain, so the full-call time
+     decomposes as prologue + sum(run sorts) + merge without the
+     cross-domain GC noise a 1-core host injects into genuinely
+     spawned timings. *)
+  ignore (Rebuild.sort ~domains:1 ~store entries : (Key.t * int) array * Rebuild.stats);
+  (* The host is time-shared: single timings jitter by 50%+.  Min over
+     repeats with a major collection before each measurement. *)
+  let reps = 3 in
+  let timed_min f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      Gc.major ();
+      let t0 = now () in
+      ignore (f () : (Key.t * int) array * Rebuild.stats);
+      best := Float.min !best ((now () -. t0) *. 1e9)
+    done;
+    !best
+  in
+  let time_full d =
+    let _, stats = Rebuild.sort ~domains:d ~spawn:false ~store entries in
+    (timed_min (fun () -> Rebuild.sort ~domains:d ~spawn:false ~store entries), stats)
+  in
+  let run_times d =
+    Array.init d (fun w ->
+        let lo = w * Array.length entries / d and hi = (w + 1) * Array.length entries / d in
+        let chunk = Array.sub entries lo (hi - lo) in
+        timed_min (fun () -> Rebuild.sort ~domains:1 ~store chunk))
+  in
+  let t =
+    Tables.create
+      ~columns:
+        [
+          ("domains", Tables.Right);
+          ("crit-path ms", Tables.Right);
+          ("merge ms", Tables.Right);
+          ("Mkey/s", Tables.Right);
+          ("speedup", Tables.Right);
+          ("tie derefs", Tables.Right);
+        ]
+  in
+  let json_rows = ref [] in
+  let speedups = Hashtbl.create 8 in
+  let base = ref 0.0 in
+  List.iter
+    (fun d ->
+      let full_ns, stats = time_full d in
+      let runs = run_times d in
+      let sum_runs = Array.fold_left ( +. ) 0.0 runs in
+      let merge_ns = Float.max 0.0 (full_ns -. sum_runs) in
+      let crit = Array.fold_left Float.max 0.0 runs +. merge_ns in
+      if d = 1 then base := crit;
+      let speedup = !base /. crit in
+      Hashtbl.replace speedups d speedup;
+      let mkeys = float_of_int n *. 1e3 /. crit in
+      Tables.add_row t
+        [
+          string_of_int d;
+          fmt_f (crit /. 1e6);
+          fmt_f (merge_ns /. 1e6);
+          fmt_f mkeys;
+          fmt_f speedup;
+          string_of_int stats.Rebuild.tie_derefs;
+        ];
+      json_rows :=
+        Json_out.Obj
+          [
+            ("domains", Json_out.Int d);
+            ("critical_path_ms", Json_out.Float (crit /. 1e6));
+            ("merge_ms", Json_out.Float (merge_ns /. 1e6));
+            ("keys_per_sec", Json_out.Float (float_of_int n *. 1e9 /. crit));
+            ("speedup_vs_1", Json_out.Float speedup);
+            ("tie_derefs", Json_out.Int stats.Rebuild.tie_derefs);
+          ]
+        :: !json_rows)
+    domain_counts;
+  print_table ~name:"a12" t;
+  (* The genuinely spawned path must be byte-identical to the
+     sequentialized runs; its wall time on this host is reference
+     only (meaningless as a scaling figure on one core). *)
+  let seq4, _ = Rebuild.sort ~domains:4 ~spawn:false ~store entries in
+  let t0 = now () in
+  let par4, _ = Rebuild.sort ~domains:4 ~store entries in
+  let spawned_ms = (now () -. t0) *. 1e3 in
+  let spawn_identical =
+    Array.length seq4 = Array.length par4
+    && Array.for_all2
+         (fun (ka, ra) (kb, rb) -> Key.equal ka kb && Int.equal ra rb)
+         seq4 par4
+  in
+  Printf.printf "\nspawned 4-domain pass: %.0f ms wall on this host, output %s\n" spawned_ms
+    (if spawn_identical then "identical" else "DIVERGES");
+  (* {3 Phase 2: post-gapped-load insert throughput vs steady state} *)
+  let n2 = max 1024 (n / 5) in
+  let m = max 256 (n2 / 20) in
+  let rng2 = Pk_util.Prng.create 906L in
+  let pool = Keygen.uniform ~rng:rng2 ~key_len ~alphabet (n2 + m) in
+  let grown = Index.Registry.build ~key_len "pkB" env.Workload.mem store in
+  Array.iter
+    (fun k ->
+      let rid = Pk_records.Record_store.insert store ~key:k ~payload:Bytes.empty in
+      if not (grown.Index.insert k ~rid) then Pk_records.Record_store.delete store rid)
+    (Array.sub pool 0 n2);
+  let tail = Array.sub pool n2 m in
+  let time_tail (ix : Index.t) =
+    let t0 = now () in
+    Array.iter
+      (fun k ->
+        let rid = Pk_records.Record_store.insert store ~key:k ~payload:Bytes.empty in
+        if not (ix.Index.insert k ~rid) then Pk_records.Record_store.delete store rid)
+      tail;
+    let ns = (now () -. t0) *. 1e9 in
+    Array.iter
+      (fun k ->
+        match ix.Index.lookup k with
+        | Some rid ->
+            ignore (ix.Index.delete k : bool);
+            Pk_records.Record_store.delete store rid
+        | None -> ())
+      tail;
+    ns /. float_of_int m
+  in
+  let steady = time_tail grown in
+  let post_load gap =
+    let ix = Index.Registry.build ~key_len "pkB" env.Workload.mem store in
+    ignore (Rebuild.rebuild ~gap ~store ~into:ix (Rebuild.Of_index grown) : Rebuild.stats);
+    time_tail ix
+  in
+  let post_gapped = post_load 0.1 and post_packed = post_load 0.0 in
+  let ratio = post_gapped /. steady in
+  Printf.printf
+    "\ninsert tail (%d keys): steady-state %.0f ns/insert, post-load %.0f (gap 0.1) vs %.0f \
+     (gap 0.0) — ratio %.2fx\n"
+    m steady post_gapped post_packed ratio;
+  (* {3 Phase 3: round-trip over every registered scheme} *)
+  let mismatches = ref 0 and tags_checked = ref 0 in
+  let rt_mem = Mem.create () in
+  let rt_records = Pk_records.Record_store.create rt_mem in
+  let rt_pool = Keygen.uniform ~rng:rng2 ~key_len ~alphabet 4000 in
+  List.iter
+    (fun tag ->
+      incr tags_checked;
+      let src = Index.Registry.build ~key_len tag rt_mem rt_records in
+      Array.iteri
+        (fun i k ->
+          let rid = Pk_records.Record_store.insert rt_records ~key:k ~payload:Bytes.empty in
+          if not (src.Index.insert k ~rid) then Pk_records.Record_store.delete rt_records rid;
+          if i mod 3 = 0 then
+            match src.Index.lookup k with
+            | Some r ->
+                ignore (src.Index.delete k : bool);
+                Pk_records.Record_store.delete rt_records r
+            | None -> ())
+        rt_pool;
+      let dst = Index.Registry.build ~key_len tag rt_mem rt_records in
+      ignore
+        (Rebuild.rebuild ~domains:2 ~gap:0.1 ~store:rt_records ~into:dst
+           (Rebuild.Of_index src)
+          : Rebuild.stats);
+      dst.Index.validate ();
+      Array.iter
+        (fun k ->
+          if not (Option.equal Int.equal (src.Index.lookup k) (dst.Index.lookup k)) then
+            incr mismatches)
+        rt_pool)
+    (Index.Registry.tags ());
+  Printf.printf "round-trip: %d schemes, %d lookup mismatches\n" !tags_checked !mismatches;
+  Json_out.write_bench ~id:"a12"
+    ~params:
+      [
+        ("keys", Json_out.Int n);
+        ("key_len", Json_out.Int key_len);
+        ("alphabet", Json_out.Int alphabet);
+        ("scheme", Json_out.String "pkB");
+        ("gap", Json_out.Float 0.1);
+        ( "method",
+          Json_out.String
+            "critical-path aggregation: per-run sort times measured solo, D-domain time = max \
+             over runs (one per domain) plus the sequential k-way merge (spawn:false full-call \
+             time minus summed run times); exact for the pipeline's share-nothing runs and \
+             independent of host core count" );
+        ("spawned_4domain_wall_ms", Json_out.Float spawned_ms);
+        ("steady_ns_per_insert", Json_out.Float steady);
+        ("post_gapped_ns_per_insert", Json_out.Float post_gapped);
+        ("post_packed_ns_per_insert", Json_out.Float post_packed);
+        ("post_load_insert_ratio", Json_out.Float ratio);
+        ("roundtrip_schemes", Json_out.Int !tags_checked);
+        ("roundtrip_mismatches", Json_out.Int !mismatches);
+      ]
+    ~rows:(List.rev !json_rows);
+  shape_check "4-domain rebuild sort >= 2.5x the sequential figure"
+    (Hashtbl.find speedups 4 >= 2.5);
+  shape_check "2-domain speedup above 1" (Hashtbl.find speedups 2 > 1.0);
+  shape_check "spawned parallel sort byte-identical to sequentialized runs" spawn_identical;
+  shape_check "post-gapped-load inserts within 2x of steady state" (ratio <= 2.0);
+  shape_check "rebuild round-trip byte-equal lookups on every scheme" (!mismatches = 0)
+
 let register () =
   let reg id title paper_ref run = Experiment.register { Experiment.id; title; paper_ref; run } in
   reg "a1" "Node size in L2 blocks" "ablation (§5.2 parameter setting)" run_a1;
@@ -1080,4 +1318,6 @@ let register () =
   reg "a10" "Cache/TLB-conscious node placement (blocked bulk loads)"
     "ablation (hierarchical blocking, FAST-style)" run_a10;
   reg "a11" "Sharded multicore serving (domain scaling, optimistic reads)"
-    "ablation (share-nothing sharding over OCaml domains)" run_a11
+    "ablation (share-nothing sharding over OCaml domains)" run_a11;
+  reg "a12" "Rebuild at scale (parallel compressed-key sort, gapped bulk loads)"
+    "ablation (rebuild/compaction pipeline)" run_a12

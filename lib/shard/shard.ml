@@ -283,7 +283,8 @@ module Engine = struct
       lookup_batch = (fun keys -> lookup_batch_aux lookup_into keys);
       insert_batch = (fun _ ~rids:_ -> read_only "insert_batch");
       delete_batch = (fun _ -> read_only "delete_batch");
-      of_sorted = (fun ~fill:_ _ -> read_only "of_sorted");
+      of_sorted = (fun ?gap:_ ~fill:_ _ -> read_only "of_sorted");
+      compact = (fun ?gap:_ () -> read_only "compact");
       iter = (fun f -> m_iter subs f);
       range = (fun ~lo ~hi f -> m_range subs ~lo ~hi f);
       seq_from = (fun from -> merged_from subs from);
@@ -391,7 +392,7 @@ module Engine = struct
       end;
       res
     in
-    let of_sorted ~fill entries =
+    let of_sorted ?gap ~fill entries =
       (* A stable partition of ascending entries keeps each shard's
          slice strictly ascending, as its bulk load requires. *)
       let k = Array.length subs in
@@ -414,10 +415,18 @@ module Engine = struct
               Array.iteri
                 (fun s part ->
                   if Array.length part > 0 then begin
-                    subs.(s).Index.of_sorted ~fill part;
+                    subs.(s).Index.of_sorted ?gap ~fill part;
                     Obs.Counter.add t.shards.(s).m_mutations (Array.length part)
                   end)
                 parts))
+    in
+    let compact ?gap () =
+      (* Each sub's compact runs under its own guard too; nesting every
+         shard's guard here makes a crash mid-way all-or-nothing across
+         the whole aggregate, matching batch mutators. *)
+      locked_when always t.shards 0 (fun () ->
+          guarded_when always t.shards 0 (fun () ->
+              Array.iter (fun (ix : Index.t) -> ix.Index.compact ?gap ()) subs))
     in
     {
       Index.tag = t.stag;
@@ -440,6 +449,7 @@ module Engine = struct
       insert_batch;
       delete_batch;
       of_sorted;
+      compact;
       iter = (fun f -> m_iter subs f);
       range = (fun ~lo ~hi f -> m_range subs ~lo ~hi f);
       seq_from = (fun from -> merged_from subs from);

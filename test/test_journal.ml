@@ -258,6 +258,51 @@ let test_recover_empty_and_tail_only () =
       Alcotest.(check string) "payload" "p2"
         (Bytes.to_string (Record_store.read_payload records rid))
 
+(* Satellite of the rebuild pipeline: recovery bulk-loads through
+   [of_sorted ~gap], so a freshly recovered tree keeps per-leaf slack
+   and absorbs a sparse tail of inserts in place.  The contrast run at
+   gap 0.0 (leaves packed full) proves the assertion has teeth: the
+   same tail must split there. *)
+let test_recover_gapped_no_split () =
+  let key_len = 12 in
+  let mem, records = Support.make_env () in
+  let journal = Journal.create () in
+  let live =
+    Index.journaled journal records (Index.Registry.build ~key_len "B-direct" mem records)
+  in
+  let pool = Support.sorted_keys ~seed:11 ~key_len ~alphabet:16 800 in
+  Array.iteri
+    (fun i k ->
+      if i mod 2 = 0 then begin
+        let rid = Record_store.insert records ~key:k ~payload:Bytes.empty in
+        ignore (live.Index.insert k ~rid)
+      end)
+    pool;
+  let frozen = Journal.of_bytes (Journal.to_bytes journal) in
+  let check ~gap ~expect_splits =
+    let _, records2, ix, _ = Index.recover ~gap ~key_len ~tag:"B-direct" frozen in
+    let before = ix.Index.node_count () in
+    (* A sparse tail: odd keys (absent, adjacent to residents) at a
+       stride wide enough that each lands in a distinct leaf. *)
+    Array.iteri
+      (fun i k ->
+        if i mod 40 = 1 then begin
+          let rid = Record_store.insert records2 ~key:k ~payload:Bytes.empty in
+          if not (ix.Index.insert k ~rid) then Alcotest.fail "tail insert rejected"
+        end)
+      pool;
+    ix.Index.validate ();
+    let after = ix.Index.node_count () in
+    if expect_splits then begin
+      if after <= before then
+        Alcotest.failf "gap %.2f: expected splits, nodes %d -> %d" gap before after
+    end
+    else if after <> before then
+      Alcotest.failf "gap %.2f: tail inserts split the tree, nodes %d -> %d" gap before after
+  in
+  check ~gap:0.1 ~expect_splits:false;
+  check ~gap:0.0 ~expect_splits:true
+
 let () =
   Alcotest.run "journal"
     [
@@ -275,5 +320,7 @@ let () =
         [
           Alcotest.test_case "journaled index roundtrip" `Quick test_recover_roundtrip;
           Alcotest.test_case "empty and tail-only" `Quick test_recover_empty_and_tail_only;
+          Alcotest.test_case "gapped recovery absorbs tail inserts" `Quick
+            test_recover_gapped_no_split;
         ] );
     ]

@@ -40,6 +40,7 @@ type op =
   | Batch_insert of int * int
   | Batch_delete of int * int
   | Batch_lookup of int * int
+  | Compact
 
 let op_to_string = function
   | Insert i -> Printf.sprintf "Insert %d" i
@@ -49,6 +50,7 @@ let op_to_string = function
   | Batch_insert (s, l) -> Printf.sprintf "Batch_insert (%d, %d)" s l
   | Batch_delete (s, l) -> Printf.sprintf "Batch_delete (%d, %d)" s l
   | Batch_lookup (s, l) -> Printf.sprintf "Batch_lookup (%d, %d)" s l
+  | Compact -> "Compact"
 
 type scenario = { seed : int; bulk : int; ops : op list }
 
@@ -56,14 +58,15 @@ let gen_ops ~seed n =
   let rng = Prng.create (Int64.of_int seed) in
   let idx () = Prng.int rng pool_size in
   List.init n (fun _ ->
-      match Prng.int rng 10 with
+      match Prng.int rng 11 with
       | 0 | 1 | 2 -> Insert (idx ())
       | 3 -> Delete (idx ())
       | 4 | 5 -> Lookup (idx ())
       | 6 -> Range (idx (), idx ())
       | 7 -> Batch_insert (idx (), Prng.int rng 9)
       | 8 -> Batch_delete (idx (), Prng.int rng 9)
-      | _ -> Batch_lookup (idx (), Prng.int rng 9))
+      | 9 -> Batch_lookup (idx (), Prng.int rng 9)
+      | _ -> Compact)
 
 let gen_scenario ~seed =
   (* Alternate between a bulk-loaded start and an empty one so
@@ -198,6 +201,10 @@ let run_scenario ~build sc =
               failf "lookup_batch slot %d (%s) returned %s, model says %s" j
                 (Key.to_hex keys.(j)) (opt_rid_to_string g) (opt_rid_to_string want))
           got
+    (* Content-preserving: the model is untouched, so the count /
+       iteration / lookup checks after this op assert exactly the
+       compaction invariant (rebuild(index) ≡ index). *)
+    | Compact -> ix.Index.compact ~gap:0.1 ()
   in
   let step op_idx f =
     match
